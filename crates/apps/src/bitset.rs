@@ -1,0 +1,139 @@
+//! A growable bitset with a chunk-friendly wire form.
+//!
+//! ClickLog's Phase 2 represents the set of distinct IPs as a bitset
+//! (paper Figure 3: `distinct |= ip`), and its merge is a word-wise OR of
+//! partial bitsets. The wire form is simply `Vec<u64>` words, which the
+//! `hurricane-format` codec already knows how to carry.
+
+/// A fixed-capacity bitset indexed by `u32` keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitset with room for `bits` bits preallocated.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`, growing as needed.
+    pub fn set(&mut self, i: u32) {
+        let word = (i / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (i % 64);
+    }
+
+    /// Returns whether bit `i` is set.
+    pub fn get(&self, i: u32) -> bool {
+        let word = (i / 64) as usize;
+        self.words
+            .get(word)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of set bits (the distinct count of ClickLog's Phase 3).
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Word-wise OR with another bitset — the Phase 2 merge
+    /// (`output.insert(partial1 | partial2)`).
+    pub fn or_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Consumes into the wire form.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Builds from the wire form.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Self { words }
+    }
+
+    /// Merges two wire-form bitsets (the merge combiner used with
+    /// `hurricane_core::merges::ReduceMerge`).
+    pub fn or_words(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+        let (mut long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        for (i, w) in short.into_iter().enumerate() {
+            long[i] |= w;
+        }
+        long
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut bs = BitSet::new();
+        assert!(!bs.get(100));
+        bs.set(0);
+        bs.set(63);
+        bs.set(64);
+        bs.set(1000);
+        assert!(bs.get(0) && bs.get(63) && bs.get(64) && bs.get(1000));
+        assert!(!bs.get(1));
+        assert_eq!(bs.count(), 4);
+    }
+
+    #[test]
+    fn duplicate_sets_are_idempotent() {
+        let mut bs = BitSet::new();
+        bs.set(42);
+        bs.set(42);
+        assert_eq!(bs.count(), 1);
+    }
+
+    #[test]
+    fn or_merges_distinct_sets() {
+        let mut a = BitSet::new();
+        a.set(1);
+        a.set(100);
+        let mut b = BitSet::new();
+        b.set(2);
+        b.set(100);
+        b.set(5000);
+        a.or_with(&b);
+        assert_eq!(a.count(), 4);
+        assert!(a.get(5000));
+    }
+
+    #[test]
+    fn or_words_handles_length_mismatch() {
+        let a = vec![0b1u64];
+        let b = vec![0b10u64, 0b100];
+        let merged = BitSet::or_words(a, b);
+        assert_eq!(merged, vec![0b11, 0b100]);
+        // Symmetric.
+        let merged2 = BitSet::or_words(vec![0b10u64, 0b100], vec![0b1u64]);
+        assert_eq!(merged2, vec![0b11, 0b100]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut bs = BitSet::with_capacity(256);
+        bs.set(7);
+        bs.set(200);
+        let words = bs.clone().into_words();
+        assert_eq!(BitSet::from_words(words), bs);
+    }
+}

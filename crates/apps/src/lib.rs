@@ -1,0 +1,26 @@
+//! Reference analytics applications on Hurricane (paper §2.1, §5.3).
+//!
+//! Three applications exercise the full programming model on the real
+//! (threaded) runtime:
+//!
+//! * [`clicklog`] — the paper's running example: geolocate click records
+//!   into regions, count distinct IPs per region with a bitset whose
+//!   clone partials reconcile through an OR merge (Figures 1–3).
+//! * [`hashjoin`] — partitioned hash join: the build side is read in
+//!   full by every clone (the bag API's concurrent-scan mode) while the
+//!   probe side's chunks are shared exactly-once, so cloning splits
+//!   probe work without any repartitioning.
+//! * [`pagerank`] — five unrolled iterations of PageRank, the paper's
+//!   multi-stage application: per-iteration scatter tasks whose clone
+//!   partials merge by keyed contribution sums.
+//!
+//! Each module also contains a single-threaded *reference* implementation
+//! used as the correctness oracle in tests and examples, plus a [`bitset`]
+//! substrate shared by ClickLog.
+
+pub mod bitset;
+pub mod clicklog;
+pub mod hashjoin;
+pub mod pagerank;
+
+pub use bitset::BitSet;

@@ -1,0 +1,313 @@
+//! A real, executable static-partitioning engine (the Spark-shaped
+//! comparison baseline).
+//!
+//! The paper's baselines (Hadoop, Spark) share one structural property
+//! that Hurricane attacks: **work is partitioned statically**. Partitions
+//! are fixed before execution (hash of the key), each partition is bound
+//! to exactly one reducer task, map output is *sorted and shuffled* so
+//! that key ranges do not overlap, and the stage ends when its slowest
+//! partition finishes. No partition can be split mid-flight, so a hot key
+//! serializes the job.
+//!
+//! [`mapreduce`] implements exactly that execution model on threads, at
+//! laptop scale, so benchmarks and tests can compare Hurricane's cloning
+//! against a genuine static engine on identical inputs — not just against
+//! the simulator's cost model.
+
+use hurricane_common::SplitMix64;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Statistics from one static map/reduce execution.
+#[derive(Debug, Clone, Default)]
+pub struct StaticReport {
+    /// Wall-clock duration of the whole job.
+    pub elapsed: Duration,
+    /// Wall-clock duration of the map + shuffle stage.
+    pub map_elapsed: Duration,
+    /// Wall-clock duration of the reduce stage.
+    pub reduce_elapsed: Duration,
+    /// Records emitted by the map stage.
+    pub shuffled_records: u64,
+    /// Busy time of the busiest reducer vs the average — the load
+    /// imbalance a static engine cannot fix (1.0 = perfectly balanced).
+    pub reduce_imbalance: f64,
+}
+
+/// Executes a static map/shuffle/sort/reduce job.
+///
+/// * `inputs` is pre-split into map tasks (one vector per map task).
+/// * `map` emits `(key, value)` pairs.
+/// * Pairs are hash-partitioned into `partitions` reduce partitions and
+///   **sorted by key** within each partition (the sort-based shuffle
+///   Hurricane's merge paradigm subsumes, paper §6).
+/// * `reduce` folds each key group; each partition is processed by
+///   exactly one reducer, scheduled statically round-robin onto
+///   `workers` threads — the no-cloning property under test.
+///
+/// # Panics
+///
+/// Panics if `partitions == 0` or `workers == 0`, or if a worker thread
+/// panics.
+pub fn mapreduce<I, K, V, R, M, F>(
+    inputs: Vec<Vec<I>>,
+    partitions: usize,
+    workers: usize,
+    map: M,
+    reduce: F,
+) -> (Vec<Vec<R>>, StaticReport)
+where
+    I: Send + 'static,
+    K: Ord + std::hash::Hash + Clone + Send + 'static,
+    V: Send + 'static,
+    R: Send + 'static,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Send + Sync + 'static,
+    F: Fn(&K, Vec<V>) -> R + Send + Sync + 'static,
+{
+    assert!(partitions > 0, "need at least one partition");
+    assert!(workers > 0, "need at least one worker");
+    let start = Instant::now();
+    let map = Arc::new(map);
+    let reduce = Arc::new(reduce);
+
+    // --- Map stage: static input splits, one thread per split batch. ----
+    let (tx, rx) = mpsc::channel::<Vec<(usize, K, V)>>();
+    let mut handles = Vec::new();
+    let num_splits = inputs.len();
+    for split in inputs {
+        let tx = tx.clone();
+        let map = map.clone();
+        handles.push(thread::spawn(move || {
+            let mut out: Vec<(usize, K, V)> = Vec::new();
+            for item in split {
+                map(item, &mut |k: K, v: V| {
+                    let p = (hash_key(&k) % partitions as u64) as usize;
+                    out.push((p, k, v));
+                });
+            }
+            let _ = tx.send(out);
+        }));
+    }
+    drop(tx);
+    let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+    let mut shuffled = 0u64;
+    for batch in rx {
+        shuffled += batch.len() as u64;
+        for (p, k, v) in batch {
+            buckets[p].push((k, v));
+        }
+    }
+    for h in handles {
+        h.join().expect("map worker panicked");
+    }
+    let _ = num_splits;
+    let map_elapsed = start.elapsed();
+
+    // --- Shuffle sort: key-sorted runs per partition (no overlap). ------
+    // Group values per key with a BTreeMap, i.e. the sort the paper says
+    // static frameworks must pay and Hurricane's merges avoid.
+    let groups: Vec<BTreeMap<K, Vec<V>>> = buckets
+        .into_iter()
+        .map(|bucket| {
+            let mut m: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for (k, v) in bucket {
+                m.entry(k).or_default().push(v);
+            }
+            m
+        })
+        .collect();
+
+    // --- Reduce stage: each partition bound to ONE reducer, statically
+    // assigned round-robin to workers. ------------------------------------
+    let reduce_start = Instant::now();
+    let mut assignments: Vec<Vec<(usize, BTreeMap<K, Vec<V>>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (p, g) in groups.into_iter().enumerate() {
+        assignments[p % workers].push((p, g));
+    }
+    let (rtx, rrx) = mpsc::channel::<(usize, Vec<R>, Duration)>();
+    let mut rhandles = Vec::new();
+    for mine in assignments {
+        let rtx = rtx.clone();
+        let reduce = reduce.clone();
+        rhandles.push(thread::spawn(move || {
+            for (p, groups) in mine {
+                let t0 = Instant::now();
+                let mut out = Vec::with_capacity(groups.len());
+                for (k, vs) in groups {
+                    out.push(reduce(&k, vs));
+                }
+                let _ = rtx.send((p, out, t0.elapsed()));
+            }
+        }));
+    }
+    drop(rtx);
+    let mut results: Vec<Vec<R>> = (0..partitions).map(|_| Vec::new()).collect();
+    let mut partition_times = vec![Duration::ZERO; partitions];
+    for (p, out, took) in rrx {
+        results[p] = out;
+        partition_times[p] = took;
+    }
+    for h in rhandles {
+        h.join().expect("reduce worker panicked");
+    }
+    let reduce_elapsed = reduce_start.elapsed();
+    let max_t = partition_times.iter().max().copied().unwrap_or_default();
+    let avg_t = if partitions > 0 {
+        partition_times.iter().sum::<Duration>() / partitions as u32
+    } else {
+        Duration::ZERO
+    };
+    let report = StaticReport {
+        elapsed: start.elapsed(),
+        map_elapsed,
+        reduce_elapsed,
+        shuffled_records: shuffled,
+        reduce_imbalance: if avg_t.as_nanos() > 0 {
+            max_t.as_secs_f64() / avg_t.as_secs_f64()
+        } else {
+            1.0
+        },
+    };
+    (results, report)
+}
+
+fn hash_key<K: std::hash::Hash>(k: &K) -> u64 {
+    use std::hash::Hasher;
+    // A tiny deterministic hasher over SplitMix64, so partitioning is
+    // stable across runs and platforms.
+    struct Mix(u64);
+    impl Hasher for Mix {
+        fn finish(&self) -> u64 {
+            SplitMix64::mix(self.0)
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = SplitMix64::mix(self.0 ^ b as u64);
+            }
+        }
+    }
+    let mut h = Mix(0x5EED);
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// Splits `items` into `n` round-robin map splits (static input split).
+pub fn split_input<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    assert!(n > 0);
+    let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % n].push(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_shape() {
+        let inputs = split_input(vec![1u32, 2, 2, 3, 3, 3], 2);
+        let (results, report) = mapreduce(
+            inputs,
+            4,
+            2,
+            |x: u32, emit: &mut dyn FnMut(u32, u64)| emit(x, 1),
+            |k: &u32, vs: Vec<u64>| (*k, vs.len() as u64),
+        );
+        let mut flat: Vec<(u32, u64)> = results.into_iter().flatten().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(report.shuffled_records, 6);
+    }
+
+    #[test]
+    fn keys_do_not_cross_partitions() {
+        let inputs = split_input((0..1000u32).collect(), 4);
+        let (results, _) = mapreduce(
+            inputs,
+            8,
+            4,
+            |x: u32, emit: &mut dyn FnMut(u32, u32)| emit(x % 50, x),
+            |k: &u32, vs: Vec<u32>| (*k, vs.len()),
+        );
+        // Each key appears in exactly one partition (hash partitioning).
+        let mut seen = std::collections::HashMap::new();
+        for (p, part) in results.iter().enumerate() {
+            for (k, _) in part {
+                assert!(
+                    seen.insert(*k, p).is_none_or(|prev| prev == p),
+                    "key {k} appeared in two partitions"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn partitions_are_key_sorted() {
+        let inputs = split_input(vec![5u32, 3, 9, 1, 7], 1);
+        let (results, _) = mapreduce(
+            inputs,
+            1,
+            1,
+            |x: u32, emit: &mut dyn FnMut(u32, ())| emit(x, ()),
+            |k: &u32, _vs: Vec<()>| *k,
+        );
+        // One partition holds all keys in sorted order (sort-based
+        // shuffle).
+        assert_eq!(results[0], vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn imbalance_visible_under_skew() {
+        // One hot key with expensive reduction vs many cold keys.
+        let inputs = split_input((0..2000u32).map(|i| if i < 1900 { 0 } else { i }).collect(), 4);
+        let (_, report) = mapreduce(
+            inputs,
+            8,
+            4,
+            |x: u32, emit: &mut dyn FnMut(u32, u32)| emit(x, x),
+            |_k: &u32, vs: Vec<u32>| {
+                // Cost proportional to group size.
+                let mut acc = 0u64;
+                for v in &vs {
+                    for _ in 0..50 {
+                        acc = acc.wrapping_add(*v as u64).rotate_left(1);
+                    }
+                }
+                acc
+            },
+        );
+        assert!(
+            report.reduce_imbalance > 1.5,
+            "hot key should imbalance reducers: {:.2}",
+            report.reduce_imbalance
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (results, report) = mapreduce(
+            vec![Vec::<u32>::new()],
+            2,
+            1,
+            |x: u32, emit: &mut dyn FnMut(u32, u32)| emit(x, x),
+            |k: &u32, _vs: Vec<u32>| *k,
+        );
+        assert!(results.iter().all(|r| r.is_empty()));
+        assert_eq!(report.shuffled_records, 0);
+    }
+
+    #[test]
+    fn split_input_round_robins() {
+        let splits = split_input((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0], vec![0, 3, 6, 9]);
+        assert_eq!(splits[2], vec![2, 5, 8]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the *real* threaded runtime at laptop scale:
+//! Hurricane (cloning on/off) vs the real static-partitioning baseline on
+//! identical skewed ClickLog inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hurricane_apps::clicklog::ClickLogJob;
+use hurricane_baseline::{mapreduce, split_input};
+use hurricane_core::HurricaneConfig;
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_workloads::clicklog::{region_of, ClickLogGen, ClickLogSpec};
+use std::time::Duration;
+
+const RECORDS: u64 = 60_000;
+const REGIONS: usize = 8;
+const NUM_IPS: usize = 1 << 14;
+
+fn data(skew: f64) -> Vec<u32> {
+    ClickLogGen::new(ClickLogSpec {
+        num_ips: NUM_IPS,
+        regions: REGIONS,
+        skew,
+        records: RECORDS,
+        seed: 0xBE7C,
+    })
+    .collect()
+}
+
+fn hurricane_config(cloning: bool) -> HurricaneConfig {
+    HurricaneConfig {
+        compute_nodes: 4,
+        worker_slots: 2,
+        chunk_size: 16 * 1024,
+        clone_interval: Duration::from_millis(5),
+        master_poll: Duration::from_millis(1),
+        cloning_enabled: cloning,
+        ..Default::default()
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_engine_clicklog");
+    g.sample_size(10);
+    for &skew in &[0.0f64, 1.0] {
+        let input = data(skew);
+        g.bench_with_input(
+            BenchmarkId::new("hurricane", skew),
+            &input,
+            |b, input| {
+                let job = ClickLogJob {
+                    regions: REGIONS,
+                    num_ips: NUM_IPS,
+                };
+                b.iter(|| {
+                    let cluster = StorageCluster::new(4, ClusterConfig::default());
+                    job.run(cluster, hurricane_config(true), input.iter().copied())
+                        .unwrap()
+                        .0
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("hurricane_nc", skew),
+            &input,
+            |b, input| {
+                let job = ClickLogJob {
+                    regions: REGIONS,
+                    num_ips: NUM_IPS,
+                };
+                b.iter(|| {
+                    let cluster = StorageCluster::new(4, ClusterConfig::default());
+                    job.run(cluster, hurricane_config(false), input.iter().copied())
+                        .unwrap()
+                        .0
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("static_baseline", skew),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let splits = split_input(input.clone(), 8);
+                    let (results, _) = mapreduce(
+                        splits,
+                        REGIONS,
+                        4,
+                        |ip: u32, emit: &mut dyn FnMut(u32, u32)| {
+                            emit(region_of(ip, NUM_IPS, REGIONS), ip)
+                        },
+                        |region: &u32, ips: Vec<u32>| {
+                            let mut set = hurricane_apps::BitSet::new();
+                            for ip in ips {
+                                set.set(ip);
+                            }
+                            (*region, set.count())
+                        },
+                    );
+                    results
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks of the substrates: serialization, bag
+//! operations, placement, and workload generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hurricane_common::DetRng;
+use hurricane_format::{decode_all, encode_all};
+use hurricane_storage::bag::{BagClient, RemoveResult};
+use hurricane_storage::placement::CyclicPlacement;
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_workloads::clicklog::{ClickLogGen, ClickLogSpec};
+use hurricane_workloads::rmat::{RmatGen, RmatSpec};
+use hurricane_workloads::ZipfSampler;
+
+fn bench_codec(c: &mut Criterion) {
+    let records: Vec<(u64, String)> = (0..10_000)
+        .map(|i| (i, format!("payload-{i}")))
+        .collect();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode_10k_records", |b| {
+        b.iter(|| encode_all(records.iter().cloned(), 64 * 1024).unwrap())
+    });
+    let chunks = encode_all(records.iter().cloned(), 64 * 1024).unwrap();
+    g.bench_function("decode_10k_records", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for chunk in &chunks {
+                n += decode_all::<(u64, String)>(chunk).unwrap().len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_bags(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bags");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("insert_1k_chunks_8_nodes", |b| {
+        b.iter_batched(
+            || {
+                let cluster = StorageCluster::new(8, ClusterConfig::default());
+                let bag = cluster.create_bag();
+                let client = BagClient::new(cluster, bag, 7);
+                let chunk = hurricane_format::Chunk::from_vec(vec![0u8; 1024]);
+                (client, chunk)
+            },
+            |(mut client, chunk)| {
+                for _ in 0..1000 {
+                    client.insert(chunk.clone()).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("remove_1k_chunks_8_nodes", |b| {
+        b.iter_batched(
+            || {
+                let cluster = StorageCluster::new(8, ClusterConfig::default());
+                let bag = cluster.create_bag();
+                let mut client = BagClient::new(cluster.clone(), bag, 7);
+                let chunk = hurricane_format::Chunk::from_vec(vec![0u8; 1024]);
+                for _ in 0..1000 {
+                    client.insert(chunk.clone()).unwrap();
+                }
+                cluster.seal_bag(bag).unwrap();
+                BagClient::new(cluster, bag, 8)
+            },
+            |mut client| {
+                let mut n = 0;
+                while let RemoveResult::Chunk(_) = client.try_remove().unwrap() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("placement/cycle_of_32", |b| {
+        let mut rng = DetRng::new(1);
+        let mut p = CyclicPlacement::new(32, &mut rng);
+        b.iter(|| p.next_node())
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("zipf_sample_100k", |b| {
+        let z = ZipfSampler::new(1 << 16, 1.0);
+        let mut rng = DetRng::new(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            acc
+        })
+    });
+    g.bench_function("clicklog_gen_100k", |b| {
+        b.iter(|| {
+            ClickLogGen::new(ClickLogSpec {
+                records: 100_000,
+                skew: 0.8,
+                ..Default::default()
+            })
+            .fold(0u64, |acc, ip| acc.wrapping_add(ip as u64))
+        })
+    });
+    g.bench_function("rmat_gen_100k_edges", |b| {
+        b.iter(|| {
+            RmatGen::new(RmatSpec {
+                scale: 18,
+                edges: 100_000,
+                seed: 5,
+            })
+            .fold(0u64, |acc, (s, d)| acc.wrapping_add(s ^ d))
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use hurricane_sim::apps::clicklog_app;
+    use hurricane_sim::spec::{ClusterSpec, HurricaneOpts};
+    use hurricane_workloads::RegionWeights;
+    c.bench_function("sim/clicklog_32gb_s1", |b| {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::paper_ladder(32, 1.0);
+        let app = clicklog_app(32e9, &w);
+        b.iter(|| hurricane_sim::engine::simulate(&app, &cluster, &HurricaneOpts::default()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_bags,
+    bench_placement,
+    bench_workloads,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation: clone-interval sensitivity (the paper fixes 2 seconds).
+fn main() {
+    hurricane_bench::experiments::ablation_clone_interval();
+    hurricane_bench::experiments::ablation_instance_cap();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (batch-sampling factor sweep).
+fn main() {
+    hurricane_bench::experiments::fig10();
+}

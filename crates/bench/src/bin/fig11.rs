@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (throughput under node and master crashes).
+fn main() {
+    hurricane_bench::experiments::fig11();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (skew slowdown: Hurricane vs Spark vs Hadoop).
+fn main() {
+    hurricane_bench::experiments::fig12();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (ClickLog slowdown vs skew and input size).
+fn main() {
+    hurricane_bench::experiments::fig5();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (Hurricane vs HurricaneNC vs partition count).
+fn main() {
+    hurricane_bench::experiments::fig6();
+}

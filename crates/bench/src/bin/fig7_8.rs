@@ -1,0 +1,4 @@
+//! Regenerates Figures 7 and 8 (cloning x placement ablation).
+fn main() {
+    hurricane_bench::experiments::fig7_8();
+}

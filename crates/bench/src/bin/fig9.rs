@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (throughput over time with the cloning ramp).
+fn main() {
+    hurricane_bench::experiments::fig9();
+}

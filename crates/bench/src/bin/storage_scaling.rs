@@ -1,0 +1,4 @@
+//! Regenerates the §5.2 storage-scaling experiment (1 to 32 nodes).
+fn main() {
+    hurricane_bench::experiments::storage_scaling();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (ClickLog runtime over a uniform input).
+fn main() {
+    hurricane_bench::experiments::table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (ClickLog: Hurricane vs Spark vs Hadoop).
+fn main() {
+    hurricane_bench::experiments::table2();
+}

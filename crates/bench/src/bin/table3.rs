@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (HashJoin: Hurricane vs Spark).
+fn main() {
+    hurricane_bench::experiments::table3();
+}

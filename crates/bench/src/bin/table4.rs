@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (PageRank: Hurricane vs GraphX).
+fn main() {
+    hurricane_bench::experiments::table4();
+}

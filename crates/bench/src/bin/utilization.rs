@@ -1,0 +1,4 @@
+//! Validates Eq. 1 (batch-sampling utilization) against Monte-Carlo runs.
+fn main() {
+    hurricane_bench::experiments::utilization_table();
+}

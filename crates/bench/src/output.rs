@@ -1,0 +1,72 @@
+//! Table and chart rendering for the experiment binaries.
+
+use hurricane_sim::baselines::StaticOutcome;
+
+/// Prints a header banner for one experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Renders a static-engine outcome the way the paper prints it.
+pub fn outcome(o: &StaticOutcome) -> String {
+    match o {
+        StaticOutcome::Finished(s) => secs(*s),
+        StaticOutcome::OutOfMemory => "crash (OOM)".into(),
+        StaticOutcome::TimedOut(s) => format!(">{:.0}h", s / 3600.0),
+    }
+}
+
+/// Formats seconds compactly ("5.7s", "959s", "12.3h").
+pub fn secs(s: f64) -> String {
+    hurricane_common::units::fmt_secs(s)
+}
+
+/// Prints one row of aligned columns.
+pub fn row(cols: &[String]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Renders an ASCII bar of `value` scaled so that `max` is `width` chars.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+/// Prints a time series as an ASCII strip chart (one row per bucket).
+pub fn strip_chart(series: &[(f64, f64)], width: usize) {
+    let max = series.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    for &(t, v) in series {
+        println!(
+            "{:>7.0}s |{:<width$}| {:>10.2} MB/s",
+            t,
+            bar(v, max, width),
+            v / 1e6,
+            width = width
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10, "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn outcome_strings() {
+        assert_eq!(outcome(&StaticOutcome::OutOfMemory), "crash (OOM)");
+        assert_eq!(outcome(&StaticOutcome::TimedOut(43_200.0)), ">12h");
+        assert_eq!(outcome(&StaticOutcome::Finished(5.7)), "5.7s");
+    }
+}

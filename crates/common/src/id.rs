@@ -1,0 +1,186 @@
+//! Strongly-typed identifiers.
+//!
+//! Hurricane distinguishes several namespaces of identifiers — storage
+//! nodes, compute nodes, tasks, task clones, bags, and workers. Using
+//! newtypes rather than bare integers prevents an entire class of
+//! cross-namespace mix-ups (e.g. indexing the storage-node table with a
+//! compute-node id), which matters in a system whose data plane is driven by
+//! pseudorandom permutations over node ids.
+
+use core::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value of this identifier.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns this identifier as a `usize` index, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one Hurricane application (one submitted job graph).
+    AppId, u32, "app"
+);
+define_id!(
+    /// Identifies a storage node (a Hurricane server holding bag data).
+    StorageNodeId, u32, "sn"
+);
+define_id!(
+    /// Identifies a compute node (a node running a task manager + workers).
+    ComputeNodeId, u32, "cn"
+);
+define_id!(
+    /// Identifies a task *blueprint*: one circle in the application graph.
+    ///
+    /// Clones of the task share the `TaskId`; the pair of a `TaskId` and a
+    /// [`CloneId`] — a [`TaskInstanceId`] — names one concrete worker-visible
+    /// unit of execution.
+    TaskId, u32, "task"
+);
+define_id!(
+    /// Distinguishes clones of the same task. Clone 0 is the original.
+    CloneId, u32, "clone"
+);
+define_id!(
+    /// Identifies a data or work bag.
+    BagId, u64, "bag"
+);
+define_id!(
+    /// Identifies a worker slot on a compute node.
+    WorkerId, u64, "worker"
+);
+
+/// One schedulable unit of execution: a task blueprint plus a clone index.
+///
+/// The application master creates instance `(t, 0)` when task `t` is first
+/// scheduled, and instances `(t, 1..)` as cloning decisions are made
+/// (paper §3.2). All instances of the same task read from the same input
+/// bag(s); instances with a merge write to per-clone partial-output bags.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TaskInstanceId {
+    /// The task blueprint this instance executes.
+    pub task: TaskId,
+    /// Which clone this is; 0 for the original instance.
+    pub clone: CloneId,
+}
+
+impl TaskInstanceId {
+    /// Creates the original (non-clone) instance of `task`.
+    pub const fn original(task: TaskId) -> Self {
+        Self {
+            task,
+            clone: CloneId(0),
+        }
+    }
+
+    /// Creates the `n`-th clone instance of `task`.
+    pub const fn clone_of(task: TaskId, n: u32) -> Self {
+        Self {
+            task,
+            clone: CloneId(n),
+        }
+    }
+
+    /// Returns true if this is the original instance rather than a clone.
+    pub const fn is_original(self) -> bool {
+        self.clone.0 == 0
+    }
+
+    /// Packs the instance into a single `u64`, used as a stable key when an
+    /// instance id must be serialized into a work-bag record.
+    pub const fn pack(self) -> u64 {
+        ((self.task.0 as u64) << 32) | self.clone.0 as u64
+    }
+
+    /// Inverse of [`TaskInstanceId::pack`].
+    pub const fn unpack(v: u64) -> Self {
+        Self {
+            task: TaskId((v >> 32) as u32),
+            clone: CloneId(v as u32),
+        }
+    }
+}
+
+impl fmt::Display for TaskInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_original() {
+            write!(f, "{}", self.task)
+        } else {
+            write!(f, "{}.{}", self.task, self.clone)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(StorageNodeId(3).to_string(), "sn3");
+        assert_eq!(ComputeNodeId(0).to_string(), "cn0");
+        assert_eq!(TaskId(7).to_string(), "task7");
+        assert_eq!(BagId(9).to_string(), "bag9");
+    }
+
+    #[test]
+    fn instance_display_hides_clone_zero() {
+        assert_eq!(TaskInstanceId::original(TaskId(4)).to_string(), "task4");
+        assert_eq!(
+            TaskInstanceId::clone_of(TaskId(4), 2).to_string(),
+            "task4.clone2"
+        );
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for task in [0u32, 1, 17, u32::MAX] {
+            for clone in [0u32, 1, 255, u32::MAX] {
+                let id = TaskInstanceId::clone_of(TaskId(task), clone);
+                assert_eq!(TaskInstanceId::unpack(id.pack()), id);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(BagId(10) > BagId(9));
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(StorageNodeId(5).index(), 5);
+        assert_eq!(WorkerId(12).raw(), 12);
+    }
+}

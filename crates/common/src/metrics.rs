@@ -1,0 +1,288 @@
+//! Counters, histograms, and throughput time series.
+//!
+//! The runtime uses [`Counter`]s for hot-path statistics (chunks moved,
+//! probes issued, clone requests), [`Histogram`]s for latency-ish
+//! distributions, and [`TimeSeries`] to reconstruct the paper's
+//! throughput-over-time plots (Figures 9 and 11): raw `(time, bytes)`
+//! events are recorded during execution and bucketized into one-second
+//! aggregate-throughput samples afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose value has `i` significant bits, i.e.
+/// values in `[2^(i-1), 2^i)` (bucket 0 holds the value 0). This is coarse
+/// but allocation-free and cheap enough for per-chunk recording.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Returns the largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Returns an upper bound on the `q`-quantile (0 ≤ q ≤ 1) from the
+    /// bucket boundaries. Coarse by design: the answer is exact only up to
+    /// the enclosing power-of-two bucket.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A raw event series of `(time_seconds, value)` pairs.
+///
+/// The simulator appends one event per modelled I/O completion; the bench
+/// harness then calls [`TimeSeries::bucketize`] to obtain the per-second
+/// aggregate throughput that Figures 9 and 11 plot.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    events: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` at time `t` (seconds). Events may arrive unsorted.
+    pub fn record(&mut self, t: f64, value: f64) {
+        self.events.push((t, value));
+    }
+
+    /// Returns the number of raw events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the raw events.
+    pub fn events(&self) -> &[(f64, f64)] {
+        &self.events
+    }
+
+    /// Sums event values into fixed-width time buckets.
+    ///
+    /// Returns `(bucket_start_time, sum_of_values / bucket_width)` pairs —
+    /// i.e. average rate per bucket — covering `[0, end]` where `end` is the
+    /// latest event time. Empty buckets yield zero, which is what makes
+    /// crash dips visible in the Figure 11 reproduction.
+    pub fn bucketize(&self, bucket_width: f64) -> Vec<(f64, f64)> {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let end = self
+            .events
+            .iter()
+            .map(|&(t, _)| t)
+            .fold(0.0f64, f64::max);
+        let n = (end / bucket_width).floor() as usize + 1;
+        let mut sums = vec![0.0f64; n];
+        for &(t, v) in &self.events {
+            let idx = ((t / bucket_width).floor() as usize).min(n - 1);
+            sums[idx] += v;
+        }
+        sums.into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as f64 * bucket_width, s / bucket_width))
+            .collect()
+    }
+
+    /// Total of all event values (e.g. total bytes moved).
+    pub fn total(&self) -> f64 {
+        self.events.iter().map(|&(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        assert!((500..=1023).contains(&p50), "p50 bound {p50}");
+        assert!(h.quantile_upper_bound(1.0).unwrap() >= 999);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(9));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn timeseries_bucketize_rates() {
+        let mut ts = TimeSeries::new();
+        ts.record(0.1, 10.0);
+        ts.record(0.9, 10.0);
+        ts.record(2.5, 30.0);
+        let buckets = ts.bucketize(1.0);
+        assert_eq!(buckets.len(), 3);
+        assert!((buckets[0].1 - 20.0).abs() < 1e-9);
+        assert!((buckets[1].1 - 0.0).abs() < 1e-9, "gap bucket must be zero");
+        assert!((buckets[2].1 - 30.0).abs() < 1e-9);
+        assert!((ts.total() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_unsorted_events_ok() {
+        let mut ts = TimeSeries::new();
+        ts.record(5.0, 1.0);
+        ts.record(0.0, 1.0);
+        let buckets = ts.bucketize(1.0);
+        assert_eq!(buckets.len(), 6);
+        assert!((buckets[5].1 - 1.0).abs() < 1e-9);
+    }
+}

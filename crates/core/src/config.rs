@@ -1,0 +1,105 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Tunables for a Hurricane deployment.
+///
+/// Defaults are scaled for in-process, laptop-scale execution: the paper's
+/// 4 MB chunks and 2-second clone interval become 64 KB and 50 ms so tests
+/// and examples exercise the same code paths in milliseconds. The
+/// benchmark harness overrides these to paper values where an experiment
+/// depends on them.
+#[derive(Debug, Clone)]
+pub struct HurricaneConfig {
+    /// Number of compute nodes (task managers) to run.
+    pub compute_nodes: usize,
+    /// Worker slots per compute node (the paper's machines run one worker
+    /// per core; workers may be multi-threaded, ours are single-threaded).
+    pub worker_slots: usize,
+    /// Chunk capacity in bytes (paper default: 4 MB).
+    pub chunk_size: usize,
+    /// Batch-sampling factor `b`: outstanding storage requests per
+    /// consumer (paper picks 10).
+    pub batch_factor: usize,
+    /// Minimum spacing between clone requests from one worker (paper: 2 s).
+    pub clone_interval: Duration,
+    /// Maximum instances (original + clones) per task. The paper clones
+    /// until a task "runs on every compute node"; `None` uses the number
+    /// of compute nodes.
+    pub max_clones_per_task: Option<usize>,
+    /// Modeled I/O bandwidth in bytes/s used by the cloning heuristic to
+    /// estimate `T_IO` (reading remaining state + merging outputs).
+    pub io_bandwidth: f64,
+    /// Do not clone when fewer than this many chunks remain in the input:
+    /// the master's cheap proxy for "too close to completion".
+    pub min_remaining_chunks_to_clone: u64,
+    /// Disable cloning entirely (the paper's HurricaneNC configuration).
+    pub cloning_enabled: bool,
+    /// Master poll period for the done bag / control messages.
+    pub master_poll: Duration,
+    /// Deterministic seed for placement permutations and tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for HurricaneConfig {
+    fn default() -> Self {
+        Self {
+            compute_nodes: 4,
+            worker_slots: 2,
+            chunk_size: 64 * 1024,
+            batch_factor: 10,
+            clone_interval: Duration::from_millis(50),
+            max_clones_per_task: None,
+            io_bandwidth: 4.0e9,
+            min_remaining_chunks_to_clone: 4,
+            cloning_enabled: true,
+            master_poll: Duration::from_millis(2),
+            seed: 0xD1CE,
+        }
+    }
+}
+
+impl HurricaneConfig {
+    /// The effective per-task instance cap.
+    pub fn instance_cap(&self) -> usize {
+        self.max_clones_per_task
+            .unwrap_or(self.compute_nodes)
+            .max(1)
+    }
+
+    /// Returns a copy with cloning disabled (HurricaneNC, paper §5.2).
+    pub fn without_cloning(mut self) -> Self {
+        self.cloning_enabled = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = HurricaneConfig::default();
+        assert!(c.compute_nodes > 0);
+        assert!(c.worker_slots > 0);
+        assert!(c.chunk_size > 0);
+        assert_eq!(c.instance_cap(), c.compute_nodes);
+        assert!(c.cloning_enabled);
+    }
+
+    #[test]
+    fn cap_override() {
+        let c = HurricaneConfig {
+            max_clones_per_task: Some(7),
+            ..Default::default()
+        };
+        assert_eq!(c.instance_cap(), 7);
+    }
+
+    #[test]
+    fn without_cloning_flips_flag() {
+        let c = HurricaneConfig::default().without_cloning();
+        assert!(!c.cloning_enabled);
+    }
+}

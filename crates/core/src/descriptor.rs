@@ -1,0 +1,374 @@
+//! Wire records for the scheduling plane.
+//!
+//! Four record kinds flow through the work bags (paper §4.1):
+//!
+//! * [`Descriptor`] — an executable unit placed in the *ready* bag: either
+//!   a task instance (original or clone) or a merge. The descriptor is the
+//!   "task blueprint reference": it carries the task id plus the concrete
+//!   input/output bag ids for this instance (clones of merge-bearing tasks
+//!   write to per-instance partial bags).
+//! * [`RunningRecord`] — appended to the *running* bag when a compute node
+//!   claims a descriptor; scanned during compute-node failure recovery.
+//! * [`DoneRecord`] — appended to the *done* bag when a worker finishes;
+//!   consumed by the master to drive the execution graph and replayed
+//!   wholesale on master recovery.
+//! * [`LogRecord`] — the master's schedule log (an append-only work bag):
+//!   every scheduling decision (instance created, task restarted at a new
+//!   generation) is written *before* it takes effect, so a recovered
+//!   master can reconstruct clone counts and partial-bag allocations that
+//!   the paper's master keeps in memory.
+
+use hurricane_common::TaskInstanceId;
+use hurricane_format::{CodecError, Record};
+
+/// Descriptor kind: a regular task instance.
+pub const KIND_TASK: u8 = 0;
+/// Descriptor kind: a merge reconciling clone partials.
+pub const KIND_MERGE: u8 = 1;
+
+/// One schedulable unit in the ready bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Descriptor {
+    /// [`KIND_TASK`] or [`KIND_MERGE`].
+    pub kind: u8,
+    /// Packed [`TaskInstanceId`] (merges use clone index 0).
+    pub instance: u64,
+    /// Task generation; bumped by failure restarts.
+    pub generation: u32,
+    /// Task: input bag ids. Merge: flattened per-instance partial bag ids,
+    /// laid out `[instance][output]` with stride `outputs.len()`.
+    pub inputs: Vec<u64>,
+    /// Output bag ids this unit writes (a clone's partials, or the task's
+    /// real outputs).
+    pub outputs: Vec<u64>,
+}
+
+impl Descriptor {
+    /// The task instance this descriptor executes.
+    pub fn instance_id(&self) -> TaskInstanceId {
+        TaskInstanceId::unpack(self.instance)
+    }
+}
+
+impl Record for Descriptor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.inputs.clone(),
+            self.outputs.clone(),
+        )
+            .encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (kind, instance, generation, inputs, outputs) =
+            <(u8, u64, u32, Vec<u64>, Vec<u64>)>::decode(input)?;
+        Ok(Self {
+            kind,
+            instance,
+            generation,
+            inputs,
+            outputs,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.inputs.clone(),
+            self.outputs.clone(),
+        )
+            .encoded_len()
+    }
+}
+
+/// A claim notice in the running bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningRecord {
+    /// [`KIND_TASK`] or [`KIND_MERGE`].
+    pub kind: u8,
+    /// Packed instance id.
+    pub instance: u64,
+    /// Generation being executed.
+    pub generation: u32,
+    /// Compute node executing the unit.
+    pub node: u32,
+    /// Input bag ids (for merge: flattened partials).
+    pub inputs: Vec<u64>,
+    /// Output bag ids.
+    pub outputs: Vec<u64>,
+}
+
+impl Record for RunningRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.node,
+            self.inputs.clone(),
+            self.outputs.clone(),
+        )
+            .encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (kind, instance, generation, node, inputs, outputs) =
+            <(u8, u64, u32, u32, Vec<u64>, Vec<u64>)>::decode(input)?;
+        Ok(Self {
+            kind,
+            instance,
+            generation,
+            node,
+            inputs,
+            outputs,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.node,
+            self.inputs.clone(),
+            self.outputs.clone(),
+        )
+            .encoded_len()
+    }
+}
+
+/// A completion notice in the done bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoneRecord {
+    /// [`KIND_TASK`] or [`KIND_MERGE`].
+    pub kind: u8,
+    /// Packed instance id.
+    pub instance: u64,
+    /// Generation that completed.
+    pub generation: u32,
+    /// Node that executed the unit.
+    pub node: u32,
+    /// The unit's output bag ids, echoed from its descriptor so a
+    /// recovered master learns partial bags it never saw scheduled.
+    pub outputs: Vec<u64>,
+}
+
+impl Record for DoneRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.node,
+            self.outputs.clone(),
+        )
+            .encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let (kind, instance, generation, node, outputs) =
+            <(u8, u64, u32, u32, Vec<u64>)>::decode(input)?;
+        Ok(Self {
+            kind,
+            instance,
+            generation,
+            node,
+            outputs,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        (
+            self.kind,
+            self.instance,
+            self.generation,
+            self.node,
+            self.outputs.clone(),
+        )
+            .encoded_len()
+    }
+}
+
+/// Schedule-log entries (write-ahead of master actions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// An instance (task or merge) was created at `generation` with the
+    /// given concrete bags.
+    Scheduled {
+        /// [`KIND_TASK`] or [`KIND_MERGE`].
+        kind: u8,
+        /// Packed instance id.
+        instance: u64,
+        /// Generation the instance belongs to.
+        generation: u32,
+        /// Concrete input bag ids.
+        inputs: Vec<u64>,
+        /// Concrete output bag ids.
+        outputs: Vec<u64>,
+    },
+    /// A task was restarted: all state at generations `< new_generation`
+    /// is void.
+    Restarted {
+        /// The restarted task blueprint.
+        task: u32,
+        /// The new current generation.
+        new_generation: u32,
+    },
+}
+
+const LOG_SCHEDULED: u8 = 0;
+const LOG_RESTARTED: u8 = 1;
+
+impl Record for LogRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::Scheduled {
+                kind,
+                instance,
+                generation,
+                inputs,
+                outputs,
+            } => {
+                LOG_SCHEDULED.encode(out);
+                (*kind, *instance, *generation, inputs.clone(), outputs.clone()).encode(out);
+            }
+            LogRecord::Restarted {
+                task,
+                new_generation,
+            } => {
+                LOG_RESTARTED.encode(out);
+                (*task, *new_generation).encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            LOG_SCHEDULED => {
+                let (kind, instance, generation, inputs, outputs) =
+                    <(u8, u64, u32, Vec<u64>, Vec<u64>)>::decode(input)?;
+                Ok(LogRecord::Scheduled {
+                    kind,
+                    instance,
+                    generation,
+                    inputs,
+                    outputs,
+                })
+            }
+            LOG_RESTARTED => {
+                let (task, new_generation) = <(u32, u32)>::decode(input)?;
+                Ok(LogRecord::Restarted {
+                    task,
+                    new_generation,
+                })
+            }
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            LogRecord::Scheduled {
+                kind,
+                instance,
+                generation,
+                inputs,
+                outputs,
+            } => {
+                1 + (*kind, *instance, *generation, inputs.clone(), outputs.clone()).encoded_len()
+            }
+            LogRecord::Restarted {
+                task,
+                new_generation,
+            } => 1 + (*task, *new_generation).encoded_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_common::TaskId;
+
+    fn roundtrip<T: Record + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut s = buf.as_slice();
+        assert_eq!(T::decode(&mut s).unwrap(), v);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        roundtrip(Descriptor {
+            kind: KIND_MERGE,
+            instance: TaskInstanceId::clone_of(TaskId(3), 2).pack(),
+            generation: 1,
+            inputs: vec![10, 11, 12],
+            outputs: vec![4],
+        });
+    }
+
+    #[test]
+    fn running_roundtrip() {
+        roundtrip(RunningRecord {
+            kind: KIND_TASK,
+            instance: 77,
+            generation: 0,
+            node: 3,
+            inputs: vec![1],
+            outputs: vec![2, 3],
+        });
+    }
+
+    #[test]
+    fn done_roundtrip() {
+        roundtrip(DoneRecord {
+            kind: KIND_TASK,
+            instance: 5,
+            generation: 2,
+            node: 0,
+            outputs: vec![9],
+        });
+    }
+
+    #[test]
+    fn log_roundtrips() {
+        roundtrip(LogRecord::Scheduled {
+            kind: KIND_TASK,
+            instance: 1,
+            generation: 0,
+            inputs: vec![5],
+            outputs: vec![6, 7],
+        });
+        roundtrip(LogRecord::Restarted {
+            task: 4,
+            new_generation: 3,
+        });
+    }
+
+    #[test]
+    fn log_rejects_unknown_tag() {
+        let mut s: &[u8] = &[9, 0, 0];
+        assert_eq!(LogRecord::decode(&mut s), Err(CodecError::InvalidTag(9)));
+    }
+
+    #[test]
+    fn descriptor_instance_unpacks() {
+        let d = Descriptor {
+            kind: KIND_TASK,
+            instance: TaskInstanceId::clone_of(TaskId(8), 5).pack(),
+            generation: 0,
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert_eq!(d.instance_id().task, TaskId(8));
+        assert_eq!(d.instance_id().clone.0, 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Runtime error types.
+
+use core::fmt;
+use hurricane_common::TaskId;
+use hurricane_format::CodecError;
+use hurricane_storage::StorageError;
+
+/// Errors surfaced by the Hurricane runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// Record (de)serialization failed inside a task.
+    Codec(CodecError),
+    /// The application graph is malformed (the message names the defect).
+    InvalidGraph(String),
+    /// The worker executing a task was cancelled (node failure recovery or
+    /// shutdown); its partial effects will be discarded by the master.
+    Cancelled,
+    /// A task's user logic reported an application-level failure.
+    TaskFailed {
+        /// The failing task.
+        task: TaskId,
+        /// The application's failure message.
+        message: String,
+    },
+    /// The master thread disappeared while the application was running.
+    MasterGone,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Codec(e) => write!(f, "codec error: {e}"),
+            EngineError::InvalidGraph(m) => write!(f, "invalid application graph: {m}"),
+            EngineError::Cancelled => write!(f, "worker cancelled"),
+            EngineError::TaskFailed { task, message } => {
+                write!(f, "{task} failed: {message}")
+            }
+            EngineError::MasterGone => write!(f, "application master is gone"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_common::BagId;
+
+    #[test]
+    fn conversions_wrap() {
+        let e: EngineError = StorageError::UnknownBag(BagId(1)).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        let e: EngineError = CodecError::Truncated.into();
+        assert!(matches!(e, EngineError::Codec(_)));
+    }
+
+    #[test]
+    fn display_mentions_task() {
+        let e = EngineError::TaskFailed {
+            task: TaskId(3),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("task3"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,442 @@
+//! Task managers: the compute-node side of the runtime.
+//!
+//! Paper §3.1/§4.1: each compute node runs a task manager that claims task
+//! descriptors from the distributed *ready* work bag and executes them on
+//! local workers. Claiming is fully decentralized — the bag's exactly-once
+//! chunk delivery guarantees no double execution without any coordinator
+//! in the claim path. Before executing, the manager appends a
+//! [`RunningRecord`]; after finishing, the worker appends a
+//! [`DoneRecord`]. Between chunks workers poll the [`KillSwitch`] so that
+//! failure recovery can cancel them promptly.
+
+use crate::config::HurricaneConfig;
+use crate::descriptor::{Descriptor, DoneRecord, RunningRecord, KIND_MERGE, KIND_TASK};
+use crate::error::EngineError;
+use crate::graph::AppGraph;
+use crate::merges::ConcatMerge;
+use crate::task::{BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, TaskCtx};
+use crossbeam::channel::Sender;
+use hurricane_common::BagId;
+use hurricane_storage::{StorageCluster, WorkBag};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The physical ids of the application's scheduling bags.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkBagIds {
+    /// Descriptors awaiting a worker.
+    pub ready: BagId,
+    /// Claim records.
+    pub running: BagId,
+    /// Completion records.
+    pub done: BagId,
+}
+
+/// Soft-state registry of units currently executing on some worker.
+///
+/// This is the in-process analog of the heartbeat visibility the paper's
+/// master gets from its cluster: recovery uses it to wait until cancelled
+/// workers have actually unwound before rewinding their input bags.
+#[derive(Debug, Default)]
+pub struct RunningRegistry {
+    inner: Mutex<HashMap<(u32, u32, u32, u8), u32>>,
+}
+
+impl RunningRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, task: u32, generation: u32, clone: u32, kind: u8, node: u32) {
+        self.inner
+            .lock()
+            .insert((task, generation, clone, kind), node);
+    }
+
+    fn deregister(&self, task: u32, generation: u32, clone: u32, kind: u8) {
+        self.inner.lock().remove(&(task, generation, clone, kind));
+    }
+
+    /// Number of units currently executing cluster-wide.
+    pub fn active(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Returns whether any unit of `task` at generation ≤ `generation` is
+    /// still executing.
+    pub fn task_active_upto(&self, task: u32, generation: u32) -> bool {
+        self.inner
+            .lock()
+            .keys()
+            .any(|&(t, g, _, _)| t == task && g <= generation)
+    }
+}
+
+/// RAII guard ensuring deregistration on every worker exit path.
+struct RegistryGuard<'a> {
+    registry: &'a RunningRegistry,
+    key: (u32, u32, u32, u8),
+}
+
+impl Drop for RegistryGuard<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .deregister(self.key.0, self.key.1, self.key.2, self.key.3);
+    }
+}
+
+/// Monotonic seed source for bag clients (placement decorrelation).
+#[derive(Debug)]
+pub struct SeedGen {
+    base: u64,
+    next: AtomicU64,
+}
+
+impl SeedGen {
+    /// Creates a generator rooted at `base`.
+    pub fn new(base: u64) -> Self {
+        Self {
+            base,
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Returns a fresh seed.
+    pub fn next(&self) -> u64 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        hurricane_common::SplitMix64::mix(self.base ^ n)
+    }
+}
+
+/// Everything a task manager needs, shared across nodes.
+#[derive(Clone)]
+pub struct ManagerDeps {
+    /// The application graph (blueprints live here).
+    pub graph: Arc<AppGraph>,
+    /// The storage cluster.
+    pub cluster: Arc<StorageCluster>,
+    /// Runtime configuration.
+    pub config: Arc<HurricaneConfig>,
+    /// Shared cancellation state.
+    pub kill: Arc<KillSwitch>,
+    /// Running-unit soft state.
+    pub registry: Arc<RunningRegistry>,
+    /// Channel to the application master.
+    pub control_tx: Sender<ControlMsg>,
+    /// The scheduling bags.
+    pub workbags: WorkBagIds,
+    /// Seed source.
+    pub seeds: Arc<SeedGen>,
+    /// Set when the application has completed and managers should exit.
+    pub app_done: Arc<AtomicBool>,
+}
+
+/// Handle to one compute node's manager thread.
+pub struct ComputeNodeHandle {
+    /// The node's id.
+    pub id: u32,
+    alive: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ComputeNodeHandle {
+    /// Fails the node: it stops claiming work and its running workers
+    /// observe cancellation. (The caller separately notifies the master
+    /// via [`ControlMsg::NodeFailed`], mirroring failure detection.)
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Brings a failed node back (paper §3.4: compute nodes can be added
+    /// at any point; a restarted node is a new, idle node).
+    pub fn restart(&self) {
+        self.alive.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns whether the node is currently alive.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Joins the manager thread (call after the app-done flag is set).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the task-manager thread for compute node `node_id`.
+pub fn spawn_manager(node_id: u32, deps: ManagerDeps) -> ComputeNodeHandle {
+    let alive = Arc::new(AtomicBool::new(true));
+    let alive2 = alive.clone();
+    let thread = std::thread::Builder::new()
+        .name(format!("manager-cn{node_id}"))
+        .spawn(move || manager_loop(node_id, deps, alive2))
+        .expect("spawning task manager");
+    ComputeNodeHandle {
+        id: node_id,
+        alive,
+        thread: Some(thread),
+    }
+}
+
+fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
+    let mut ready = WorkBag::<Descriptor>::new(
+        deps.cluster.clone(),
+        deps.workbags.ready,
+        deps.seeds.next(),
+    );
+    let mut running = WorkBag::<RunningRecord>::new(
+        deps.cluster.clone(),
+        deps.workbags.running,
+        deps.seeds.next(),
+    );
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        workers.retain(|w| !w.is_finished());
+        if deps.app_done.load(Ordering::Relaxed) {
+            break;
+        }
+        if !alive.load(Ordering::Relaxed) || workers.len() >= deps.config.worker_slots {
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        }
+        match ready.try_take() {
+            Ok(Some(desc)) => {
+                let inst = desc.instance_id();
+                if deps
+                    .kill
+                    .is_killed(inst.task.0, desc.generation)
+                {
+                    continue; // Stale descriptor from a restarted task.
+                }
+                let rec = RunningRecord {
+                    kind: desc.kind,
+                    instance: desc.instance,
+                    generation: desc.generation,
+                    node: node_id,
+                    inputs: desc.inputs.clone(),
+                    outputs: desc.outputs.clone(),
+                };
+                if running.insert(&rec).is_err() {
+                    // Storage refused the claim record; put the unit back
+                    // rather than running it untracked.
+                    let _ = ready.insert(&desc);
+                    continue;
+                }
+                let deps2 = deps.clone();
+                let alive2 = alive.clone();
+                let w = std::thread::Builder::new()
+                    .name(format!("worker-cn{node_id}-{inst}"))
+                    .spawn(move || run_unit(node_id, desc, deps2, alive2))
+                    .expect("spawning worker");
+                workers.push(w);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_micros(500)),
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Executes one claimed unit (task instance or merge) to completion.
+fn run_unit(node_id: u32, desc: Descriptor, deps: ManagerDeps, node_alive: Arc<AtomicBool>) {
+    let inst = desc.instance_id();
+    let key = (inst.task.0, desc.generation, inst.clone.0, desc.kind);
+    deps.registry
+        .register(key.0, key.1, key.2, key.3, node_id);
+    let _guard = RegistryGuard {
+        registry: &deps.registry,
+        key,
+    };
+    let probe = CancelProbe {
+        kill: deps.kill.clone(),
+        task: inst.task.0,
+        generation: desc.generation,
+        node_alive: node_alive.clone(),
+    };
+    let outcome = match desc.kind {
+        KIND_TASK => run_task(node_id, &desc, &deps, &probe),
+        KIND_MERGE => run_merge(&desc, &deps, &probe),
+        _ => Err(EngineError::InvalidGraph(format!(
+            "unknown descriptor kind {}",
+            desc.kind
+        ))),
+    };
+    match outcome {
+        Ok(()) => {
+            if probe.cancelled() {
+                return; // Cancelled at the finish line: no done record.
+            }
+            let mut done = WorkBag::<DoneRecord>::new(
+                deps.cluster.clone(),
+                deps.workbags.done,
+                deps.seeds.next(),
+            );
+            let _ = done.insert(&DoneRecord {
+                kind: desc.kind,
+                instance: desc.instance,
+                generation: desc.generation,
+                node: node_id,
+                outputs: desc.outputs.clone(),
+            });
+        }
+        Err(EngineError::Cancelled) => {}
+        Err(e) => {
+            let _ = deps.control_tx.send(ControlMsg::Fatal {
+                task: inst.task.0,
+                message: e.to_string(),
+            });
+        }
+    }
+}
+
+fn run_task(
+    node_id: u32,
+    desc: &Descriptor,
+    deps: &ManagerDeps,
+    probe: &CancelProbe,
+) -> Result<(), EngineError> {
+    let inst = desc.instance_id();
+    let logic = deps.graph.task(inst.task).logic.clone();
+    let inputs = desc
+        .inputs
+        .iter()
+        .map(|&b| {
+            BagReader::open(
+                deps.cluster.clone(),
+                BagId(b),
+                deps.seeds.next(),
+                deps.config.batch_factor,
+                Some(probe.clone()),
+            )
+        })
+        .collect();
+    let outputs = desc
+        .outputs
+        .iter()
+        .map(|&b| {
+            BagWriter::open(
+                deps.cluster.clone(),
+                BagId(b),
+                deps.seeds.next(),
+                deps.config.chunk_size,
+            )
+        })
+        .collect();
+    let mut ctx = TaskCtx {
+        inputs,
+        outputs,
+        input_bags: desc.inputs.iter().map(|&b| BagId(b)).collect(),
+        cluster: deps.cluster.clone(),
+        instance: inst,
+        node: node_id,
+        generation: desc.generation,
+        clone_tx: deps.config.cloning_enabled.then(|| deps.control_tx.clone()),
+        clone_interval: deps.config.clone_interval,
+        last_ping: Instant::now(),
+    };
+    logic.run(&mut ctx)?;
+    ctx.flush_outputs()?;
+    Ok(())
+}
+
+fn run_merge(desc: &Descriptor, deps: &ManagerDeps, probe: &CancelProbe) -> Result<(), EngineError> {
+    let inst = desc.instance_id();
+    let stride = desc.outputs.len();
+    debug_assert!(stride > 0 && desc.inputs.len() % stride == 0);
+    let instances = desc.inputs.len() / stride;
+    let merge: Arc<dyn MergeLogic> = if instances == 1 {
+        // A single partial is definitionally the final output: identity.
+        Arc::new(ConcatMerge)
+    } else {
+        deps.graph
+            .task(inst.task)
+            .merge
+            .clone()
+            .unwrap_or(Arc::new(ConcatMerge))
+    };
+    for (out_idx, &out_bag) in desc.outputs.iter().enumerate() {
+        let mut partials: Vec<BagReader> = (0..instances)
+            .map(|i| {
+                BagReader::open(
+                    deps.cluster.clone(),
+                    BagId(desc.inputs[i * stride + out_idx]),
+                    deps.seeds.next(),
+                    deps.config.batch_factor,
+                    Some(probe.clone()),
+                )
+            })
+            .collect();
+        let mut out = BagWriter::open(
+            deps.cluster.clone(),
+            BagId(out_bag),
+            deps.seeds.next(),
+            deps.config.chunk_size,
+        );
+        merge.merge(out_idx, &mut partials, &mut out)?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_and_clears() {
+        let r = RunningRegistry::new();
+        r.register(1, 0, 0, KIND_TASK, 3);
+        r.register(1, 0, 1, KIND_TASK, 4);
+        assert_eq!(r.active(), 2);
+        assert!(r.task_active_upto(1, 0));
+        assert!(r.task_active_upto(1, 5), "older gens included");
+        assert!(!r.task_active_upto(2, 0));
+        r.deregister(1, 0, 0, KIND_TASK);
+        r.deregister(1, 0, 1, KIND_TASK);
+        assert_eq!(r.active(), 0);
+        assert!(!r.task_active_upto(1, 0));
+    }
+
+    #[test]
+    fn registry_generation_filter() {
+        let r = RunningRegistry::new();
+        r.register(1, 3, 0, KIND_TASK, 0);
+        assert!(!r.task_active_upto(1, 2), "newer gen is not 'upto 2'");
+        assert!(r.task_active_upto(1, 3));
+    }
+
+    #[test]
+    fn registry_guard_deregisters_on_drop() {
+        let r = RunningRegistry::new();
+        r.register(5, 0, 0, KIND_MERGE, 1);
+        {
+            let _g = RegistryGuard {
+                registry: &r,
+                key: (5, 0, 0, KIND_MERGE),
+            };
+        }
+        assert_eq!(r.active(), 0);
+    }
+
+    #[test]
+    fn seedgen_yields_distinct_seeds() {
+        let s = SeedGen::new(42);
+        let a = s.next();
+        let b = s.next();
+        assert_ne!(a, b);
+        // Same base, fresh generator: deterministic sequence.
+        let s2 = SeedGen::new(42);
+        assert_eq!(s2.next(), a);
+        assert_eq!(s2.next(), b);
+    }
+}

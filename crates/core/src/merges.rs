@@ -1,0 +1,513 @@
+//! A library of typical merge operations (paper §2.3).
+//!
+//! "For convenience, Hurricane provides a library of typical merge
+//! operations." The merge paradigm is more general than shuffle-and-sort:
+//! records for the same key may be processed on multiple nodes
+//! simultaneously and reconciled here, and non commutative-associative
+//! outputs (unique counts, medians, sorted output) are supported because
+//! the merge sees whole partial outputs, not per-key streams.
+//!
+//! All merges in this module uphold the contract that merging the partial
+//! outputs of `n` clones produces output equal (as a multiset of records,
+//! or exactly where ordering is the point, as in [`SortedMerge`]) to what
+//! a single uncloned task would have produced.
+
+use crate::error::EngineError;
+use crate::task::{BagReader, BagWriter, MergeLogic};
+use hurricane_format::{decode_all, Record};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+/// The default merge: concatenates all partial chunks into the output.
+///
+/// Correct whenever record order and grouping do not matter — map-style
+/// tasks, filters, selects (paper §2.3).
+pub struct ConcatMerge;
+
+impl MergeLogic for ConcatMerge {
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                out.emit_chunk(chunk)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reduces *all* records across all partials into a single record with a
+/// binary combiner — the shape of the paper's Phase 2 (`partial1 |
+/// partial2`) and Phase 3 (`partial1 + partial2`) merges.
+pub struct ReduceMerge<T, F> {
+    combine: F,
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T, F> ReduceMerge<T, F>
+where
+    T: Record + Send + Sync + 'static,
+    F: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    /// Creates a reduce merge with binary combiner `combine`.
+    pub fn new(combine: F) -> Self {
+        Self {
+            combine,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, F> MergeLogic for ReduceMerge<T, F>
+where
+    T: Record + Send + Sync + 'static,
+    F: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut acc: Option<T> = None;
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                for rec in decode_all::<T>(&chunk)? {
+                    acc = Some(match acc.take() {
+                        None => rec,
+                        Some(a) => (self.combine)(a, rec),
+                    });
+                }
+            }
+        }
+        if let Some(a) = acc {
+            out.write_record(&a)?;
+            out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Merges keyed records by combining values of equal keys — the merge
+/// combiner shape (group-by aggregation) generalized to clone partials.
+pub struct KeyedMerge<K, V, F> {
+    combine: F,
+    _marker: PhantomData<fn(&K, &V)>,
+}
+
+impl<K, V, F> KeyedMerge<K, V, F>
+where
+    K: Record + Ord + Send + Sync + 'static,
+    V: Record + Send + Sync + 'static,
+    F: Fn(V, V) -> V + Send + Sync + 'static,
+{
+    /// Creates a keyed merge with per-key value combiner `combine`.
+    pub fn new(combine: F) -> Self {
+        Self {
+            combine,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V, F> MergeLogic for KeyedMerge<K, V, F>
+where
+    K: Record + Ord + Send + Sync + 'static,
+    V: Record + Send + Sync + 'static,
+    F: Fn(V, V) -> V + Send + Sync + 'static,
+{
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut table: BTreeMap<K, V> = BTreeMap::new();
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                for (k, v) in decode_all::<(K, V)>(&chunk)? {
+                    match table.remove(&k) {
+                        None => {
+                            table.insert(k, v);
+                        }
+                        Some(prev) => {
+                            table.insert(k, (self.combine)(prev, v));
+                        }
+                    }
+                }
+            }
+        }
+        for (k, v) in table {
+            out.write_record(&(k, v))?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+}
+
+/// Merge-sorts partials into a single key-ordered record stream — the
+/// paper's example of a *non-aggregation* merge ("for instance through a
+/// merge sort").
+///
+/// Note on ordering and bags: records are *written* to the output in
+/// sorted order, and each chunk is internally sorted, but bags spread
+/// chunks across storage nodes and are unordered collections (paper
+/// §4.1). A consumer that needs the global order either reads the bag
+/// from a single storage node (FIFO per node) or k-way-merges the sorted
+/// chunks it removes — both cheap because every chunk is already sorted.
+pub struct SortedMerge<T> {
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> SortedMerge<T> {
+    /// Creates a sorted merge.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> Default for SortedMerge<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for SortedMerge<T> {
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        // Chunk arrival order within one partial need not be sorted (bags
+        // are unordered), so collect per-partial, sort, then k-way merge
+        // degenerates to a global sort-merge. Still streaming-friendly at
+        // chunk granularity for the common single-chunk partials.
+        let mut runs: Vec<Vec<T>> = Vec::with_capacity(partials.len());
+        for p in partials.iter_mut() {
+            let mut run = Vec::new();
+            while let Some(chunk) = p.next_chunk()? {
+                run.extend(decode_all::<T>(&chunk)?);
+            }
+            run.sort();
+            runs.push(run);
+        }
+        let mut cursors = vec![0usize; runs.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, run) in runs.iter().enumerate() {
+                if cursors[i] < run.len() {
+                    best = match best {
+                        None => Some(i),
+                        Some(b) if run[cursors[i]] < runs[b][cursors[b]] => Some(i),
+                        keep => keep,
+                    };
+                }
+            }
+            match best {
+                None => break,
+                Some(i) => {
+                    out.write_record(&runs[i][cursors[i]])?;
+                    cursors[i] += 1;
+                }
+            }
+        }
+        out.flush()?;
+        Ok(())
+    }
+}
+
+/// Set-union merge: deduplicates records across partials (distinct
+/// values / duplicate removal, one of the paper's non commutative-
+/// associative examples).
+pub struct SetUnionMerge<T> {
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> SetUnionMerge<T> {
+    /// Creates a set-union merge.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> Default for SetUnionMerge<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for SetUnionMerge<T> {
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut set = std::collections::BTreeSet::new();
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                for rec in decode_all::<T>(&chunk)? {
+                    set.insert(rec);
+                }
+            }
+        }
+        for rec in set {
+            out.write_record(&rec)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+}
+
+/// Top-K merge: keeps the `k` largest records across all partials, emitted
+/// in descending order.
+pub struct TopKMerge<T> {
+    k: usize,
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> TopKMerge<T> {
+    /// Creates a top-`k` merge.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for TopKMerge<T> {
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut heap = std::collections::BinaryHeap::new(); // Min-heap via Reverse.
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                for rec in decode_all::<T>(&chunk)? {
+                    heap.push(std::cmp::Reverse(rec));
+                    if heap.len() > self.k {
+                        heap.pop();
+                    }
+                }
+            }
+        }
+        let mut top: Vec<T> = heap.into_iter().map(|r| r.0).collect();
+        top.sort_by(|a, b| b.cmp(a));
+        for rec in top {
+            out.write_record(&rec)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+}
+
+/// Median merge: collects all records and emits the median — the paper's
+/// canonical example of an operation that shuffle-based combining cannot
+/// express but whole-partial merging can.
+pub struct MedianMerge<T> {
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> MedianMerge<T> {
+    /// Creates a median merge.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> Default for MedianMerge<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for MedianMerge<T> {
+    fn merge(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut all = Vec::new();
+        for p in partials {
+            while let Some(chunk) = p.next_chunk()? {
+                all.extend(decode_all::<T>(&chunk)?);
+            }
+        }
+        if all.is_empty() {
+            return Ok(());
+        }
+        let mid = (all.len() - 1) / 2;
+        all.sort();
+        out.write_record(&all[mid])?;
+        out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_storage::{ClusterConfig, StorageCluster};
+    use std::sync::Arc;
+
+    /// Builds `n` partial bags, fills each with `fill(i)`, seals them, and
+    /// runs `merge` into a fresh output bag; returns the decoded output.
+    fn run_merge<T, M>(n: usize, fill: impl Fn(usize) -> Vec<T>, merge: M) -> Vec<T>
+    where
+        T: Record + Clone + std::fmt::Debug,
+        M: MergeLogic,
+    {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let mut readers = Vec::new();
+        for i in 0..n {
+            let bag = cluster.create_bag();
+            let mut w = BagWriter::open(cluster.clone(), bag, i as u64, 128);
+            for rec in fill(i) {
+                w.write_record(&rec).unwrap();
+            }
+            w.flush().unwrap();
+            cluster.seal_bag(bag).unwrap();
+            readers.push(BagReader::open(
+                cluster.clone(),
+                bag,
+                1000 + i as u64,
+                4,
+                None,
+            ));
+        }
+        let out_bag = cluster.create_bag();
+        let mut out = BagWriter::open(cluster.clone(), out_bag, 77, 128);
+        merge.merge(0, &mut readers, &mut out).unwrap();
+        out.flush().unwrap();
+        cluster.seal_bag(out_bag).unwrap();
+        read_bag(&cluster, out_bag)
+    }
+
+    fn read_bag<T: Record>(cluster: &Arc<StorageCluster>, bag: hurricane_common::BagId) -> Vec<T> {
+        let mut out = Vec::new();
+        for c in cluster.snapshot_bag(bag).unwrap() {
+            out.extend(decode_all::<T>(&c).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn concat_preserves_multiset() {
+        let mut got: Vec<u64> =
+            run_merge(3, |i| vec![i as u64 * 10, i as u64 * 10 + 1], ConcatMerge);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn reduce_sums_counts() {
+        // Paper Phase 3 merge: output.insert(partial1 + partial2).
+        let got: Vec<u64> = run_merge(4, |i| vec![(i as u64 + 1) * 100], ReduceMerge::new(|a: u64, b: u64| a + b));
+        assert_eq!(got, vec![1000]);
+    }
+
+    #[test]
+    fn reduce_ors_bitsets() {
+        // Paper Phase 2 merge: output.insert(partial1 | partial2), with a
+        // bitset encoded as Vec<u64> words of possibly different lengths.
+        let or = |a: Vec<u64>, b: Vec<u64>| -> Vec<u64> {
+            let (mut long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+            for (i, w) in short.into_iter().enumerate() {
+                long[i] |= w;
+            }
+            long
+        };
+        let got: Vec<Vec<u64>> = run_merge(
+            3,
+            |i| vec![vec![1u64 << i, if i == 2 { 0b100 } else { 0 }]],
+            ReduceMerge::new(or),
+        );
+        assert_eq!(got, vec![vec![0b111, 0b100]]);
+    }
+
+    #[test]
+    fn reduce_single_partial_is_identity() {
+        let got: Vec<u64> = run_merge(1, |_| vec![42], ReduceMerge::new(|a: u64, b: u64| a + b));
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn reduce_empty_partials_is_empty() {
+        let got: Vec<u64> = run_merge(3, |_| vec![], ReduceMerge::new(|a: u64, b: u64| a + b));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn keyed_merge_combines_per_key() {
+        let got: Vec<(String, u64)> = run_merge(
+            2,
+            |i| {
+                vec![
+                    ("usa".to_string(), 10 + i as u64),
+                    (format!("only{i}"), 1),
+                ]
+            },
+            KeyedMerge::<String, u64, _>::new(|a, b| a + b),
+        );
+        let usa = got.iter().find(|(k, _)| k == "usa").unwrap();
+        assert_eq!(usa.1, 21);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn sorted_merge_orders_globally() {
+        let got: Vec<u64> = run_merge(
+            3,
+            |i| (0..10).map(|j| (j * 3 + i) as u64).collect(),
+            SortedMerge::<u64>::new(),
+        );
+        assert_eq!(got.len(), 30);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+    }
+
+    #[test]
+    fn sorted_merge_handles_unsorted_partials() {
+        let got: Vec<u64> = run_merge(2, |i| vec![9 - i as u64, 3, 7], SortedMerge::<u64>::new());
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn set_union_dedups() {
+        let got: Vec<u64> = run_merge(3, |i| vec![1, 2, 2 + i as u64], SetUnionMerge::<u64>::new());
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let got: Vec<u64> = run_merge(2, |i| (0..20).map(|j| j + i as u64 * 100).collect(), TopKMerge::<u64>::new(3));
+        assert_eq!(got, vec![119, 118, 117]);
+    }
+
+    #[test]
+    fn median_of_all_partials() {
+        let got: Vec<u64> = run_merge(2, |i| if i == 0 { vec![1, 9, 5] } else { vec![3, 7] }, MedianMerge::<u64>::new());
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    fn median_of_empty_is_empty() {
+        let got: Vec<u64> = run_merge(2, |_| vec![], MedianMerge::<u64>::new());
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,521 @@
+//! Task-facing runtime API: ports, contexts, and control.
+//!
+//! A worker executing a task (or a clone of it — same code, paper §2.1)
+//! receives a [`TaskCtx`] giving chunk-level access to the task's input
+//! bags (via prefetching readers, i.e. batch sampling) and output bags.
+//! Between chunks the context transparently does two control-plane jobs:
+//!
+//! * **Cancellation** — it polls the shared [`KillSwitch`]; a worker whose
+//!   `(task, generation)` has been killed (node-failure recovery) or whose
+//!   node has been failed observes [`EngineError::Cancelled`] and unwinds
+//!   without emitting a done record.
+//! * **Overload signalling** — a worker that has been continuously busy
+//!   for the clone interval sends a [`ControlMsg::CloneRequest`] to the
+//!   master (paper §4.2: "a compute node generates a clone message
+//!   periodically, when the CPU or its local network interface is
+//!   saturated ... at least 2 seconds apart").
+
+use crate::error::EngineError;
+use crossbeam::channel::Sender;
+use hurricane_common::{BagId, TaskInstanceId};
+use hurricane_format::{Chunk, Record};
+use hurricane_storage::{BagClient, StorageCluster};
+use hurricane_storage::prefetch::Prefetcher;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control-plane messages from compute nodes to the application master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// A worker reports sustained load and asks for its task to be cloned.
+    CloneRequest {
+        /// Task blueprint id.
+        task: u32,
+        /// Task generation the worker is executing.
+        generation: u32,
+        /// Compute node issuing the request.
+        node: u32,
+    },
+    /// A compute node failed (detected or injected).
+    NodeFailed {
+        /// The failed node.
+        node: u32,
+    },
+    /// A worker hit an unrecoverable application error; the master aborts
+    /// the run and reports it.
+    Fatal {
+        /// Task whose worker failed.
+        task: u32,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Test hook: make the master thread exit immediately, losing all of
+    /// its in-memory state (its durable state lives in the work bags).
+    CrashMaster,
+}
+
+/// Cluster-wide cancellation state shared by master and workers.
+///
+/// Killing `(task, generation)` cancels every worker executing that task at
+/// that generation or older; newer generations (restarts) are unaffected.
+#[derive(Debug, Default)]
+pub struct KillSwitch {
+    killed: RwLock<HashMap<u32, u32>>,
+    shutdown: AtomicBool,
+}
+
+impl KillSwitch {
+    /// Creates a switch with nothing killed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancels generations `<= generation` of `task`.
+    pub fn kill(&self, task: u32, generation: u32) {
+        let mut map = self.killed.write();
+        let entry = map.entry(task).or_insert(generation);
+        *entry = (*entry).max(generation);
+    }
+
+    /// Returns whether `(task, generation)` is cancelled.
+    pub fn is_killed(&self, task: u32, generation: u32) -> bool {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.killed
+            .read()
+            .get(&task)
+            .is_some_and(|&g| generation <= g)
+    }
+
+    /// Cancels everything — application shutdown.
+    pub fn shutdown_all(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns whether global shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A sequential reader over one (sealed) bag, with batch-sampling prefetch.
+pub struct BagReader {
+    prefetcher: Prefetcher,
+    bytes_read: u64,
+    chunks_read: u64,
+    cancel: Option<CancelProbe>,
+}
+
+/// The cancellation context a reader polls between chunks.
+#[derive(Clone)]
+pub struct CancelProbe {
+    /// Shared kill map.
+    pub kill: Arc<KillSwitch>,
+    /// Task blueprint id of the executing worker.
+    pub task: u32,
+    /// Generation of the executing worker.
+    pub generation: u32,
+    /// The hosting compute node's liveness flag.
+    pub node_alive: Arc<AtomicBool>,
+}
+
+impl CancelProbe {
+    /// Returns whether the owning worker should abort.
+    pub fn cancelled(&self) -> bool {
+        !self.node_alive.load(Ordering::Relaxed)
+            || self.kill.is_killed(self.task, self.generation)
+    }
+}
+
+impl BagReader {
+    /// Opens a reader over `bag` with `batch_factor` outstanding requests.
+    pub fn open(
+        cluster: Arc<StorageCluster>,
+        bag: BagId,
+        seed: u64,
+        batch_factor: usize,
+        cancel: Option<CancelProbe>,
+    ) -> Self {
+        let client = BagClient::new(cluster, bag, seed);
+        Self {
+            prefetcher: Prefetcher::spawn(client, batch_factor),
+            bytes_read: 0,
+            chunks_read: 0,
+            cancel,
+        }
+    }
+
+    /// Returns the next chunk, or `None` once the bag is drained.
+    pub fn next_chunk(&mut self) -> Result<Option<Chunk>, EngineError> {
+        if let Some(c) = &self.cancel {
+            if c.cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+        }
+        match self.prefetcher.recv()? {
+            Some(chunk) => {
+                self.bytes_read += chunk.len() as u64;
+                self.chunks_read += 1;
+                Ok(Some(chunk))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes delivered so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Chunks delivered so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+}
+
+/// A buffering writer into one bag: records accumulate into chunks of the
+/// configured size (never splitting a record) and chunks spread across
+/// storage nodes in pseudorandom cyclic order.
+pub struct BagWriter {
+    client: BagClient,
+    buf: Vec<u8>,
+    chunk_size: usize,
+    bytes_written: u64,
+    chunks_written: u64,
+}
+
+impl BagWriter {
+    /// Opens a writer targeting `bag` with the given chunk capacity.
+    pub fn open(cluster: Arc<StorageCluster>, bag: BagId, seed: u64, chunk_size: usize) -> Self {
+        Self {
+            client: BagClient::new(cluster, bag, seed),
+            buf: Vec::with_capacity(chunk_size),
+            chunk_size,
+            bytes_written: 0,
+            chunks_written: 0,
+        }
+    }
+
+    /// Appends one record, sealing and inserting a chunk when full.
+    pub fn write_record<T: Record>(&mut self, record: &T) -> Result<(), EngineError> {
+        let len = record.encoded_len();
+        if len > self.chunk_size {
+            return Err(EngineError::Codec(
+                hurricane_format::CodecError::RecordTooLarge {
+                    record: len,
+                    chunk: self.chunk_size,
+                },
+            ));
+        }
+        if self.buf.len() + len > self.chunk_size {
+            self.flush()?;
+        }
+        record.encode(&mut self.buf);
+        Ok(())
+    }
+
+    /// Inserts a pre-built chunk directly (bypassing the record buffer).
+    pub fn emit_chunk(&mut self, chunk: Chunk) -> Result<(), EngineError> {
+        self.flush()?;
+        self.bytes_written += chunk.len() as u64;
+        self.chunks_written += 1;
+        self.client.insert(chunk)?;
+        Ok(())
+    }
+
+    /// Seals buffered records into a chunk and inserts it.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
+        self.bytes_written += data.len() as u64;
+        self.chunks_written += 1;
+        self.client.insert(Chunk::from_vec(data))?;
+        Ok(())
+    }
+
+    /// The bag this writer targets.
+    pub fn bag_id(&self) -> BagId {
+        self.client.bag_id()
+    }
+
+    /// Bytes inserted so far (flushed only).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Chunks inserted so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.chunks_written
+    }
+}
+
+/// Everything a worker's task logic can touch.
+pub struct TaskCtx {
+    pub(crate) inputs: Vec<BagReader>,
+    pub(crate) outputs: Vec<BagWriter>,
+    pub(crate) input_bags: Vec<BagId>,
+    pub(crate) cluster: Arc<StorageCluster>,
+    pub(crate) instance: TaskInstanceId,
+    pub(crate) node: u32,
+    pub(crate) generation: u32,
+    pub(crate) clone_tx: Option<Sender<ControlMsg>>,
+    pub(crate) clone_interval: Duration,
+    pub(crate) last_ping: Instant,
+}
+
+impl TaskCtx {
+    /// Number of input bags.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output bags.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The executing task instance (task + clone index).
+    pub fn instance(&self) -> TaskInstanceId {
+        self.instance
+    }
+
+    /// The compute node this worker runs on.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Removes the next chunk from input `i`, or `None` once drained.
+    ///
+    /// Also performs the periodic overload ping: a worker that keeps
+    /// getting chunks without waiting is continuously busy, and every
+    /// `clone_interval` it asks the master to consider cloning its task.
+    pub fn next_chunk(&mut self, i: usize) -> Result<Option<Chunk>, EngineError> {
+        self.maybe_ping();
+        self.inputs[i].next_chunk()
+    }
+
+    /// Appends `record` to output `o`.
+    pub fn write_record<T: Record>(&mut self, o: usize, record: &T) -> Result<(), EngineError> {
+        self.outputs[o].write_record(record)
+    }
+
+    /// Inserts a pre-built chunk into output `o`.
+    pub fn emit_chunk(&mut self, o: usize, chunk: Chunk) -> Result<(), EngineError> {
+        self.outputs[o].emit_chunk(chunk)
+    }
+
+    /// Decodes every record of input `i`'s next chunk, or `None` at end.
+    pub fn next_records<T: Record>(&mut self, i: usize) -> Result<Option<Vec<T>>, EngineError> {
+        match self.next_chunk(i)? {
+            None => Ok(None),
+            Some(c) => Ok(Some(hurricane_format::decode_all::<T>(&c)?)),
+        }
+    }
+
+    /// Reads *all* of input `i` non-destructively, without advancing the
+    /// shared read pointer.
+    ///
+    /// This is the bag API's concurrent-full-scan mode (paper §4.3:
+    /// "allowing multiple workers to read an entire bag concurrently").
+    /// Use it for broadcast-style inputs that every clone needs in full —
+    /// e.g. the sorted build side of a hash join, or the rank vector in a
+    /// PageRank iteration — while the *other* input is consumed chunk-by-
+    /// chunk to partition the work among clones.
+    pub fn snapshot_input<T: Record>(&mut self, i: usize) -> Result<Vec<T>, EngineError> {
+        let chunks = self.cluster.snapshot_bag(self.input_bags[i])?;
+        let mut out = Vec::new();
+        for c in &chunks {
+            out.extend(hurricane_format::decode_all::<T>(&c)?);
+        }
+        Ok(out)
+    }
+
+    /// Flushes all output writers. Called by the worker after the logic
+    /// returns; exposed for logic that interleaves phases.
+    pub fn flush_outputs(&mut self) -> Result<(), EngineError> {
+        for w in &mut self.outputs {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_ping(&mut self) {
+        let Some(tx) = &self.clone_tx else { return };
+        if self.last_ping.elapsed() >= self.clone_interval {
+            self.last_ping = Instant::now();
+            let _ = tx.send(ControlMsg::CloneRequest {
+                task: self.instance.task.0,
+                generation: self.generation,
+                node: self.node,
+            });
+        }
+    }
+}
+
+/// Task code: what one circle in the application graph executes. Clones run
+/// the same logic on the same input bag(s); the bag's exactly-once chunk
+/// delivery partitions the work among them dynamically.
+pub trait TaskLogic: Send + Sync + 'static {
+    /// Runs the task body. Loop over `ctx.next_chunk(..)` until `None`;
+    /// return `Err(EngineError::Cancelled)` bubbles untouched.
+    fn run(&self, ctx: &mut TaskCtx) -> Result<(), EngineError>;
+}
+
+impl<F> TaskLogic for F
+where
+    F: Fn(&mut TaskCtx) -> Result<(), EngineError> + Send + Sync + 'static,
+{
+    fn run(&self, ctx: &mut TaskCtx) -> Result<(), EngineError> {
+        self(ctx)
+    }
+}
+
+/// Application-specified merge: reconciles the partial outputs of a task's
+/// clones into the single output an uncloned run would have produced
+/// (paper §2.3).
+pub trait MergeLogic: Send + Sync + 'static {
+    /// Merges the per-clone partials for output index `output_index` into
+    /// `out`. `partials[i]` reads clone `i`'s partial output bag.
+    fn merge(
+        &self,
+        output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError>;
+}
+
+impl<F> MergeLogic for F
+where
+    F: Fn(usize, &mut [BagReader], &mut BagWriter) -> Result<(), EngineError>
+        + Send
+        + Sync
+        + 'static,
+{
+    fn merge(
+        &self,
+        output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        self(output_index, partials, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_storage::ClusterConfig;
+
+    #[test]
+    fn killswitch_generations() {
+        let ks = KillSwitch::new();
+        assert!(!ks.is_killed(1, 0));
+        ks.kill(1, 2);
+        assert!(ks.is_killed(1, 0));
+        assert!(ks.is_killed(1, 2));
+        assert!(!ks.is_killed(1, 3), "newer generation survives");
+        assert!(!ks.is_killed(2, 0), "other tasks unaffected");
+        // Kill level never regresses.
+        ks.kill(1, 1);
+        assert!(ks.is_killed(1, 2));
+    }
+
+    #[test]
+    fn killswitch_shutdown_kills_all() {
+        let ks = KillSwitch::new();
+        ks.shutdown_all();
+        assert!(ks.is_killed(7, 99));
+        assert!(ks.is_shutdown());
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster.clone(), bag, 1, 64);
+        for i in 0..100u64 {
+            w.write_record(&(i, i * 3)).unwrap();
+        }
+        w.flush().unwrap();
+        cluster.seal_bag(bag).unwrap();
+        assert!(w.chunks_written() > 1);
+        let mut r = BagReader::open(cluster, bag, 2, 4, None);
+        let mut seen = Vec::new();
+        while let Some(c) = r.next_chunk().unwrap() {
+            seen.extend(hurricane_format::decode_all::<(u64, u64)>(&c).unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen[99], (99, 297));
+        assert_eq!(r.chunks_read(), w.chunks_written());
+    }
+
+    #[test]
+    fn writer_rejects_oversized_record() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster, bag, 1, 8);
+        let err = w.write_record(&"way too long for eight bytes".to_string());
+        assert!(matches!(err, Err(EngineError::Codec(_))));
+    }
+
+    #[test]
+    fn reader_cancellation() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster.clone(), bag, 1, 32);
+        for i in 0..10u64 {
+            w.write_record(&i).unwrap();
+        }
+        w.flush().unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let kill = Arc::new(KillSwitch::new());
+        let probe = CancelProbe {
+            kill: kill.clone(),
+            task: 5,
+            generation: 0,
+            node_alive: Arc::new(AtomicBool::new(true)),
+        };
+        let mut r = BagReader::open(cluster, bag, 2, 2, Some(probe));
+        assert!(r.next_chunk().unwrap().is_some());
+        kill.kill(5, 0);
+        assert_eq!(r.next_chunk(), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn reader_node_death_cancels() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.seal_bag(bag).unwrap();
+        let alive = Arc::new(AtomicBool::new(true));
+        let probe = CancelProbe {
+            kill: Arc::new(KillSwitch::new()),
+            task: 1,
+            generation: 0,
+            node_alive: alive.clone(),
+        };
+        let mut r = BagReader::open(cluster, bag, 3, 2, Some(probe));
+        alive.store(false, Ordering::Relaxed);
+        assert_eq!(r.next_chunk(), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn emit_chunk_flushes_buffer_first() {
+        // Interleaving write_record and emit_chunk must preserve record
+        // framing: the buffered records are sealed before the raw chunk.
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster.clone(), bag, 1, 1024);
+        w.write_record(&1u64).unwrap();
+        w.emit_chunk(Chunk::from_vec(vec![9])).unwrap();
+        w.flush().unwrap();
+        cluster.seal_bag(bag).unwrap();
+        assert_eq!(w.chunks_written(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! End-to-end tests of the Hurricane runtime: correctness under cloning,
+//! merge reconciliation, and fault injection.
+
+use hurricane_core::graph::GraphBuilder;
+use hurricane_core::merges::ReduceMerge;
+use hurricane_core::task::TaskCtx;
+use hurricane_core::{EngineError, HurricaneApp, HurricaneConfig};
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A per-chunk artificial compute cost that makes tasks long enough to
+/// clone (and to kill mid-flight) at laptop scale.
+fn busy_work(micros: u64) {
+    let t = std::time::Instant::now();
+    while t.elapsed() < Duration::from_micros(micros) {
+        std::hint::spin_loop();
+    }
+}
+
+fn test_config() -> HurricaneConfig {
+    HurricaneConfig {
+        compute_nodes: 4,
+        worker_slots: 2,
+        chunk_size: 1024,
+        clone_interval: Duration::from_millis(10),
+        master_poll: Duration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+/// Builds the two-stage "sum per key" pipeline used by several tests:
+/// phase 1 maps (key, value) to per-key totals held locally per clone,
+/// phase 2 reduces clone partials with a merge. Returns (app, input bag,
+/// sum bag).
+fn sum_pipeline(
+    cluster: Arc<StorageCluster>,
+    config: HurricaneConfig,
+    work_per_chunk_us: u64,
+) -> (
+    HurricaneApp,
+    hurricane_core::GraphBag,
+    hurricane_core::GraphBag,
+) {
+    let mut g = GraphBuilder::new();
+    let input = g.source("values");
+    let summed = g.bag("summed");
+    g.task_with_merge(
+        "sum",
+        &[input],
+        &[summed],
+        move |ctx: &mut TaskCtx| {
+            let mut total = 0u64;
+            while let Some(recs) = ctx.next_records::<u64>(0)? {
+                busy_work(work_per_chunk_us);
+                total += recs.iter().sum::<u64>();
+            }
+            ctx.write_record(0, &total)?;
+            Ok(())
+        },
+        ReduceMerge::new(|a: u64, b: u64| a + b),
+    );
+    let app = HurricaneApp::deploy(g.build().unwrap(), cluster, config).unwrap();
+    (app, input, summed)
+}
+
+#[test]
+fn sum_with_merge_is_exact() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (mut app, input, summed) = sum_pipeline(cluster, test_config(), 0);
+    let n = 10_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let report = app.run().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out.len(), 1, "merge must produce a single total");
+    assert_eq!(out[0], n * (n - 1) / 2);
+    assert!(report.merges_run >= 1);
+}
+
+#[test]
+fn cloning_kicks_in_on_long_tasks() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let config = HurricaneConfig {
+        chunk_size: 256,
+        ..test_config()
+    };
+    let (mut app, input, summed) = sum_pipeline(cluster, config, 500);
+    let n = 40_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let report = app.run().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2], "cloned run must stay exact");
+    assert!(
+        report.total_clones >= 1,
+        "a CPU-bound task should have been cloned: {report:?}"
+    );
+}
+
+#[test]
+fn hurricane_nc_never_clones() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (mut app, input, summed) =
+        sum_pipeline(cluster, test_config().without_cloning(), 300);
+    let n = 5_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let report = app.run().unwrap();
+    assert_eq!(report.total_clones, 0);
+    assert_eq!(report.clone_requests, 0, "workers should not even ping");
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2]);
+}
+
+#[test]
+fn multi_stage_pipeline_with_concat_stage() {
+    // phase1: route evens/odds into two bags (default concat merge —
+    // clones write straight into the shared outputs). phase2: sum each.
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let mut g = GraphBuilder::new();
+    let input = g.source("numbers");
+    let evens = g.bag("evens");
+    let odds = g.bag("odds");
+    g.task("route", &[input], &[evens, odds], |ctx: &mut TaskCtx| {
+        while let Some(recs) = ctx.next_records::<u64>(0)? {
+            for r in recs {
+                ctx.write_record((r % 2) as usize, &r)?;
+            }
+        }
+        Ok(())
+    });
+    let mut sums = Vec::new();
+    for (name, bag) in [("sum-evens", evens), ("sum-odds", odds)] {
+        let out = g.bag(format!("{name}.out"));
+        g.task_with_merge(
+            name,
+            &[bag],
+            &[out],
+            |ctx: &mut TaskCtx| {
+                let mut total = 0u64;
+                while let Some(recs) = ctx.next_records::<u64>(0)? {
+                    total += recs.iter().sum::<u64>();
+                }
+                ctx.write_record(0, &total)?;
+                Ok(())
+            },
+            ReduceMerge::new(|a: u64, b: u64| a + b),
+        );
+        sums.push(out);
+    }
+    let mut app = HurricaneApp::deploy(g.build().unwrap(), cluster, test_config()).unwrap();
+    let n = 10_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    app.run().unwrap();
+    let even_sum: Vec<u64> = app.read_records(sums[0]).unwrap();
+    let odd_sum: Vec<u64> = app.read_records(sums[1]).unwrap();
+    let expect_even: u64 = (0..n).filter(|x| x % 2 == 0).sum();
+    let expect_odd: u64 = (0..n).filter(|x| x % 2 == 1).sum();
+    assert_eq!(even_sum, vec![expect_even]);
+    assert_eq!(odd_sum, vec![expect_odd]);
+}
+
+#[test]
+fn compute_node_failure_recovers_exactly() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (app, input, summed) = sum_pipeline(cluster, test_config(), 200);
+    let n = 20_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let running = app.start().unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    running.kill_compute_node(1);
+    let report = running.wait().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(
+        out,
+        vec![n * (n - 1) / 2],
+        "restarted task must produce the exact result (exactly-once reads)"
+    );
+    // The killed node either hosted work (restart observed) or happened to
+    // be idle; both are legal, but the run must have completed regardless.
+    assert!(report.restarts <= 4);
+}
+
+#[test]
+fn node_failure_then_restart_rejoins() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (app, input, summed) = sum_pipeline(cluster, test_config(), 200);
+    let n = 10_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let running = app.start().unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    running.kill_compute_node(0);
+    std::thread::sleep(Duration::from_millis(40));
+    running.restart_compute_node(0);
+    running.wait().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2]);
+}
+
+#[test]
+fn master_crash_and_recovery_mid_run() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (app, input, summed) = sum_pipeline(cluster, test_config(), 200);
+    let n = 20_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let mut running = app.start().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    running.crash_and_recover_master().unwrap();
+    let report = running.wait().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2]);
+    assert!(report.master_recoveries <= 1);
+}
+
+#[test]
+fn master_crash_recovery_twice() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (app, input, summed) = sum_pipeline(cluster, test_config(), 150);
+    let n = 15_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let mut running = app.start().unwrap();
+    for _ in 0..2 {
+        std::thread::sleep(Duration::from_millis(30));
+        running.crash_and_recover_master().unwrap();
+    }
+    running.wait().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2]);
+}
+
+#[test]
+fn task_error_aborts_run() {
+    let cluster = StorageCluster::new(2, ClusterConfig::default());
+    let mut g = GraphBuilder::new();
+    let input = g.source("in");
+    let out = g.bag("out");
+    g.task("explode", &[input], &[out], |ctx: &mut TaskCtx| {
+        let _ = ctx.next_chunk(0)?;
+        Err(EngineError::TaskFailed {
+            task: ctx.instance().task,
+            message: "deliberate".into(),
+        })
+    });
+    let mut app = HurricaneApp::deploy(g.build().unwrap(), cluster, test_config()).unwrap();
+    app.fill_source(input, 0..10u64).unwrap();
+    let err = app.run().unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed { .. }), "{err}");
+}
+
+#[test]
+fn skewed_two_region_pipeline_clones_the_heavy_region() {
+    // A miniature of the paper's central claim: two downstream tasks, one
+    // with 50x the data. With cloning, the heavy task should attract
+    // clones while the light one completes on a single worker.
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let mut g = GraphBuilder::new();
+    let input = g.source("records");
+    let heavy = g.bag("region.heavy");
+    let light = g.bag("region.light");
+    g.task("split", &[input], &[heavy, light], |ctx: &mut TaskCtx| {
+        while let Some(recs) = ctx.next_records::<u64>(0)? {
+            for r in recs {
+                ctx.write_record(if r % 51 == 0 { 1 } else { 0 }, &r)?;
+            }
+        }
+        Ok(())
+    });
+    let mut outs = Vec::new();
+    for (name, bag) in [("heavy-sum", heavy), ("light-sum", light)] {
+        let out = g.bag(format!("{name}.out"));
+        g.task_with_merge(
+            name,
+            &[bag],
+            &[out],
+            |ctx: &mut TaskCtx| {
+                let mut total = 0u64;
+                while let Some(recs) = ctx.next_records::<u64>(0)? {
+                    busy_work(400);
+                    total += recs.iter().sum::<u64>();
+                }
+                ctx.write_record(0, &total)?;
+                Ok(())
+            },
+            ReduceMerge::new(|a: u64, b: u64| a + b),
+        );
+        outs.push(out);
+    }
+    let mut app = HurricaneApp::deploy(g.build().unwrap(), cluster, test_config()).unwrap();
+    let n = 30_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let report = app.run().unwrap();
+    let heavy_sum: Vec<u64> = app.read_records(outs[0]).unwrap();
+    let light_sum: Vec<u64> = app.read_records(outs[1]).unwrap();
+    let expect_light: u64 = (0..n).filter(|x| x % 51 == 0).sum();
+    let expect_heavy: u64 = (0..n).filter(|x| x % 51 != 0).sum();
+    assert_eq!(heavy_sum, vec![expect_heavy]);
+    assert_eq!(light_sum, vec![expect_light]);
+    let heavy_task = app.graph().task_by_name("heavy-sum").unwrap();
+    let heavy_clones = report
+        .clones_per_task
+        .get(&heavy_task.0)
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        heavy_clones >= 1,
+        "the heavy region should attract clones: {report:?}"
+    );
+}

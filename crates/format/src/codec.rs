@@ -1,0 +1,443 @@
+//! Typed record codecs.
+//!
+//! The paper (§2.2): "Hurricane provides a number of typed iterators for
+//! serializing and deserializing common formats (integers, floats, strings,
+//! tuples, etc.), which can be combined to represent more complex data
+//! types (e.g., nested tuples)." [`Record`] is that composition mechanism:
+//! primitives implement it directly, and tuples / options / vectors compose
+//! any implementors, so `(u64, Vec<(String, f64)>)` is a record type with
+//! no extra code.
+//!
+//! Integers use LEB128 varints (zig-zag for signed) so the common case —
+//! small ids and counts — stays compact; floats are fixed-width
+//! little-endian IEEE-754.
+
+use crate::varint;
+use core::fmt;
+
+/// Errors produced while encoding or decoding records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a record.
+    Truncated,
+    /// A varint was overlong or overflowed 64 bits.
+    InvalidVarint,
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A tag byte (bool / option discriminant) held an invalid value.
+    InvalidTag(u8),
+    /// A single encoded record exceeds the chunk capacity, so it can never
+    /// be stored without crossing a chunk boundary.
+    RecordTooLarge {
+        /// Encoded size of the offending record.
+        record: usize,
+        /// Capacity of the chunks being written.
+        chunk: usize,
+    },
+    /// A declared collection length does not fit in memory bounds.
+    LengthOverflow,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated mid-record"),
+            CodecError::InvalidVarint => write!(f, "invalid varint encoding"),
+            CodecError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            CodecError::RecordTooLarge { record, chunk } => write!(
+                f,
+                "record of {record} bytes cannot fit a {chunk}-byte chunk"
+            ),
+            CodecError::LengthOverflow => write!(f, "declared length exceeds input"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A value that can be serialized into / deserialized from a chunk.
+///
+/// Implementations must satisfy the roundtrip law: for every value `v`,
+/// decoding the bytes produced by `encode` yields a value equal to `v` and
+/// consumes exactly `encoded_len()` bytes. The chunk writer relies on
+/// `encoded_len` to enforce the never-cross-a-chunk-boundary invariant
+/// without double-encoding.
+pub trait Record: Sized {
+    /// Appends this record's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one record from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Returns the exact number of bytes `encode` will append.
+    fn encoded_len(&self) -> usize;
+}
+
+/// Maps a signed value onto an unsigned one with small absolute values
+/// staying small (zig-zag).
+const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::Truncated);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Record for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(take(input, 1)?[0])
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! varint_record {
+    ($ty:ty) => {
+        impl Record for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                varint::encode(*self as u64, out);
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let v = varint::decode(input)?;
+                <$ty>::try_from(v).map_err(|_| CodecError::InvalidVarint)
+            }
+
+            fn encoded_len(&self) -> usize {
+                varint::encoded_len(*self as u64)
+            }
+        }
+    };
+}
+
+varint_record!(u16);
+varint_record!(u32);
+varint_record!(u64);
+varint_record!(usize);
+
+macro_rules! zigzag_record {
+    ($ty:ty) => {
+        impl Record for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                varint::encode(zigzag(*self as i64), out);
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let v = unzigzag(varint::decode(input)?);
+                <$ty>::try_from(v).map_err(|_| CodecError::InvalidVarint)
+            }
+
+            fn encoded_len(&self) -> usize {
+                varint::encoded_len(zigzag(*self as i64))
+            }
+        }
+    };
+}
+
+zigzag_record!(i16);
+zigzag_record!(i32);
+zigzag_record!(i64);
+
+impl Record for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let b = take(input, 4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Record for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let b = take(input, 8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Record for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Record for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::encode(self.len() as u64, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = varint::decode(input)?;
+        if len > input.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let bytes = take(input, len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint::encoded_len(self.len() as u64) + self.len()
+    }
+}
+
+impl<T: Record> Record for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Record::encoded_len)
+    }
+}
+
+impl<T: Record> Record for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::encode(self.len() as u64, out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = varint::decode(input)?;
+        // Each element consumes at least one byte, so a declared length
+        // beyond the remaining input is corrupt, not just large.
+        if len > input.len() as u64 {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut items = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Ok(items)
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint::encoded_len(self.len() as u64)
+            + self.iter().map(Record::encoded_len).sum::<usize>()
+    }
+}
+
+macro_rules! tuple_record {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Record),+> Record for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
+        }
+    };
+}
+
+tuple_record!(A: 0);
+tuple_record!(A: 0, B: 1);
+tuple_record!(A: 0, B: 1, C: 2);
+tuple_record!(A: 0, B: 1, C: 2, D: 3);
+tuple_record!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_record!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl Record for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Record + PartialEq + fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len(), "encoded_len law for {v:?}");
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice).unwrap();
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "decode must consume exactly the record");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(-1i64);
+        roundtrip(0.0f32);
+        roundtrip(-1234.5f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let mut buf = Vec::new();
+        f64::NAN.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = f64::decode(&mut slice).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn string_roundtrips() {
+        roundtrip(String::new());
+        roundtrip("hello".to_string());
+        roundtrip("héllo wörld — ünïcodé ✓".to_string());
+        roundtrip("x".repeat(10_000));
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        varint::encode(2, &mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut slice = buf.as_slice();
+        assert_eq!(String::decode(&mut slice), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip((42u64, "ip".to_string()));
+        roundtrip((1u32, 2i64, 3.5f64));
+        roundtrip(Some((7u64, vec![1u8, 2, 3])));
+        roundtrip(None::<u64>);
+        roundtrip(vec![(1u64, "a".to_string()), (2, "b".to_string())]);
+        // Nested tuples, the paper's example of composition.
+        roundtrip(((1u64, 2u64), ("k".to_string(), vec![9u32])));
+        roundtrip((1u8, 2u16, 3u32, 4u64, 5i64, 6.0f64));
+    }
+
+    #[test]
+    fn small_ints_encode_small() {
+        assert_eq!(7u64.encoded_len(), 1);
+        assert_eq!((-3i64).encoded_len(), 1);
+        assert_eq!(300u64.encoded_len(), 2);
+    }
+
+    #[test]
+    fn signed_range_check_on_decode() {
+        // i64::MAX zig-zagged does not fit i16.
+        let mut buf = Vec::new();
+        i64::MAX.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(i16::decode(&mut slice), Err(CodecError::InvalidVarint));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut buf = Vec::new();
+        (12345u64, "abcdef".to_string(), 2.5f64).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            let r = <(u64, String, f64)>::decode(&mut slice);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn vec_length_overflow_rejected() {
+        let mut buf = Vec::new();
+        varint::encode(u64::MAX, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(
+            Vec::<u8>::decode(&mut slice),
+            Err(CodecError::LengthOverflow)
+        );
+    }
+
+    #[test]
+    fn bool_rejects_bad_tag() {
+        let mut slice: &[u8] = &[2];
+        assert_eq!(bool::decode(&mut slice), Err(CodecError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::RecordTooLarge {
+            record: 100,
+            chunk: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Chunked serialization for Hurricane.
+//!
+//! Hurricane stores all input and intermediate data in *bags* of fixed-size
+//! *chunks* (paper §2.2). A chunk is the indivisible unit of data transfer:
+//! workers remove whole chunks from bags, deserialize them into records,
+//! compute, and insert whole chunks of output. Because clones of a task may
+//! process any subset of a bag's chunks, the serialization layer guarantees
+//! that **no record ever crosses a chunk boundary** — each chunk is
+//! independently decodable.
+//!
+//! This crate provides:
+//!
+//! * [`chunk::Chunk`] — an immutable, cheaply-cloneable block of bytes.
+//! * [`codec::Record`] — the typed-record trait, with implementations for
+//!   integers, floats, booleans, strings, byte blobs, options, vectors, and
+//!   tuples (nested composition gives "nested tuples" as in the paper).
+//! * [`stream::ChunkWriter`] / [`stream::ChunkReader`] — the typed
+//!   iterators that serialize a record stream into boundary-respecting
+//!   chunks and back.
+//!
+//! # Examples
+//!
+//! ```
+//! use hurricane_format::{ChunkWriter, decode_all};
+//!
+//! let mut writer = ChunkWriter::<(u64, String)>::new(64);
+//! let mut chunks = Vec::new();
+//! for i in 0..100u64 {
+//!     chunks.extend(writer.push(&(i, format!("record-{i}"))).unwrap());
+//! }
+//! chunks.extend(writer.finish());
+//!
+//! // Every chunk decodes independently; concatenation restores the stream.
+//! let records: Vec<(u64, String)> = chunks
+//!     .iter()
+//!     .flat_map(|c| decode_all::<(u64, String)>(c).unwrap())
+//!     .collect();
+//! assert_eq!(records.len(), 100);
+//! assert_eq!(records[7], (7, "record-7".to_string()));
+//! ```
+
+pub mod chunk;
+pub mod codec;
+pub mod stream;
+pub mod varint;
+
+pub use chunk::{Chunk, DEFAULT_CHUNK_SIZE};
+pub use codec::{CodecError, Record};
+pub use stream::{decode_all, encode_all, ChunkReader, ChunkWriter};

@@ -1,0 +1,279 @@
+//! Chunk-boundary-respecting record streams.
+//!
+//! [`ChunkWriter`] packs a stream of records into chunks of at most
+//! `chunk_size` bytes, closing a chunk whenever the next record would not
+//! fit. [`ChunkReader`] iterates the records of one chunk. Together they
+//! uphold the invariant from paper §2.2: *records never cross chunk
+//! boundaries*, so any subset of a bag's chunks — the subset a task clone
+//! happens to remove — decodes independently.
+
+use crate::chunk::Chunk;
+use crate::codec::{CodecError, Record};
+use core::marker::PhantomData;
+
+/// Serializes records into fixed-capacity chunks.
+///
+/// # Examples
+///
+/// ```
+/// use hurricane_format::ChunkWriter;
+///
+/// let mut w = ChunkWriter::<u64>::new(16);
+/// let mut chunks = Vec::new();
+/// for i in 0..100u64 {
+///     chunks.extend(w.push(&i).unwrap());
+/// }
+/// chunks.extend(w.finish());
+/// assert!(chunks.iter().all(|c| c.len() <= 16));
+/// ```
+pub struct ChunkWriter<T: Record> {
+    chunk_size: usize,
+    buf: Vec<u8>,
+    records_in_buf: u64,
+    records_total: u64,
+    chunks_emitted: u64,
+    _marker: PhantomData<fn(&T)>,
+}
+
+impl<T: Record> ChunkWriter<T> {
+    /// Creates a writer emitting chunks of at most `chunk_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            chunk_size,
+            buf: Vec::with_capacity(chunk_size),
+            records_in_buf: 0,
+            records_total: 0,
+            chunks_emitted: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends one record; returns a completed chunk if this record closed
+    /// one.
+    ///
+    /// Returns [`CodecError::RecordTooLarge`] if the record alone exceeds
+    /// the chunk capacity — such a record could never be stored without
+    /// crossing a boundary.
+    pub fn push(&mut self, record: &T) -> Result<Option<Chunk>, CodecError> {
+        let len = record.encoded_len();
+        if len > self.chunk_size {
+            return Err(CodecError::RecordTooLarge {
+                record: len,
+                chunk: self.chunk_size,
+            });
+        }
+        let mut completed = None;
+        if self.buf.len() + len > self.chunk_size {
+            completed = self.seal();
+        }
+        record.encode(&mut self.buf);
+        self.records_in_buf += 1;
+        self.records_total += 1;
+        Ok(completed)
+    }
+
+    /// Flushes any buffered records into a final (possibly short) chunk.
+    pub fn finish(mut self) -> Option<Chunk> {
+        self.seal()
+    }
+
+    /// Flushes buffered records without consuming the writer.
+    pub fn flush(&mut self) -> Option<Chunk> {
+        self.seal()
+    }
+
+    fn seal(&mut self) -> Option<Chunk> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
+        self.records_in_buf = 0;
+        self.chunks_emitted += 1;
+        Some(Chunk::from_vec(data))
+    }
+
+    /// Number of records accepted so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Number of chunks sealed so far (not counting the buffered tail).
+    pub fn chunks_emitted(&self) -> u64 {
+        self.chunks_emitted
+    }
+
+    /// Number of records buffered but not yet sealed into a chunk.
+    pub fn buffered_records(&self) -> u64 {
+        self.records_in_buf
+    }
+}
+
+/// Iterates the records of one chunk.
+///
+/// Yields `Err` once (and then `None`) if the chunk is corrupt; well-formed
+/// chunks produced by [`ChunkWriter`] always decode cleanly.
+pub struct ChunkReader<'a, T: Record> {
+    rest: &'a [u8],
+    failed: bool,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Record> ChunkReader<'a, T> {
+    /// Creates a reader over `chunk`.
+    pub fn new(chunk: &'a Chunk) -> Self {
+        Self {
+            rest: chunk.bytes(),
+            failed: false,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Bytes not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+}
+
+impl<'a, T: Record> Iterator for ChunkReader<'a, T> {
+    type Item = Result<T, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.rest.is_empty() {
+            return None;
+        }
+        match T::decode(&mut self.rest) {
+            Ok(v) => Some(Ok(v)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes every record in `chunk`, failing on any corruption.
+pub fn decode_all<T: Record>(chunk: &Chunk) -> Result<Vec<T>, CodecError> {
+    ChunkReader::<T>::new(chunk).collect()
+}
+
+/// Encodes `records` into a sequence of chunks of at most `chunk_size`
+/// bytes. Convenience for workload generators and tests.
+pub fn encode_all<T: Record>(
+    records: impl IntoIterator<Item = T>,
+    chunk_size: usize,
+) -> Result<Vec<Chunk>, CodecError> {
+    let mut w = ChunkWriter::new(chunk_size);
+    let mut chunks = Vec::new();
+    for r in records {
+        if let Some(c) = w.push(&r)? {
+            chunks.push(c);
+        }
+    }
+    chunks.extend(w.finish());
+    Ok(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_respect_capacity_and_roundtrip() {
+        let records: Vec<(u64, String)> =
+            (0..500).map(|i| (i, format!("value-{i}"))).collect();
+        let chunks = encode_all(records.clone(), 64).unwrap();
+        assert!(chunks.len() > 1, "should have split into several chunks");
+        for c in &chunks {
+            assert!(c.len() <= 64, "chunk overflow: {} bytes", c.len());
+            assert!(!c.is_empty());
+        }
+        let back: Vec<(u64, String)> = chunks
+            .iter()
+            .flat_map(|c| decode_all::<(u64, String)>(c).unwrap())
+            .collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn every_chunk_decodes_independently() {
+        let chunks = encode_all((0..1000u64).map(|i| (i, i * 2)), 37).unwrap();
+        let mut total = 0usize;
+        for c in &chunks {
+            // Decoding each chunk in isolation must succeed: that is the
+            // property that lets clones process disjoint chunk subsets.
+            total += decode_all::<(u64, u64)>(c).unwrap().len();
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut w = ChunkWriter::<String>::new(8);
+        let err = w.push(&"this is far too long".to_string()).unwrap_err();
+        assert!(matches!(err, CodecError::RecordTooLarge { .. }));
+        // The writer stays usable for records that fit.
+        assert!(w.push(&"ok".to_string()).unwrap().is_none());
+        assert_eq!(w.records_written(), 1);
+    }
+
+    #[test]
+    fn record_exactly_chunk_size_fits() {
+        // "abcdef" encodes as 1 length byte + 6 payload bytes = 7.
+        let mut w = ChunkWriter::<String>::new(7);
+        assert!(w.push(&"abcdef".to_string()).unwrap().is_none());
+        let c = w.finish().unwrap();
+        assert_eq!(c.len(), 7);
+        assert_eq!(decode_all::<String>(&c).unwrap(), vec!["abcdef"]);
+    }
+
+    #[test]
+    fn finish_on_empty_writer_is_none() {
+        let w = ChunkWriter::<u64>::new(16);
+        assert!(w.finish().is_none());
+    }
+
+    #[test]
+    fn flush_resets_buffer() {
+        let mut w = ChunkWriter::<u64>::new(1024);
+        w.push(&1).unwrap();
+        w.push(&2).unwrap();
+        assert_eq!(w.buffered_records(), 2);
+        let c = w.flush().unwrap();
+        assert_eq!(decode_all::<u64>(&c).unwrap(), vec![1, 2]);
+        assert_eq!(w.buffered_records(), 0);
+        assert!(w.flush().is_none());
+        assert_eq!(w.chunks_emitted(), 1);
+    }
+
+    #[test]
+    fn reader_reports_corruption_once() {
+        let c = Chunk::from_vec(vec![0x80, 0x80]); // Truncated varint.
+        let mut r = ChunkReader::<u64>::new(&c);
+        assert!(matches!(r.next(), Some(Err(CodecError::Truncated))));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn empty_chunk_yields_nothing() {
+        let c = Chunk::from_vec(Vec::new());
+        assert_eq!(decode_all::<u64>(&c).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn writer_counts_match() {
+        let mut w = ChunkWriter::<u64>::new(4);
+        let mut chunks = 0;
+        for i in 0..100u64 {
+            if w.push(&i).unwrap().is_some() {
+                chunks += 1;
+            }
+        }
+        assert_eq!(w.records_written(), 100);
+        assert_eq!(w.chunks_emitted(), chunks);
+    }
+}

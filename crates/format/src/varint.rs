@@ -1,0 +1,124 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Used for string/blob/vector length prefixes so that short records stay
+//! short. Encoding is the standard unsigned LEB128: seven payload bits per
+//! byte, continuation bit in the MSB.
+
+use crate::codec::CodecError;
+
+/// Maximum encoded size of a `u64` varint (10 bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Returns the encoded length of `value` without encoding it.
+pub fn encoded_len(value: u64) -> usize {
+    // 64-bit values need ceil(bits/7) bytes; zero needs one byte.
+    let bits = 64 - value.leading_zeros() as usize;
+    core::cmp::max(1, bits.div_ceil(7))
+}
+
+/// Decodes a LEB128 value from the front of `input`, advancing it.
+///
+/// Rejects encodings longer than [`MAX_VARINT_LEN`] and encodings whose
+/// final byte overflows 64 bits, so every `u64` has exactly one accepted
+/// canonical-length ceiling.
+pub fn decode(input: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(CodecError::InvalidVarint);
+        }
+        let payload = (byte & 0x7f) as u64;
+        if shift == 63 && payload > 1 {
+            return Err(CodecError::InvalidVarint);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            *input = &input[i + 1..];
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(CodecError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        encode(v, &mut buf);
+        assert_eq!(buf.len(), encoded_len(v), "length mismatch for {v}");
+        let mut slice = buf.as_slice();
+        assert_eq!(decode(&mut slice).unwrap(), v);
+        assert!(slice.is_empty(), "decode must consume exactly the varint");
+    }
+
+    #[test]
+    fn roundtrips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode(300, &mut buf);
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode(&mut slice).unwrap(), 300);
+        assert_eq!(slice, &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut slice: &[u8] = &[0x80, 0x80];
+        assert_eq!(decode(&mut slice), Err(CodecError::Truncated));
+        let mut empty: &[u8] = &[];
+        assert_eq!(decode(&mut empty), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        // Eleven continuation bytes can never be a valid u64.
+        let mut slice: &[u8] = &[0x80; 11];
+        assert_eq!(decode(&mut slice), Err(CodecError::InvalidVarint));
+        // A 10th byte with payload > 1 overflows 64 bits.
+        let mut overflow: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert_eq!(decode(&mut overflow), Err(CodecError::InvalidVarint));
+    }
+
+    #[test]
+    fn max_u64_is_ten_bytes() {
+        assert_eq!(encoded_len(u64::MAX), 10);
+        assert_eq!(encoded_len(0), 1);
+        assert_eq!(encoded_len(127), 1);
+        assert_eq!(encoded_len(128), 2);
+    }
+}

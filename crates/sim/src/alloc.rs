@@ -1,0 +1,126 @@
+//! Max–min fair storage-bandwidth allocation.
+//!
+//! At any instant, each running worker demands I/O flow proportional to
+//! its processing rate (`rate × (read_factor + write_factor)`), capped by
+//! its task's CPU rate and, for locally-placed data, by the single home
+//! disk. The shared pool — aggregate disk bandwidth times the batch-
+//! sampling utilization ρ(b, m) — is divided max–min fairly: everyone
+//! gets an equal share, workers that can't use their share (CPU-bound)
+//! release the remainder, and the released bandwidth is redistributed
+//! until it is exhausted or everyone is capped. This is the standard
+//! progressive-filling algorithm.
+
+/// One flow's demand description.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDemand {
+    /// Maximum useful flow (bytes/s of storage traffic): the worker's CPU
+    /// rate times its I/O amplification, possibly capped by a local disk.
+    pub cap: f64,
+}
+
+/// Allocates the shared pool `capacity` across `flows` max–min fairly.
+/// Returns the per-flow allocation, each ≤ its cap, summing to
+/// `min(capacity, Σ caps)`.
+pub fn max_min_fair(flows: &[FlowDemand], capacity: f64) -> Vec<f64> {
+    let n = flows.len();
+    let mut alloc = vec![0.0f64; n];
+    if n == 0 || capacity <= 0.0 {
+        return alloc;
+    }
+    let mut remaining = capacity;
+    let mut open: Vec<usize> = (0..n).collect();
+    // Progressive filling: repeatedly grant the smallest unmet cap.
+    while !open.is_empty() && remaining > 1e-12 {
+        let share = remaining / open.len() as f64;
+        // Find flows whose cap is below the equal share; they saturate.
+        let mut saturated = Vec::new();
+        for &i in &open {
+            if flows[i].cap - alloc[i] <= share {
+                saturated.push(i);
+            }
+        }
+        if saturated.is_empty() {
+            for &i in &open {
+                alloc[i] += share;
+            }
+            break; // Pool fully distributed.
+        }
+        for &i in &saturated {
+            remaining -= flows[i].cap - alloc[i];
+            alloc[i] = flows[i].cap;
+        }
+        open.retain(|i| !saturated.contains(i));
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(v: &[f64]) -> Vec<FlowDemand> {
+        v.iter().map(|&cap| FlowDemand { cap }).collect()
+    }
+
+    #[test]
+    fn underloaded_pool_grants_all_caps() {
+        let a = max_min_fair(&caps(&[10.0, 20.0, 5.0]), 100.0);
+        assert_eq!(a, vec![10.0, 20.0, 5.0]);
+    }
+
+    #[test]
+    fn overloaded_pool_splits_equally() {
+        let a = max_min_fair(&caps(&[100.0, 100.0]), 50.0);
+        assert!((a[0] - 25.0).abs() < 1e-9);
+        assert!((a[1] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_flows_release_to_big_ones() {
+        // Pool 90: equal share 30, but flow 0 only needs 10; the released
+        // 20 splits between the other two (40 each).
+        let a = max_min_fair(&caps(&[10.0, 100.0, 100.0]), 90.0);
+        assert!((a[0] - 10.0).abs() < 1e-9);
+        assert!((a[1] - 40.0).abs() < 1e-9);
+        assert!((a[2] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conserves_capacity() {
+        let flows = caps(&[3.0, 7.0, 11.0, 2.0, 40.0]);
+        for capacity in [1.0, 10.0, 25.0, 100.0] {
+            let a = max_min_fair(&flows, capacity);
+            let total: f64 = a.iter().sum();
+            let max_usable: f64 = flows.iter().map(|f| f.cap).sum();
+            assert!(
+                (total - capacity.min(max_usable)).abs() < 1e-6,
+                "capacity {capacity}: allocated {total}"
+            );
+            for (x, f) in a.iter().zip(&flows) {
+                assert!(*x <= f.cap + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(max_min_fair(&[], 10.0).is_empty());
+        assert_eq!(max_min_fair(&caps(&[5.0]), 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn fairness_is_max_min() {
+        // No flow below its cap may receive less than any other flow.
+        let flows = caps(&[4.0, 50.0, 9.0, 50.0]);
+        let a = max_min_fair(&flows, 60.0);
+        let min_uncapped = a
+            .iter()
+            .zip(&flows)
+            .filter(|(x, f)| **x < f.cap - 1e-9)
+            .map(|(x, _)| *x)
+            .fold(f64::INFINITY, f64::min);
+        for &x in &a {
+            assert!(x <= min_uncapped + 1e-9);
+        }
+    }
+}

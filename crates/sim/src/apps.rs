@@ -1,0 +1,338 @@
+//! Cost models of the paper's three applications (§5.3), expressed as
+//! [`SimApp`] DAGs for the Hurricane engine and as partition vectors for
+//! the static baselines.
+//!
+//! Calibration targets the paper's testbed numbers: per-worker phase-1
+//! processing ≈ 400 MB/s (16-core parse + geolocate), phase-2 (bitset
+//! membership) ≈ 800 MB/s, disk-bound behaviour at ≥ 10 GB/machine, and
+//! the 2-second cloning doubling ramp — together these reproduce Table 1
+//! within the shape tolerances recorded in EXPERIMENTS.md.
+
+use crate::spec::{DataPlacement, MergeModel, SimApp, SimTask};
+use hurricane_common::units::{GB, MB};
+use hurricane_workloads::rmat;
+use hurricane_workloads::RegionWeights;
+
+/// Per-worker phase-1 rate (parse + simulated geolocation), bytes/s.
+pub const CLICKLOG_PHASE1_RATE: f64 = 400.0 * MB as f64;
+/// Per-worker phase-2 rate (bitset insert), bytes/s.
+pub const CLICKLOG_PHASE2_RATE: f64 = 800.0 * MB as f64;
+/// Phase-3 is a popcount over the bitset: effectively instant; modelled
+/// as a tiny fixed volume.
+pub const CLICKLOG_PHASE3_BYTES: f64 = 1.0 * MB as f64;
+/// Fraction of a phase-2 instance's input that its partial output
+/// (bitset) occupies — drives merge cost.
+pub const CLICKLOG_MERGE_RATIO: f64 = 0.05;
+/// Merge processing rate (bitset OR at memory speed), bytes/s.
+pub const CLICKLOG_MERGE_RATE: f64 = 2.0 * GB as f64;
+
+/// Builds the ClickLog DAG (Figure 1): phase 1 fans input into per-region
+/// bags; per region, phase 2 computes the distinct-IP bitset (with an OR
+/// merge) and phase 3 counts it.
+pub fn clicklog_app(input_bytes: f64, weights: &RegionWeights) -> SimApp {
+    clicklog_app_with(input_bytes, weights, DataPlacement::Spread, true)
+}
+
+/// ClickLog with explicit placement and phase-1 partition count override
+/// used by the design-evaluation figures. When `single_phase1` is false,
+/// phase 1 is pre-split into one task per region (the static-partitioning
+/// comparison of Figure 6 uses finer splits via
+/// [`clicklog_app_partitioned`]).
+pub fn clicklog_app_with(
+    input_bytes: f64,
+    weights: &RegionWeights,
+    placement: DataPlacement,
+    single_phase1: bool,
+) -> SimApp {
+    let mut app = SimApp {
+        input_bytes,
+        ..Default::default()
+    };
+    let mut phase1_ids = Vec::new();
+    if single_phase1 {
+        let mut p1 = SimTask::new("phase1", "phase1", input_bytes);
+        p1.cpu_rate = CLICKLOG_PHASE1_RATE;
+        p1.placement = placement;
+        phase1_ids.push(app.push(p1));
+    } else {
+        for (r, &w) in weights.weights().iter().enumerate() {
+            let mut p1 = SimTask::new(format!("phase1.{r}"), "phase1", input_bytes * w);
+            p1.cpu_rate = CLICKLOG_PHASE1_RATE;
+            p1.placement = placement;
+            phase1_ids.push(app.push(p1));
+        }
+    }
+    for (r, &w) in weights.weights().iter().enumerate() {
+        let region_bytes = input_bytes * w;
+        let mut p2 = SimTask::new(format!("phase2.{r}"), "phase2", region_bytes);
+        p2.cpu_rate = CLICKLOG_PHASE2_RATE;
+        p2.write_factor = CLICKLOG_MERGE_RATIO;
+        p2.placement = placement;
+        p2.deps = phase1_ids.clone();
+        p2.merge = Some(MergeModel {
+            bytes_per_instance: region_bytes * CLICKLOG_MERGE_RATIO,
+            rate: CLICKLOG_MERGE_RATE,
+        });
+        let p2_id = app.push(p2);
+        let mut p3 = SimTask::new(format!("phase3.{r}"), "phase3", CLICKLOG_PHASE3_BYTES);
+        p3.cpu_rate = CLICKLOG_PHASE2_RATE;
+        p3.write_factor = 0.0;
+        p3.clonable = false;
+        p3.deps = vec![p2_id];
+        app.push(p3);
+    }
+    app
+}
+
+/// ClickLog with phase 2 statically pre-split into `partitions` tasks of
+/// key-range-equal size (Figure 6's partition sweep). Weights are
+/// stretched to the finer partitioning by subdividing each region's mass
+/// uniformly.
+pub fn clicklog_app_partitioned(
+    input_bytes: f64,
+    weights: &RegionWeights,
+    partitions: usize,
+) -> SimApp {
+    let regions = weights.len();
+    assert!(partitions >= regions && partitions % regions == 0);
+    let per = partitions / regions;
+    let fine: Vec<f64> = weights
+        .weights()
+        .iter()
+        .flat_map(|&w| std::iter::repeat_n(w / per as f64, per))
+        .collect();
+    clicklog_app(input_bytes, &RegionWeights::from_raw(fine))
+}
+
+/// ClickLog pre-partitioned for the Figure 6 sweep: phase 1 is split
+/// into `partitions` *equal* static tasks ("To ensure a fair comparison
+/// for HurricaneNC, we split the Phase 1 input into equal-sized
+/// partitions such that each compute node is assigned at least one
+/// partition") and phase 2 into `partitions` key-range tasks whose
+/// masses come from the faithful Zipf generator — finer partitions
+/// shrink the *average* task but the head partition stays comparatively
+/// large, which is the figure's point.
+pub fn clicklog_fig6_app(
+    input_bytes: f64,
+    num_keys: usize,
+    skew: f64,
+    partitions: usize,
+) -> SimApp {
+    let mut app = SimApp {
+        input_bytes,
+        ..Default::default()
+    };
+    let mut phase1_ids = Vec::new();
+    for p in 0..partitions {
+        let mut t = SimTask::new(
+            format!("phase1.{p}"),
+            "phase1",
+            input_bytes / partitions as f64,
+        );
+        t.cpu_rate = CLICKLOG_PHASE1_RATE;
+        phase1_ids.push(app.push(t));
+    }
+    let weights = RegionWeights::zipf(num_keys, partitions, skew);
+    for (r, &w) in weights.weights().iter().enumerate() {
+        let region_bytes = input_bytes * w;
+        let mut p2 = SimTask::new(format!("phase2.{r}"), "phase2", region_bytes);
+        p2.cpu_rate = CLICKLOG_PHASE2_RATE;
+        p2.write_factor = CLICKLOG_MERGE_RATIO;
+        p2.deps = phase1_ids.clone();
+        p2.merge = Some(MergeModel {
+            bytes_per_instance: region_bytes * CLICKLOG_MERGE_RATIO,
+            rate: CLICKLOG_MERGE_RATE,
+        });
+        let p2_id = app.push(p2);
+        let mut p3 = SimTask::new(
+            format!("phase3.{r}"),
+            "phase3",
+            CLICKLOG_PHASE3_BYTES / partitions as f64,
+        );
+        p3.cpu_rate = CLICKLOG_PHASE2_RATE;
+        p3.write_factor = 0.0;
+        p3.clonable = false;
+        p3.deps = vec![p2_id];
+        app.push(p3);
+    }
+    app
+}
+
+/// HashJoin per-worker processing rate (probe + emit), bytes/s.
+pub const JOIN_RATE: f64 = 25.0 * MB as f64;
+/// Small-relation sort rate, bytes/s.
+pub const JOIN_SORT_RATE: f64 = 50.0 * MB as f64;
+
+/// Builds the HashJoin DAG (§5.3): partition + sort the small relation,
+/// then stream the large relation against it, one task per partition.
+/// `hit_weights` skews the per-partition probe/output volume (the paper
+/// injects skew into the smaller relation, inflating some keys' hit
+/// rate).
+pub fn hashjoin_app(
+    small_bytes: f64,
+    large_bytes: f64,
+    hit_weights: &RegionWeights,
+) -> SimApp {
+    let mut app = SimApp {
+        input_bytes: small_bytes + large_bytes,
+        ..Default::default()
+    };
+    let mut sort = SimTask::new("partition-sort", "build", small_bytes);
+    sort.cpu_rate = JOIN_SORT_RATE;
+    let sort_id = app.push(sort);
+    for (p, &w) in hit_weights.weights().iter().enumerate() {
+        // Each probe task streams its share of the large relation; the
+        // hit-rate skew multiplies the work for hot partitions (matching
+        // output volume explosion). Output is written back to bags.
+        let parts = hit_weights.len() as f64;
+        let stream_bytes = large_bytes / parts;
+        let hot_factor = (w * parts).max(0.1);
+        let mut probe = SimTask::new(
+            format!("probe.{p}"),
+            "probe",
+            stream_bytes * (0.5 + 0.5 * hot_factor),
+        );
+        probe.cpu_rate = JOIN_RATE;
+        probe.write_factor = 0.3 * hot_factor;
+        probe.deps = vec![sort_id];
+        probe.merge = Some(MergeModel {
+            bytes_per_instance: stream_bytes * 0.02,
+            rate: CLICKLOG_MERGE_RATE,
+        });
+        app.push(probe);
+    }
+    app
+}
+
+/// PageRank per-worker scatter/gather rate, bytes/s.
+pub const PAGERANK_RATE: f64 = 40.0 * MB as f64;
+/// Bytes per edge (vertex ids + rank message).
+pub const PAGERANK_EDGE_BYTES: f64 = 12.0;
+
+/// Builds the 5-iteration PageRank DAG (§5.3) on an RMAT-`scale` graph,
+/// partitioned over `partitions` vertex ranges whose edge loads follow
+/// the analytic R-MAT partition weights (high-degree vertices concentrate
+/// in partition 0).
+pub fn pagerank_app(scale: u32, iterations: usize, partitions: usize) -> SimApp {
+    let edges = (rmat::EDGE_FACTOR << scale) as f64;
+    let total_bytes = edges * PAGERANK_EDGE_BYTES;
+    let weights = rmat::partition_edge_weights(scale, partitions);
+    let mut app = SimApp {
+        input_bytes: total_bytes,
+        ..Default::default()
+    };
+    let mut prev_iter: Vec<usize> = Vec::new();
+    for it in 0..iterations {
+        let mut this_iter = Vec::new();
+        for (p, &w) in weights.iter().enumerate() {
+            let mut t = SimTask::new(
+                format!("iter{it}.part{p}"),
+                format!("iter{it}"),
+                total_bytes * w,
+            );
+            t.cpu_rate = PAGERANK_RATE;
+            t.write_factor = 0.5;
+            t.deps = prev_iter.clone();
+            t.merge = Some(MergeModel {
+                bytes_per_instance: total_bytes * w * 0.05,
+                rate: CLICKLOG_MERGE_RATE,
+            });
+            this_iter.push(app.push(t));
+        }
+        prev_iter = this_iter;
+    }
+    app
+}
+
+/// Aggregate storage bandwidth with `nodes` storage nodes and batch
+/// factor `b` — the §5.2 "Throughput and Storage Utilization" experiment
+/// (330 MB/s at 1 node scaling to ~10.5 GB/s at 32).
+pub fn storage_scaling_bandwidth(disk_bw: f64, nodes: u32, b: u32) -> f64 {
+    disk_bw * nodes as f64 * hurricane_storage::batch::utilization(b, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_common::units::GB;
+
+    #[test]
+    fn clicklog_dag_shape() {
+        let w = RegionWeights::uniform(32);
+        let app = clicklog_app(32.0 * GB as f64, &w);
+        // 1 phase-1 + 32 phase-2 + 32 phase-3.
+        assert_eq!(app.tasks.len(), 65);
+        assert!(app.tasks[0].merge.is_none(), "phase1 merges by concat");
+        assert!(app.tasks[1].merge.is_some(), "phase2 needs the OR merge");
+        assert!(!app.tasks[2].clonable, "phase3 is too small to clone");
+        // Phase-2 inputs sum to the full input.
+        let p2_sum: f64 = app
+            .tasks
+            .iter()
+            .filter(|t| t.phase == "phase2")
+            .map(|t| t.input_bytes)
+            .sum();
+        assert!((p2_sum - 32.0 * GB as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn skewed_clicklog_has_heavy_region() {
+        let w = RegionWeights::paper_ladder(32, 1.0);
+        let app = clicklog_app(32.0 * GB as f64, &w);
+        let p2: Vec<f64> = app
+            .tasks
+            .iter()
+            .filter(|t| t.phase == "phase2")
+            .map(|t| t.input_bytes)
+            .collect();
+        let max = p2.iter().cloned().fold(0.0, f64::max);
+        let min = p2.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max / min - 64.0).abs() < 1.0, "imbalance {}", max / min);
+    }
+
+    #[test]
+    fn partitioned_clicklog_subdivides() {
+        let w = RegionWeights::paper_ladder(32, 1.0);
+        let app = clicklog_app_partitioned(32.0 * GB as f64, &w, 128);
+        let p2 = app.tasks.iter().filter(|t| t.phase == "phase2").count();
+        assert_eq!(p2, 128);
+    }
+
+    #[test]
+    fn hashjoin_scales_hot_partitions() {
+        let w = RegionWeights::paper_ladder(32, 1.0);
+        let app = hashjoin_app(3.2 * GB as f64, 32.0 * GB as f64, &w);
+        let probes: Vec<f64> = app
+            .tasks
+            .iter()
+            .filter(|t| t.phase == "probe")
+            .map(|t| t.input_bytes)
+            .collect();
+        assert_eq!(probes.len(), 32);
+        let max = probes.iter().cloned().fold(0.0, f64::max);
+        let min = probes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 5.0, "hot partitions must be heavier");
+    }
+
+    #[test]
+    fn pagerank_iterations_are_chained() {
+        let app = pagerank_app(20, 5, 32);
+        assert_eq!(app.tasks.len(), 5 * 32);
+        // Iteration 1 tasks depend on all iteration 0 tasks.
+        let t = &app.tasks[32];
+        assert_eq!(t.deps.len(), 32);
+        assert!(t.name.starts_with("iter1"));
+    }
+
+    #[test]
+    fn storage_scaling_matches_paper_endpoints() {
+        let one = storage_scaling_bandwidth(330e6, 1, 10);
+        let thirty_two = storage_scaling_bandwidth(330e6, 32, 10);
+        assert!((one - 330e6).abs() < 1e6, "single node = single disk");
+        let speedup = thirty_two / one;
+        assert!(
+            speedup > 31.0 && speedup <= 32.0,
+            "paper reports 31.9x for 32 nodes, got {speedup:.1}x"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Simulation specifications: the cluster, the application, the knobs.
+//!
+//! The simulator reproduces the paper's testbed (§5): 32 machines with
+//! 16 cores, 128 GB RAM, RAID-0 at ~330 MB/s, 40 GigE full bisection.
+//! [`ClusterSpec::paper`] encodes exactly those numbers. Applications are
+//! DAGs of [`SimTask`]s with byte volumes and processing rates; the engine
+//! executes the same cloning heuristic and batch-sampling utilization
+//! model as the real runtime, over simulated time.
+
+use hurricane_common::units::{GB, MB};
+
+/// Where a task's data lives (the Figure 7/8 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlacement {
+    /// Chunks spread uniformly across all storage nodes (Hurricane's
+    /// default): aggregate bandwidth scales with the cluster.
+    Spread,
+    /// All of a task's data on a single node: that node's disk is the
+    /// ceiling no matter how many workers read it.
+    Local,
+}
+
+/// The simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of machines (compute and storage are co-located, as in the
+    /// paper's evaluation).
+    pub machines: usize,
+    /// Worker slots per machine. The paper's evaluation effectively runs
+    /// one (multi-threaded) worker per machine per task; 1 reproduces the
+    /// published worker counts (e.g. "26 clones in the 1st region").
+    pub slots_per_machine: usize,
+    /// Per-machine disk bandwidth, bytes/s (paper: ~330 MB/s RAID-0).
+    pub disk_bw: f64,
+    /// Per-machine NIC bandwidth, bytes/s (40 GigE = 5 GB/s); an endpoint
+    /// cap on any single worker's remote I/O.
+    pub net_bw: f64,
+    /// Per-machine memory, bytes (128 GB). Inputs that fit in aggregate
+    /// page cache are served at memory speed, reproducing Table 1's
+    /// memory-vs-disk regimes.
+    pub mem_per_machine: u64,
+    /// Effective per-machine memory bandwidth for cached data, bytes/s.
+    pub mem_bw: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's 32-machine testbed.
+    pub fn paper() -> Self {
+        Self {
+            machines: 32,
+            slots_per_machine: 1,
+            disk_bw: 330.0 * MB as f64,
+            net_bw: 5.0 * GB as f64,
+            mem_per_machine: 128 * GB,
+            mem_bw: 8.0 * GB as f64,
+        }
+    }
+
+    /// The paper's testbed scaled to `m` machines (Figures 7/8 use 8).
+    pub fn paper_scaled(m: usize) -> Self {
+        Self {
+            machines: m,
+            ..Self::paper()
+        }
+    }
+
+    /// Total worker slots.
+    pub fn total_slots(&self) -> usize {
+        self.machines * self.slots_per_machine
+    }
+}
+
+/// The merge cost model for a clonable task that declares a merge.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeModel {
+    /// Bytes of partial output produced per instance (this is what the
+    /// merge must read per clone).
+    pub bytes_per_instance: f64,
+    /// Merge processing rate, bytes/s (single worker).
+    pub rate: f64,
+}
+
+/// One task in a simulated application.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Display name (also used for per-phase grouping, e.g. "phase1").
+    pub name: String,
+    /// Phase label for reporting (Figure 6's per-phase breakdown).
+    pub phase: String,
+    /// Indices of tasks that must complete (including their merges)
+    /// before this task starts.
+    pub deps: Vec<usize>,
+    /// Input volume in bytes.
+    pub input_bytes: f64,
+    /// Per-worker processing rate when CPU-bound, bytes of input per
+    /// second (the paper's workers are multi-threaded; this is the
+    /// whole-worker rate).
+    pub cpu_rate: f64,
+    /// Bytes read from storage per input byte (usually 1.0).
+    pub read_factor: f64,
+    /// Bytes written to storage per input byte.
+    pub write_factor: f64,
+    /// Whether the runtime may clone this task.
+    pub clonable: bool,
+    /// Merge cost when the task ends with more than one instance.
+    pub merge: Option<MergeModel>,
+    /// Data placement for this task's input.
+    pub placement: DataPlacement,
+}
+
+impl SimTask {
+    /// Convenience constructor with spread placement and no merge.
+    pub fn new(name: impl Into<String>, phase: impl Into<String>, input_bytes: f64) -> Self {
+        Self {
+            name: name.into(),
+            phase: phase.into(),
+            deps: Vec::new(),
+            input_bytes,
+            cpu_rate: 400.0 * MB as f64,
+            read_factor: 1.0,
+            write_factor: 1.0,
+            clonable: true,
+            merge: None,
+            placement: DataPlacement::Spread,
+        }
+    }
+}
+
+/// A simulated application: a DAG of tasks.
+#[derive(Debug, Clone, Default)]
+pub struct SimApp {
+    /// The tasks, referenced by index in `deps`.
+    pub tasks: Vec<SimTask>,
+    /// Total input bytes (for throughput normalization / memory check).
+    pub input_bytes: f64,
+}
+
+impl SimApp {
+    /// Adds a task, returning its index.
+    pub fn push(&mut self, task: SimTask) -> usize {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+}
+
+/// A compute-node crash injected at a point in simulated time (Fig. 11).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashEvent {
+    /// When the node fails, seconds.
+    pub at: f64,
+    /// Which machine fails.
+    pub node: usize,
+    /// When the node comes back as an idle node (never, if `None`).
+    pub back_at: Option<f64>,
+}
+
+/// An application-master crash (recovery pauses scheduling briefly).
+#[derive(Debug, Clone, Copy)]
+pub struct MasterCrashEvent {
+    /// When the master fails, seconds.
+    pub at: f64,
+    /// Recovery duration (paper: "less than 1 second").
+    pub recovery_secs: f64,
+}
+
+/// Desynchronized storage-node GC pauses (paper §5.1: the 100 GB/machine
+/// runs lose ~half their overhead to "desynchronized garbage collection
+/// pauses at storage nodes, which prevents the system from achieving peak
+/// I/O throughput").
+#[derive(Debug, Clone, Copy)]
+pub struct GcModel {
+    /// Fraction of peak storage throughput lost to pauses (0..1).
+    pub throughput_loss: f64,
+    /// Apply only when the working set exceeds aggregate memory.
+    pub only_when_spilling: bool,
+}
+
+/// Hurricane-engine knobs (the design-evaluation axes of §5.2).
+#[derive(Debug, Clone)]
+pub struct HurricaneOpts {
+    /// Enable task cloning (off = the paper's HurricaneNC).
+    pub cloning: bool,
+    /// Batch-sampling factor `b` (Figure 10 sweeps 1..32).
+    pub batch_factor: u32,
+    /// Seconds between clone decisions (paper: 2 s).
+    pub clone_interval: f64,
+    /// Fixed application startup cost, seconds (JVM spin-up, task-manager
+    /// setup; calibrated against Table 1's smallest input).
+    pub startup_secs: f64,
+    /// Per-scheduled-task latency, seconds.
+    pub schedule_latency: f64,
+    /// Maximum instances per task (`None` = number of machines).
+    pub max_instances: Option<usize>,
+    /// Crash injections.
+    pub crashes: Vec<CrashEvent>,
+    /// Master crash injections.
+    pub master_crashes: Vec<MasterCrashEvent>,
+    /// GC pause model.
+    pub gc: Option<GcModel>,
+}
+
+impl Default for HurricaneOpts {
+    fn default() -> Self {
+        Self {
+            cloning: true,
+            batch_factor: 10,
+            clone_interval: 2.0,
+            startup_secs: 4.0,
+            schedule_latency: 0.05,
+            max_instances: None,
+            crashes: Vec::new(),
+            master_crashes: Vec::new(),
+            gc: None,
+        }
+    }
+}
+
+impl HurricaneOpts {
+    /// The HurricaneNC configuration (no cloning).
+    pub fn no_cloning() -> Self {
+        Self {
+            cloning: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_testbed() {
+        let c = ClusterSpec::paper();
+        assert_eq!(c.machines, 32);
+        assert_eq!(c.total_slots(), 32);
+        assert!((c.disk_bw - 330e6).abs() < 1e6);
+        assert_eq!(c.mem_per_machine, 128 * GB);
+    }
+
+    #[test]
+    fn app_push_returns_indices() {
+        let mut app = SimApp::default();
+        let a = app.push(SimTask::new("a", "phase1", 100.0));
+        let mut b_task = SimTask::new("b", "phase2", 50.0);
+        b_task.deps.push(a);
+        let b = app.push(b_task);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(app.tasks[b].deps, vec![0]);
+    }
+
+    #[test]
+    fn default_opts_match_paper_knobs() {
+        let o = HurricaneOpts::default();
+        assert!(o.cloning);
+        assert_eq!(o.batch_factor, 10);
+        assert!((o.clone_interval - 2.0).abs() < 1e-12);
+        assert!(!HurricaneOpts::no_cloning().cloning);
+    }
+}

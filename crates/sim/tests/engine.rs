@@ -1,0 +1,218 @@
+//! Engine-level tests of the cluster simulator: the cloning ramp, merge
+//! accounting, placement effects, and dependency ordering.
+
+use hurricane_common::units::GB;
+use hurricane_sim::apps::{clicklog_app, clicklog_app_with};
+use hurricane_sim::engine::simulate;
+use hurricane_sim::spec::{
+    ClusterSpec, DataPlacement, GcModel, HurricaneOpts, MergeModel, SimApp, SimTask,
+};
+use hurricane_workloads::RegionWeights;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::paper()
+}
+
+#[test]
+fn single_task_ramps_to_full_cluster() {
+    // A large CPU-bound merge-less task must clone until every machine
+    // runs an instance (paper §3.2: "until it either runs on every
+    // compute node...").
+    let mut app = SimApp::default();
+    app.input_bytes = 64.0 * GB as f64;
+    app.push(SimTask::new("big", "p", 64.0 * GB as f64));
+    let r = simulate(&app, &cluster(), &HurricaneOpts::default());
+    assert_eq!(r.peak_task_instances, 32, "should reach one per machine");
+    assert_eq!(r.total_clones, 31);
+}
+
+#[test]
+fn clone_ramp_doubles_per_tick() {
+    // With a 2-second interval, instances roughly double per tick, so a
+    // shorter interval must finish the ramp (and the task) sooner.
+    let mut app = SimApp::default();
+    app.input_bytes = 64.0 * GB as f64;
+    app.push(SimTask::new("big", "p", 64.0 * GB as f64));
+    let slow = simulate(
+        &app,
+        &cluster(),
+        &HurricaneOpts {
+            clone_interval: 4.0,
+            ..HurricaneOpts::default()
+        },
+    );
+    let fast = simulate(
+        &app,
+        &cluster(),
+        &HurricaneOpts {
+            clone_interval: 0.5,
+            ..HurricaneOpts::default()
+        },
+    );
+    assert!(
+        fast.total_secs < slow.total_secs,
+        "fast ramp {:.1}s vs slow ramp {:.1}s",
+        fast.total_secs,
+        slow.total_secs
+    );
+}
+
+#[test]
+fn merge_cost_is_paid_only_when_cloned() {
+    let mk = |clonable: bool, merge_bytes: f64| {
+        let mut app = SimApp::default();
+        app.input_bytes = 32.0 * GB as f64;
+        let mut t = SimTask::new("t", "p", 32.0 * GB as f64);
+        t.clonable = clonable;
+        t.merge = Some(MergeModel {
+            bytes_per_instance: merge_bytes,
+            rate: 1e9,
+        });
+        app.push(t);
+        app
+    };
+    let merge_bytes = 0.25 * GB as f64;
+    // Uncloned: no merge runs (a single partial is the output).
+    let solo = simulate(&mk(false, merge_bytes), &cluster(), &HurricaneOpts::default());
+    // Cloned: the merge adds a visible per-instance tail...
+    let cloned = simulate(&mk(true, merge_bytes), &cluster(), &HurricaneOpts::default());
+    assert!(cloned.total_clones > 0);
+    // ...but parallelism still wins overall.
+    assert!(cloned.total_secs < solo.total_secs);
+    // And the tail really is the merge: shrinking it shortens the run.
+    let cheap = simulate(&mk(true, merge_bytes / 100.0), &cluster(), &HurricaneOpts::default());
+    assert!(cheap.total_secs < cloned.total_secs);
+}
+
+#[test]
+fn dependencies_serialize_phases() {
+    let mut app = SimApp::default();
+    app.input_bytes = 8.0 * GB as f64;
+    let a = app.push(SimTask::new("a", "p1", 4.0 * GB as f64));
+    let mut b = SimTask::new("b", "p2", 4.0 * GB as f64);
+    b.deps = vec![a];
+    app.push(b);
+    let r = simulate(&app, &cluster(), &HurricaneOpts::default());
+    // Serial execution: total ≥ sum of the two tasks run alone.
+    let solo_total: f64 = 2.0 * {
+        let mut solo = SimApp::default();
+        solo.input_bytes = 4.0 * GB as f64;
+        solo.push(SimTask::new("x", "p", 4.0 * GB as f64));
+        simulate(&solo, &cluster(), &HurricaneOpts::default()).total_secs
+            - HurricaneOpts::default().startup_secs
+    };
+    assert!(
+        r.total_secs + 1e-9 >= solo_total * 0.9,
+        "dependent tasks must not overlap: {:.1}s vs {:.1}s serial",
+        r.total_secs,
+        solo_total
+    );
+    assert!(r.phase_secs.contains_key("p1") && r.phase_secs.contains_key("p2"));
+}
+
+#[test]
+fn spread_beats_local_under_skew() {
+    let w = RegionWeights::paper_ladder(32, 1.0);
+    let c8 = ClusterSpec::paper_scaled(8);
+    let spread = simulate(
+        &clicklog_app_with(80.0 * GB as f64, &w, DataPlacement::Spread, true),
+        &c8,
+        &HurricaneOpts::default(),
+    );
+    let local = simulate(
+        &clicklog_app_with(80.0 * GB as f64, &w, DataPlacement::Local, true),
+        &c8,
+        &HurricaneOpts::default(),
+    );
+    assert!(
+        spread.total_secs < local.total_secs * 0.6,
+        "spreading must dominate: spread {:.0}s local {:.0}s",
+        spread.total_secs,
+        local.total_secs
+    );
+}
+
+#[test]
+fn gc_model_slows_spilling_runs_only() {
+    let w = RegionWeights::uniform(32);
+    let gc = HurricaneOpts {
+        gc: Some(GcModel {
+            throughput_loss: 0.4,
+            only_when_spilling: true,
+        }),
+        ..HurricaneOpts::default()
+    };
+    // 32 GB fits memory: GC model must not fire.
+    let small_plain = simulate(&clicklog_app(32.0 * GB as f64, &w), &cluster(), &HurricaneOpts::default());
+    let small_gc = simulate(&clicklog_app(32.0 * GB as f64, &w), &cluster(), &gc);
+    assert!((small_plain.total_secs - small_gc.total_secs).abs() < 1e-6);
+    // 3.2 TB spills: GC must slow it.
+    let big_plain = simulate(&clicklog_app(3200.0 * GB as f64, &w), &cluster(), &HurricaneOpts::default());
+    let big_gc = simulate(&clicklog_app(3200.0 * GB as f64, &w), &cluster(), &gc);
+    assert!(big_gc.total_secs > big_plain.total_secs * 1.2);
+}
+
+#[test]
+fn master_outage_delays_scheduling_only() {
+    use hurricane_sim::spec::MasterCrashEvent;
+    let w = RegionWeights::uniform(32);
+    let app = clicklog_app(64.0 * GB as f64, &w);
+    let plain = simulate(&app, &cluster(), &HurricaneOpts::default());
+    // A master outage while tasks are running barely matters (paper
+    // §4.4: compute nodes proceed independently).
+    let opts = HurricaneOpts {
+        master_crashes: vec![MasterCrashEvent {
+            at: 8.0,
+            recovery_secs: 1.0,
+        }],
+        ..HurricaneOpts::default()
+    };
+    let crashed = simulate(&app, &cluster(), &opts);
+    assert!(crashed.total_secs <= plain.total_secs + 3.0);
+}
+
+#[test]
+fn dead_cluster_times_out_instead_of_hanging() {
+    use hurricane_sim::spec::CrashEvent;
+    let mut app = SimApp::default();
+    app.input_bytes = 320.0 * GB as f64;
+    app.push(SimTask::new("t", "p", 320.0 * GB as f64));
+    let crashes = (0..32)
+        .map(|n| CrashEvent {
+            at: 10.0,
+            node: n,
+            back_at: None,
+        })
+        .collect();
+    let r = simulate(
+        &app,
+        &cluster(),
+        &HurricaneOpts {
+            crashes,
+            ..HurricaneOpts::default()
+        },
+    );
+    assert!(r.timed_out, "an unschedulable app must report a timeout");
+}
+
+#[test]
+fn batch_factor_one_loses_a_third() {
+    // The Figure 10 headline as an engine property: disk-bound phase 1
+    // at b=1 runs ≈1/ρ(1,32) ≈ 1.58x slower than b=10.
+    let w = RegionWeights::uniform(32);
+    let app = clicklog_app(320.0 * GB as f64, &w);
+    let b1 = simulate(
+        &app,
+        &cluster(),
+        &HurricaneOpts {
+            batch_factor: 1,
+            ..HurricaneOpts::default()
+        },
+    );
+    let b10 = simulate(&app, &cluster(), &HurricaneOpts::default());
+    let ratio = b1.total_secs / b10.total_secs;
+    assert!(
+        (1.3..1.7).contains(&ratio),
+        "expected ~1.5x penalty at b=1, got {ratio:.2}x"
+    );
+}

@@ -1,0 +1,336 @@
+//! `BagClient` — the per-worker handle to one bag.
+//!
+//! A bag client combines the cluster connection with two private
+//! pseudorandom cyclic placements (one for inserts, one for removes,
+//! paper §3.3). Multiple clients on the same bag interleave freely: the
+//! per-node read pointers give exactly-once chunk delivery, which is the
+//! property task clones rely on to partition work dynamically (late
+//! binding of chunks to workers, paper §2.2).
+
+use crate::cluster::StorageCluster;
+use crate::error::StorageError;
+use crate::node::{BagSample, NodeRemove};
+use crate::placement::CyclicPlacement;
+use hurricane_common::{BagId, DetRng};
+use hurricane_format::Chunk;
+use std::sync::Arc;
+
+/// Outcome of a bag-level remove attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoveResult {
+    /// A chunk was removed; the caller now owns its processing.
+    Chunk(Chunk),
+    /// No chunk is available right now, but the bag is not sealed — more
+    /// data may still be inserted. Callers typically back off and retry.
+    Pending,
+    /// The bag is sealed and fully drained: the worker can terminate
+    /// (paper §2.2: "The remove operation fails when a bag is empty,
+    /// allowing a worker to terminate").
+    Drained,
+}
+
+/// A client handle for inserting into / removing from one bag.
+pub struct BagClient {
+    cluster: Arc<StorageCluster>,
+    bag: BagId,
+    insert_cursor: CyclicPlacement,
+    remove_cursor: CyclicPlacement,
+    rng: DetRng,
+}
+
+impl BagClient {
+    /// Creates a client for `bag`. Each client should use a distinct
+    /// `seed` so that placement cycles decorrelate across workers.
+    pub fn new(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let m = cluster.num_nodes();
+        Self {
+            insert_cursor: CyclicPlacement::new(m, &mut rng),
+            remove_cursor: CyclicPlacement::new(m, &mut rng),
+            cluster,
+            bag,
+            rng,
+        }
+    }
+
+    /// The bag this client addresses.
+    pub fn bag_id(&self) -> BagId {
+        self.bag
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<StorageCluster> {
+        &self.cluster
+    }
+
+    /// Picks up storage nodes added since this client was created
+    /// (paper §3.4: the master informs compute nodes about new nodes).
+    pub fn refresh_membership(&mut self) {
+        let m = self.cluster.num_nodes();
+        if m > self.insert_cursor.len() {
+            self.insert_cursor.grow(m, &mut self.rng);
+        }
+        if m > self.remove_cursor.len() {
+            self.remove_cursor.grow(m, &mut self.rng);
+        }
+    }
+
+    /// Inserts `chunk`, targeting the next storage node in this client's
+    /// pseudorandom cyclic order. If that node refuses (down / draining),
+    /// the next nodes in the cycle are tried — data placement has no
+    /// locality to preserve, so any node is as good as any other.
+    pub fn insert(&mut self, chunk: Chunk) -> Result<(), StorageError> {
+        let m = self.insert_cursor.len();
+        let mut last_err = None;
+        for _ in 0..m {
+            let target = self.insert_cursor.next_node();
+            match self.cluster.insert(target, self.bag, chunk.clone()) {
+                Ok(()) => return Ok(()),
+                Err(
+                    e @ (StorageError::NodeDown(_)
+                    | StorageError::NodeDraining(_)
+                    | StorageError::AllReplicasDown(_)),
+                ) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(StorageError::AllReplicasDown(self.bag)))
+    }
+
+    /// Attempts to remove one chunk, probing storage nodes in cyclic order.
+    ///
+    /// Probes up to one full cycle. Near bag emptiness this needs more
+    /// probing (paper §3.3); the prefetcher amortizes that cost with its
+    /// `b` outstanding requests.
+    pub fn try_remove(&mut self) -> Result<RemoveResult, StorageError> {
+        let m = self.remove_cursor.len();
+        let mut saw_pending = false;
+        let mut down = 0usize;
+        for _ in 0..m {
+            let target = self.remove_cursor.next_node();
+            match self.cluster.remove(target, self.bag) {
+                Ok(NodeRemove::Chunk(c)) => return Ok(RemoveResult::Chunk(c)),
+                Ok(NodeRemove::Empty) => saw_pending = true,
+                Ok(NodeRemove::Eof) => {}
+                Err(StorageError::NodeDown(_) | StorageError::AllReplicasDown(_)) => {
+                    down += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if down == m {
+            return Err(StorageError::AllReplicasDown(self.bag));
+        }
+        if saw_pending || !self.cluster.is_sealed(self.bag)? {
+            Ok(RemoveResult::Pending)
+        } else {
+            Ok(RemoveResult::Drained)
+        }
+    }
+
+    /// Removes one chunk, spinning (with exponential backoff capped at
+    /// 1 ms) while the bag is `Pending`. Returns `None` once drained.
+    pub fn remove_blocking(&mut self) -> Result<Option<Chunk>, StorageError> {
+        let mut backoff_us = 10u64;
+        loop {
+            match self.try_remove()? {
+                RemoveResult::Chunk(c) => return Ok(Some(c)),
+                RemoveResult::Drained => return Ok(None),
+                RemoveResult::Pending => {
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(1000);
+                }
+            }
+        }
+    }
+
+    /// Samples the bag's cluster-wide state (for progress estimation).
+    pub fn sample(&self) -> Result<BagSample, StorageError> {
+        self.cluster.sample_bag(self.bag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use std::collections::HashSet;
+
+    fn chunk(v: u64) -> Chunk {
+        Chunk::from_vec(v.to_le_bytes().to_vec())
+    }
+
+    fn chunk_val(c: &Chunk) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c.bytes());
+        u64::from_le_bytes(b)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_single_client() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 1);
+        for i in 0..100 {
+            client.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let mut got = HashSet::new();
+        while let RemoveResult::Chunk(c) = client.try_remove().unwrap() {
+            got.insert(chunk_val(&c));
+        }
+        assert_eq!(got.len(), 100);
+        assert_eq!(client.try_remove().unwrap(), RemoveResult::Drained);
+    }
+
+    #[test]
+    fn inserts_spread_across_nodes() {
+        let cluster = StorageCluster::new(8, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 2);
+        for i in 0..800 {
+            client.insert(chunk(i)).unwrap();
+        }
+        for idx in 0..8 {
+            let s = cluster.node(idx).sample(bag).unwrap();
+            assert_eq!(
+                s.total_chunks, 100,
+                "cyclic placement must balance perfectly per cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn two_clients_share_exactly_once() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 3);
+        for i in 0..200 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let mut a = BagClient::new(cluster.clone(), bag, 4);
+        let mut b = BagClient::new(cluster.clone(), bag, 5);
+        let mut got = Vec::new();
+        loop {
+            let mut progressed = false;
+            if let RemoveResult::Chunk(c) = a.try_remove().unwrap() {
+                got.push(chunk_val(&c));
+                progressed = true;
+            }
+            if let RemoveResult::Chunk(c) = b.try_remove().unwrap() {
+                got.push(chunk_val(&c));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..200).collect();
+        assert_eq!(got, expected, "every chunk exactly once across clients");
+    }
+
+    #[test]
+    fn pending_until_sealed() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 6);
+        assert_eq!(client.try_remove().unwrap(), RemoveResult::Pending);
+        cluster.seal_bag(bag).unwrap();
+        assert_eq!(client.try_remove().unwrap(), RemoveResult::Drained);
+    }
+
+    #[test]
+    fn insert_skips_down_node() {
+        let cluster = StorageCluster::new(3, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.node(1).fail();
+        let mut client = BagClient::new(cluster.clone(), bag, 7);
+        for i in 0..30 {
+            client.insert(chunk(i)).unwrap();
+        }
+        let total: u64 = [0, 2]
+            .iter()
+            .map(|&i| cluster.node(i).sample(bag).unwrap().total_chunks)
+            .sum();
+        assert_eq!(total, 30, "all chunks must land on live nodes");
+    }
+
+    #[test]
+    fn remove_tolerates_down_node_without_replication_until_needed() {
+        let cluster = StorageCluster::new(3, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 8);
+        for i in 0..30 {
+            client.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        cluster.node(1).fail();
+        // Chunks on live nodes are still retrievable; the client keeps
+        // probing past the dead node.
+        let mut count = 0;
+        for _ in 0..100 {
+            match client.try_remove().unwrap() {
+                RemoveResult::Chunk(_) => count += 1,
+                _ => break,
+            }
+        }
+        assert_eq!(count, 20, "two thirds of the chunks live on healthy nodes");
+    }
+
+    #[test]
+    fn all_nodes_down_is_error() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 9);
+        client.insert(chunk(1)).unwrap();
+        cluster.node(0).fail();
+        cluster.node(1).fail();
+        assert!(matches!(
+            client.try_remove(),
+            Err(StorageError::AllReplicasDown(_))
+        ));
+        assert!(matches!(
+            client.insert(chunk(2)),
+            Err(StorageError::NodeDown(_) | StorageError::AllReplicasDown(_))
+        ));
+    }
+
+    #[test]
+    fn membership_refresh_reaches_new_node() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 10);
+        cluster.add_node();
+        client.refresh_membership();
+        for i in 0..30 {
+            client.insert(chunk(i)).unwrap();
+        }
+        assert!(
+            cluster.node(2).sample(bag).unwrap().total_chunks >= 9,
+            "new node should receive its cyclic share"
+        );
+    }
+
+    #[test]
+    fn remove_blocking_sees_concurrent_producer() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let cluster2 = cluster.clone();
+        let producer = std::thread::spawn(move || {
+            let mut p = BagClient::new(cluster2.clone(), bag, 11);
+            for i in 0..50 {
+                p.insert(chunk(i)).unwrap();
+            }
+            cluster2.seal_bag(bag).unwrap();
+        });
+        let mut consumer = BagClient::new(cluster.clone(), bag, 12);
+        let mut n = 0;
+        while let Some(_c) = consumer.remove_blocking().unwrap() {
+            n += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(n, 50);
+    }
+}

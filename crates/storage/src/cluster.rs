@@ -1,0 +1,561 @@
+//! The storage cluster: node membership, bag lifecycle, replication.
+//!
+//! The cluster object is what compute nodes are configured with (paper §3:
+//! "each compute node ... is configured so that it knows the list of
+//! storage nodes"). It owns bag metadata — the authoritative sealed flag —
+//! and implements primary–backup replication (paper §4.4): with a
+//! replication factor of `n + 1`, each chunk written to primary node `i`
+//! is also written to the next `n` nodes in ring order, and removes mirror
+//! the primary's pointer advance onto the backups so a failover resumes
+//! from (approximately) the primary's position.
+//!
+//! A design note on failover atomicity: mirroring the pointer to backups is
+//! a second message, not a distributed transaction. If the primary dies
+//! between serving a remove and the mirror landing, the backup re-serves
+//! one chunk. The paper's system has the same window; its applications
+//! tolerate it because compute-node recovery rewinds and restarts tasks
+//! whose workers crashed mid-flight.
+
+use crate::error::StorageError;
+use crate::node::{BagSample, NodeRemove, StorageNode};
+use hurricane_common::{BagId, StorageNodeId};
+use hurricane_format::Chunk;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Total copies of each chunk (1 = no replication). Paper §4.4: "an
+    /// application can tolerate n storage node failures by using n + 1
+    /// replication"; the evaluation runs with replication disabled unless
+    /// stated, so the default is 1.
+    pub replication: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { replication: 1 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BagMeta {
+    sealed: bool,
+    collected: bool,
+}
+
+/// The set of storage nodes plus bag metadata.
+pub struct StorageCluster {
+    nodes: RwLock<Vec<Arc<StorageNode>>>,
+    config: ClusterConfig,
+    bags: Mutex<HashMap<BagId, BagMeta>>,
+    next_bag: AtomicU64,
+}
+
+impl StorageCluster {
+    /// Creates a cluster of `m` healthy storage nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or if the replication factor exceeds `m`.
+    pub fn new(m: usize, config: ClusterConfig) -> Arc<Self> {
+        assert!(m > 0, "a cluster needs at least one storage node");
+        assert!(
+            config.replication >= 1 && config.replication <= m,
+            "replication factor must be in 1..=m"
+        );
+        let nodes = (0..m)
+            .map(|i| Arc::new(StorageNode::new(StorageNodeId(i as u32))))
+            .collect();
+        Arc::new(Self {
+            nodes: RwLock::new(nodes),
+            config,
+            bags: Mutex::new(HashMap::new()),
+            next_bag: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of storage nodes (including down / draining ones).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Returns a handle to node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> Arc<StorageNode> {
+        self.nodes.read()[i].clone()
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.config.replication
+    }
+
+    /// Adds a storage node (paper §3.4). Returns its index. Existing bag
+    /// clients keep their old cycle until they call
+    /// `BagClient::refresh_membership`; new clients see the new node
+    /// immediately.
+    pub fn add_node(&self) -> usize {
+        let mut nodes = self.nodes.write();
+        let id = StorageNodeId(nodes.len() as u32);
+        nodes.push(Arc::new(StorageNode::new(id)));
+        nodes.len() - 1
+    }
+
+    /// Starts draining node `i`: it stops accepting inserts but still
+    /// serves removes; it can be decommissioned once `is_drained` reports
+    /// true (paper §3.4).
+    pub fn drain_node(&self, i: usize) {
+        self.nodes.read()[i].start_draining();
+    }
+
+    /// Allocates a fresh bag id. Bags are created lazily at nodes on first
+    /// touch; the cluster records the authoritative metadata.
+    pub fn create_bag(&self) -> BagId {
+        let id = BagId(self.next_bag.fetch_add(1, Ordering::Relaxed));
+        self.bags.lock().insert(id, BagMeta::default());
+        id
+    }
+
+    fn check_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        let bags = self.bags.lock();
+        match bags.get(&bag) {
+            None => Err(StorageError::UnknownBag(bag)),
+            Some(m) if m.collected => Err(StorageError::BagCollected(bag)),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Returns whether `bag` is sealed (the cluster-level flag is the
+    /// authority; per-node flags only reject late inserts).
+    pub fn is_sealed(&self, bag: BagId) -> Result<bool, StorageError> {
+        let bags = self.bags.lock();
+        bags.get(&bag)
+            .map(|m| m.sealed)
+            .ok_or(StorageError::UnknownBag(bag))
+    }
+
+    /// Seals `bag` cluster-wide: no more inserts anywhere. Down nodes are
+    /// skipped (they reject inserts anyway while down, and the cluster
+    /// flag governs end-of-bag detection).
+    pub fn seal_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        {
+            let mut bags = self.bags.lock();
+            bags.get_mut(&bag).ok_or(StorageError::UnknownBag(bag))?.sealed = true;
+        }
+        for node in self.nodes.read().iter() {
+            let _ = node.seal(bag);
+        }
+        Ok(())
+    }
+
+    /// Re-opens `bag` for another full read (paper §4.3 "reusing the
+    /// contents of a bag"): rewinds the read pointer at every node. The
+    /// sealed flag is retained, so readers still observe end-of-bag.
+    pub fn rewind_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        for node in self.nodes.read().iter() {
+            match node.rewind(bag) {
+                Ok(()) | Err(StorageError::NodeDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all contents of `bag` and reopens it for inserts — used to
+    /// clear partial outputs when restarting failed tasks (paper §4.4).
+    pub fn discard_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        {
+            let mut bags = self.bags.lock();
+            bags.get_mut(&bag).ok_or(StorageError::UnknownBag(bag))?.sealed = false;
+        }
+        for node in self.nodes.read().iter() {
+            match node.discard(bag) {
+                Ok(()) | Err(StorageError::NodeDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Garbage-collects `bag` cluster-wide.
+    pub fn collect_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        {
+            let mut bags = self.bags.lock();
+            bags.get_mut(&bag)
+                .ok_or(StorageError::UnknownBag(bag))?
+                .collected = true;
+        }
+        for node in self.nodes.read().iter() {
+            let _ = node.collect(bag);
+        }
+        Ok(())
+    }
+
+    /// Aggregated sample of `bag` across all reachable nodes — the master's
+    /// input for estimating remaining work (paper §4.2).
+    pub fn sample_bag(&self, bag: BagId) -> Result<BagSample, StorageError> {
+        self.check_bag(bag)?;
+        let mut agg = BagSample {
+            sealed: true,
+            ..BagSample::default()
+        };
+        for node in self.nodes.read().iter() {
+            match node.sample(bag) {
+                Ok(s) => agg.merge(&s),
+                Err(StorageError::NodeDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        agg.sealed = self.is_sealed(bag)?;
+        Ok(agg)
+    }
+
+    /// Replica node indices for a chunk whose primary is `primary`.
+    fn replicas(&self, primary: usize, m: usize) -> impl Iterator<Item = usize> {
+        let r = self.config.replication;
+        (0..r).map(move |k| (primary + k) % m)
+    }
+
+    /// Inserts `chunk` into `bag` at primary node `primary_idx`, writing
+    /// backups per the replication factor.
+    ///
+    /// Succeeds if the write lands on at least one replica; a fully
+    /// unreachable replica set is an error.
+    pub fn insert(
+        &self,
+        primary_idx: usize,
+        bag: BagId,
+        chunk: Chunk,
+    ) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        if self.is_sealed(bag)? {
+            return Err(StorageError::BagSealed(bag));
+        }
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let mut landed = 0usize;
+        let mut last_err = None;
+        for idx in self.replicas(primary_idx, m) {
+            match nodes[idx].insert_from(bag, chunk.clone(), (primary_idx % m) as u32) {
+                Ok(()) => landed += 1,
+                Err(e @ (StorageError::NodeDown(_) | StorageError::NodeDraining(_))) => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if landed > 0 {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or(StorageError::AllReplicasDown(bag)))
+        }
+    }
+
+    /// Removes the next chunk of `bag` whose primary is `primary_idx`.
+    ///
+    /// On primary failure the first reachable backup serves the request
+    /// (failover); successful removes are mirrored to the remaining live
+    /// replicas so their pointers track the serving node.
+    pub fn remove(&self, primary_idx: usize, bag: BagId) -> Result<NodeRemove, StorageError> {
+        self.check_bag(bag)?;
+        let sealed = self.is_sealed(bag)?;
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let replicas: Vec<usize> = self.replicas(primary_idx, m).collect();
+        let origin = (primary_idx % m) as u32;
+        let mut serving = None;
+        for &idx in &replicas {
+            match nodes[idx].remove_from(bag, origin) {
+                Ok(outcome) => {
+                    serving = Some((idx, outcome));
+                    break;
+                }
+                Err(StorageError::NodeDown(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((served_by, outcome)) = serving else {
+            return Err(StorageError::AllReplicasDown(bag));
+        };
+        if matches!(outcome, NodeRemove::Chunk(_)) {
+            for &idx in &replicas {
+                if idx != served_by {
+                    let _ = nodes[idx].mirror_remove(bag, origin);
+                }
+            }
+        }
+        // The cluster-level sealed flag decides Eof vs Empty: a node that
+        // missed the seal broadcast (e.g. it was down) must not make a
+        // drained bag look still-pending.
+        Ok(match outcome {
+            NodeRemove::Empty if sealed => NodeRemove::Eof,
+            NodeRemove::Eof if !sealed => NodeRemove::Empty,
+            other => other,
+        })
+    }
+
+    /// Non-destructive full scan of `bag` (replay of work bags). With
+    /// replication, chunks are deduplicated by reading each primary's log
+    /// only (backups hold copies of the same chunks under the same bag, so
+    /// a naive scan would double-count; primaries-only is exact when all
+    /// primaries are up, and falls back to backups for down primaries).
+    pub fn snapshot_bag(&self, bag: BagId) -> Result<Vec<Chunk>, StorageError> {
+        self.check_bag(bag)?;
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let mut out = Vec::new();
+        if self.config.replication == 1 {
+            for node in nodes.iter() {
+                match node.snapshot(bag) {
+                    Ok(chunks) => out.extend(chunks),
+                    Err(StorageError::NodeDown(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(out);
+        }
+        // Replicated: a chunk addressed to primary p also lives at
+        // p+1..p+r-1, tagged with origin p. Reconstruct one copy per chunk
+        // by reading each origin's log from the first live replica.
+        for p in 0..m {
+            let mut served = false;
+            for k in 0..self.config.replication {
+                let idx = (p + k) % m;
+                match nodes[idx].snapshot_from(bag, p as u32) {
+                    Ok(chunks) => {
+                        out.extend(chunks);
+                        served = true;
+                        break;
+                    }
+                    Err(StorageError::NodeDown(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            if !served {
+                return Err(StorageError::AllReplicasDown(bag));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(b: &[u8]) -> Chunk {
+        Chunk::from_vec(b.to_vec())
+    }
+
+    fn drain_all(cluster: &StorageCluster, bag: BagId) -> Vec<Chunk> {
+        let m = cluster.num_nodes();
+        let mut out = Vec::new();
+        for idx in 0..m {
+            loop {
+                match cluster.remove(idx, bag).unwrap() {
+                    NodeRemove::Chunk(c) => out.push(c),
+                    _ => break,
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn create_seal_remove_lifecycle() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        for i in 0..8u8 {
+            cluster.insert(i as usize % 4, bag, chunk(&[i])).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        assert!(cluster.is_sealed(bag).unwrap());
+        assert_eq!(
+            cluster.insert(0, bag, chunk(b"late")),
+            Err(StorageError::BagSealed(bag))
+        );
+        let got = drain_all(&cluster, bag);
+        assert_eq!(got.len(), 8);
+        // Fully drained + sealed => every node reports Eof.
+        for idx in 0..4 {
+            assert_eq!(cluster.remove(idx, bag).unwrap(), NodeRemove::Eof);
+        }
+    }
+
+    #[test]
+    fn unsealed_empty_reports_empty_not_eof() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Empty);
+    }
+
+    #[test]
+    fn unknown_bag_rejected() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        assert_eq!(
+            cluster.insert(0, BagId(99), chunk(b"x")),
+            Err(StorageError::UnknownBag(BagId(99)))
+        );
+    }
+
+    #[test]
+    fn sample_aggregates_across_nodes() {
+        let cluster = StorageCluster::new(3, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"aa")).unwrap();
+        cluster.insert(1, bag, chunk(b"bbb")).unwrap();
+        let s = cluster.sample_bag(bag).unwrap();
+        assert_eq!(s.total_chunks, 2);
+        assert_eq!(s.remaining_bytes, 5);
+        assert!(!s.sealed);
+        cluster.seal_bag(bag).unwrap();
+        assert!(cluster.sample_bag(bag).unwrap().sealed);
+    }
+
+    #[test]
+    fn replication_writes_backups() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        // Primary 0 and backup 1 both hold the chunk; backups store it
+        // under the primary's origin stream (samples count only the
+        // node's own stream, so cluster-wide sums stay exact).
+        assert_eq!(cluster.node(0).sample(bag).unwrap().total_chunks, 1);
+        assert_eq!(cluster.node(1).snapshot_from(bag, 0).unwrap().len(), 1);
+        assert_eq!(cluster.node(1).sample(bag).unwrap().total_chunks, 0);
+        assert!(cluster.node(2).snapshot_from(bag, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failover_serves_from_backup() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"a")).unwrap();
+        cluster.insert(0, bag, chunk(b"b")).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        // Remove one chunk normally: backup pointer mirrors.
+        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"a")));
+        // Kill the primary; the backup serves the remainder from the
+        // mirrored position.
+        cluster.node(0).fail();
+        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"b")));
+        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Eof);
+    }
+
+    #[test]
+    fn all_replicas_down_is_an_error() {
+        let cluster = StorageCluster::new(2, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"a")).unwrap();
+        cluster.node(0).fail();
+        cluster.node(1).fail();
+        assert_eq!(
+            cluster.remove(0, bag),
+            Err(StorageError::AllReplicasDown(bag))
+        );
+    }
+
+    #[test]
+    fn insert_survives_one_down_replica() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.node(0).fail();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        assert_eq!(cluster.node(1).snapshot_from(bag, 0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn discard_then_reuse() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        cluster.discard_bag(bag).unwrap();
+        assert!(!cluster.is_sealed(bag).unwrap());
+        cluster.insert(1, bag, chunk(b"y")).unwrap();
+        let s = cluster.sample_bag(bag).unwrap();
+        assert_eq!(s.total_chunks, 1);
+    }
+
+    #[test]
+    fn rewind_allows_second_pass() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        assert_eq!(drain_all(&cluster, bag).len(), 1);
+        cluster.rewind_bag(bag).unwrap();
+        assert!(cluster.is_sealed(bag).unwrap(), "rewind keeps the seal");
+        assert_eq!(drain_all(&cluster, bag).len(), 1);
+    }
+
+    #[test]
+    fn collect_blocks_access() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.collect_bag(bag).unwrap();
+        assert_eq!(
+            cluster.remove(0, bag),
+            Err(StorageError::BagCollected(bag))
+        );
+    }
+
+    #[test]
+    fn snapshot_without_replication_sees_everything() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        for i in 0..10u8 {
+            cluster.insert(i as usize % 4, bag, chunk(&[i])).unwrap();
+        }
+        drain_all(&cluster, bag);
+        assert_eq!(cluster.snapshot_bag(bag).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn snapshot_with_replication_dedups() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        for i in 0..6u8 {
+            cluster.insert(i as usize % 3, bag, chunk(&[i])).unwrap();
+        }
+        assert_eq!(cluster.snapshot_bag(bag).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn add_node_grows_cluster() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        assert_eq!(cluster.num_nodes(), 2);
+        let idx = cluster.add_node();
+        assert_eq!(idx, 2);
+        assert_eq!(cluster.num_nodes(), 3);
+        let bag = cluster.create_bag();
+        cluster.insert(2, bag, chunk(b"x")).unwrap();
+        assert_eq!(cluster.node(2).sample(bag).unwrap().total_chunks, 1);
+    }
+
+    #[test]
+    fn drain_node_rejects_inserts_but_serves() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.drain_node(0);
+        assert!(matches!(
+            cluster.insert(0, bag, chunk(b"y")),
+            Err(StorageError::NodeDraining(_))
+        ));
+        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"x")));
+        assert!(cluster.node(0).is_drained().unwrap());
+    }
+}

@@ -1,0 +1,71 @@
+//! Storage-layer error types.
+
+use core::fmt;
+use hurricane_common::{BagId, StorageNodeId};
+use hurricane_format::CodecError;
+
+/// Errors surfaced by storage nodes, the cluster, and bag clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The addressed storage node is down (crashed or unreachable).
+    NodeDown(StorageNodeId),
+    /// The addressed storage node is draining and rejects new inserts
+    /// (paper §3.4: a node being removed stops accepting inserts while
+    /// still serving removes).
+    NodeDraining(StorageNodeId),
+    /// The bag was sealed; no further inserts are allowed.
+    BagSealed(BagId),
+    /// The bag id is not registered with the cluster.
+    UnknownBag(BagId),
+    /// The bag was garbage-collected.
+    BagCollected(BagId),
+    /// Every replica of the addressed data is down.
+    AllReplicasDown(BagId),
+    /// A work-bag record failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NodeDown(n) => write!(f, "storage node {n} is down"),
+            StorageError::NodeDraining(n) => {
+                write!(f, "storage node {n} is draining and rejects inserts")
+            }
+            StorageError::BagSealed(b) => write!(f, "bag {b} is sealed against inserts"),
+            StorageError::UnknownBag(b) => write!(f, "bag {b} is not registered"),
+            StorageError::BagCollected(b) => write!(f, "bag {b} was garbage-collected"),
+            StorageError::AllReplicasDown(b) => {
+                write!(f, "all replicas holding bag {b} data are down")
+            }
+            StorageError::Codec(e) => write!(f, "work bag record corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<CodecError> for StorageError {
+    fn from(e: CodecError) -> Self {
+        StorageError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_subject() {
+        assert!(StorageError::NodeDown(StorageNodeId(3))
+            .to_string()
+            .contains("sn3"));
+        assert!(StorageError::BagSealed(BagId(9)).to_string().contains("bag9"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: StorageError = CodecError::Truncated.into();
+        assert!(matches!(e, StorageError::Codec(CodecError::Truncated)));
+    }
+}

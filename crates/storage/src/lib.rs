@@ -1,0 +1,41 @@
+//! Hurricane's decentralized bag storage layer.
+//!
+//! All input, intermediate, and output data in Hurricane lives in *bags*
+//! (paper §3.3): unordered collections of fixed-size chunks spread
+//! uniformly across every storage node. Bags expose two core operations —
+//! `insert(chunk)` and `remove() -> chunk` — with the guarantee that each
+//! inserted chunk is removed **exactly once**, which is what lets any
+//! number of task clones share one input bag without coordination.
+//!
+//! Layout of this crate:
+//!
+//! * [`node`] — one storage node: append-only chunk logs per bag, a
+//!   sequential read pointer (exactly-once removal), sampling, rewind,
+//!   sealing, and fault injection.
+//! * [`cluster`] — the set of storage nodes plus bag metadata, primary–
+//!   backup replication, failover, and dynamic node addition / draining
+//!   (paper §3.4, §4.4).
+//! * [`placement`] — the pseudorandom cyclic permutation policy that
+//!   decides which node receives each insert / serves each remove. Pure,
+//!   shared with the simulator.
+//! * [`batch`] — batch-sampling math: the utilization lower bound of
+//!   paper Eq. 1 and a Monte-Carlo counterpart used to validate it.
+//! * [`bag`] — `BagClient`, the per-worker handle combining placement with
+//!   cluster access; [`prefetch`] adds the b-outstanding-requests pipeline.
+//! * [`workbag`] — typed bags of task descriptors used for decentralized
+//!   scheduling (ready / running / done, paper §4.1).
+
+pub mod bag;
+pub mod batch;
+pub mod cluster;
+pub mod error;
+pub mod node;
+pub mod placement;
+pub mod prefetch;
+pub mod workbag;
+
+pub use bag::{BagClient, RemoveResult};
+pub use cluster::{ClusterConfig, StorageCluster};
+pub use error::StorageError;
+pub use node::{BagSample, StorageNode};
+pub use workbag::WorkBag;

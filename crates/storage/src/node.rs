@@ -1,0 +1,623 @@
+//! A single storage node.
+//!
+//! Paper §4.3: bags are implemented at each storage node as append-only
+//! files; an insert atomically appends a chunk, and a remove reads the next
+//! chunk sequentially, advancing a file pointer so the same chunk is never
+//! returned twice. End-of-file means all chunks stored *at this node* have
+//! been removed. The bag API additionally supports rewinding (reuse of a
+//! bag's contents), non-destructive reads (multiple workers scanning a full
+//! bag concurrently), sampling the amount of data remaining, and garbage
+//! collection.
+//!
+//! The node also supports fault injection ([`StorageNode::fail`] /
+//! [`StorageNode::recover`]) used by the fault-tolerance tests and the
+//! Figure 11 reproduction, and a draining mode used for dynamic node
+//! removal (paper §3.4).
+
+use crate::error::StorageError;
+use hurricane_common::metrics::Counter;
+use hurricane_common::{BagId, StorageNodeId};
+use hurricane_format::Chunk;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A point-in-time estimate of a bag's contents at one node (or summed
+/// across the cluster). This is the "sampling" operation the application
+/// master uses to estimate `T`, the remaining task time, in the cloning
+/// heuristic (paper §4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BagSample {
+    /// Chunks ever inserted.
+    pub total_chunks: u64,
+    /// Chunks already removed (pointer position).
+    pub removed_chunks: u64,
+    /// Chunks still removable.
+    pub remaining_chunks: u64,
+    /// Bytes still removable.
+    pub remaining_bytes: u64,
+    /// Bytes ever inserted.
+    pub total_bytes: u64,
+    /// Whether the bag is sealed against further inserts.
+    pub sealed: bool,
+}
+
+impl BagSample {
+    /// Merges a per-node sample into a cluster-wide aggregate.
+    pub fn merge(&mut self, other: &BagSample) {
+        self.total_chunks += other.total_chunks;
+        self.removed_chunks += other.removed_chunks;
+        self.remaining_chunks += other.remaining_chunks;
+        self.remaining_bytes += other.remaining_bytes;
+        self.total_bytes += other.total_bytes;
+        self.sealed &= other.sealed;
+    }
+
+    /// Fraction of inserted chunks already removed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total_chunks == 0 {
+            0.0
+        } else {
+            self.removed_chunks as f64 / self.total_chunks as f64
+        }
+    }
+}
+
+/// Outcome of a remove request at one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRemove {
+    /// A chunk was removed and is returned to the caller.
+    Chunk(Chunk),
+    /// This node currently has no unremoved chunk for the bag, but the bag
+    /// is not sealed, so more may still arrive.
+    Empty,
+    /// This node has no unremoved chunk and the bag is sealed: end-of-file.
+    Eof,
+}
+
+/// One replicated chunk stream within a bag file: the chunks addressed
+/// to one *origin* (primary node), with its own read pointer.
+#[derive(Debug, Default)]
+struct Stream {
+    chunks: Vec<Chunk>,
+    next: usize,
+}
+
+impl Stream {
+    fn remaining_bytes(&self) -> u64 {
+        self.chunks[self.next..].iter().map(|c| c.len() as u64).sum()
+    }
+}
+
+/// One bag's state at one node: per-origin append-only chunk streams.
+///
+/// A node acting as primary stores chunks under its own index; acting as
+/// a backup it stores mirrored chunks under the *primary's* index. Each
+/// stream keeps its own read pointer — a backup's pointer is advanced by
+/// mirror messages so that a failover resumes near the primary's
+/// position, and a primary's reads can never consume (or double-serve)
+/// another primary's mirrored data.
+#[derive(Debug, Default)]
+struct BagFile {
+    streams: HashMap<u32, Stream>,
+    sealed: bool,
+    total_bytes: u64,
+    collected: bool,
+}
+
+/// Hot-path statistics for one storage node.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Chunks appended.
+    pub inserts: Counter,
+    /// Chunks removed (served to workers).
+    pub removes: Counter,
+    /// Remove probes that found nothing (the probing cost near bag
+    /// emptiness discussed in paper §3.3).
+    pub empty_probes: Counter,
+    /// Bytes appended.
+    pub bytes_in: Counter,
+    /// Bytes served.
+    pub bytes_out: Counter,
+}
+
+/// A storage node: the Hurricane server process of paper §3.
+pub struct StorageNode {
+    id: StorageNodeId,
+    inner: Mutex<NodeInner>,
+    stats: NodeStats,
+}
+
+#[derive(Debug, Default)]
+struct NodeInner {
+    bags: HashMap<BagId, BagFile>,
+    down: bool,
+    draining: bool,
+}
+
+impl StorageNode {
+    /// Creates an empty, healthy node.
+    pub fn new(id: StorageNodeId) -> Self {
+        Self {
+            id,
+            inner: Mutex::new(NodeInner::default()),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> StorageNodeId {
+        self.id
+    }
+
+    /// Access to the node's statistics counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Marks the node as crashed: every subsequent operation fails with
+    /// [`StorageError::NodeDown`] until [`StorageNode::recover`].
+    pub fn fail(&self) {
+        self.inner.lock().down = true;
+    }
+
+    /// Brings a crashed node back. Its data is intact (the paper's storage
+    /// nodes keep bag data on disk, which survives a process crash).
+    pub fn recover(&self) {
+        self.inner.lock().down = false;
+    }
+
+    /// Returns whether the node is currently down.
+    pub fn is_down(&self) -> bool {
+        self.inner.lock().down
+    }
+
+    /// Puts the node into draining mode: inserts are rejected, removes
+    /// still served (paper §3.4, storage-node removal).
+    pub fn start_draining(&self) {
+        self.inner.lock().draining = true;
+    }
+
+    /// Returns whether the node is draining.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().draining
+    }
+
+    /// Returns true when every bag at this node has been fully removed,
+    /// i.e. a draining node can now be decommissioned.
+    pub fn is_drained(&self) -> Result<bool, StorageError> {
+        let inner = self.inner.lock();
+        self.check_up(&inner)?;
+        Ok(inner.bags.values().all(|b| {
+            b.collected
+                || b.streams
+                    .values()
+                    .all(|s| s.next >= s.chunks.len())
+        }))
+    }
+
+    fn check_up(&self, inner: &NodeInner) -> Result<(), StorageError> {
+        if inner.down {
+            Err(StorageError::NodeDown(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends `chunk` to `bag` (the atomic append of paper §4.3), with
+    /// this node as the origin.
+    pub fn insert(&self, bag: BagId, chunk: Chunk) -> Result<(), StorageError> {
+        self.insert_from(bag, chunk, self.id.0)
+    }
+
+    /// Appends `chunk` tagged with the primary index it was addressed to.
+    /// Backups use this so snapshots can reconstruct one copy per chunk.
+    pub fn insert_from(&self, bag: BagId, chunk: Chunk, origin: u32) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        if inner.draining {
+            return Err(StorageError::NodeDraining(self.id));
+        }
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        if file.sealed {
+            return Err(StorageError::BagSealed(bag));
+        }
+        file.total_bytes += chunk.len() as u64;
+        self.stats.bytes_in.add(chunk.len() as u64);
+        self.stats.inserts.incr();
+        file.streams.entry(origin).or_default().chunks.push(chunk);
+        Ok(())
+    }
+
+    /// Removes the next chunk of `bag`'s own (primary) stream here.
+    pub fn remove(&self, bag: BagId) -> Result<NodeRemove, StorageError> {
+        let own = self.id.0;
+        self.remove_from(bag, own)
+    }
+
+    /// Removes the next chunk of the stream addressed to primary
+    /// `origin` — the failover read path when `origin`'s node is down.
+    pub fn remove_from(&self, bag: BagId, origin: u32) -> Result<NodeRemove, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        let sealed = file.sealed;
+        let stream = file.streams.entry(origin).or_default();
+        if stream.next < stream.chunks.len() {
+            let chunk = stream.chunks[stream.next].clone();
+            stream.next += 1;
+            self.stats.removes.incr();
+            self.stats.bytes_out.add(chunk.len() as u64);
+            Ok(NodeRemove::Chunk(chunk))
+        } else if sealed {
+            self.stats.empty_probes.incr();
+            Ok(NodeRemove::Eof)
+        } else {
+            self.stats.empty_probes.incr();
+            Ok(NodeRemove::Empty)
+        }
+    }
+
+    /// Advances origin-stream `origin`'s read pointer without returning
+    /// data. Used to mirror a serving replica's remove onto the others so
+    /// a failover resumes near the right position (paper §4.4: "Each bag
+    /// ... is replicated along with bag state, such as the current file
+    /// pointer").
+    pub fn mirror_remove(&self, bag: BagId, origin: u32) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        let stream = file.streams.entry(origin).or_default();
+        if stream.next < stream.chunks.len() {
+            stream.next += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads chunk `index` without consuming it. Supports the "multiple
+    /// workers read an entire bag concurrently" access mode (paper §4.3),
+    /// e.g. broadcasting the small relation of a hash join.
+    pub fn read_at(&self, bag: BagId, index: usize) -> Result<Option<Chunk>, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        let own = self.id.0;
+        Ok(file
+            .streams
+            .get(&own)
+            .and_then(|s| s.chunks.get(index).cloned()))
+    }
+
+    /// Returns a copy of every chunk of `bag` stored here, regardless of the
+    /// read pointer. Used to replay the done work bag on master recovery.
+    pub fn snapshot(&self, bag: BagId) -> Result<Vec<Chunk>, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        Ok(file
+            .streams
+            .values()
+            .flat_map(|s| s.chunks.iter().cloned())
+            .collect())
+    }
+
+    /// Returns every chunk of `bag` stored here whose origin is `origin`.
+    /// A backup serving a snapshot for a dead primary filters to exactly
+    /// the chunks it mirrors for that primary.
+    pub fn snapshot_from(&self, bag: BagId, origin: u32) -> Result<Vec<Chunk>, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        Ok(file
+            .streams
+            .get(&origin)
+            .map(|s| s.chunks.clone())
+            .unwrap_or_default())
+    }
+
+    /// Seals `bag`: no further inserts. Sealing is what turns "empty" into
+    /// "end-of-file" and lets workers terminate (paper §3.1).
+    pub fn seal(&self, bag: BagId) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        inner.bags.entry(bag).or_default().sealed = true;
+        Ok(())
+    }
+
+    /// Resets the read pointer to the beginning ("reusing the contents of a
+    /// bag", paper §4.3; also used to rewind input bags when recovering
+    /// from a compute-node failure, §4.4).
+    pub fn rewind(&self, bag: BagId) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        for stream in file.streams.values_mut() {
+            stream.next = 0;
+        }
+        Ok(())
+    }
+
+    /// Discards all chunks of `bag` and reopens it for inserts. Used to
+    /// clear the partial output bags of tasks restarted after a compute
+    /// node failure (paper §4.4).
+    pub fn discard(&self, bag: BagId) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        file.streams.clear();
+        file.sealed = false;
+        file.total_bytes = 0;
+        file.collected = false;
+        Ok(())
+    }
+
+    /// Garbage-collects `bag`: frees its chunks; subsequent access fails.
+    pub fn collect(&self, bag: BagId) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        file.streams = HashMap::new();
+        file.collected = true;
+        Ok(())
+    }
+
+    /// Samples `bag`'s state at this node.
+    pub fn sample(&self, bag: BagId) -> Result<BagSample, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        // Only the node's own (primary) stream is counted: with
+        // replication, summing primaries across nodes yields exact
+        // cluster-wide totals without double-counting backups.
+        let own = self.id.0;
+        let (total, next, remaining_bytes) = file
+            .streams
+            .get(&own)
+            .map(|s| (s.chunks.len(), s.next, s.remaining_bytes()))
+            .unwrap_or((0, 0, 0));
+        Ok(BagSample {
+            total_chunks: total as u64,
+            removed_chunks: next as u64,
+            remaining_chunks: (total - next) as u64,
+            remaining_bytes,
+            total_bytes: file.total_bytes,
+            sealed: file.sealed,
+        })
+    }
+
+    /// Number of distinct bags with state at this node.
+    pub fn bag_count(&self) -> usize {
+        self.inner.lock().bags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(bytes: &[u8]) -> Chunk {
+        Chunk::from_vec(bytes.to_vec())
+    }
+
+    fn node() -> StorageNode {
+        StorageNode::new(StorageNodeId(0))
+    }
+
+    #[test]
+    fn insert_then_remove_fifo() {
+        let n = node();
+        let bag = BagId(1);
+        n.insert(bag, chunk(b"a")).unwrap();
+        n.insert(bag, chunk(b"b")).unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"a")));
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"b")));
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Empty);
+        n.seal(bag).unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Eof);
+    }
+
+    #[test]
+    fn exactly_once_per_chunk() {
+        let n = node();
+        let bag = BagId(1);
+        for i in 0..100u8 {
+            n.insert(bag, chunk(&[i])).unwrap();
+        }
+        n.seal(bag).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            match n.remove(bag).unwrap() {
+                NodeRemove::Chunk(c) => seen.push(c.bytes()[0]),
+                NodeRemove::Eof => break,
+                NodeRemove::Empty => unreachable!("sealed bag cannot be Empty"),
+            }
+        }
+        let expected: Vec<u8> = (0..100).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn sealed_bag_rejects_inserts() {
+        let n = node();
+        let bag = BagId(2);
+        n.insert(bag, chunk(b"x")).unwrap();
+        n.seal(bag).unwrap();
+        assert_eq!(
+            n.insert(bag, chunk(b"y")),
+            Err(StorageError::BagSealed(bag))
+        );
+    }
+
+    #[test]
+    fn down_node_rejects_everything() {
+        let n = node();
+        let bag = BagId(3);
+        n.insert(bag, chunk(b"x")).unwrap();
+        n.fail();
+        assert!(matches!(
+            n.insert(bag, chunk(b"y")),
+            Err(StorageError::NodeDown(_))
+        ));
+        assert!(matches!(n.remove(bag), Err(StorageError::NodeDown(_))));
+        assert!(matches!(n.sample(bag), Err(StorageError::NodeDown(_))));
+        n.recover();
+        // Data survives the crash.
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"x")));
+    }
+
+    #[test]
+    fn draining_rejects_inserts_serves_removes() {
+        let n = node();
+        let bag = BagId(4);
+        n.insert(bag, chunk(b"x")).unwrap();
+        n.start_draining();
+        assert!(matches!(
+            n.insert(bag, chunk(b"y")),
+            Err(StorageError::NodeDraining(_))
+        ));
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"x")));
+        assert!(n.is_drained().unwrap());
+    }
+
+    #[test]
+    fn rewind_replays_contents() {
+        let n = node();
+        let bag = BagId(5);
+        n.insert(bag, chunk(b"x")).unwrap();
+        assert!(matches!(n.remove(bag).unwrap(), NodeRemove::Chunk(_)));
+        n.rewind(bag).unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"x")));
+    }
+
+    #[test]
+    fn discard_clears_and_reopens() {
+        let n = node();
+        let bag = BagId(6);
+        n.insert(bag, chunk(b"x")).unwrap();
+        n.seal(bag).unwrap();
+        n.discard(bag).unwrap();
+        let s = n.sample(bag).unwrap();
+        assert_eq!(s.total_chunks, 0);
+        assert!(!s.sealed);
+        n.insert(bag, chunk(b"z")).unwrap();
+    }
+
+    #[test]
+    fn collect_frees_and_blocks() {
+        let n = node();
+        let bag = BagId(7);
+        n.insert(bag, chunk(b"x")).unwrap();
+        n.collect(bag).unwrap();
+        assert_eq!(n.remove(bag), Err(StorageError::BagCollected(bag)));
+        assert_eq!(
+            n.insert(bag, chunk(b"y")),
+            Err(StorageError::BagCollected(bag))
+        );
+    }
+
+    #[test]
+    fn sample_tracks_pointer() {
+        let n = node();
+        let bag = BagId(8);
+        n.insert(bag, chunk(b"abc")).unwrap();
+        n.insert(bag, chunk(b"de")).unwrap();
+        let s = n.sample(bag).unwrap();
+        assert_eq!(s.total_chunks, 2);
+        assert_eq!(s.remaining_bytes, 5);
+        assert_eq!(s.progress(), 0.0);
+        n.remove(bag).unwrap();
+        let s = n.sample(bag).unwrap();
+        assert_eq!(s.removed_chunks, 1);
+        assert_eq!(s.remaining_bytes, 2);
+        assert_eq!(s.progress(), 0.5);
+    }
+
+    #[test]
+    fn mirror_remove_advances_pointer() {
+        let n = node();
+        let bag = BagId(9);
+        n.insert(bag, chunk(b"a")).unwrap();
+        n.insert(bag, chunk(b"b")).unwrap();
+        n.mirror_remove(bag, 0).unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"b")));
+    }
+
+    #[test]
+    fn snapshot_ignores_pointer() {
+        let n = node();
+        let bag = BagId(10);
+        n.insert(bag, chunk(b"a")).unwrap();
+        n.insert(bag, chunk(b"b")).unwrap();
+        n.remove(bag).unwrap();
+        let snap = n.snapshot(bag).unwrap();
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn read_at_is_nondestructive() {
+        let n = node();
+        let bag = BagId(11);
+        n.insert(bag, chunk(b"a")).unwrap();
+        assert_eq!(n.read_at(bag, 0).unwrap(), Some(chunk(b"a")));
+        assert_eq!(n.read_at(bag, 1).unwrap(), None);
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"a")));
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let n = node();
+        let bag = BagId(12);
+        n.insert(bag, chunk(b"abcd")).unwrap();
+        n.remove(bag).unwrap();
+        n.remove(bag).unwrap(); // Empty probe.
+        assert_eq!(n.stats().inserts.get(), 1);
+        assert_eq!(n.stats().removes.get(), 1);
+        assert_eq!(n.stats().empty_probes.get(), 1);
+        assert_eq!(n.stats().bytes_in.get(), 4);
+        assert_eq!(n.stats().bytes_out.get(), 4);
+    }
+
+    #[test]
+    fn bag_sample_merge() {
+        let mut a = BagSample {
+            total_chunks: 2,
+            removed_chunks: 1,
+            remaining_chunks: 1,
+            remaining_bytes: 10,
+            total_bytes: 20,
+            sealed: true,
+        };
+        let b = BagSample {
+            total_chunks: 3,
+            removed_chunks: 0,
+            remaining_chunks: 3,
+            remaining_bytes: 30,
+            total_bytes: 30,
+            sealed: false,
+        };
+        a.merge(&b);
+        assert_eq!(a.total_chunks, 5);
+        assert_eq!(a.remaining_bytes, 40);
+        assert!(!a.sealed, "merge must AND the sealed flags");
+    }
+}

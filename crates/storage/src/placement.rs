@@ -1,0 +1,182 @@
+//! Pseudorandom cyclic placement.
+//!
+//! Paper §3.3: "The insert chunk operation on a data bag writes the chunk
+//! in a pseudorandom cyclic order across the storage nodes. ... the remove
+//! operation by a worker requests a chunk in a pseudorandom cyclic order
+//! across storage nodes. If it does not find a chunk at the node, it tries
+//! the next storage node in the cyclic permutation."
+//!
+//! Each client walks its own seeded permutation, so aggregate load spreads
+//! uniformly with zero coordination. This module is pure — no I/O — and is
+//! the single implementation of the policy used by the threaded runtime
+//! *and* the discrete-event simulator, so the two cannot drift apart.
+
+use hurricane_common::DetRng;
+
+/// An endlessly cycling pseudorandom permutation of `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use hurricane_common::DetRng;
+/// use hurricane_storage::placement::CyclicPlacement;
+///
+/// let mut p = CyclicPlacement::new(4, &mut DetRng::new(7));
+/// let first_cycle: Vec<usize> = (0..4).map(|_| p.next_node()).collect();
+/// let mut sorted = first_cycle.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, vec![0, 1, 2, 3]); // Each node exactly once per cycle.
+/// ```
+#[derive(Debug, Clone)]
+pub struct CyclicPlacement {
+    perm: Vec<usize>,
+    pos: usize,
+}
+
+impl CyclicPlacement {
+    /// Creates a placement over `n` nodes using randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`: placement over an empty cluster is meaningless.
+    pub fn new(n: usize, rng: &mut DetRng) -> Self {
+        assert!(n > 0, "placement requires at least one node");
+        Self {
+            perm: rng.permutation(n),
+            pos: 0,
+        }
+    }
+
+    /// Number of nodes in the cycle.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Always false: placements cover at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns the next node in the cyclic order and advances.
+    pub fn next_node(&mut self) -> usize {
+        let node = self.perm[self.pos];
+        self.pos = (self.pos + 1) % self.perm.len();
+        node
+    }
+
+    /// Returns the node `offset` steps ahead without advancing. `peek(0)`
+    /// is the node `next_node` would return.
+    pub fn peek(&self, offset: usize) -> usize {
+        self.perm[(self.pos + offset) % self.perm.len()]
+    }
+
+    /// Grows the cycle to cover `n` nodes (dynamic storage-node addition,
+    /// paper §3.4). New nodes are spliced into random positions so inserts
+    /// start reaching them within one cycle.
+    pub fn grow(&mut self, n: usize, rng: &mut DetRng) {
+        assert!(n >= self.perm.len(), "grow cannot shrink the cycle");
+        for node in self.perm.len()..n {
+            let at = rng.gen_range(self.perm.len() as u64 + 1) as usize;
+            self.perm.insert(at, node);
+            if at <= self.pos && self.pos + 1 < self.perm.len() {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cycles_visit_every_node_every_cycle() {
+        let mut rng = DetRng::new(3);
+        let mut p = CyclicPlacement::new(8, &mut rng);
+        for cycle in 0..5 {
+            let seen: HashSet<usize> = (0..8).map(|_| p.next_node()).collect();
+            assert_eq!(seen.len(), 8, "cycle {cycle} must cover all nodes");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<usize> = {
+            let mut rng = DetRng::new(1);
+            let mut p = CyclicPlacement::new(16, &mut rng);
+            (0..16).map(|_| p.next_node()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = DetRng::new(2);
+            let mut p = CyclicPlacement::new(16, &mut rng);
+            (0..16).map(|_| p.next_node()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn peek_matches_next() {
+        let mut rng = DetRng::new(5);
+        let mut p = CyclicPlacement::new(6, &mut rng);
+        for _ in 0..20 {
+            let expected = p.peek(0);
+            assert_eq!(p.next_node(), expected);
+        }
+    }
+
+    #[test]
+    fn peek_offsets_walk_the_cycle() {
+        let mut rng = DetRng::new(5);
+        let p = CyclicPlacement::new(4, &mut rng);
+        let via_peek: Vec<usize> = (0..4).map(|o| p.peek(o)).collect();
+        let mut q = p.clone();
+        let via_next: Vec<usize> = (0..4).map(|_| q.next_node()).collect();
+        assert_eq!(via_peek, via_next);
+    }
+
+    #[test]
+    fn single_node_cycle() {
+        let mut rng = DetRng::new(9);
+        let mut p = CyclicPlacement::new(1, &mut rng);
+        assert_eq!(p.next_node(), 0);
+        assert_eq!(p.next_node(), 0);
+    }
+
+    #[test]
+    fn grow_adds_new_nodes_to_cycle() {
+        let mut rng = DetRng::new(11);
+        let mut p = CyclicPlacement::new(3, &mut rng);
+        p.next_node();
+        p.grow(5, &mut rng);
+        assert_eq!(p.len(), 5);
+        let seen: HashSet<usize> = (0..5).map(|_| p.next_node()).collect();
+        assert!(seen.contains(&3) && seen.contains(&4), "new nodes reachable");
+        // After growth, a full cycle still visits every node exactly once.
+        let cycle: Vec<usize> = (0..5).map(|_| p.next_node()).collect();
+        let set: HashSet<usize> = cycle.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn placement_spreads_uniformly_in_aggregate() {
+        // Many independent clients inserting a few chunks each must load
+        // nodes roughly evenly — the paper's storage balance argument.
+        let nodes = 16;
+        let clients = 200;
+        let per_client = 8;
+        let mut load = vec![0u32; nodes];
+        for c in 0..clients {
+            let mut rng = DetRng::new(1000 + c);
+            let mut p = CyclicPlacement::new(nodes, &mut rng);
+            for _ in 0..per_client {
+                load[p.next_node()] += 1;
+            }
+        }
+        let expect = (clients * per_client) as f64 / nodes as f64;
+        for (i, &l) in load.iter().enumerate() {
+            let dev = (l as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "node {i} load {l} deviates {dev:.2}");
+        }
+    }
+}

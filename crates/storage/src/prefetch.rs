@@ -1,0 +1,204 @@
+//! Chunk prefetching: the runtime analog of batch sampling.
+//!
+//! Paper §3.3 keeps `b` outstanding storage requests per compute node so
+//! that storage stays busy and workers are never starved — "essentially
+//! overlapping computation and communication through prefetching of
+//! chunks". In this in-process runtime the analog is a background fetcher
+//! thread per consuming worker that keeps up to `b` removed chunks buffered
+//! in a bounded queue: the queue bound *is* the number of outstanding
+//! requests, and the worker consumes from the queue without ever waiting on
+//! a probe round-trip while data is available.
+
+use crate::bag::{BagClient, RemoveResult};
+use crate::error::StorageError;
+use crossbeam::channel::{bounded, Receiver};
+use hurricane_format::Chunk;
+use std::thread::JoinHandle;
+
+/// A handle to a prefetching consumer of one bag.
+///
+/// Dropping the handle stops the fetcher (it notices the closed channel on
+/// its next send and exits).
+pub struct Prefetcher {
+    rx: Receiver<Result<Chunk, StorageError>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns a fetcher over `client` keeping up to `batch_factor` chunks
+    /// buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_factor` is zero.
+    pub fn spawn(mut client: BagClient, batch_factor: usize) -> Self {
+        assert!(batch_factor > 0, "batch factor must be at least 1");
+        let (tx, rx) = bounded(batch_factor);
+        let handle = std::thread::Builder::new()
+            .name(format!("prefetch-{}", client.bag_id()))
+            .spawn(move || {
+                let mut backoff_us = 10u64;
+                loop {
+                    match client.try_remove() {
+                        Ok(RemoveResult::Chunk(c)) => {
+                            backoff_us = 10;
+                            if tx.send(Ok(c)).is_err() {
+                                return; // Consumer dropped the handle.
+                            }
+                        }
+                        Ok(RemoveResult::Pending) => {
+                            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                            backoff_us = (backoff_us * 2).min(1000);
+                        }
+                        Ok(RemoveResult::Drained) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawning prefetch thread");
+        Self {
+            rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Receives the next chunk, blocking until one is available or the bag
+    /// drains (`Ok(None)`).
+    pub fn recv(&self) -> Result<Option<Chunk>, StorageError> {
+        match self.rx.recv() {
+            Ok(Ok(c)) => Ok(Some(c)),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Ok(None), // Fetcher exited: bag drained.
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` means nothing buffered *right now*
+    /// (the bag may or may not be drained — use [`Prefetcher::recv`] for
+    /// termination detection).
+    pub fn try_recv(&self) -> Result<Option<Chunk>, StorageError> {
+        match self.rx.try_recv() {
+            Ok(Ok(c)) => Ok(Some(c)),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Unblock the fetcher if it is parked on a full queue.
+        while self.rx.try_recv().is_ok() {}
+        drop(std::mem::replace(
+            &mut self.rx,
+            crossbeam::channel::never().clone(),
+        ));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, StorageCluster};
+
+    fn chunk(v: u64) -> Chunk {
+        Chunk::from_vec(v.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn prefetcher_drains_bag() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 1);
+        for i in 0..100 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 2), 10);
+        let mut n = 0;
+        while let Some(_c) = pf.recv().unwrap() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn prefetcher_pipelines_concurrent_producer() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 3), 4);
+        let cluster2 = cluster.clone();
+        let t = std::thread::spawn(move || {
+            let mut p = BagClient::new(cluster2.clone(), bag, 4);
+            for i in 0..50 {
+                p.insert(chunk(i)).unwrap();
+            }
+            cluster2.seal_bag(bag).unwrap();
+        });
+        let mut n = 0;
+        while let Some(_c) = pf.recv().unwrap() {
+            n += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn dropping_prefetcher_mid_stream_does_not_hang() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 5);
+        for i in 0..1000 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 6), 2);
+        let _first = pf.recv().unwrap();
+        drop(pf); // Must join cleanly even with 998 chunks unread.
+    }
+
+    #[test]
+    fn two_prefetchers_share_exactly_once() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 7);
+        for i in 0..200 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let a = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 8), 5);
+        let b = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 9), 5);
+        let ta = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Some(_c) = a.recv().unwrap() {
+                n += 1;
+            }
+            n
+        });
+        let tb = std::thread::spawn(move || {
+            let mut n = 0;
+            while let Some(_c) = b.recv().unwrap() {
+                n += 1;
+            }
+            n
+        });
+        let total = ta.join().unwrap() + tb.join().unwrap();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn error_propagates() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 10);
+        producer.insert(chunk(1)).unwrap();
+        cluster.node(0).fail();
+        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 11), 2);
+        assert!(pf.recv().is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic workload generators for the Hurricane evaluation.
+//!
+//! Every experiment in the paper runs on synthetic inputs:
+//!
+//! * **ClickLog** (§5.1): lines of IP addresses drawn from a Zipf
+//!   distribution with parameter `s ∈ [0, 1]`; regions are formed by
+//!   "dividing the key range into equal parts, so that adjacent keys are
+//!   placed in each partition". [`zipf`] implements the sampler and the
+//!   analytic region-mass computation; [`clicklog`] the record generator.
+//! * **HashJoin** (§5.3): two relations with skew injected into the
+//!   smaller one, "causing a much larger hit rate for some keys" —
+//!   [`join`].
+//! * **PageRank** (§5.3): RMAT power-law graphs (Chakrabarti et al.,
+//!   the generator the paper itself uses) — [`rmat`].
+//!
+//! All generators are deterministic given a seed.
+
+pub mod clicklog;
+pub mod join;
+pub mod regions;
+pub mod rmat;
+pub mod zipf;
+
+pub use regions::RegionWeights;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,237 @@
+//! Zipf sampling and region-mass analysis.
+//!
+//! The paper's skew knob is a Zipf distribution with parameter
+//! `s ∈ {0, 0.2, 0.5, 0.8, 1.0}` over a key range that is then split into
+//! equal adjacent ranges ("regions"). [`ZipfSampler`] draws keys exactly
+//! (inverse-CDF over the precomputed mass table); [`region_masses`]
+//! computes the expected fraction of records landing in each region, which
+//! the simulator uses directly instead of materializing terabytes of
+//! records.
+
+use hurricane_common::DetRng;
+
+/// An exact Zipf(s) sampler over keys `0..n`.
+///
+/// Key `k` (0-based) has probability proportional to `(k + 1)^-s`.
+/// `s = 0` is the uniform distribution; `s = 1` is the paper's "high
+/// skew" setting.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` keys with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one key");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point drift at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of keys.
+    pub fn num_keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of key `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Total probability mass of keys in `[lo, hi)`.
+    pub fn mass(&self, lo: usize, hi: usize) -> f64 {
+        if lo >= hi {
+            return 0.0;
+        }
+        let upper = self.cdf[hi - 1];
+        let lower = if lo == 0 { 0.0 } else { self.cdf[lo - 1] };
+        upper - lower
+    }
+}
+
+/// Expected fraction of records in each of `regions` equal adjacent key
+/// ranges under Zipf(`s`) over `num_keys` keys — the paper's partitioning
+/// scheme ("we generate partitions by dividing the key range into equal
+/// parts, so that adjacent keys are placed in each partition").
+///
+/// # Panics
+///
+/// Panics if `regions == 0` or `regions > num_keys`.
+pub fn region_masses(num_keys: usize, regions: usize, s: f64) -> Vec<f64> {
+    assert!(regions > 0 && regions <= num_keys);
+    let sampler = ZipfSampler::new(num_keys, s);
+    let mut out = Vec::with_capacity(regions);
+    for r in 0..regions {
+        let lo = r * num_keys / regions;
+        let hi = (r + 1) * num_keys / regions;
+        out.push(sampler.mass(lo, hi));
+    }
+    out
+}
+
+/// Ratio of the largest to the smallest region mass — the paper's
+/// "imbalance between the largest and smallest region".
+pub fn imbalance(masses: &[f64]) -> f64 {
+    let max = masses.iter().copied().fold(f64::MIN, f64::max);
+    let min = masses.iter().copied().fold(f64::MAX, f64::min);
+    if min <= 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+/// Fraction of all records in the largest region (19.6 % at s = 1 in the
+/// paper's configuration).
+pub fn largest_fraction(masses: &[f64]) -> f64 {
+    let total: f64 = masses.iter().sum();
+    let max = masses.iter().copied().fold(f64::MIN, f64::max);
+    max / total
+}
+
+/// Amdahl's-law best-case speedup when the largest region is the serial
+/// fraction (paper §5.1): `1 / (f + (1 - f)/machines)`.
+pub fn amdahl_speedup(largest_fraction: f64, machines: usize) -> f64 {
+    1.0 / (largest_fraction + (1.0 - largest_fraction) / machines as f64)
+}
+
+/// The paper's best-case *slowdown* relative to a perfectly parallel
+/// uniform run: `machines / amdahl_speedup` (7.1× for f = 19.6 % on 32
+/// machines).
+pub fn amdahl_slowdown(largest_fraction: f64, machines: usize) -> f64 {
+    machines as f64 / amdahl_speedup(largest_fraction, machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_flat() {
+        let m = region_masses(1 << 16, 32, 0.0);
+        for &w in &m {
+            assert!((w - 1.0 / 32.0).abs() < 1e-9);
+        }
+        assert!((imbalance(&m) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        for s in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let m = region_masses(100_000, 32, s);
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "s={s} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn imbalance_grows_with_s() {
+        let mut prev = 0.0;
+        for s in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let m = region_masses(1 << 20, 32, s);
+            let imb = imbalance(&m);
+            assert!(imb > prev, "imbalance must grow with s (s={s}, imb={imb})");
+            prev = imb;
+        }
+    }
+
+    #[test]
+    fn head_region_is_heaviest() {
+        let m = region_masses(1 << 18, 32, 1.0);
+        assert!(m[0] > m[31] * 10.0, "head range dominates under s=1");
+        assert_eq!(
+            m.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0,
+            0
+        );
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let n = 64;
+        let z = ZipfSampler::new(n, 1.0);
+        let mut rng = DetRng::new(7);
+        let draws = 200_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20, 63] {
+            let expect = z.pmf(k) * draws as f64;
+            let got = counts[k] as f64;
+            let tol = 4.0 * expect.sqrt() + 6.0;
+            assert!(
+                (got - expect).abs() < tol,
+                "key {k}: got {got}, expect {expect:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_in_range_and_deterministic() {
+        let z = ZipfSampler::new(1000, 0.8);
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert!(x < 1000);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn mass_is_consistent_with_pmf() {
+        let z = ZipfSampler::new(100, 0.5);
+        let direct: f64 = (10..20).map(|k| z.pmf(k)).sum();
+        assert!((z.mass(10, 20) - direct).abs() < 1e-12);
+        assert_eq!(z.mass(5, 5), 0.0);
+        assert!((z.mass(0, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_matches_paper_numbers() {
+        // Paper §5.1: f = 19.6 %, 32 machines ⇒ speedup ≈ 4.5×,
+        // best-case slowdown ≈ 7.1×.
+        let speedup = amdahl_speedup(0.196, 32);
+        assert!((speedup - 4.5).abs() < 0.05, "speedup {speedup}");
+        let slowdown = amdahl_slowdown(0.196, 32);
+        assert!((slowdown - 7.1).abs() < 0.1, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn single_key_degenerate() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = DetRng::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Skewed hash join on the Hurricane runtime.
+//!
+//! Joins a small (build) relation with Zipf-skewed keys against a large
+//! uniform (probe) relation. Hot partitions — where a few keys have huge
+//! hit rates — get cloned; each clone snapshots the in-memory build side
+//! and pulls disjoint probe chunks, the mechanism the paper credits for
+//! 18× over Spark on skewed joins.
+//!
+//! Run with: `cargo run --release --example hashjoin`
+
+use hurricane_apps::hashjoin::HashJoinJob;
+use hurricane_core::HurricaneConfig;
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_workloads::join::{large_relation, reference_join, small_relation, JoinSpec};
+use std::time::Duration;
+
+fn main() {
+    let config = HurricaneConfig {
+        compute_nodes: 4,
+        worker_slots: 2,
+        chunk_size: 32 * 1024,
+        clone_interval: Duration::from_millis(5),
+        master_poll: Duration::from_millis(1),
+        ..Default::default()
+    };
+    println!("HashJoin: 20k ⋈ 100k tuples, 8 partitions");
+    for skew in [0.0, 1.0] {
+        let spec = JoinSpec {
+            num_keys: 2048,
+            small_tuples: 20_000,
+            large_tuples: 100_000,
+            skew,
+            seed: 0x70AD,
+        };
+        let r = small_relation(&spec);
+        let s = large_relation(&spec);
+        let expected = reference_join(&r, &s).len();
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let (out, report) = HashJoinJob { partitions: 8 }
+            .run(cluster, config.clone(), &r, &s)
+            .expect("join run");
+        assert_eq!(out.len(), expected, "join cardinality vs nested-loop oracle");
+        println!(
+            "s={skew}: {} output tuples in {:>7.1?}  clones {:>2}",
+            out.len(),
+            report.elapsed,
+            report.total_clones
+        );
+    }
+    println!("(cardinality verified against the nested-loop reference)");
+}

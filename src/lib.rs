@@ -1,0 +1,2 @@
+//! Facade crate re-exporting the Hurricane reproduction's public API.
+pub use hurricane_core as core;

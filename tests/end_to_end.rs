@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the real runtime, the real static
+//! baseline, the workload generators, and the simulator must agree on
+//! what matters.
+
+use hurricane_apps::clicklog::ClickLogJob;
+use hurricane_apps::BitSet;
+use hurricane_baseline::{mapreduce, split_input};
+use hurricane_core::HurricaneConfig;
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_workloads::clicklog::{region_of, ClickLogGen, ClickLogSpec};
+use hurricane_workloads::RegionWeights;
+use std::time::Duration;
+
+fn config() -> HurricaneConfig {
+    HurricaneConfig {
+        compute_nodes: 4,
+        worker_slots: 2,
+        chunk_size: 16 * 1024,
+        clone_interval: Duration::from_millis(10),
+        master_poll: Duration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+/// Hurricane, the static baseline, and the serial reference must produce
+/// identical ClickLog results on identical (skewed) input.
+#[test]
+fn three_engines_agree_on_clicklog() {
+    let job = ClickLogJob {
+        regions: 8,
+        num_ips: 1 << 14,
+    };
+    let input: Vec<u32> = ClickLogGen::new(ClickLogSpec {
+        num_ips: job.num_ips,
+        regions: job.regions,
+        skew: 1.0,
+        records: 50_000,
+        seed: 42,
+    })
+    .collect();
+    let reference = job.reference(input.iter().copied());
+
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let (hurricane, _) = job
+        .run(cluster, config(), input.iter().copied())
+        .expect("hurricane run");
+
+    let (results, _) = mapreduce(
+        split_input(input.clone(), 8),
+        job.regions,
+        4,
+        {
+            let num_ips = job.num_ips;
+            let regions = job.regions;
+            move |ip: u32, emit: &mut dyn FnMut(u32, u32)| {
+                emit(region_of(ip, num_ips, regions), ip)
+            }
+        },
+        |region: &u32, ips: Vec<u32>| {
+            let mut set = BitSet::new();
+            for ip in ips {
+                set.set(ip);
+            }
+            (*region, set.count())
+        },
+    );
+    let mut baseline = vec![0u64; job.regions];
+    for (r, c) in results.into_iter().flatten() {
+        baseline[r as usize] = c;
+    }
+
+    assert_eq!(hurricane, reference);
+    assert_eq!(baseline, reference);
+}
+
+/// The simulator is deterministic: identical inputs give bit-identical
+/// results.
+#[test]
+fn simulator_is_deterministic() {
+    use hurricane_sim::apps::clicklog_app;
+    use hurricane_sim::spec::{ClusterSpec, HurricaneOpts};
+    let w = RegionWeights::paper_ladder(32, 1.0);
+    let app = clicklog_app(32e9, &w);
+    let cluster = ClusterSpec::paper();
+    let a = hurricane_sim::simulate(&app, &cluster, &HurricaneOpts::default());
+    let b = hurricane_sim::simulate(&app, &cluster, &HurricaneOpts::default());
+    assert_eq!(a.total_secs, b.total_secs);
+    assert_eq!(a.total_clones, b.total_clones);
+    assert_eq!(a.peak_workers, b.peak_workers);
+    assert_eq!(a.timeline.len(), b.timeline.len());
+}
+
+/// Cloning helps under skew in the simulator AND in the real engine:
+/// the qualitative claim both layers must share.
+#[test]
+fn cloning_helps_under_skew_in_both_layers() {
+    // Simulator: 32 GB, s = 1.
+    use hurricane_sim::apps::clicklog_app;
+    use hurricane_sim::spec::{ClusterSpec, HurricaneOpts};
+    let w = RegionWeights::paper_ladder(32, 1.0);
+    let app = clicklog_app(32e9, &w);
+    let cluster = ClusterSpec::paper();
+    let with = hurricane_sim::simulate(&app, &cluster, &HurricaneOpts::default());
+    let without = hurricane_sim::simulate(&app, &cluster, &HurricaneOpts::no_cloning());
+    assert!(
+        with.total_secs < without.total_secs * 0.9,
+        "sim: cloning {:.1}s vs NC {:.1}s",
+        with.total_secs,
+        without.total_secs
+    );
+    assert!(with.total_clones > 0);
+}
+
+/// The simulated crash schedule of Figure 11 completes and is slower
+/// than the fault-free run, with throughput dips visible.
+#[test]
+fn fig11_crash_schedule_completes() {
+    let r = hurricane_bench::experiments::fig11();
+    assert!(!r.timed_out);
+    let buckets = r.timeline.bucketize(1.0);
+    assert!(buckets.len() > 30, "a 320GB run spans many seconds");
+    // There is a visible dip: some bucket is below half the peak.
+    let peak = buckets.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    assert!(buckets.iter().any(|&(t, v)| t > 15.0 && v < peak * 0.5));
+}
+
+/// The Eq. 1 table: the Monte-Carlo simulation tracks the analytic bound
+/// for every (b, m) the bench prints.
+#[test]
+fn utilization_table_consistent() {
+    for (b, m, analytic, simulated) in hurricane_bench::experiments::utilization_table() {
+        assert!(
+            simulated >= analytic - 0.05,
+            "b={b} m={m}: simulated {simulated:.3} below bound {analytic:.3}"
+        );
+        assert!(simulated <= 1.0 + 1e-9);
+    }
+}
+
+/// Storage scaling matches the paper's headline: near-linear to 32 nodes.
+#[test]
+fn storage_scaling_near_linear() {
+    let rows = hurricane_bench::experiments::storage_scaling();
+    let single = rows[0].1;
+    let last = rows.last().unwrap();
+    assert_eq!(last.0, 32);
+    let speedup = last.1 / single;
+    assert!(
+        speedup > 31.0 && speedup <= 32.0,
+        "paper reports 31.9x, got {speedup:.2}x"
+    );
+}

@@ -1,0 +1,94 @@
+//! Property tests for the serialization layer: the roundtrip law and the
+//! never-cross-a-chunk-boundary invariant, over arbitrary record streams.
+
+use hurricane_format::{decode_all, encode_all, ChunkWriter, Record};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = (u64, i64, String, Vec<u32>)> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        "[a-zA-Z0-9 ]{0,40}",
+        prop::collection::vec(any::<u32>(), 0..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encoding then decoding any record stream through chunking restores
+    /// it exactly, and every chunk respects the capacity.
+    #[test]
+    fn chunked_roundtrip(
+        records in prop::collection::vec(record_strategy(), 0..200),
+        chunk_size in 64usize..2048,
+    ) {
+        let chunks = encode_all(records.iter().cloned(), chunk_size);
+        prop_assume!(chunks.is_ok()); // Tiny chunk sizes may reject a record.
+        let chunks = chunks.unwrap();
+        for c in &chunks {
+            prop_assert!(c.len() <= chunk_size, "chunk overflow");
+            prop_assert!(!c.is_empty());
+        }
+        let back: Vec<_> = chunks
+            .iter()
+            .flat_map(|c| decode_all::<(u64, i64, String, Vec<u32>)>(c).unwrap())
+            .collect();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Every chunk decodes independently — the property clones rely on.
+    #[test]
+    fn chunks_decode_independently(
+        records in prop::collection::vec(any::<(u64, u64)>(), 1..300),
+        chunk_size in 32usize..256,
+    ) {
+        let chunks = encode_all(records.iter().cloned(), chunk_size).unwrap();
+        let mut total = 0;
+        // Decode in reverse order: no chunk depends on a predecessor.
+        for c in chunks.iter().rev() {
+            total += decode_all::<(u64, u64)>(c).unwrap().len();
+        }
+        prop_assert_eq!(total, records.len());
+    }
+
+    /// `encoded_len` is exact for every record the stream writer accepts.
+    #[test]
+    fn encoded_len_is_exact(rec in record_strategy()) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        prop_assert_eq!(buf.len(), rec.encoded_len());
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let chunk = hurricane_format::Chunk::from_vec(bytes);
+        let _ = decode_all::<(u64, String)>(&chunk); // Must not panic.
+        let _ = decode_all::<Vec<u64>>(&chunk);
+        let _ = decode_all::<(bool, Option<i64>)>(&chunk);
+    }
+
+    /// The writer never emits a record split across two chunks: the
+    /// concatenation of per-chunk decodes equals the in-order stream.
+    #[test]
+    fn no_record_straddles_chunks(
+        count in 1usize..500,
+        chunk_size in 16usize..128,
+    ) {
+        let records: Vec<u64> = (0..count as u64).collect();
+        let mut writer = ChunkWriter::<u64>::new(chunk_size);
+        let mut chunks = Vec::new();
+        for r in &records {
+            if let Some(c) = writer.push(r).unwrap() {
+                chunks.push(c);
+            }
+        }
+        chunks.extend(writer.finish());
+        let mut restored = Vec::new();
+        for c in &chunks {
+            restored.extend(decode_all::<u64>(c).unwrap());
+        }
+        prop_assert_eq!(restored, records);
+    }
+}

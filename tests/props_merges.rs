@@ -1,0 +1,142 @@
+//! Property tests for the merge library: the clone-reconciliation
+//! contract. For any way of splitting a record multiset across clone
+//! partials, merging must produce what a single uncloned task would have.
+
+use hurricane_core::merges::{ConcatMerge, KeyedMerge, ReduceMerge, SetUnionMerge, SortedMerge};
+use hurricane_core::task::{BagReader, BagWriter, MergeLogic};
+use hurricane_format::{decode_all, Record};
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Splits `records` into `parts` partials per `assignment`, runs `merge`,
+/// and returns the decoded output.
+fn run_merge<T, M>(records: &[T], assignment: &[usize], parts: usize, merge: M) -> Vec<T>
+where
+    T: Record + Clone,
+    M: MergeLogic,
+{
+    // One storage node: bags are unordered *across* nodes (chunks spread
+    // cyclically), so record order in a multi-node bag is not observable.
+    // A single node preserves FIFO order, letting the sorted-output
+    // property be asserted exactly.
+    let cluster = StorageCluster::new(1, ClusterConfig::default());
+    let mut writers: Vec<BagWriter> = (0..parts)
+        .map(|i| {
+            let bag = cluster.create_bag();
+            BagWriter::open(cluster.clone(), bag, i as u64, 256)
+        })
+        .collect();
+    let bags: Vec<_> = writers.iter().map(|w| w.bag_id()).collect();
+    for (i, rec) in records.iter().enumerate() {
+        writers[assignment[i % assignment.len()] % parts]
+            .write_record(rec)
+            .unwrap();
+    }
+    for w in &mut writers {
+        w.flush().unwrap();
+    }
+    for &b in &bags {
+        cluster.seal_bag(b).unwrap();
+    }
+    let mut readers: Vec<BagReader> = bags
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| BagReader::open(cluster.clone(), b, 100 + i as u64, 4, None))
+        .collect();
+    let out_bag = cluster.create_bag();
+    let mut out = BagWriter::open(cluster.clone(), out_bag, 999, 256);
+    merge.merge(0, &mut readers, &mut out).unwrap();
+    out.flush().unwrap();
+    let chunks = cluster.snapshot_bag(out_bag).unwrap();
+    chunks
+        .iter()
+        .flat_map(|c| decode_all::<T>(c).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ReduceMerge with `+` over any partition equals the full sum.
+    #[test]
+    fn reduce_sum_partition_invariant(
+        records in prop::collection::vec(0u64..1_000_000, 1..100),
+        assignment in prop::collection::vec(0usize..4, 1..32),
+        parts in 1usize..5,
+    ) {
+        let got: Vec<u64> = run_merge(
+            &records,
+            &assignment,
+            parts,
+            ReduceMerge::new(|a: u64, b: u64| a + b),
+        );
+        prop_assert_eq!(got, vec![records.iter().sum::<u64>()]);
+    }
+
+    /// SetUnionMerge equals the BTreeSet of all records, however split.
+    #[test]
+    fn set_union_partition_invariant(
+        records in prop::collection::vec(0u32..500, 1..150),
+        assignment in prop::collection::vec(0usize..4, 1..32),
+        parts in 1usize..5,
+    ) {
+        let got: Vec<u32> = run_merge(&records, &assignment, parts, SetUnionMerge::<u32>::new());
+        let expect: Vec<u32> = records.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// SortedMerge yields a sorted permutation of the input multiset.
+    #[test]
+    fn sorted_merge_partition_invariant(
+        records in prop::collection::vec(any::<u32>(), 0..150),
+        assignment in prop::collection::vec(0usize..4, 1..32),
+        parts in 1usize..5,
+    ) {
+        let got: Vec<u32> = run_merge(&records, &assignment, parts, SortedMerge::<u32>::new());
+        let mut expect = records.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// KeyedMerge with `+` equals a hash-aggregation of all records.
+    #[test]
+    fn keyed_merge_partition_invariant(
+        records in prop::collection::vec((0u32..20, 0u64..1000), 1..150),
+        assignment in prop::collection::vec(0usize..4, 1..32),
+        parts in 1usize..5,
+    ) {
+        let got: Vec<(u32, u64)> = run_merge(
+            &records,
+            &assignment,
+            parts,
+            KeyedMerge::<u32, u64, _>::new(|a, b| a + b),
+        );
+        let mut expect = std::collections::BTreeMap::<u32, u64>::new();
+        for &(k, v) in &records {
+            *expect.entry(k).or_insert(0) += v;
+        }
+        let expect: Vec<(u32, u64)> = expect.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// ConcatMerge preserves the record multiset.
+    #[test]
+    fn concat_partition_invariant(
+        records in prop::collection::vec(any::<u64>(), 0..150),
+        assignment in prop::collection::vec(0usize..4, 1..32),
+        parts in 1usize..5,
+    ) {
+        let mut got: Vec<u64> = run_merge(&records, &assignment, parts, ConcatMerge);
+        let mut expect = records.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// Silence the unused-import lint for Arc used only via StorageCluster's Arc
+// return type inference.
+#[allow(dead_code)]
+fn _keep(_: Arc<StorageCluster>) {}

@@ -1,0 +1,142 @@
+//! Property tests for the storage layer: exactly-once delivery under
+//! arbitrary client interleavings, placement balance, and the Eq. 1
+//! utilization bound.
+
+use hurricane_common::DetRng;
+use hurricane_format::Chunk;
+use hurricane_storage::bag::{BagClient, RemoveResult};
+use hurricane_storage::batch;
+use hurricane_storage::{ClusterConfig, StorageCluster};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn chunk(v: u64) -> Chunk {
+    Chunk::from_vec(v.to_le_bytes().to_vec())
+}
+
+fn chunk_val(c: &Chunk) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(c.bytes());
+    u64::from_le_bytes(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However many clients interleave removals in whatever order, each
+    /// chunk is delivered exactly once and nothing is lost.
+    #[test]
+    fn exactly_once_under_interleaving(
+        nodes in 1usize..6,
+        items in 1u64..300,
+        clients in 1usize..5,
+        schedule in prop::collection::vec(0usize..4, 0..600),
+        seed in any::<u64>(),
+    ) {
+        let cluster = StorageCluster::new(nodes, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, seed);
+        for i in 0..items {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let mut handles: Vec<BagClient> = (0..clients)
+            .map(|c| BagClient::new(cluster.clone(), bag, seed ^ (c as u64 + 1)))
+            .collect();
+        let mut seen = HashSet::new();
+        // Drive clients in the arbitrary order proptest chose...
+        for &pick in &schedule {
+            let client = &mut handles[pick % clients];
+            if let RemoveResult::Chunk(c) = client.try_remove().unwrap() {
+                prop_assert!(seen.insert(chunk_val(&c)), "duplicate delivery");
+            }
+        }
+        // ...then drain whatever remains.
+        for client in &mut handles {
+            while let RemoveResult::Chunk(c) = client.try_remove().unwrap() {
+                prop_assert!(seen.insert(chunk_val(&c)), "duplicate delivery");
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, items, "lost chunks");
+    }
+
+    /// Replication preserves exactly-once semantics and failover serves
+    /// the full remainder after any prefix of removals.
+    #[test]
+    fn failover_preserves_remainder(
+        items in 1u64..100,
+        consumed_before_crash in 0u64..100,
+        seed in any::<u64>(),
+    ) {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, seed);
+        for i in 0..items {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let mut consumer = BagClient::new(cluster.clone(), bag, seed ^ 1);
+        let mut seen = HashSet::new();
+        for _ in 0..consumed_before_crash.min(items) {
+            match consumer.try_remove().unwrap() {
+                RemoveResult::Chunk(c) => {
+                    prop_assert!(seen.insert(chunk_val(&c)));
+                }
+                _ => break,
+            }
+        }
+        cluster.node(0).fail();
+        while let RemoveResult::Chunk(c) = consumer.try_remove().unwrap() {
+            prop_assert!(seen.insert(chunk_val(&c)), "failover duplicate");
+        }
+        prop_assert_eq!(seen.len() as u64, items, "failover lost chunks");
+    }
+
+    /// Cyclic placement balances perfectly within each full cycle.
+    #[test]
+    fn placement_balances_full_cycles(
+        nodes in 1usize..16,
+        cycles in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cluster = StorageCluster::new(nodes, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, seed);
+        for i in 0..(nodes * cycles) as u64 {
+            client.insert(chunk(i)).unwrap();
+        }
+        for n in 0..nodes {
+            let s = cluster.node(n).sample(bag).unwrap();
+            prop_assert_eq!(s.total_chunks as usize, cycles);
+        }
+    }
+
+    /// Eq. 1 bounds: ρ is within (0, 1], increases with b, and the
+    /// Monte-Carlo estimate respects the analytic lower bound.
+    #[test]
+    fn utilization_bound_holds(b in 1u32..12, m in 1u32..64, seed in any::<u64>()) {
+        let rho = batch::utilization(b, m);
+        prop_assert!(rho > 0.0 && rho <= 1.0);
+        prop_assert!(batch::utilization(b + 1, m) >= rho);
+        let mut rng = DetRng::new(seed);
+        let sim = batch::simulate_utilization(b, m, 60, &mut rng);
+        prop_assert!(sim >= rho - 0.08, "b={b} m={m}: sim {sim:.3} < bound {rho:.3}");
+    }
+
+    /// Sealing is permanent for contents: a drained sealed bag stays
+    /// drained no matter how clients keep probing.
+    #[test]
+    fn sealed_empty_is_stable(items in 0u64..50, probes in 0usize..20, seed in any::<u64>()) {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, seed);
+        for i in 0..items {
+            client.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        while let RemoveResult::Chunk(_) = client.try_remove().unwrap() {}
+        for _ in 0..probes {
+            prop_assert_eq!(client.try_remove().unwrap(), RemoveResult::Drained);
+        }
+    }
+}

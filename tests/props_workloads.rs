@@ -1,0 +1,96 @@
+//! Property tests for the workload generators: distribution invariants
+//! the skew experiments depend on.
+
+use hurricane_common::DetRng;
+use hurricane_workloads::rmat::{RmatGen, RmatSpec};
+use hurricane_workloads::zipf::{imbalance, largest_fraction, region_masses};
+use hurricane_workloads::{RegionWeights, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Zipf CDF is monotone, normalized, and pmf-consistent.
+    #[test]
+    fn zipf_cdf_well_formed(n in 1usize..5000, s in 0.0f64..1.5) {
+        let z = ZipfSampler::new(n, s);
+        let mut acc = 0.0;
+        for k in 0..n {
+            let p = z.pmf(k);
+            prop_assert!(p >= 0.0);
+            acc += p;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-9, "pmf sums to {acc}");
+        prop_assert!((z.mass(0, n) - 1.0).abs() < 1e-9);
+    }
+
+    /// Zipf pmf is non-increasing in rank for any positive exponent.
+    #[test]
+    fn zipf_pmf_monotone(n in 2usize..2000, s in 0.01f64..1.5) {
+        let z = ZipfSampler::new(n, s);
+        for k in 1..n.min(64) {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    /// Samples always land in range; the same seed replays identically.
+    #[test]
+    fn zipf_sampling_total_and_deterministic(
+        n in 1usize..1000,
+        s in 0.0f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        let z = ZipfSampler::new(n, s);
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..50 {
+            let x = z.sample(&mut a);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    /// Region masses partition the unit mass, and skew monotonically
+    /// raises the imbalance.
+    #[test]
+    fn region_masses_partition(num_keys in 64usize..10_000, regions in 1usize..33) {
+        prop_assume!(regions <= num_keys);
+        let uniform = region_masses(num_keys, regions, 0.0);
+        let skewed = region_masses(num_keys, regions, 1.0);
+        prop_assert!((uniform.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((skewed.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(imbalance(&skewed) + 1e-9 >= imbalance(&uniform));
+        prop_assert!(largest_fraction(&skewed) <= 1.0);
+    }
+
+    /// `RegionWeights::split` conserves totals exactly for any weights.
+    #[test]
+    fn split_conserves(
+        raw in prop::collection::vec(0.001f64..100.0, 1..64),
+        total in 0u64..1_000_000_000,
+    ) {
+        let w = RegionWeights::from_raw(raw);
+        let parts = w.split(total);
+        prop_assert_eq!(parts.iter().sum::<u64>(), total);
+    }
+
+    /// `with_imbalance` hits its target ratio.
+    #[test]
+    fn imbalance_target_is_hit(regions in 2usize..64, target in 1.0f64..200.0) {
+        let w = RegionWeights::with_imbalance(regions, target);
+        prop_assert!((w.imbalance() - target).abs() / target < 1e-6);
+    }
+
+    /// R-MAT edges stay inside the vertex space and replay by seed.
+    #[test]
+    fn rmat_edges_in_range(scale in 1u32..16, seed in any::<u64>()) {
+        let spec = RmatSpec { scale, edges: 200, seed };
+        let n = spec.vertices();
+        let a: Vec<_> = RmatGen::new(spec).collect();
+        let b: Vec<_> = RmatGen::new(spec).collect();
+        prop_assert_eq!(&a, &b);
+        for &(s, d) in &a {
+            prop_assert!(s < n && d < n);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulator invariants: monotonicity, conservation, and fault-model
+//! sanity across arbitrary parameter draws.
+
+use hurricane_sim::apps::{clicklog_app, hashjoin_app, pagerank_app};
+use hurricane_sim::engine::simulate;
+use hurricane_sim::spec::{ClusterSpec, CrashEvent, HurricaneOpts};
+use hurricane_workloads::RegionWeights;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Runtime grows with input size for any machine count and skew.
+    #[test]
+    fn runtime_monotone_in_input(
+        machines in 2usize..40,
+        gb in 1.0f64..200.0,
+        s in 0.0f64..1.0,
+    ) {
+        let cluster = ClusterSpec::paper_scaled(machines);
+        let w = RegionWeights::paper_ladder(32, s);
+        let small = simulate(&clicklog_app(gb * 1e9, &w), &cluster, &HurricaneOpts::default());
+        let large = simulate(&clicklog_app(gb * 2.5e9, &w), &cluster, &HurricaneOpts::default());
+        prop_assert!(large.total_secs >= small.total_secs * 0.999);
+        prop_assert!(!small.timed_out && !large.timed_out);
+    }
+
+    /// Cloning never loses to no-cloning by more than the heuristic's
+    /// modelled overhead margin, and peak instances respect the cap.
+    #[test]
+    fn cloning_is_safe_and_capped(
+        gb in 1.0f64..100.0,
+        s in 0.0f64..1.0,
+        cap in 1usize..33,
+    ) {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::paper_ladder(32, s);
+        let app = clicklog_app(gb * 1e9, &w);
+        let opts = HurricaneOpts { max_instances: Some(cap), ..HurricaneOpts::default() };
+        let with = simulate(&app, &cluster, &opts);
+        let without = simulate(&app, &cluster, &HurricaneOpts::no_cloning());
+        prop_assert!(with.peak_task_instances <= cap.max(1));
+        prop_assert!(
+            with.total_secs <= without.total_secs * 1.15,
+            "cloning {:.1}s vs NC {:.1}s",
+            with.total_secs,
+            without.total_secs
+        );
+    }
+
+    /// The timeline's total bytes equals the work actually processed:
+    /// at least the input volume, for any skew.
+    #[test]
+    fn timeline_conserves_bytes(gb in 0.5f64..50.0, s in 0.0f64..1.0) {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::paper_ladder(32, s);
+        let app = clicklog_app(gb * 1e9, &w);
+        let r = simulate(&app, &cluster, &HurricaneOpts::default());
+        let expected: f64 = app.tasks.iter().map(|t| t.input_bytes).sum();
+        prop_assert!(
+            (r.timeline.total() - expected).abs() < expected * 1e-6,
+            "timeline {:.3e} vs task volume {:.3e}",
+            r.timeline.total(),
+            expected
+        );
+    }
+
+    /// Crashes delay but never wedge a run, for arbitrary crash times.
+    #[test]
+    fn crashes_never_wedge(
+        crash_at in 5.0f64..60.0,
+        node in 0usize..32,
+        comes_back in prop::bool::ANY,
+    ) {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::uniform(32);
+        let app = clicklog_app(64e9, &w);
+        let baseline = simulate(&app, &cluster, &HurricaneOpts::default());
+        let opts = HurricaneOpts {
+            crashes: vec![CrashEvent {
+                at: crash_at,
+                node,
+                back_at: comes_back.then_some(crash_at + 10.0),
+            }],
+            ..HurricaneOpts::default()
+        };
+        let r = simulate(&app, &cluster, &opts);
+        prop_assert!(!r.timed_out, "crash wedged the run");
+        prop_assert!(r.total_secs + 1e-6 >= baseline.total_secs.min(crash_at),
+            "crashed run faster than fault-free");
+    }
+
+    /// Higher batch factors never slow a disk-bound run.
+    #[test]
+    fn batch_factor_monotone(gb in 100.0f64..400.0) {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::uniform(32);
+        let app = clicklog_app(gb * 1e9, &w);
+        let mut prev = f64::INFINITY;
+        for b in [1u32, 3, 10, 32] {
+            let opts = HurricaneOpts { batch_factor: b, ..HurricaneOpts::default() };
+            let r = simulate(&app, &cluster, &opts);
+            prop_assert!(r.total_secs <= prev * 1.001, "b={b} slower than smaller b");
+            prev = r.total_secs;
+        }
+    }
+
+    /// Join and PageRank cost models also complete deterministically.
+    #[test]
+    fn other_apps_complete(scale in 18u32..26, s in 0.0f64..1.0) {
+        let cluster = ClusterSpec::paper();
+        let w = RegionWeights::zipf(1 << 14, 32, s);
+        let j = simulate(&hashjoin_app(3.2e9, 32e9, &w), &cluster, &HurricaneOpts::default());
+        prop_assert!(!j.timed_out && j.total_secs > 0.0);
+        let p = simulate(&pagerank_app(scale, 3, 32), &cluster, &HurricaneOpts::default());
+        prop_assert!(!p.timed_out && p.total_secs > 0.0);
+        let p2 = simulate(&pagerank_app(scale, 3, 32), &cluster, &HurricaneOpts::default());
+        prop_assert_eq!(p.total_secs, p2.total_secs, "determinism");
+    }
+}
