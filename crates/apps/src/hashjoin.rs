@@ -23,6 +23,9 @@ use hurricane_workloads::join::Tuple;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One joined output row: `(key, r_payload, s_payload)`.
+pub type JoinRow = (u32, u64, u64);
+
 /// Static parameters of a join job.
 #[derive(Debug, Clone, Copy)]
 pub struct HashJoinJob {
@@ -127,7 +130,7 @@ impl HashJoinJob {
         config: HurricaneConfig,
         r: &[Tuple],
         s: &[Tuple],
-    ) -> Result<(Vec<(u32, u64, u64)>, AppReport), EngineError> {
+    ) -> Result<(Vec<JoinRow>, AppReport), EngineError> {
         let plan = self.plan();
         let mut app = HurricaneApp::deploy(plan.graph, cluster, config)?;
         app.fill_source(plan.r_input, r.iter().copied())?;

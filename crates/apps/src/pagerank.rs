@@ -63,9 +63,9 @@ impl MergeLogic for InitMerge {
             // partial carries the same initial contribution (1/N), and
             // the per-clone partial degrees sum to the true out-degree.
             let _ = self.vertices;
-            let keyed = KeyedMerge::<u32, (f64, u32), _>::new(
-                |a: (f64, u32), b: (f64, u32)| (a.0, a.1 + b.1),
-            );
+            let keyed = KeyedMerge::<u32, (f64, u32), _>::new(|a: (f64, u32), b: (f64, u32)| {
+                (a.0, a.1 + b.1)
+            });
             keyed.merge(0, partials, out)
         } else {
             ConcatMerge.merge(output_index, partials, out)
@@ -81,8 +81,7 @@ impl PageRankJob {
         let mut g = GraphBuilder::new();
         let edges_src = g.source("edges");
         let ranks0 = g.bag("ranks.0");
-        let edge_copies: Vec<GraphBag> =
-            (0..iters).map(|i| g.bag(format!("edges.{i}"))).collect();
+        let edge_copies: Vec<GraphBag> = (0..iters).map(|i| g.bag(format!("edges.{i}"))).collect();
         let mut init_outs = vec![ranks0];
         init_outs.extend(&edge_copies);
         // Init: count out-degrees, emit initial rank records, and fan the
@@ -241,10 +240,7 @@ mod tests {
         let (got, _report) = job.run(cluster, config(), edges).expect("pagerank run");
         assert_eq!(got.len(), expected.len());
         for (v, (g, e)) in got.iter().zip(&expected).enumerate() {
-            assert!(
-                (g - e).abs() < 1e-9,
-                "vertex {v}: got {g}, expected {e}"
-            );
+            assert!((g - e).abs() < 1e-9, "vertex {v}: got {g}, expected {e}");
         }
     }
 

@@ -123,8 +123,8 @@ where
     // --- Reduce stage: each partition bound to ONE reducer, statically
     // assigned round-robin to workers. ------------------------------------
     let reduce_start = Instant::now();
-    let mut assignments: Vec<Vec<(usize, BTreeMap<K, Vec<V>>)>> =
-        (0..workers).map(|_| Vec::new()).collect();
+    type ReducerWork<K, V> = Vec<(usize, BTreeMap<K, Vec<V>>)>;
+    let mut assignments: Vec<ReducerWork<K, V>> = (0..workers).map(|_| Vec::new()).collect();
     for (p, g) in groups.into_iter().enumerate() {
         assignments[p % workers].push((p, g));
     }
@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn imbalance_visible_under_skew() {
         // One hot key with expensive reduction vs many cold keys.
-        let inputs = split_input((0..2000u32).map(|i| if i < 1900 { 0 } else { i }).collect(), 4);
+        let inputs = split_input(
+            (0..2000u32).map(|i| if i < 1900 { 0 } else { i }).collect(),
+            4,
+        );
         let (_, report) = mapreduce(
             inputs,
             8,

@@ -42,22 +42,18 @@ fn bench_engines(c: &mut Criterion) {
     g.sample_size(10);
     for &skew in &[0.0f64, 1.0] {
         let input = data(skew);
-        g.bench_with_input(
-            BenchmarkId::new("hurricane", skew),
-            &input,
-            |b, input| {
-                let job = ClickLogJob {
-                    regions: REGIONS,
-                    num_ips: NUM_IPS,
-                };
-                b.iter(|| {
-                    let cluster = StorageCluster::new(4, ClusterConfig::default());
-                    job.run(cluster, hurricane_config(true), input.iter().copied())
-                        .unwrap()
-                        .0
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("hurricane", skew), &input, |b, input| {
+            let job = ClickLogJob {
+                regions: REGIONS,
+                num_ips: NUM_IPS,
+            };
+            b.iter(|| {
+                let cluster = StorageCluster::new(4, ClusterConfig::default());
+                job.run(cluster, hurricane_config(true), input.iter().copied())
+                    .unwrap()
+                    .0
+            })
+        });
         g.bench_with_input(
             BenchmarkId::new("hurricane_nc", skew),
             &input,

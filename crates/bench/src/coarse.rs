@@ -1,0 +1,444 @@
+//! The pre-shard storage baseline, kept for benchmarking.
+//!
+//! This is a faithful port of the storage hot path as it existed before
+//! the sharded refactor (seed commit): every bag at a node lives behind
+//! **one** node-global `Mutex<NodeInner>` (bag map, down flag, draining
+//! flag — all under the same lock), the cluster consults its bag-metadata
+//! mutex twice per operation (`check_bag` then `is_sealed`), and `sample`
+//! pays an O(chunks) scan of the unread suffix. Concurrent workers — the
+//! exact traffic task cloning creates — serialize on the node lock.
+//!
+//! The contended microbenches in `benches/microbench.rs` run identical
+//! workloads against this baseline and the sharded implementation on the
+//! same machine; results are recorded in `BENCH_storage.json`. Stats
+//! counters, error wrapping, and flag checks are preserved from the seed
+//! so the baseline pays exactly the costs the seed paid.
+
+use hurricane_common::metrics::Counter;
+use hurricane_common::{BagId, DetRng, StorageNodeId};
+use hurricane_format::Chunk;
+use hurricane_storage::placement::CyclicPlacement;
+use hurricane_storage::StorageError;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a remove at one node (seed's `NodeRemove`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoarseRemove {
+    /// A chunk was removed.
+    Chunk(Chunk),
+    /// Nothing here right now; the bag is not sealed.
+    Empty,
+    /// Nothing here and the bag is sealed.
+    Eof,
+}
+
+#[derive(Debug, Default)]
+struct Stream {
+    chunks: Vec<Chunk>,
+    next: usize,
+}
+
+impl Stream {
+    /// The seed's O(chunks) remaining-bytes scan.
+    fn remaining_bytes(&self) -> u64 {
+        self.chunks[self.next..]
+            .iter()
+            .map(|c| c.len() as u64)
+            .sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct BagFile {
+    streams: HashMap<u32, Stream>,
+    sealed: bool,
+    total_bytes: u64,
+    collected: bool,
+}
+
+#[derive(Debug, Default)]
+struct NodeInner {
+    bags: HashMap<BagId, BagFile>,
+    down: bool,
+    draining: bool,
+}
+
+/// Per-node hot-path statistics (seed's `NodeStats` subset).
+#[derive(Debug, Default)]
+pub struct CoarseStats {
+    /// Chunks appended.
+    pub inserts: Counter,
+    /// Chunks served.
+    pub removes: Counter,
+    /// Probes that found nothing.
+    pub empty_probes: Counter,
+    /// Bytes appended.
+    pub bytes_in: Counter,
+    /// Bytes served.
+    pub bytes_out: Counter,
+}
+
+/// Aggregate sample mirroring `hurricane_storage::BagSample`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoarseSample {
+    /// Chunks ever inserted.
+    pub total_chunks: u64,
+    /// Chunks still removable.
+    pub remaining_chunks: u64,
+    /// Bytes still removable (computed by scanning).
+    pub remaining_bytes: u64,
+    /// Bytes ever inserted.
+    pub total_bytes: u64,
+}
+
+/// A storage node with the pre-shard single-mutex layout.
+pub struct CoarseNode {
+    id: StorageNodeId,
+    inner: Mutex<NodeInner>,
+    stats: CoarseStats,
+}
+
+impl CoarseNode {
+    fn new(id: StorageNodeId) -> Self {
+        Self {
+            id,
+            inner: Mutex::new(NodeInner::default()),
+            stats: CoarseStats::default(),
+        }
+    }
+
+    /// This node's statistics.
+    pub fn stats(&self) -> &CoarseStats {
+        &self.stats
+    }
+
+    fn check_up(&self, inner: &NodeInner) -> Result<(), StorageError> {
+        if inner.down {
+            Err(StorageError::NodeDown(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn insert_from(&self, bag: BagId, chunk: Chunk, origin: u32) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        if inner.draining {
+            return Err(StorageError::NodeDraining(self.id));
+        }
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        if file.sealed {
+            return Err(StorageError::BagSealed(bag));
+        }
+        file.total_bytes += chunk.len() as u64;
+        self.stats.bytes_in.add(chunk.len() as u64);
+        self.stats.inserts.incr();
+        file.streams.entry(origin).or_default().chunks.push(chunk);
+        Ok(())
+    }
+
+    fn remove_from(&self, bag: BagId, origin: u32) -> Result<CoarseRemove, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        if file.collected {
+            return Err(StorageError::BagCollected(bag));
+        }
+        let sealed = file.sealed;
+        let stream = file.streams.entry(origin).or_default();
+        if stream.next < stream.chunks.len() {
+            let chunk = stream.chunks[stream.next].clone();
+            stream.next += 1;
+            self.stats.removes.incr();
+            self.stats.bytes_out.add(chunk.len() as u64);
+            Ok(CoarseRemove::Chunk(chunk))
+        } else if sealed {
+            self.stats.empty_probes.incr();
+            Ok(CoarseRemove::Eof)
+        } else {
+            self.stats.empty_probes.incr();
+            Ok(CoarseRemove::Empty)
+        }
+    }
+
+    fn mirror_remove(&self, bag: BagId, origin: u32) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let file = inner.bags.entry(bag).or_default();
+        let stream = file.streams.entry(origin).or_default();
+        if stream.next < stream.chunks.len() {
+            stream.next += 1;
+        }
+        Ok(())
+    }
+
+    fn sample(&self, bag: BagId) -> Result<CoarseSample, StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        let own = self.id.0;
+        let file = inner.bags.entry(bag).or_default();
+        let (total, next, remaining_bytes) = file
+            .streams
+            .get(&own)
+            .map(|s| (s.chunks.len(), s.next, s.remaining_bytes()))
+            .unwrap_or((0, 0, 0));
+        Ok(CoarseSample {
+            total_chunks: total as u64,
+            remaining_chunks: (total - next) as u64,
+            remaining_bytes,
+            total_bytes: file.total_bytes,
+        })
+    }
+
+    fn seal(&self, bag: BagId) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        self.check_up(&inner)?;
+        inner.bags.entry(bag).or_default().sealed = true;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct BagMeta {
+    sealed: bool,
+    collected: bool,
+}
+
+/// The pre-shard cluster: nodes behind an `RwLock`, plus one global
+/// bag-metadata **mutex** the hot path consults twice per operation, as
+/// the seed did.
+pub struct CoarseCluster {
+    nodes: RwLock<Vec<Arc<CoarseNode>>>,
+    bags: Mutex<HashMap<BagId, BagMeta>>,
+    replication: usize,
+    next_bag: AtomicU64,
+}
+
+impl CoarseCluster {
+    /// Creates a cluster of `m` nodes with replication factor
+    /// `replication` (1 = none).
+    pub fn new(m: usize, replication: usize) -> Arc<Self> {
+        assert!(m > 0 && replication >= 1 && replication <= m);
+        Arc::new(Self {
+            nodes: RwLock::new(
+                (0..m)
+                    .map(|i| Arc::new(CoarseNode::new(StorageNodeId(i as u32))))
+                    .collect(),
+            ),
+            bags: Mutex::new(HashMap::new()),
+            replication,
+            next_bag: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Allocates a fresh bag id.
+    pub fn create_bag(&self) -> BagId {
+        let id = BagId(self.next_bag.fetch_add(1, Ordering::Relaxed));
+        self.bags.lock().insert(id, BagMeta::default());
+        id
+    }
+
+    fn check_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        let bags = self.bags.lock();
+        match bags.get(&bag) {
+            None => Err(StorageError::UnknownBag(bag)),
+            Some(m) if m.collected => Err(StorageError::BagCollected(bag)),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn is_sealed(&self, bag: BagId) -> Result<bool, StorageError> {
+        self.bags
+            .lock()
+            .get(&bag)
+            .map(|m| m.sealed)
+            .ok_or(StorageError::UnknownBag(bag))
+    }
+
+    /// Seals `bag` cluster-wide.
+    pub fn seal_bag(&self, bag: BagId) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        self.bags
+            .lock()
+            .get_mut(&bag)
+            .ok_or(StorageError::UnknownBag(bag))?
+            .sealed = true;
+        for n in self.nodes.read().iter() {
+            let _ = n.seal(bag);
+        }
+        Ok(())
+    }
+
+    /// Inserts `chunk` at primary `primary_idx`, writing backups — the
+    /// seed's double metadata-lock + per-replica single-chunk calls.
+    pub fn insert(&self, primary_idx: usize, bag: BagId, chunk: Chunk) -> Result<(), StorageError> {
+        self.check_bag(bag)?;
+        if self.is_sealed(bag)? {
+            return Err(StorageError::BagSealed(bag));
+        }
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let mut landed = 0usize;
+        for k in 0..self.replication {
+            if nodes[(primary_idx + k) % m]
+                .insert_from(bag, chunk.clone(), (primary_idx % m) as u32)
+                .is_ok()
+            {
+                landed += 1;
+            }
+        }
+        if landed > 0 {
+            Ok(())
+        } else {
+            Err(StorageError::AllReplicasDown(bag))
+        }
+    }
+
+    /// Removes the next chunk whose primary is `primary_idx`, mirroring
+    /// the pointer advance to backups.
+    pub fn remove(&self, primary_idx: usize, bag: BagId) -> Result<CoarseRemove, StorageError> {
+        self.check_bag(bag)?;
+        let sealed = self.is_sealed(bag)?;
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let origin = (primary_idx % m) as u32;
+        let outcome = nodes[primary_idx % m].remove_from(bag, origin)?;
+        if matches!(outcome, CoarseRemove::Chunk(_)) {
+            for k in 1..self.replication {
+                let _ = nodes[(primary_idx + k) % m].mirror_remove(bag, origin);
+            }
+        }
+        Ok(match outcome {
+            CoarseRemove::Empty if sealed => CoarseRemove::Eof,
+            CoarseRemove::Eof if !sealed => CoarseRemove::Empty,
+            other => other,
+        })
+    }
+
+    /// Aggregated cluster-wide sample (O(chunks) per node, as the seed's
+    /// `remaining_bytes` scan was).
+    pub fn sample_bag(&self, bag: BagId) -> Result<CoarseSample, StorageError> {
+        self.check_bag(bag)?;
+        let mut agg = CoarseSample::default();
+        for n in self.nodes.read().iter() {
+            let s = n.sample(bag)?;
+            agg.total_chunks += s.total_chunks;
+            agg.remaining_chunks += s.remaining_chunks;
+            agg.remaining_bytes += s.remaining_bytes;
+            agg.total_bytes += s.total_bytes;
+        }
+        Ok(agg)
+    }
+}
+
+/// The pre-shard per-worker client: cyclic placement over the coarse
+/// cluster, one storage call per chunk (the seed's `BagClient` probe
+/// loop).
+pub struct CoarseClient {
+    cluster: Arc<CoarseCluster>,
+    bag: BagId,
+    insert_cursor: CyclicPlacement,
+    remove_cursor: CyclicPlacement,
+}
+
+impl CoarseClient {
+    /// Creates a client for `bag` with placement seeded by `seed`.
+    pub fn new(cluster: Arc<CoarseCluster>, bag: BagId, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let m = cluster.num_nodes();
+        Self {
+            insert_cursor: CyclicPlacement::new(m, &mut rng),
+            remove_cursor: CyclicPlacement::new(m, &mut rng),
+            cluster,
+            bag,
+        }
+    }
+
+    /// Inserts one chunk at the next node in cyclic order.
+    pub fn insert(&mut self, chunk: Chunk) -> Result<(), StorageError> {
+        let target = self.insert_cursor.next_node();
+        self.cluster.insert(target, self.bag, chunk)
+    }
+
+    /// Attempts to remove one chunk, probing up to one full cycle.
+    pub fn try_remove(&mut self) -> Result<Option<Chunk>, StorageError> {
+        let m = self.remove_cursor.len();
+        for _ in 0..m {
+            let target = self.remove_cursor.next_node();
+            if let CoarseRemove::Chunk(c) = self.cluster.remove(target, self.bag)? {
+                return Ok(Some(c));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_roundtrip() {
+        let cluster = CoarseCluster::new(4, 1);
+        let bag = cluster.create_bag();
+        let mut client = CoarseClient::new(cluster.clone(), bag, 7);
+        for i in 0..100u64 {
+            client
+                .insert(Chunk::from_vec(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let s = cluster.sample_bag(bag).unwrap();
+        assert_eq!(s.total_chunks, 100);
+        assert_eq!(s.remaining_bytes, 800);
+        let mut n = 0;
+        while client.try_remove().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert_eq!(cluster.sample_bag(bag).unwrap().remaining_chunks, 0);
+    }
+
+    #[test]
+    fn coarse_replication_mirrors() {
+        let cluster = CoarseCluster::new(3, 2);
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, Chunk::from_vec(vec![1])).unwrap();
+        cluster.insert(0, bag, Chunk::from_vec(vec![2])).unwrap();
+        assert!(matches!(
+            cluster.remove(0, bag).unwrap(),
+            CoarseRemove::Chunk(_)
+        ));
+        // Backup pointer mirrored: the next origin-0 chunk at the backup
+        // is chunk 2.
+        let backup = cluster.nodes.read()[1].clone();
+        match backup.remove_from(bag, 0).unwrap() {
+            CoarseRemove::Chunk(c) => assert_eq!(c.bytes(), &[2]),
+            other => panic!("expected chunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coarse_sealed_semantics() {
+        let cluster = CoarseCluster::new(2, 1);
+        let bag = cluster.create_bag();
+        assert_eq!(cluster.remove(0, bag).unwrap(), CoarseRemove::Empty);
+        cluster.seal_bag(bag).unwrap();
+        assert_eq!(cluster.remove(0, bag).unwrap(), CoarseRemove::Eof);
+        assert!(matches!(
+            cluster.insert(0, bag, Chunk::from_vec(vec![1])),
+            Err(StorageError::BagSealed(_))
+        ));
+    }
+}

@@ -12,8 +12,8 @@ use hurricane_sim::apps::{
     storage_scaling_bandwidth,
 };
 use hurricane_sim::baselines::{
-    best_static_run, indivisible_partitions, weighted_partitions, StaticEngineSpec,
-    StaticOutcome, StaticPhase,
+    best_static_run, indivisible_partitions, weighted_partitions, StaticEngineSpec, StaticOutcome,
+    StaticPhase,
 };
 use hurricane_sim::engine::simulate;
 use hurricane_sim::spec::{
@@ -76,10 +76,17 @@ pub fn table1() -> Vec<(String, f64)> {
     let cluster = ClusterSpec::paper();
     let uniform = RegionWeights::uniform(REGIONS);
     let mut rows = Vec::new();
-    output::banner("Table 1", "ClickLog runtime over a uniform input (32 machines)");
+    output::banner(
+        "Table 1",
+        "ClickLog runtime over a uniform input (32 machines)",
+    );
     output::row(&["input".into(), "paper".into(), "measured".into()]);
     for (i, &(label, bytes)) in SIZES.iter().enumerate() {
-        let r = simulate(&clicklog_app(bytes, &uniform), &cluster, &HurricaneOpts::default());
+        let r = simulate(
+            &clicklog_app(bytes, &uniform),
+            &cluster,
+            &HurricaneOpts::default(),
+        );
         output::row(&[
             label.into(),
             output::secs(PAPER_TABLE1[i]),
@@ -166,11 +173,10 @@ pub fn fig6() -> Vec<Fig6Point> {
         let h = simulate(&app, &cluster, &HurricaneOpts::default());
         let nc = simulate(&app, &cluster, &HurricaneOpts::no_cloning());
         let masses = hurricane_workloads::zipf::region_masses(num_keys, parts, 1.0);
-        let amdahl =
-            hurricane_workloads::zipf::amdahl_slowdown(
-                hurricane_workloads::zipf::largest_fraction(&masses),
-                cluster.machines,
-            );
+        let amdahl = hurricane_workloads::zipf::amdahl_slowdown(
+            hurricane_workloads::zipf::largest_fraction(&masses),
+            cluster.machines,
+        );
         output::row(&[
             parts.to_string(),
             output::secs(h.total_secs),
@@ -236,7 +242,10 @@ pub fn fig7_8() -> Vec<ConfigPoint> {
             p2.push(r.phase_secs.get("phase2").copied().unwrap_or(0.0));
         }
         let fmt_vec = |v: &[f64]| {
-            v.iter().map(|x| format!("{x:.0}")).collect::<Vec<_>>().join("/")
+            v.iter()
+                .map(|x| format!("{x:.0}"))
+                .collect::<Vec<_>>()
+                .join("/")
         };
         output::row(&[
             name.into(),
@@ -312,7 +321,10 @@ pub fn fig11() -> hurricane_sim::SimResult {
         "Throughput with node crashes (t=20s, 80s) and master crashes (t=45s, 105s)",
     );
     output::strip_chart(&r.timeline.bucketize(5.0), 48);
-    println!("total runtime: {} (fault-free: see Table 1's 320GB row)", output::secs(r.total_secs));
+    println!(
+        "total runtime: {} (fault-free: see Table 1's 320GB row)",
+        output::secs(r.total_secs)
+    );
     r
 }
 
@@ -381,7 +393,12 @@ pub fn utilization_table() -> Vec<(u32, u32, f64, f64)> {
         "Eq. 1",
         "Storage utilization ρ(b,m) = 1 − (1 − 1/m)^(bm): analytic vs Monte-Carlo",
     );
-    output::row(&["b".into(), "m".into(), "analytic".into(), "simulated".into()]);
+    output::row(&[
+        "b".into(),
+        "m".into(),
+        "analytic".into(),
+        "simulated".into(),
+    ]);
     let mut rng = hurricane_common::DetRng::new(0xE91);
     let mut rows = Vec::new();
     for &m in &[8u32, 32, 128, 1000] {
@@ -427,7 +444,10 @@ pub fn clicklog_static_phases(total: f64, weights: &RegionWeights, n: usize) -> 
 pub fn table2() -> Vec<(String, f64, StaticOutcome, StaticOutcome)> {
     let cluster = ClusterSpec::paper();
     let uniform = RegionWeights::uniform(REGIONS);
-    output::banner("Table 2", "ClickLog over uniform input: Hurricane vs Spark vs Hadoop");
+    output::banner(
+        "Table 2",
+        "ClickLog over uniform input: Hurricane vs Spark vs Hadoop",
+    );
     output::row(&[
         "input".into(),
         "Hurricane".into(),
@@ -437,8 +457,15 @@ pub fn table2() -> Vec<(String, f64, StaticOutcome, StaticOutcome)> {
     ]);
     let paper = [(5.7, 8.2, 37.1), (22.8, 32.4, 50.3)];
     let mut rows = Vec::new();
-    for (i, &(label, bytes)) in [("320MB", 0.32 * GB), ("32GB", 32.0 * GB)].iter().enumerate() {
-        let h = simulate(&clicklog_app(bytes, &uniform), &cluster, &HurricaneOpts::default());
+    for (i, &(label, bytes)) in [("320MB", 0.32 * GB), ("32GB", 32.0 * GB)]
+        .iter()
+        .enumerate()
+    {
+        let h = simulate(
+            &clicklog_app(bytes, &uniform),
+            &cluster,
+            &HurricaneOpts::default(),
+        );
         let spark = best_static_run(
             |n| clicklog_static_phases(bytes, &uniform, n),
             &cluster,
@@ -486,9 +513,12 @@ pub fn fig12() -> Vec<Vec<(f64, Fig12Cell, Fig12Cell)>> {
     );
     let mut out = Vec::new();
     for &(label, bytes) in &[("320MB", 0.32 * GB), ("32GB", 32.0 * GB)] {
-        let h_base =
-            simulate(&clicklog_app(bytes, &uniform), &cluster, &HurricaneOpts::default())
-                .total_secs;
+        let h_base = simulate(
+            &clicklog_app(bytes, &uniform),
+            &cluster,
+            &HurricaneOpts::default(),
+        )
+        .total_secs;
         let sp_base = best_static_run(
             |n| clicklog_static_phases(bytes, &uniform, n),
             &cluster,
@@ -508,8 +538,12 @@ pub fn fig12() -> Vec<Vec<(f64, Fig12Cell, Fig12Cell)>> {
         let mut size_rows = Vec::new();
         for &s in &SKEWS {
             let w = if s == 0.0 { uniform.clone() } else { ladder(s) };
-            let h = simulate(&clicklog_app(bytes, &w), &cluster, &HurricaneOpts::default())
-                .total_secs
+            let h = simulate(
+                &clicklog_app(bytes, &w),
+                &cluster,
+                &HurricaneOpts::default(),
+            )
+            .total_secs
                 / h_base;
             let cell = |o: StaticOutcome, base: f64| match o {
                 StaticOutcome::Finished(v) => Fig12Cell::Slowdown(v / base),
@@ -555,7 +589,10 @@ pub fn fig12() -> Vec<Vec<(f64, Fig12Cell, Fig12Cell)>> {
 /// Table 3: HashJoin — Hurricane vs Spark, two size pairs × two skews.
 pub fn table3() -> Vec<(String, f64, StaticOutcome)> {
     let cluster = ClusterSpec::paper();
-    output::banner("Table 3", "HashJoin runtime (paper: H 56/89/519/1216s, Spark 81/1615/920/>12h)");
+    output::banner(
+        "Table 3",
+        "HashJoin runtime (paper: H 56/89/519/1216s, Spark 81/1615/920/>12h)",
+    );
     output::row(&[
         "join".into(),
         "skew".into(),
@@ -574,7 +611,11 @@ pub fn table3() -> Vec<(String, f64, StaticOutcome)> {
     for &(small, large) in &[(3.2 * GB, 32.0 * GB), (32.0 * GB, 320.0 * GB)] {
         for (si, &s) in [0.0f64, 1.0].iter().enumerate() {
             let w = RegionWeights::zipf(1 << 16, REGIONS, s);
-            let h = simulate(&hashjoin_app(small, large, &w), &cluster, &HurricaneOpts::default());
+            let h = simulate(
+                &hashjoin_app(small, large, &w),
+                &cluster,
+                &HurricaneOpts::default(),
+            );
             let keys = &key_masses[si];
             let spark = best_static_run(
                 |n| {
@@ -611,11 +652,18 @@ pub fn table3() -> Vec<(String, f64, StaticOutcome)> {
 /// Table 4: PageRank (5 iterations) — Hurricane vs GraphX on RMAT graphs.
 pub fn table4() -> Vec<(u32, f64, StaticOutcome)> {
     let cluster = ClusterSpec::paper();
-    output::banner("Table 4", "PageRank x5 iterations (paper: H 38/225/688s, GraphX 189/3007/>12h)");
+    output::banner(
+        "Table 4",
+        "PageRank x5 iterations (paper: H 38/225/688s, GraphX 189/3007/>12h)",
+    );
     output::row(&["graph".into(), "Hurricane".into(), "GraphX".into()]);
     let mut rows = Vec::new();
     for scale in [24u32, 27, 30] {
-        let h = simulate(&pagerank_app(scale, 5, REGIONS), &cluster, &HurricaneOpts::default());
+        let h = simulate(
+            &pagerank_app(scale, 5, REGIONS),
+            &cluster,
+            &HurricaneOpts::default(),
+        );
         let total = (hurricane_workloads::rmat::EDGE_FACTOR << scale) as f64 * 12.0;
         let gx = best_static_run(
             |n| {

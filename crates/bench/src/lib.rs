@@ -24,5 +24,6 @@
 //! | `ablation_clone_interval` | extension — clone-interval sensitivity |
 //! | `real_engine` | laptop-scale: real runtime vs real static engine |
 
+pub mod coarse;
 pub mod experiments;
 pub mod output;

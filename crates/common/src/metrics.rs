@@ -182,11 +182,7 @@ impl TimeSeries {
         if self.events.is_empty() {
             return Vec::new();
         }
-        let end = self
-            .events
-            .iter()
-            .map(|&(t, _)| t)
-            .fold(0.0f64, f64::max);
+        let end = self.events.iter().map(|&(t, _)| t).fold(0.0f64, f64::max);
         let n = (end / bucket_width).floor() as usize + 1;
         let mut sums = vec![0.0f64; n];
         for &(t, v) in &self.events {

@@ -102,7 +102,9 @@ impl HurricaneApp {
         cluster: Arc<StorageCluster>,
         config: HurricaneConfig,
     ) -> Result<Self, EngineError> {
-        let bag_map: Vec<BagId> = (0..graph.num_bags()).map(|_| cluster.create_bag()).collect();
+        let bag_map: Vec<BagId> = (0..graph.num_bags())
+            .map(|_| cluster.create_bag())
+            .collect();
         let workbags = WorkBagIds {
             ready: cluster.create_bag(),
             running: cluster.create_bag(),
@@ -134,7 +136,9 @@ impl HurricaneApp {
         &self.cluster
     }
 
-    /// Opens a writer for filling a source bag before the run.
+    /// Opens a writer for filling a source bag before the run. Bulk
+    /// loading batches inserts at the configured batch factor, so a
+    /// source fill issues one storage call per node per `b` chunks.
     pub fn source_writer(&self, bag: GraphBag) -> Result<BagWriter, EngineError> {
         if self.graph.bag(bag).kind != BagKind::Source {
             return Err(EngineError::InvalidGraph(format!(
@@ -142,11 +146,12 @@ impl HurricaneApp {
                 self.graph.bag(bag).name
             )));
         }
-        Ok(BagWriter::open(
+        Ok(BagWriter::open_batched(
             self.cluster.clone(),
             self.physical_bag(bag),
             self.seeds.next(),
             self.config.chunk_size,
+            self.config.batch_factor,
         ))
     }
 
@@ -174,6 +179,7 @@ impl HurricaneApp {
         for c in chunks {
             w.emit_chunk(c)?;
         }
+        w.flush()?;
         Ok(())
     }
 

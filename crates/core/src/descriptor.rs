@@ -235,7 +235,14 @@ impl Record for LogRecord {
                 outputs,
             } => {
                 LOG_SCHEDULED.encode(out);
-                (*kind, *instance, *generation, inputs.clone(), outputs.clone()).encode(out);
+                (
+                    *kind,
+                    *instance,
+                    *generation,
+                    inputs.clone(),
+                    outputs.clone(),
+                )
+                    .encode(out);
             }
             LogRecord::Restarted {
                 task,
@@ -280,7 +287,14 @@ impl Record for LogRecord {
                 inputs,
                 outputs,
             } => {
-                1 + (*kind, *instance, *generation, inputs.clone(), outputs.clone()).encoded_len()
+                1 + (
+                    *kind,
+                    *instance,
+                    *generation,
+                    inputs.clone(),
+                    outputs.clone(),
+                )
+                    .encoded_len()
             }
             LogRecord::Restarted {
                 task,

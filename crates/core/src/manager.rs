@@ -187,11 +187,8 @@ pub fn spawn_manager(node_id: u32, deps: ManagerDeps) -> ComputeNodeHandle {
 }
 
 fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
-    let mut ready = WorkBag::<Descriptor>::new(
-        deps.cluster.clone(),
-        deps.workbags.ready,
-        deps.seeds.next(),
-    );
+    let mut ready =
+        WorkBag::<Descriptor>::new(deps.cluster.clone(), deps.workbags.ready, deps.seeds.next());
     let mut running = WorkBag::<RunningRecord>::new(
         deps.cluster.clone(),
         deps.workbags.running,
@@ -210,10 +207,7 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
         match ready.try_take() {
             Ok(Some(desc)) => {
                 let inst = desc.instance_id();
-                if deps
-                    .kill
-                    .is_killed(inst.task.0, desc.generation)
-                {
+                if deps.kill.is_killed(inst.task.0, desc.generation) {
                     continue; // Stale descriptor from a restarted task.
                 }
                 let rec = RunningRecord {
@@ -251,8 +245,7 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
 fn run_unit(node_id: u32, desc: Descriptor, deps: ManagerDeps, node_alive: Arc<AtomicBool>) {
     let inst = desc.instance_id();
     let key = (inst.task.0, desc.generation, inst.clone.0, desc.kind);
-    deps.registry
-        .register(key.0, key.1, key.2, key.3, node_id);
+    deps.registry.register(key.0, key.1, key.2, key.3, node_id);
     let _guard = RegistryGuard {
         registry: &deps.registry,
         key,
@@ -324,11 +317,12 @@ fn run_task(
         .outputs
         .iter()
         .map(|&b| {
-            BagWriter::open(
+            BagWriter::open_batched(
                 deps.cluster.clone(),
                 BagId(b),
                 deps.seeds.next(),
                 deps.config.chunk_size,
+                deps.config.batch_factor,
             )
         })
         .collect();
@@ -349,10 +343,14 @@ fn run_task(
     Ok(())
 }
 
-fn run_merge(desc: &Descriptor, deps: &ManagerDeps, probe: &CancelProbe) -> Result<(), EngineError> {
+fn run_merge(
+    desc: &Descriptor,
+    deps: &ManagerDeps,
+    probe: &CancelProbe,
+) -> Result<(), EngineError> {
     let inst = desc.instance_id();
     let stride = desc.outputs.len();
-    debug_assert!(stride > 0 && desc.inputs.len() % stride == 0);
+    debug_assert!(stride > 0 && desc.inputs.len().is_multiple_of(stride));
     let instances = desc.inputs.len() / stride;
     let merge: Arc<dyn MergeLogic> = if instances == 1 {
         // A single partial is definitionally the final output: identity.
@@ -376,11 +374,12 @@ fn run_merge(desc: &Descriptor, deps: &ManagerDeps, probe: &CancelProbe) -> Resu
                 )
             })
             .collect();
-        let mut out = BagWriter::open(
+        let mut out = BagWriter::open_batched(
             deps.cluster.clone(),
             BagId(out_bag),
             deps.seeds.next(),
             deps.config.chunk_size,
+            deps.config.batch_factor,
         );
         merge.merge(out_idx, &mut partials, &mut out)?;
         out.flush()?;

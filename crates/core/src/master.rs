@@ -109,7 +109,9 @@ pub struct Master {
 impl Master {
     /// Creates a fresh master for a newly deployed application.
     pub fn new(deps: MasterDeps, control_rx: Receiver<ControlMsg>) -> Self {
-        let state = (0..deps.graph.num_tasks()).map(|_| TaskState::default()).collect();
+        let state = (0..deps.graph.num_tasks())
+            .map(|_| TaskState::default())
+            .collect();
         Self {
             ready: WorkBag::new(deps.cluster.clone(), deps.workbags.ready, deps.seeds.next()),
             done_bag: WorkBag::new(deps.cluster.clone(), deps.workbags.done, deps.seeds.next()),
@@ -189,13 +191,19 @@ impl Master {
                             message,
                         });
                     }
-                    ControlMsg::CrashMaster => {
-                        return Ok(MasterOutcome::Crashed(self.control_rx))
-                    }
+                    ControlMsg::CrashMaster => return Ok(MasterOutcome::Crashed(self.control_rx)),
                 }
             }
-            while let Some(rec) = self.done_bag.try_take()? {
-                self.handle_done(rec);
+            // Batched claim: completions arrive in bursts when clones
+            // finish together; one storage pass drains the whole burst.
+            loop {
+                let recs = self.done_bag.try_take_batch(32)?;
+                if recs.is_empty() {
+                    break;
+                }
+                for rec in recs {
+                    self.handle_done(rec);
+                }
             }
             self.progress()?;
             if self.state.iter().all(|s| s.completed) {
@@ -236,7 +244,14 @@ impl Master {
 
     /// Advances the execution graph: schedules tasks whose inputs are
     /// complete, injects merges, seals outputs of finished tasks.
+    ///
+    /// Newly runnable tasks are gathered across the whole pass and their
+    /// descriptors inserted with one batched work-bag write: at
+    /// application start (and whenever one completion unlocks several
+    /// dependents) the schedule burst costs one storage round-trip per
+    /// node instead of one per task.
     fn progress(&mut self) -> Result<(), EngineError> {
+        let mut burst: Vec<Descriptor> = Vec::new();
         for idx in 0..self.state.len() {
             let t = TaskId(idx as u32);
             if self.state[idx].completed {
@@ -254,13 +269,12 @@ impl Master {
                     .into_iter()
                     .all(|s| s);
                 if ready {
-                    self.schedule_instance(t, 0)?;
+                    burst.push(self.make_instance_descriptor(t, 0));
                 }
                 continue;
             }
             let st = &self.state[idx];
-            let all_done =
-                st.done.len() as u32 == st.instances && st.instances > 0;
+            let all_done = st.done.len() as u32 == st.instances && st.instances > 0;
             if !all_done {
                 continue;
             }
@@ -279,6 +293,7 @@ impl Master {
                 self.complete_task(t)?;
             }
         }
+        self.ready.insert_batch(&burst)?;
         Ok(())
     }
 
@@ -290,8 +305,13 @@ impl Master {
         Ok(())
     }
 
-    /// Schedules instance `clone_id` of task `t` at its current generation.
-    fn schedule_instance(&mut self, t: TaskId, clone_id: u32) -> Result<(), EngineError> {
+    /// Builds the descriptor for instance `clone_id` of task `t` at its
+    /// current generation and records it in the task's in-memory state.
+    /// The caller inserts the descriptor into the ready bag (singly or as
+    /// part of a batch); master state is purely in-memory and is rebuilt
+    /// from the bags on crash recovery, so a crash between this call and
+    /// the insert simply leaves the task unscheduled.
+    fn make_instance_descriptor(&mut self, t: TaskId, clone_id: u32) -> Descriptor {
         let has_merge = self.deps.graph.task(t).merge.is_some();
         let outputs: Vec<u64> = if has_merge {
             // Allocate (or reuse, after a restart) this instance's partial
@@ -318,10 +338,16 @@ impl Master {
             inputs: self.task_input_bags(t),
             outputs,
         };
-        self.ready.insert(&desc)?;
         let st = &mut self.state[t.index()];
         st.scheduled = true;
         st.instances = st.instances.max(clone_id + 1);
+        desc
+    }
+
+    /// Schedules instance `clone_id` of task `t` at its current generation.
+    fn schedule_instance(&mut self, t: TaskId, clone_id: u32) -> Result<(), EngineError> {
+        let desc = self.make_instance_descriptor(t, clone_id);
+        self.ready.insert(&desc)?;
         Ok(())
     }
 
@@ -361,11 +387,9 @@ impl Master {
             return; // Stale completion from a restarted generation.
         }
         match rec.kind {
-            KIND_MERGE => {
-                if st.merge_scheduled && !st.merge_done {
-                    st.merge_done = true;
-                    self.report.merges_run += 1;
-                }
+            KIND_MERGE if st.merge_scheduled && !st.merge_done => {
+                st.merge_done = true;
+                self.report.merges_run += 1;
             }
             KIND_TASK => {
                 let c = inst.clone.0;

@@ -417,7 +417,11 @@ mod tests {
     #[test]
     fn reduce_sums_counts() {
         // Paper Phase 3 merge: output.insert(partial1 + partial2).
-        let got: Vec<u64> = run_merge(4, |i| vec![(i as u64 + 1) * 100], ReduceMerge::new(|a: u64, b: u64| a + b));
+        let got: Vec<u64> = run_merge(
+            4,
+            |i| vec![(i as u64 + 1) * 100],
+            ReduceMerge::new(|a: u64, b: u64| a + b),
+        );
         assert_eq!(got, vec![1000]);
     }
 
@@ -456,12 +460,7 @@ mod tests {
     fn keyed_merge_combines_per_key() {
         let got: Vec<(String, u64)> = run_merge(
             2,
-            |i| {
-                vec![
-                    ("usa".to_string(), 10 + i as u64),
-                    (format!("only{i}"), 1),
-                ]
-            },
+            |i| vec![("usa".to_string(), 10 + i as u64), (format!("only{i}"), 1)],
             KeyedMerge::<String, u64, _>::new(|a, b| a + b),
         );
         let usa = got.iter().find(|(k, _)| k == "usa").unwrap();
@@ -477,7 +476,10 @@ mod tests {
             SortedMerge::<u64>::new(),
         );
         assert_eq!(got.len(), 30);
-        assert!(got.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+        assert!(
+            got.windows(2).all(|w| w[0] <= w[1]),
+            "output must be sorted"
+        );
     }
 
     #[test]
@@ -495,13 +497,21 @@ mod tests {
 
     #[test]
     fn topk_keeps_largest() {
-        let got: Vec<u64> = run_merge(2, |i| (0..20).map(|j| j + i as u64 * 100).collect(), TopKMerge::<u64>::new(3));
+        let got: Vec<u64> = run_merge(
+            2,
+            |i| (0..20).map(|j| j + i as u64 * 100).collect(),
+            TopKMerge::<u64>::new(3),
+        );
         assert_eq!(got, vec![119, 118, 117]);
     }
 
     #[test]
     fn median_of_all_partials() {
-        let got: Vec<u64> = run_merge(2, |i| if i == 0 { vec![1, 9, 5] } else { vec![3, 7] }, MedianMerge::<u64>::new());
+        let got: Vec<u64> = run_merge(
+            2,
+            |i| if i == 0 { vec![1, 9, 5] } else { vec![3, 7] },
+            MedianMerge::<u64>::new(),
+        );
         assert_eq!(got, vec![5]);
     }
 

@@ -19,8 +19,9 @@ use crate::error::EngineError;
 use crossbeam::channel::Sender;
 use hurricane_common::{BagId, TaskInstanceId};
 use hurricane_format::{Chunk, Record};
-use hurricane_storage::{BagClient, StorageCluster};
+use hurricane_storage::batch::ChunkBatch;
 use hurricane_storage::prefetch::Prefetcher;
+use hurricane_storage::{BagClient, StorageCluster};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -126,8 +127,7 @@ pub struct CancelProbe {
 impl CancelProbe {
     /// Returns whether the owning worker should abort.
     pub fn cancelled(&self) -> bool {
-        !self.node_alive.load(Ordering::Relaxed)
-            || self.kill.is_killed(self.task, self.generation)
+        !self.node_alive.load(Ordering::Relaxed) || self.kill.is_killed(self.task, self.generation)
     }
 }
 
@@ -178,29 +178,49 @@ impl BagReader {
 }
 
 /// A buffering writer into one bag: records accumulate into chunks of the
-/// configured size (never splitting a record) and chunks spread across
-/// storage nodes in pseudorandom cyclic order.
+/// configured size (never splitting a record), sealed chunks accumulate
+/// into a [`ChunkBatch`] of up to the write batch factor, and whole
+/// batches spread across storage nodes in pseudorandom cyclic order — one
+/// storage call per node per batch instead of one per chunk.
 pub struct BagWriter {
     client: BagClient,
     buf: Vec<u8>,
+    batch: ChunkBatch,
     chunk_size: usize,
     bytes_written: u64,
     chunks_written: u64,
 }
 
 impl BagWriter {
-    /// Opens a writer targeting `bag` with the given chunk capacity.
+    /// Opens a writer targeting `bag` with the given chunk capacity,
+    /// inserting each chunk as it is sealed (write batch factor 1).
     pub fn open(cluster: Arc<StorageCluster>, bag: BagId, seed: u64, chunk_size: usize) -> Self {
+        Self::open_batched(cluster, bag, seed, chunk_size, 1)
+    }
+
+    /// Opens a writer that holds up to `batch_factor` sealed chunks and
+    /// inserts them with batched storage calls. The runtime wires the
+    /// configured batch-sampling factor `b` through here so task output
+    /// ports flush whole chunk runs at once.
+    pub fn open_batched(
+        cluster: Arc<StorageCluster>,
+        bag: BagId,
+        seed: u64,
+        chunk_size: usize,
+        batch_factor: usize,
+    ) -> Self {
         Self {
             client: BagClient::new(cluster, bag, seed),
             buf: Vec::with_capacity(chunk_size),
+            batch: ChunkBatch::new(batch_factor.max(1)),
             chunk_size,
             bytes_written: 0,
             chunks_written: 0,
         }
     }
 
-    /// Appends one record, sealing and inserting a chunk when full.
+    /// Appends one record, sealing a chunk (and, at the batch factor,
+    /// inserting the pending batch) when full.
     pub fn write_record<T: Record>(&mut self, record: &T) -> Result<(), EngineError> {
         let len = record.encoded_len();
         if len > self.chunk_size {
@@ -212,30 +232,43 @@ impl BagWriter {
             ));
         }
         if self.buf.len() + len > self.chunk_size {
-            self.flush()?;
+            self.seal_chunk()?;
         }
         record.encode(&mut self.buf);
         Ok(())
     }
 
     /// Inserts a pre-built chunk directly (bypassing the record buffer).
+    /// Buffered records are sealed first so framing is preserved.
     pub fn emit_chunk(&mut self, chunk: Chunk) -> Result<(), EngineError> {
-        self.flush()?;
+        self.seal_chunk()?;
         self.bytes_written += chunk.len() as u64;
         self.chunks_written += 1;
-        self.client.insert(chunk)?;
+        if self.batch.push(chunk) {
+            self.batch.flush_into(&mut self.client)?;
+        }
         Ok(())
     }
 
-    /// Seals buffered records into a chunk and inserts it.
-    pub fn flush(&mut self) -> Result<(), EngineError> {
+    /// Seals buffered records into a chunk, queueing it on the batch.
+    fn seal_chunk(&mut self) -> Result<(), EngineError> {
         if self.buf.is_empty() {
             return Ok(());
         }
         let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
         self.bytes_written += data.len() as u64;
         self.chunks_written += 1;
-        self.client.insert(Chunk::from_vec(data))?;
+        if self.batch.push(Chunk::from_vec(data)) {
+            self.batch.flush_into(&mut self.client)?;
+        }
+        Ok(())
+    }
+
+    /// Seals buffered records and inserts every pending chunk. After
+    /// `flush` returns, all written data is visible in the bag.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        self.seal_chunk()?;
+        self.batch.flush_into(&mut self.client)?;
         Ok(())
     }
 
@@ -331,7 +364,7 @@ impl TaskCtx {
         let chunks = self.cluster.snapshot_bag(self.input_bags[i])?;
         let mut out = Vec::new();
         for c in &chunks {
-            out.extend(hurricane_format::decode_all::<T>(&c)?);
+            out.extend(hurricane_format::decode_all::<T>(c)?);
         }
         Ok(out)
     }
@@ -503,6 +536,41 @@ mod tests {
         let mut r = BagReader::open(cluster, bag, 3, 2, Some(probe));
         alive.store(false, Ordering::Relaxed);
         assert_eq!(r.next_chunk(), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn batched_writer_defers_then_delivers_all() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open_batched(cluster.clone(), bag, 1, 64, 8);
+        for i in 0..20u8 {
+            w.emit_chunk(Chunk::from_vec(vec![i])).unwrap();
+        }
+        // 20 chunks emitted; 16 inserted via 2 full batches, 4 pending.
+        assert_eq!(w.chunks_written(), 20);
+        assert_eq!(cluster.sample_bag(bag).unwrap().total_chunks, 16);
+        w.flush().unwrap();
+        assert_eq!(cluster.sample_bag(bag).unwrap().total_chunks, 20);
+    }
+
+    #[test]
+    fn batched_writer_record_roundtrip() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open_batched(cluster.clone(), bag, 1, 16, 4);
+        for i in 0..200u64 {
+            w.write_record(&i).unwrap();
+        }
+        w.flush().unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let mut r = BagReader::open(cluster, bag, 2, 4, None);
+        let mut seen = Vec::new();
+        while let Some(c) = r.next_chunk().unwrap() {
+            seen.extend(hurricane_format::decode_all::<u64>(&c).unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200u64).collect::<Vec<_>>());
+        assert_eq!(r.chunks_read(), w.chunks_written());
     }
 
     #[test]

@@ -99,8 +99,7 @@ fn cloning_kicks_in_on_long_tasks() {
 #[test]
 fn hurricane_nc_never_clones() {
     let cluster = StorageCluster::new(4, ClusterConfig::default());
-    let (mut app, input, summed) =
-        sum_pipeline(cluster, test_config().without_cloning(), 300);
+    let (mut app, input, summed) = sum_pipeline(cluster, test_config().without_cloning(), 300);
     let n = 5_000u64;
     app.fill_source(input, 0..n).unwrap();
     let report = app.run().unwrap();

@@ -94,6 +94,9 @@ mod tests {
 
     #[test]
     fn debug_shows_size() {
-        assert_eq!(format!("{:?}", Chunk::from_vec(vec![9; 5])), "Chunk(5 bytes)");
+        assert_eq!(
+            format!("{:?}", Chunk::from_vec(vec![9; 5])),
+            "Chunk(5 bytes)"
+        );
     }
 }

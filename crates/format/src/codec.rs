@@ -272,8 +272,7 @@ impl<T: Record> Record for Vec<T> {
     }
 
     fn encoded_len(&self) -> usize {
-        varint::encoded_len(self.len() as u64)
-            + self.iter().map(Record::encoded_len).sum::<usize>()
+        varint::encoded_len(self.len() as u64) + self.iter().map(Record::encoded_len).sum::<usize>()
     }
 }
 

@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn chunks_respect_capacity_and_roundtrip() {
-        let records: Vec<(u64, String)> =
-            (0..500).map(|i| (i, format!("value-{i}"))).collect();
+        let records: Vec<(u64, String)> = (0..500).map(|i| (i, format!("value-{i}"))).collect();
         let chunks = encode_all(records.clone(), 64).unwrap();
         assert!(chunks.len() > 1, "should have split into several chunks");
         for c in &chunks {

@@ -1,0 +1,400 @@
+//! Offline shim of the `criterion` benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this crate implements
+//! the subset of criterion's API the workspace benches use, backed by a
+//! simple adaptive wall-clock measurement: warm up, pick an iteration
+//! count that fills the sample window, take samples, report the median.
+//!
+//! Extras over plain criterion output:
+//!
+//! * `BENCH_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"name", "ns_per_iter", "elems_per_sec"}`) — used by the repo's
+//!   `BENCH_*.json` record keeping.
+//! * A positional CLI argument filters benchmarks by substring, matching
+//!   `cargo bench -- <filter>` behaviour.
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The shim times each routine call individually, so the variants behave
+/// identically; the type exists for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: criterion would batch many per sample.
+    SmallInput,
+    /// Large setup output: criterion would batch few per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured sample set, reduced to its median.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    ns_per_iter: f64,
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+/// Target wall-clock time for the measurement phase of one benchmark.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(1500);
+/// Target wall-clock time for warm-up.
+const WARMUP_WINDOW: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Measures `routine`, called in a timed loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the window elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Choose per-sample iteration counts that fill the sample window.
+        let samples = self.sample_size.max(5);
+        let total_iters =
+            ((SAMPLE_WINDOW.as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.measurement = Some(Measurement {
+            ns_per_iter: per_iter[per_iter.len() / 2],
+        });
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up (setup cost excluded from the estimate's numerator).
+        let mut warm_iters = 0u64;
+        let mut warm_busy = Duration::ZERO;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            warm_busy += t.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (warm_busy.as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let samples = self.sample_size.max(5);
+        let total_iters =
+            ((SAMPLE_WINDOW.as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
+        let iters_per_sample = (total_iters / samples as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                hint::black_box(routine(input));
+                busy += t.elapsed();
+            }
+            per_iter.push(busy.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.measurement = Some(Measurement {
+            ns_per_iter: per_iter[per_iter.len() / 2],
+        });
+    }
+
+    /// `iter_batched` variant passing the setup output by mutable
+    /// reference.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        size: BatchSize,
+    ) {
+        self.iter_batched(setup, |mut i| routine(&mut i), size);
+    }
+}
+
+/// The top-level harness: owns the CLI filter and report sink.
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            json_path: std::env::var("BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from CLI args: the first non-flag argument is a
+    /// substring filter, flags (`--bench`, `--profile-time`, ...) are
+    /// ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            ..Self::default()
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, 50, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let Some(m) = bencher.measurement else {
+            println!("{name:<50} (no measurement)");
+            return;
+        };
+        let mut line = format!("{name:<50} {:>14} ns/iter", format_num(m.ns_per_iter));
+        let mut elems_per_sec = None;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / m.ns_per_iter;
+                elems_per_sec = Some(rate);
+                line.push_str(&format!("   thrpt: {:>14} elem/s", format_num(rate)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / m.ns_per_iter;
+                elems_per_sec = Some(rate);
+                line.push_str(&format!("   thrpt: {:>14} B/s", format_num(rate)));
+            }
+            None => {}
+        }
+        println!("{line}");
+        if let Some(path) = &self.json_path {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\":\"{name}\",\"ns_per_iter\":{:.1},\"elems_per_sec\":{}}}",
+                    m.ns_per_iter,
+                    elems_per_sec.map_or("null".to_string(), |r| format!("{r:.1}")),
+                );
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput units and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion
+            .run_one(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion
+            .run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark name within a group.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+
+    #[test]
+    fn format_num_scales() {
+        assert_eq!(format_num(12.0), "12.0");
+        assert_eq!(format_num(1_500.0), "1.50k");
+        assert_eq!(format_num(2_000_000.0), "2.00M");
+        assert_eq!(format_num(3_100_000_000.0), "3.10G");
+    }
+}

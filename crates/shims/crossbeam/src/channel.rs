@@ -1,0 +1,375 @@
+//! Multi-producer multi-consumer channels with optional capacity bounds.
+//!
+//! Semantics follow `crossbeam-channel`: senders and receivers are
+//! cloneable; `send` on a bounded channel blocks while full; dropping the
+//! last receiver disconnects senders (send errors), dropping the last
+//! sender disconnects receivers once the buffer drains.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `usize::MAX` encodes "unbounded".
+    capacity: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    /// Signalled when an item arrives or the last sender leaves.
+    recv_ready: Condvar,
+    /// Signalled when space frees up or the last receiver leaves.
+    send_ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn no_senders(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn no_receivers(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent value is handed back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now; senders still exist.
+    Empty,
+    /// Nothing buffered and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with nothing received.
+    Timeout,
+    /// Every sender is gone and the buffer is empty.
+    Disconnected,
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` items. `cap == 0`
+/// is modelled as capacity 1 (true rendezvous is not needed here).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(cap.max(1))
+}
+
+/// Creates a receiver on which nothing is ever received and which never
+/// disconnects.
+pub fn never<T>() -> Receiver<T> {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity: usize::MAX,
+        // One phantom sender that is never dropped keeps the channel open
+        // forever: recv blocks, try_recv reports Empty.
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    Receiver { shared }
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full. Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if self.shared.no_receivers() {
+                return Err(SendError(value));
+            }
+            if queue.len() < self.shared.capacity {
+                queue.push_back(value);
+                drop(queue);
+                self.shared.recv_ready.notify_one();
+                return Ok(());
+            }
+            queue = self.shared.send_ready.wait(queue).unwrap();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake receivers parked on an empty queue so they observe the
+            // disconnect. The lock orders the wake-up after any in-flight
+            // recv reached its wait.
+            let _guard = self.shared.queue.lock().unwrap();
+            self.shared.recv_ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking until one arrives or every sender
+    /// is gone (and the buffer is empty).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.send_ready.notify_one();
+                return Ok(v);
+            }
+            if self.shared.no_senders() {
+                return Err(RecvError);
+            }
+            queue = self.shared.recv_ready.wait(queue).unwrap();
+        }
+    }
+
+    /// Receives the next item without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if let Some(v) = queue.pop_front() {
+            drop(queue);
+            self.shared.send_ready.notify_one();
+            return Ok(v);
+        }
+        if self.shared.no_senders() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives the next item, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.shared.send_ready.notify_one();
+                return Ok(v);
+            }
+            if self.shared.no_senders() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, res) = self
+                .shared
+                .recv_ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap();
+            queue = q;
+            if res.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Returns how many items are currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Returns whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.shared.queue.lock().unwrap();
+            self.shared.send_ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn sender_drop_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "buffered items drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn receiver_drop_fails_send() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).map(|_| ()).is_ok());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).is_err());
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap(), "send must fail, not hang");
+    }
+
+    #[test]
+    fn mpmc_sums_once() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn never_reports_empty_forever() {
+        let rx = never::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        let rx2 = rx.clone();
+        assert_eq!(rx2.try_recv(), Err(TryRecvError::Empty));
+    }
+}

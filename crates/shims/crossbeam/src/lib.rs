@@ -1,0 +1,4 @@
+//! Offline shim of `crossbeam`: the `channel` module subset this
+//! workspace uses, implemented as an MPMC queue over `Mutex` + `Condvar`.
+
+pub mod channel;

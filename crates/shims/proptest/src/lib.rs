@@ -1,0 +1,466 @@
+//! Offline shim of `proptest`.
+//!
+//! Implements the subset of proptest's surface syntax this workspace's
+//! property tests use — the `proptest!` macro, range / regex-class /
+//! tuple / collection strategies, `any::<T>()`, and the `prop_assert*`
+//! family — on top of a deterministic SplitMix64 generator. No shrinking:
+//! a failing case reports its seed and values via the panic message
+//! instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> FullRange<$t> {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy for the full domain of a primitive (`any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// Uniform coin-flip strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The whole-domain strategy for `T` — proptest's `any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+
+        impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+)
+        where
+            $($s::Strategy: Strategy<Value = $s>,)+
+            Self: fmt::Debug,
+        {
+            type Strategy = ($($s::Strategy,)+);
+
+            fn arbitrary() -> Self::Strategy {
+                ($($s::arbitrary(),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// String strategy from a character-class pattern like `"[a-z0-9 ]{0,40}"`.
+///
+/// Supports exactly that shape — one bracketed class (with ranges and
+/// literal characters) followed by a `{min,max}` repetition — which is the
+/// subset the workspace's tests use of proptest's full regex strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| {
+        panic!("unsupported string pattern {pattern:?}: expected `[class]{{min,max}}`")
+    });
+    let (class, rest) = rest
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    let (min, max) = if let Some(rep) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        let (lo, hi) = rep
+            .split_once(',')
+            .unwrap_or_else(|| panic!("expected `{{min,max}}` in {pattern:?}"));
+        (
+            lo.trim().parse().expect("min repeat"),
+            hi.trim().parse().expect("max repeat"),
+        )
+    } else if rest.is_empty() {
+        (1, 1)
+    } else {
+        panic!("unsupported pattern suffix {rest:?} in {pattern:?}");
+    };
+    assert!(min <= max, "min > max in {pattern:?}");
+    (alphabet, min, max)
+}
+
+/// Collection and primitive sub-strategies, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s of `elem` with length in `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Vector of values from `elem`, length drawn from `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start).max(1) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform true/false.
+        pub const ANY: super::super::BoolStrategy = super::super::BoolStrategy;
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Stable 64-bit FNV-1a over the test's module path and name: the per-test
+/// base seed, so every test draws a distinct deterministic stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fails the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal, failing the case otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions differ, failing the case otherwise.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(base ^ (case as u64).wrapping_mul(0x9E37_79B9));
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {case}: {msg}\n  inputs: {inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (alphabet, min, max) = super::parse_class_pattern("[a-c9 ]{0,40}");
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '9', ' ']);
+        assert_eq!((min, max), (0, 40));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(0u32..7, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn string_pattern_respects_class(s in "[ab]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+
+        #[test]
+        fn tuples_and_any_compose(t in (any::<u8>(), 0usize..4), b in prop::bool::ANY) {
+            prop_assert!(t.1 < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -94,7 +94,7 @@ pub fn clicklog_app_partitioned(
     partitions: usize,
 ) -> SimApp {
     let regions = weights.len();
-    assert!(partitions >= regions && partitions % regions == 0);
+    assert!(partitions >= regions && partitions.is_multiple_of(regions));
     let per = partitions / regions;
     let fine: Vec<f64> = weights
         .weights()
@@ -168,11 +168,7 @@ pub const JOIN_SORT_RATE: f64 = 50.0 * MB as f64;
 /// `hit_weights` skews the per-partition probe/output volume (the paper
 /// injects skew into the smaller relation, inflating some keys' hit
 /// rate).
-pub fn hashjoin_app(
-    small_bytes: f64,
-    large_bytes: f64,
-    hit_weights: &RegionWeights,
-) -> SimApp {
+pub fn hashjoin_app(small_bytes: f64, large_bytes: f64, hit_weights: &RegionWeights) -> SimApp {
     let mut app = SimApp {
         input_bytes: small_bytes + large_bytes,
         ..Default::default()

@@ -184,7 +184,9 @@ pub fn simulate_static(
         // Disk sharing: with fewer tasks than cores, each running task
         // sees more of its machine's disk.
         let active = phase.partitions.iter().filter(|&&b| b > 0.0).count();
-        let per_machine_tasks = (active as f64 / cluster.machines as f64).ceil().clamp(1.0, 16.0);
+        let per_machine_tasks = (active as f64 / cluster.machines as f64)
+            .ceil()
+            .clamp(1.0, 16.0);
         let durations: Vec<f64> = phase
             .partitions
             .iter()
@@ -395,10 +397,14 @@ mod tests {
                 shuffled: true,
             }]
         };
-        let spark =
-            simulate_static(&build(400e6, 512), &cluster(), &StaticEngineSpec::spark(), 1e9)
-                .secs()
-                .unwrap();
+        let spark = simulate_static(
+            &build(400e6, 512),
+            &cluster(),
+            &StaticEngineSpec::spark(),
+            1e9,
+        )
+        .secs()
+        .unwrap();
         let hadoop = simulate_static(
             &build(400e6, 512),
             &cluster(),
@@ -407,6 +413,9 @@ mod tests {
         )
         .secs()
         .unwrap();
-        assert!(hadoop > spark * 3.0, "spark {spark:.1}s hadoop {hadoop:.1}s");
+        assert!(
+            hadoop > spark * 3.0,
+            "spark {spark:.1}s hadoop {hadoop:.1}s"
+        );
     }
 }

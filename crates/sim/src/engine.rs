@@ -128,9 +128,9 @@ pub fn simulate(app: &SimApp, cluster: &ClusterSpec, opts: &HurricaneOpts) -> Si
     let mut eligible: Vec<usize> = (0..n).filter(|&i| pending_deps[i] == 0).collect();
     let mut done_count = 0usize;
     let mark_done = |i: usize,
-                         pending_deps: &mut Vec<usize>,
-                         eligible: &mut Vec<usize>,
-                         done_count: &mut usize| {
+                     pending_deps: &mut Vec<usize>,
+                     eligible: &mut Vec<usize>,
+                     done_count: &mut usize| {
         *done_count += 1;
         for &s in &successors[i] {
             pending_deps[s] -= 1;
@@ -144,9 +144,7 @@ pub fn simulate(app: &SimApp, cluster: &ClusterSpec, opts: &HurricaneOpts) -> Si
         node_alive
             .iter()
             .enumerate()
-            .filter(|&(i, &alive)| {
-                alive && (node_busy[i] as usize) < cluster.slots_per_machine
-            })
+            .filter(|&(i, &alive)| alive && (node_busy[i] as usize) < cluster.slots_per_machine)
             .min_by_key(|&(i, _)| (node_busy[i], i))
             .map(|(i, _)| i)
     };
@@ -278,10 +276,7 @@ pub fn simulate(app: &SimApp, cluster: &ClusterSpec, opts: &HurricaneOpts) -> Si
                 }
                 RunState::Starting { at } => dt = dt.min((at - t).max(0.0)),
                 RunState::Merging { remaining } => {
-                    let rate = app.tasks[i]
-                        .merge
-                        .map(|m| m.rate)
-                        .unwrap_or(f64::INFINITY);
+                    let rate = app.tasks[i].merge.map(|m| m.rate).unwrap_or(f64::INFINITY);
                     dt = dt.min(remaining / rate);
                 }
                 _ => {}
@@ -350,6 +345,7 @@ pub fn simulate(app: &SimApp, cluster: &ClusterSpec, opts: &HurricaneOpts) -> Si
 
         // --- 5. Process events at the new time. ---------------------------
         // Task / merge completions.
+        #[allow(clippy::needless_range_loop)] // walks `runs` and `app.tasks` in parallel
         for i in 0..n {
             if runs[i].state == RunState::Running && runs[i].remaining <= 1e-6 {
                 let k = runs[i].nodes.len();
@@ -407,6 +403,7 @@ pub fn simulate(app: &SimApp, cluster: &ClusterSpec, opts: &HurricaneOpts) -> Si
                 // Every task with an instance on the node restarts from
                 // scratch (paper §4.4: discard outputs, rewind inputs,
                 // terminate all running clones, reschedule).
+                #[allow(clippy::needless_range_loop)] // walks `runs` and `app.tasks` in parallel
                 for i in 0..n {
                     let on_node = runs[i].nodes.contains(&c.node);
                     if !on_node {

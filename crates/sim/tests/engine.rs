@@ -1,5 +1,6 @@
 //! Engine-level tests of the cluster simulator: the cloning ramp, merge
 //! accounting, placement effects, and dependency ordering.
+#![allow(clippy::field_reassign_with_default)] // spec-building style
 
 use hurricane_common::units::GB;
 use hurricane_sim::apps::{clicklog_app, clicklog_app_with};
@@ -73,14 +74,26 @@ fn merge_cost_is_paid_only_when_cloned() {
     };
     let merge_bytes = 0.25 * GB as f64;
     // Uncloned: no merge runs (a single partial is the output).
-    let solo = simulate(&mk(false, merge_bytes), &cluster(), &HurricaneOpts::default());
+    let solo = simulate(
+        &mk(false, merge_bytes),
+        &cluster(),
+        &HurricaneOpts::default(),
+    );
     // Cloned: the merge adds a visible per-instance tail...
-    let cloned = simulate(&mk(true, merge_bytes), &cluster(), &HurricaneOpts::default());
+    let cloned = simulate(
+        &mk(true, merge_bytes),
+        &cluster(),
+        &HurricaneOpts::default(),
+    );
     assert!(cloned.total_clones > 0);
     // ...but parallelism still wins overall.
     assert!(cloned.total_secs < solo.total_secs);
     // And the tail really is the merge: shrinking it shortens the run.
-    let cheap = simulate(&mk(true, merge_bytes / 100.0), &cluster(), &HurricaneOpts::default());
+    let cheap = simulate(
+        &mk(true, merge_bytes / 100.0),
+        &cluster(),
+        &HurricaneOpts::default(),
+    );
     assert!(cheap.total_secs < cloned.total_secs);
 }
 
@@ -143,11 +156,19 @@ fn gc_model_slows_spilling_runs_only() {
         ..HurricaneOpts::default()
     };
     // 32 GB fits memory: GC model must not fire.
-    let small_plain = simulate(&clicklog_app(32.0 * GB as f64, &w), &cluster(), &HurricaneOpts::default());
+    let small_plain = simulate(
+        &clicklog_app(32.0 * GB as f64, &w),
+        &cluster(),
+        &HurricaneOpts::default(),
+    );
     let small_gc = simulate(&clicklog_app(32.0 * GB as f64, &w), &cluster(), &gc);
     assert!((small_plain.total_secs - small_gc.total_secs).abs() < 1e-6);
     // 3.2 TB spills: GC must slow it.
-    let big_plain = simulate(&clicklog_app(3200.0 * GB as f64, &w), &cluster(), &HurricaneOpts::default());
+    let big_plain = simulate(
+        &clicklog_app(3200.0 * GB as f64, &w),
+        &cluster(),
+        &HurricaneOpts::default(),
+    );
     let big_gc = simulate(&clicklog_app(3200.0 * GB as f64, &w), &cluster(), &gc);
     assert!(big_gc.total_secs > big_plain.total_secs * 1.2);
 }

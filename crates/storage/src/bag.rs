@@ -29,6 +29,17 @@ pub enum RemoveResult {
     Drained,
 }
 
+/// Outcome of a bag-level batched remove attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchRemoveResult {
+    /// At least one chunk was removed (up to the requested maximum).
+    Chunks(Vec<Chunk>),
+    /// Nothing available right now; the bag is not sealed.
+    Pending,
+    /// The bag is sealed and fully drained.
+    Drained,
+}
+
 /// A client handle for inserting into / removing from one bag.
 pub struct BagClient {
     cluster: Arc<StorageCluster>,
@@ -36,6 +47,9 @@ pub struct BagClient {
     insert_cursor: CyclicPlacement,
     remove_cursor: CyclicPlacement,
     rng: DetRng,
+    /// Per-target scratch buckets reused across `insert_batch` calls so a
+    /// steady stream of batches allocates nothing.
+    insert_buckets: Vec<Vec<Chunk>>,
 }
 
 impl BagClient {
@@ -50,6 +64,7 @@ impl BagClient {
             cluster,
             bag,
             rng,
+            insert_buckets: Vec::new(),
         }
     }
 
@@ -97,6 +112,59 @@ impl BagClient {
         Err(last_err.unwrap_or(StorageError::AllReplicasDown(self.bag)))
     }
 
+    /// Inserts every chunk of `chunks` with one cluster call per target
+    /// node instead of one per chunk.
+    ///
+    /// The placement cursor still advances chunk-by-chunk (a cheap local
+    /// operation), so per-cycle balance is identical to repeated
+    /// [`BagClient::insert`]; what is amortized is the expensive part —
+    /// storage-node lock acquisitions and replication fan-out, which
+    /// happen at most once per node per batch.
+    pub fn insert_batch(&mut self, chunks: &[Chunk]) -> Result<(), StorageError> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        let m = self.insert_cursor.len();
+        // Bucket chunks into per-target runs following the cyclic order.
+        // The buckets are client-owned scratch space: cleared, never
+        // deallocated.
+        self.insert_buckets.resize_with(m, Vec::new);
+        for bucket in &mut self.insert_buckets {
+            bucket.clear();
+        }
+        for chunk in chunks {
+            self.insert_buckets[self.insert_cursor.next_node()].push(chunk.clone());
+        }
+        for (target, bucket) in self.insert_buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // Primary target first; on refusal (down / draining) re-route
+            // the whole bucket to the next nodes, as `insert` does.
+            let mut landed = false;
+            let mut last_err = None;
+            for offset in 0..m {
+                let idx = (target + offset) % m;
+                match self.cluster.insert_batch(idx, self.bag, bucket) {
+                    Ok(()) => {
+                        landed = true;
+                        break;
+                    }
+                    Err(
+                        e @ (StorageError::NodeDown(_)
+                        | StorageError::NodeDraining(_)
+                        | StorageError::AllReplicasDown(_)),
+                    ) => last_err = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            if !landed {
+                return Err(last_err.unwrap_or(StorageError::AllReplicasDown(self.bag)));
+            }
+        }
+        Ok(())
+    }
+
     /// Attempts to remove one chunk, probing storage nodes in cyclic order.
     ///
     /// Probes up to one full cycle. Near bag emptiness this needs more
@@ -125,6 +193,47 @@ impl BagClient {
             Ok(RemoveResult::Pending)
         } else {
             Ok(RemoveResult::Drained)
+        }
+    }
+
+    /// Attempts to remove up to `max_n` chunks, probing storage nodes in
+    /// cyclic order and taking as many chunks from each probed node as
+    /// the budget allows — one storage round-trip per node rather than
+    /// per chunk (the data-plane analog of batch sampling, paper §3.3).
+    pub fn try_remove_batch(&mut self, max_n: usize) -> Result<BatchRemoveResult, StorageError> {
+        let m = self.remove_cursor.len();
+        let mut got: Vec<Chunk> = Vec::new();
+        let mut saw_pending = false;
+        let mut down = 0usize;
+        for _ in 0..m {
+            let budget = max_n - got.len();
+            if budget == 0 {
+                break;
+            }
+            let target = self.remove_cursor.next_node();
+            match self.cluster.remove_batch(target, self.bag, budget) {
+                Ok(batch) => {
+                    if batch.exhausted && !batch.eof {
+                        saw_pending = true;
+                    }
+                    got.extend(batch.chunks);
+                }
+                Err(StorageError::NodeDown(_) | StorageError::AllReplicasDown(_)) => {
+                    down += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !got.is_empty() {
+            return Ok(BatchRemoveResult::Chunks(got));
+        }
+        if down == m {
+            return Err(StorageError::AllReplicasDown(self.bag));
+        }
+        if saw_pending || !self.cluster.is_sealed(self.bag)? {
+            Ok(BatchRemoveResult::Pending)
+        } else {
+            Ok(BatchRemoveResult::Drained)
         }
     }
 
@@ -229,6 +338,79 @@ mod tests {
         got.sort_unstable();
         let expected: Vec<u64> = (0..200).collect();
         assert_eq!(got, expected, "every chunk exactly once across clients");
+    }
+
+    #[test]
+    fn insert_batch_preserves_cyclic_balance() {
+        let cluster = StorageCluster::new(8, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 2);
+        let chunks: Vec<Chunk> = (0..800u64).map(chunk).collect();
+        for batch in chunks.chunks(100) {
+            client.insert_batch(batch).unwrap();
+        }
+        for idx in 0..8 {
+            let s = cluster.node(idx).sample(bag).unwrap();
+            assert_eq!(
+                s.total_chunks, 100,
+                "batched inserts keep per-cycle balance"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_exactly_once() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 3);
+        let chunks: Vec<Chunk> = (0..250u64).map(chunk).collect();
+        client.insert_batch(&chunks).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let mut got = HashSet::new();
+        let mut consumer = BagClient::new(cluster.clone(), bag, 4);
+        loop {
+            match consumer.try_remove_batch(64).unwrap() {
+                BatchRemoveResult::Chunks(batch) => {
+                    for c in batch {
+                        assert!(got.insert(chunk_val(&c)), "duplicate delivery");
+                    }
+                }
+                BatchRemoveResult::Drained => break,
+                BatchRemoveResult::Pending => unreachable!("sealed bag"),
+            }
+        }
+        assert_eq!(got.len(), 250);
+    }
+
+    #[test]
+    fn batch_remove_reports_pending_then_drained() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::new(cluster.clone(), bag, 5);
+        assert_eq!(
+            client.try_remove_batch(8).unwrap(),
+            BatchRemoveResult::Pending
+        );
+        cluster.seal_bag(bag).unwrap();
+        assert_eq!(
+            client.try_remove_batch(8).unwrap(),
+            BatchRemoveResult::Drained
+        );
+    }
+
+    #[test]
+    fn insert_batch_reroutes_around_down_node() {
+        let cluster = StorageCluster::new(3, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        cluster.node(1).fail();
+        let mut client = BagClient::new(cluster.clone(), bag, 6);
+        let chunks: Vec<Chunk> = (0..30u64).map(chunk).collect();
+        client.insert_batch(&chunks).unwrap();
+        let total: u64 = [0, 2]
+            .iter()
+            .map(|&i| cluster.node(i).sample(bag).unwrap().total_chunks)
+            .sum();
+        assert_eq!(total, 30, "all chunks must land on live nodes");
     }
 
     #[test]

@@ -17,10 +17,10 @@
 //! whose workers crashed mid-flight.
 
 use crate::error::StorageError;
-use crate::node::{BagSample, NodeRemove, StorageNode};
+use crate::node::{BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
 use hurricane_common::{BagId, StorageNodeId};
 use hurricane_format::Chunk;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,12 +47,27 @@ struct BagMeta {
     collected: bool,
 }
 
+/// Append-ordering locks keyed by (bag, origin); see
+/// [`StorageCluster::insert_batch`].
+type OrderLocks = HashMap<(BagId, u32), Arc<parking_lot::Mutex<()>>>;
+
 /// The set of storage nodes plus bag metadata.
+///
+/// Bag metadata is read on every data-plane operation (is the bag known?
+/// sealed?) but written only by control-plane calls (create / seal /
+/// collect), so it lives behind an `RwLock`: concurrent workers share the
+/// read lock instead of serializing on a metadata mutex.
 pub struct StorageCluster {
     nodes: RwLock<Vec<Arc<StorageNode>>>,
     config: ClusterConfig,
-    bags: Mutex<HashMap<BagId, BagMeta>>,
+    bags: RwLock<HashMap<BagId, BagMeta>>,
     next_bag: AtomicU64,
+    /// Per-(bag, origin) append-ordering locks, used only when
+    /// replication > 1: holding one across the replica fan-out
+    /// guarantees every replica's origin stream receives chunks in the
+    /// same order, which count-based pointer mirroring depends on. With
+    /// replication = 1 the map stays empty and inserts never touch it.
+    repl_order: RwLock<OrderLocks>,
 }
 
 impl StorageCluster {
@@ -73,8 +88,9 @@ impl StorageCluster {
         Arc::new(Self {
             nodes: RwLock::new(nodes),
             config,
-            bags: Mutex::new(HashMap::new()),
+            bags: RwLock::new(HashMap::new()),
             next_bag: AtomicU64::new(0),
+            repl_order: RwLock::new(HashMap::new()),
         })
     }
 
@@ -119,12 +135,12 @@ impl StorageCluster {
     /// touch; the cluster records the authoritative metadata.
     pub fn create_bag(&self) -> BagId {
         let id = BagId(self.next_bag.fetch_add(1, Ordering::Relaxed));
-        self.bags.lock().insert(id, BagMeta::default());
+        self.bags.write().insert(id, BagMeta::default());
         id
     }
 
     fn check_bag(&self, bag: BagId) -> Result<(), StorageError> {
-        let bags = self.bags.lock();
+        let bags = self.bags.read();
         match bags.get(&bag) {
             None => Err(StorageError::UnknownBag(bag)),
             Some(m) if m.collected => Err(StorageError::BagCollected(bag)),
@@ -132,10 +148,21 @@ impl StorageCluster {
         }
     }
 
+    /// Validates `bag` and returns its sealed flag in one metadata-lock
+    /// acquisition — the hot path's single metadata touch.
+    fn bag_state(&self, bag: BagId) -> Result<bool, StorageError> {
+        let bags = self.bags.read();
+        match bags.get(&bag) {
+            None => Err(StorageError::UnknownBag(bag)),
+            Some(m) if m.collected => Err(StorageError::BagCollected(bag)),
+            Some(m) => Ok(m.sealed),
+        }
+    }
+
     /// Returns whether `bag` is sealed (the cluster-level flag is the
     /// authority; per-node flags only reject late inserts).
     pub fn is_sealed(&self, bag: BagId) -> Result<bool, StorageError> {
-        let bags = self.bags.lock();
+        let bags = self.bags.read();
         bags.get(&bag)
             .map(|m| m.sealed)
             .ok_or(StorageError::UnknownBag(bag))
@@ -147,8 +174,10 @@ impl StorageCluster {
     pub fn seal_bag(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_bag(bag)?;
         {
-            let mut bags = self.bags.lock();
-            bags.get_mut(&bag).ok_or(StorageError::UnknownBag(bag))?.sealed = true;
+            let mut bags = self.bags.write();
+            bags.get_mut(&bag)
+                .ok_or(StorageError::UnknownBag(bag))?
+                .sealed = true;
         }
         for node in self.nodes.read().iter() {
             let _ = node.seal(bag);
@@ -175,8 +204,10 @@ impl StorageCluster {
     pub fn discard_bag(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_bag(bag)?;
         {
-            let mut bags = self.bags.lock();
-            bags.get_mut(&bag).ok_or(StorageError::UnknownBag(bag))?.sealed = false;
+            let mut bags = self.bags.write();
+            bags.get_mut(&bag)
+                .ok_or(StorageError::UnknownBag(bag))?
+                .sealed = false;
         }
         for node in self.nodes.read().iter() {
             match node.discard(bag) {
@@ -191,7 +222,7 @@ impl StorageCluster {
     pub fn collect_bag(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_bag(bag)?;
         {
-            let mut bags = self.bags.lock();
+            let mut bags = self.bags.write();
             bags.get_mut(&bag)
                 .ok_or(StorageError::UnknownBag(bag))?
                 .collected = true;
@@ -199,6 +230,7 @@ impl StorageCluster {
         for node in self.nodes.read().iter() {
             let _ = node.collect(bag);
         }
+        self.repl_order.write().retain(|(b, _), _| *b != bag);
         Ok(())
     }
 
@@ -222,7 +254,7 @@ impl StorageCluster {
     }
 
     /// Replica node indices for a chunk whose primary is `primary`.
-    fn replicas(&self, primary: usize, m: usize) -> impl Iterator<Item = usize> {
+    fn replicas(&self, primary: usize, m: usize) -> impl DoubleEndedIterator<Item = usize> {
         let r = self.config.replication;
         (0..r).map(move |k| (primary + k) % m)
     }
@@ -232,22 +264,77 @@ impl StorageCluster {
     ///
     /// Succeeds if the write lands on at least one replica; a fully
     /// unreachable replica set is an error.
-    pub fn insert(
+    pub fn insert(&self, primary_idx: usize, bag: BagId, chunk: Chunk) -> Result<(), StorageError> {
+        self.insert_batch(primary_idx, bag, std::slice::from_ref(&chunk))
+    }
+
+    /// Returns the append-ordering lock for `(bag, origin)`, creating it
+    /// on first use. Only called when replication > 1.
+    fn order_lock(&self, bag: BagId, origin: u32) -> Arc<parking_lot::Mutex<()>> {
+        if let Some(l) = self.repl_order.read().get(&(bag, origin)) {
+            return l.clone();
+        }
+        self.repl_order
+            .write()
+            .entry((bag, origin))
+            .or_default()
+            .clone()
+    }
+
+    /// Batched [`StorageCluster::insert`]: writes every chunk of `chunks`
+    /// to primary `primary_idx` with one storage-node call per replica —
+    /// replication is mirrored per batch, not per chunk.
+    ///
+    /// Replicated writes take two precautions so count-based pointer
+    /// mirroring stays correct:
+    ///
+    /// * **Backups before primary.** A chunk only becomes removable once
+    ///   it lands at the primary; writing backups first means any remove
+    ///   that wins the race finds the chunk already present at every
+    ///   backup, so the mirrored pointer advance can never hit an
+    ///   empty stream and silently under-advance (which would make a
+    ///   later failover re-serve delivered chunks).
+    /// * **Per-(bag, origin) append ordering.** Concurrent writers to the
+    ///   same primary serialize their replica fan-out on a tiny ordering
+    ///   lock so every replica's origin stream holds the chunks in the
+    ///   same order — the property count-based mirroring relies on. With
+    ///   replication = 1 neither cost is paid.
+    pub fn insert_batch(
         &self,
         primary_idx: usize,
         bag: BagId,
-        chunk: Chunk,
+        chunks: &[Chunk],
     ) -> Result<(), StorageError> {
-        self.check_bag(bag)?;
-        if self.is_sealed(bag)? {
+        if self.bag_state(bag)? {
             return Err(StorageError::BagSealed(bag));
+        }
+        if chunks.is_empty() {
+            return Ok(());
         }
         let nodes = self.nodes.read();
         let m = nodes.len();
+        let origin = (primary_idx % m) as u32;
+        if self.config.replication > 1 {
+            let lock = self.order_lock(bag, origin);
+            let _held = lock.lock();
+            Self::insert_batch_inner(&nodes, self.replicas(primary_idx, m), bag, chunks, origin)
+        } else {
+            Self::insert_batch_inner(&nodes, self.replicas(primary_idx, m), bag, chunks, origin)
+        }
+    }
+
+    fn insert_batch_inner(
+        nodes: &[Arc<StorageNode>],
+        replicas: impl DoubleEndedIterator<Item = usize>,
+        bag: BagId,
+        chunks: &[Chunk],
+        origin: u32,
+    ) -> Result<(), StorageError> {
         let mut landed = 0usize;
         let mut last_err = None;
-        for idx in self.replicas(primary_idx, m) {
-            match nodes[idx].insert_from(bag, chunk.clone(), (primary_idx % m) as u32) {
+        // Reverse order: backups first, primary last (see insert_batch).
+        for idx in replicas.rev() {
+            match nodes[idx].insert_from_batch(bag, chunks, origin) {
                 Ok(()) => landed += 1,
                 Err(e @ (StorageError::NodeDown(_) | StorageError::NodeDraining(_))) => {
                     last_err = Some(e);
@@ -268,14 +355,12 @@ impl StorageCluster {
     /// (failover); successful removes are mirrored to the remaining live
     /// replicas so their pointers track the serving node.
     pub fn remove(&self, primary_idx: usize, bag: BagId) -> Result<NodeRemove, StorageError> {
-        self.check_bag(bag)?;
-        let sealed = self.is_sealed(bag)?;
+        let sealed = self.bag_state(bag)?;
         let nodes = self.nodes.read();
         let m = nodes.len();
-        let replicas: Vec<usize> = self.replicas(primary_idx, m).collect();
         let origin = (primary_idx % m) as u32;
         let mut serving = None;
-        for &idx in &replicas {
+        for idx in self.replicas(primary_idx, m) {
             match nodes[idx].remove_from(bag, origin) {
                 Ok(outcome) => {
                     serving = Some((idx, outcome));
@@ -289,7 +374,7 @@ impl StorageCluster {
             return Err(StorageError::AllReplicasDown(bag));
         };
         if matches!(outcome, NodeRemove::Chunk(_)) {
-            for &idx in &replicas {
+            for idx in self.replicas(primary_idx, m) {
                 if idx != served_by {
                     let _ = nodes[idx].mirror_remove(bag, origin);
                 }
@@ -303,6 +388,46 @@ impl StorageCluster {
             NodeRemove::Eof if !sealed => NodeRemove::Empty,
             other => other,
         })
+    }
+
+    /// Batched [`StorageCluster::remove`]: removes up to `max_n` chunks
+    /// whose primary is `primary_idx` in one storage-node call, mirroring
+    /// the whole batch's pointer advance to the live backups at once.
+    pub fn remove_batch(
+        &self,
+        primary_idx: usize,
+        bag: BagId,
+        max_n: usize,
+    ) -> Result<NodeRemoveBatch, StorageError> {
+        let sealed = self.bag_state(bag)?;
+        let nodes = self.nodes.read();
+        let m = nodes.len();
+        let origin = (primary_idx % m) as u32;
+        let mut serving = None;
+        for idx in self.replicas(primary_idx, m) {
+            match nodes[idx].remove_from_batch(bag, origin, max_n) {
+                Ok(outcome) => {
+                    serving = Some((idx, outcome));
+                    break;
+                }
+                Err(StorageError::NodeDown(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((served_by, mut outcome)) = serving else {
+            return Err(StorageError::AllReplicasDown(bag));
+        };
+        if !outcome.chunks.is_empty() {
+            for idx in self.replicas(primary_idx, m) {
+                if idx != served_by {
+                    let _ = nodes[idx].mirror_remove_n(bag, origin, outcome.chunks.len());
+                }
+            }
+        }
+        // As in `remove`, the cluster-level sealed flag is the authority
+        // for end-of-bag.
+        outcome.eof = outcome.exhausted && sealed;
+        Ok(outcome)
     }
 
     /// Non-destructive full scan of `bag` (replay of work bags). With
@@ -362,11 +487,8 @@ mod tests {
         let m = cluster.num_nodes();
         let mut out = Vec::new();
         for idx in 0..m {
-            loop {
-                match cluster.remove(idx, bag).unwrap() {
-                    NodeRemove::Chunk(c) => out.push(c),
-                    _ => break,
-                }
+            while let NodeRemove::Chunk(c) = cluster.remove(idx, bag).unwrap() {
+                out.push(c);
             }
         }
         out
@@ -445,11 +567,17 @@ mod tests {
         cluster.insert(0, bag, chunk(b"b")).unwrap();
         cluster.seal_bag(bag).unwrap();
         // Remove one chunk normally: backup pointer mirrors.
-        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"a")));
+        assert_eq!(
+            cluster.remove(0, bag).unwrap(),
+            NodeRemove::Chunk(chunk(b"a"))
+        );
         // Kill the primary; the backup serves the remainder from the
         // mirrored position.
         cluster.node(0).fail();
-        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"b")));
+        assert_eq!(
+            cluster.remove(0, bag).unwrap(),
+            NodeRemove::Chunk(chunk(b"b"))
+        );
         assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Eof);
     }
 
@@ -506,10 +634,7 @@ mod tests {
         let bag = cluster.create_bag();
         cluster.insert(0, bag, chunk(b"x")).unwrap();
         cluster.collect_bag(bag).unwrap();
-        assert_eq!(
-            cluster.remove(0, bag),
-            Err(StorageError::BagCollected(bag))
-        );
+        assert_eq!(cluster.remove(0, bag), Err(StorageError::BagCollected(bag)));
     }
 
     #[test]
@@ -546,6 +671,123 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_replicates_whole_batch() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        let chunks: Vec<Chunk> = (0..6u8).map(|i| chunk(&[i])).collect();
+        cluster.insert_batch(0, bag, &chunks).unwrap();
+        assert_eq!(cluster.node(0).sample(bag).unwrap().total_chunks, 6);
+        assert_eq!(cluster.node(1).snapshot_from(bag, 0).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn remove_batch_drains_and_mirrors() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        for i in 0..8u8 {
+            cluster.insert(0, bag, chunk(&[i])).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let got = cluster.remove_batch(0, bag, 5).unwrap();
+        assert_eq!(got.chunks.len(), 5);
+        assert!(!got.eof);
+        // The backup's pointer followed the batch: a failover now serves
+        // exactly the remaining three chunks.
+        cluster.node(0).fail();
+        let rest = cluster.remove_batch(0, bag, 100).unwrap();
+        assert_eq!(rest.chunks.len(), 3);
+        assert!(rest.eof);
+    }
+
+    #[test]
+    fn concurrent_replicated_inserts_keep_replica_order_identical() {
+        // Count-based pointer mirroring requires every replica's origin
+        // stream to hold chunks in the same order. Hammer one primary
+        // from many threads and compare the full streams.
+        let cluster = StorageCluster::new(2, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    for i in 0..500u16 {
+                        let payload = [t, i.to_le_bytes()[0], i.to_le_bytes()[1]];
+                        cluster.insert(0, bag, chunk(&payload)).unwrap();
+                    }
+                });
+            }
+        });
+        let primary = cluster.node(0).snapshot_from(bag, 0).unwrap();
+        let backup = cluster.node(1).snapshot_from(bag, 0).unwrap();
+        assert_eq!(primary.len(), 2000);
+        assert_eq!(primary, backup, "replica append order must be identical");
+    }
+
+    #[test]
+    fn mirrored_pointer_never_lags_under_concurrent_insert_remove() {
+        // Backup-first replica writes: a chunk is only removable once the
+        // backup already holds it, so every successful remove's mirror
+        // finds a chunk to skip. Race inserts against removes, then kill
+        // the primary and drain: nothing may be served twice.
+        let cluster = StorageCluster::new(2, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        let total = 2000u64;
+        let removed: Vec<Chunk> = std::thread::scope(|s| {
+            let inserter = {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    for i in 0..total {
+                        cluster.insert(0, bag, chunk(&i.to_le_bytes())).unwrap();
+                    }
+                })
+            };
+            let remover = {
+                let cluster = &cluster;
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < (total / 2) as usize {
+                        match cluster.remove(0, bag).unwrap() {
+                            NodeRemove::Chunk(c) => got.push(c),
+                            _ => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            };
+            inserter.join().unwrap();
+            remover.join().unwrap()
+        });
+        cluster.seal_bag(bag).unwrap();
+        cluster.node(0).fail();
+        let mut seen: std::collections::HashSet<Vec<u8>> =
+            removed.iter().map(|c| c.bytes().to_vec()).collect();
+        loop {
+            match cluster.remove(0, bag).unwrap() {
+                NodeRemove::Chunk(c) => {
+                    assert!(
+                        seen.insert(c.bytes().to_vec()),
+                        "failover re-served an already-delivered chunk"
+                    );
+                }
+                NodeRemove::Eof => break,
+                NodeRemove::Empty => unreachable!("sealed"),
+            }
+        }
+        assert_eq!(seen.len() as u64, total, "chunks lost across failover");
+    }
+
+    #[test]
+    fn remove_batch_eof_follows_cluster_seal() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let got = cluster.remove_batch(0, bag, 4).unwrap();
+        assert!(got.chunks.is_empty() && !got.eof, "unsealed: pending");
+        cluster.seal_bag(bag).unwrap();
+        let got = cluster.remove_batch(0, bag, 4).unwrap();
+        assert!(got.eof, "sealed and empty: end of bag");
+    }
+
+    #[test]
     fn drain_node_rejects_inserts_but_serves() {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
         let bag = cluster.create_bag();
@@ -555,7 +797,10 @@ mod tests {
             cluster.insert(0, bag, chunk(b"y")),
             Err(StorageError::NodeDraining(_))
         ));
-        assert_eq!(cluster.remove(0, bag).unwrap(), NodeRemove::Chunk(chunk(b"x")));
+        assert_eq!(
+            cluster.remove(0, bag).unwrap(),
+            NodeRemove::Chunk(chunk(b"x"))
+        );
         assert!(cluster.node(0).is_drained().unwrap());
     }
 }

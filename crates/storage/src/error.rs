@@ -60,7 +60,9 @@ mod tests {
         assert!(StorageError::NodeDown(StorageNodeId(3))
             .to_string()
             .contains("sn3"));
-        assert!(StorageError::BagSealed(BagId(9)).to_string().contains("bag9"));
+        assert!(StorageError::BagSealed(BagId(9))
+            .to_string()
+            .contains("bag9"));
     }
 
     #[test]

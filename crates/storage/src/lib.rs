@@ -34,8 +34,8 @@ pub mod placement;
 pub mod prefetch;
 pub mod workbag;
 
-pub use bag::{BagClient, RemoveResult};
+pub use bag::{BagClient, BatchRemoveResult, RemoveResult};
 pub use cluster::{ClusterConfig, StorageCluster};
 pub use error::StorageError;
-pub use node::{BagSample, StorageNode};
+pub use node::{BagSample, NodeRemoveBatch, StorageNode};
 pub use workbag::WorkBag;

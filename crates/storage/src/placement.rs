@@ -151,7 +151,10 @@ mod tests {
         p.grow(5, &mut rng);
         assert_eq!(p.len(), 5);
         let seen: HashSet<usize> = (0..5).map(|_| p.next_node()).collect();
-        assert!(seen.contains(&3) && seen.contains(&4), "new nodes reachable");
+        assert!(
+            seen.contains(&3) && seen.contains(&4),
+            "new nodes reachable"
+        );
         // After growth, a full cycle still visits every node exactly once.
         let cycle: Vec<usize> = (0..5).map(|_| p.next_node()).collect();
         let set: HashSet<usize> = cycle.iter().copied().collect();

@@ -8,19 +8,33 @@
 //! in a bounded queue: the queue bound *is* the number of outstanding
 //! requests, and the worker consumes from the queue without ever waiting on
 //! a probe round-trip while data is available.
+//!
+//! The fetcher refills in *batches*: each probe round asks the bag for up
+//! to `b` chunks at once ([`BagClient::try_remove_batch`]), so a queue
+//! that drained completely is refilled with one storage round-trip per
+//! node instead of one per chunk.
 
-use crate::bag::{BagClient, RemoveResult};
+use crate::bag::{BagClient, BatchRemoveResult};
 use crate::error::StorageError;
 use crossbeam::channel::{bounded, Receiver};
 use hurricane_format::Chunk;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A handle to a prefetching consumer of one bag.
 ///
-/// Dropping the handle stops the fetcher (it notices the closed channel on
-/// its next send and exits).
+/// Dropping the handle stops the fetcher promptly and race-free: drop
+/// raises a dedicated shutdown flag, then closes the receiving side of
+/// the data channel. A fetcher parked on a full queue observes the
+/// disconnect (its blocked `send` fails immediately), and a fetcher
+/// mid-probe observes the flag before its next send — there is no window
+/// in which it can keep running, unlike the old drain-then-swap scheme,
+/// which raced with a concurrent send landing between the drain and the
+/// swap.
 pub struct Prefetcher {
-    rx: Receiver<Result<Chunk, StorageError>>,
+    rx: Option<Receiver<Result<Chunk, StorageError>>>,
+    shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -34,23 +48,29 @@ impl Prefetcher {
     pub fn spawn(mut client: BagClient, batch_factor: usize) -> Self {
         assert!(batch_factor > 0, "batch factor must be at least 1");
         let (tx, rx) = bounded(batch_factor);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = shutdown.clone();
         let handle = std::thread::Builder::new()
             .name(format!("prefetch-{}", client.bag_id()))
             .spawn(move || {
                 let mut backoff_us = 10u64;
-                loop {
-                    match client.try_remove() {
-                        Ok(RemoveResult::Chunk(c)) => {
+                while !shutdown2.load(Ordering::Acquire) {
+                    match client.try_remove_batch(batch_factor) {
+                        Ok(BatchRemoveResult::Chunks(chunks)) => {
                             backoff_us = 10;
-                            if tx.send(Ok(c)).is_err() {
-                                return; // Consumer dropped the handle.
+                            for c in chunks {
+                                // A failed send means the consumer dropped
+                                // the handle; exit immediately.
+                                if tx.send(Ok(c)).is_err() {
+                                    return;
+                                }
                             }
                         }
-                        Ok(RemoveResult::Pending) => {
+                        Ok(BatchRemoveResult::Pending) => {
                             std::thread::sleep(std::time::Duration::from_micros(backoff_us));
                             backoff_us = (backoff_us * 2).min(1000);
                         }
-                        Ok(RemoveResult::Drained) => return,
+                        Ok(BatchRemoveResult::Drained) => return,
                         Err(e) => {
                             let _ = tx.send(Err(e));
                             return;
@@ -60,15 +80,20 @@ impl Prefetcher {
             })
             .expect("spawning prefetch thread");
         Self {
-            rx,
+            rx: Some(rx),
+            shutdown,
             handle: Some(handle),
         }
+    }
+
+    fn rx(&self) -> &Receiver<Result<Chunk, StorageError>> {
+        self.rx.as_ref().expect("receiver lives until drop")
     }
 
     /// Receives the next chunk, blocking until one is available or the bag
     /// drains (`Ok(None)`).
     pub fn recv(&self) -> Result<Option<Chunk>, StorageError> {
-        match self.rx.recv() {
+        match self.rx().recv() {
             Ok(Ok(c)) => Ok(Some(c)),
             Ok(Err(e)) => Err(e),
             Err(_) => Ok(None), // Fetcher exited: bag drained.
@@ -79,7 +104,7 @@ impl Prefetcher {
     /// (the bag may or may not be drained — use [`Prefetcher::recv`] for
     /// termination detection).
     pub fn try_recv(&self) -> Result<Option<Chunk>, StorageError> {
-        match self.rx.try_recv() {
+        match self.rx().try_recv() {
             Ok(Ok(c)) => Ok(Some(c)),
             Ok(Err(e)) => Err(e),
             Err(_) => Ok(None),
@@ -89,12 +114,12 @@ impl Prefetcher {
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        // Unblock the fetcher if it is parked on a full queue.
-        while self.rx.try_recv().is_ok() {}
-        drop(std::mem::replace(
-            &mut self.rx,
-            crossbeam::channel::never().clone(),
-        ));
+        // Order matters: raise the flag first so a fetcher that is *about*
+        // to probe again stops, then drop the receiver so a fetcher parked
+        // on a full queue fails its blocked send and exits. Both paths
+        // converge without ever re-entering the send loop.
+        self.shutdown.store(true, Ordering::Release);
+        drop(self.rx.take());
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -160,6 +185,30 @@ mod tests {
         let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 6), 2);
         let _first = pf.recv().unwrap();
         drop(pf); // Must join cleanly even with 998 chunks unread.
+    }
+
+    #[test]
+    fn repeated_drop_mid_stream_is_race_free() {
+        // Regression scope for the old drain-then-swap shutdown race:
+        // spawn and drop many prefetchers at random consumption depths;
+        // every drop must join (the test would hang, not fail, if the
+        // fetcher missed the shutdown signal).
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::new(cluster.clone(), bag, 7);
+        for i in 0..500 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        for round in 0..50 {
+            let pf = Prefetcher::spawn(
+                BagClient::new(cluster.clone(), bag, 100 + round),
+                1 + (round as usize % 4),
+            );
+            for _ in 0..(round % 3) {
+                let _ = pf.try_recv();
+            }
+            drop(pf);
+        }
     }
 
     #[test]

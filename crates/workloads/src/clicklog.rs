@@ -192,10 +192,7 @@ mod tests {
         }
         let expect = 80_000.0 / 8.0;
         for (r, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - expect).abs() / expect < 0.1,
-                "region {r}: {c}"
-            );
+            assert!((c as f64 - expect).abs() / expect < 0.1, "region {r}: {c}");
         }
     }
 

@@ -13,13 +13,8 @@ use crate::zipf;
 
 /// The skew parameters the paper sweeps, with their reported imbalance
 /// factors and (for s = 1) the reported largest-region share.
-pub const PAPER_SKEWS: [(f64, f64); 5] = [
-    (0.0, 1.0),
-    (0.2, 2.3),
-    (0.5, 8.0),
-    (0.8, 28.0),
-    (1.0, 64.0),
-];
+pub const PAPER_SKEWS: [(f64, f64); 5] =
+    [(0.0, 1.0), (0.2, 2.3), (0.5, 8.0), (0.8, 28.0), (1.0, 64.0)];
 
 /// The largest-region input share the paper reports for s = 1 (19.6 %).
 pub const PAPER_LARGEST_FRACTION_S1: f64 = 0.196;
@@ -71,9 +66,7 @@ impl RegionWeights {
             return Self::uniform(regions);
         }
         let a = target_imbalance.ln() / (regions as f64).ln();
-        let weights = (0..regions)
-            .map(|i| ((i + 1) as f64).powf(-a))
-            .collect();
+        let weights = (0..regions).map(|i| ((i + 1) as f64).powf(-a)).collect();
         Self::from_raw(weights)
     }
 

@@ -28,7 +28,10 @@ impl ZipfSampler {
     /// Panics if `n == 0`, or if `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one key");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 0..n {

@@ -53,9 +53,7 @@ fn main() {
     let mut running = app.start().expect("start");
     std::thread::sleep(Duration::from_millis(30));
     println!("t=30ms: crashing the application master (state replayed from work bags)");
-    running
-        .crash_and_recover_master()
-        .expect("master recovery");
+    running.crash_and_recover_master().expect("master recovery");
     std::thread::sleep(Duration::from_millis(40));
     println!("t=70ms: killing compute nodes 0-2 (their workers cancel; affected tasks restart)");
     for node in 0..3 {

@@ -39,7 +39,11 @@ fn main() {
         let (out, report) = HashJoinJob { partitions: 8 }
             .run(cluster, config.clone(), &r, &s)
             .expect("join run");
-        assert_eq!(out.len(), expected, "join cardinality vs nested-loop oracle");
+        assert_eq!(
+            out.len(),
+            expected,
+            "join cardinality vs nested-loop oracle"
+        );
         println!(
             "s={skew}: {} output tuples in {:>7.1?}  clones {:>2}",
             out.len(),

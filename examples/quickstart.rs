@@ -70,7 +70,10 @@ fn main() {
     let report = app.run().expect("run");
     let mut result: Vec<(String, u64)> = app.read_records(counts).expect("read");
     result.sort();
-    println!("word counts ({} clones, {:?}):", report.total_clones, report.elapsed);
+    println!(
+        "word counts ({} clones, {:?}):",
+        report.total_clones, report.elapsed
+    );
     for (word, n) in result {
         println!("  {word:<8} {n}");
     }

@@ -52,9 +52,7 @@ fn three_engines_agree_on_clicklog() {
         {
             let num_ips = job.num_ips;
             let regions = job.regions;
-            move |ip: u32, emit: &mut dyn FnMut(u32, u32)| {
-                emit(region_of(ip, num_ips, regions), ip)
-            }
+            move |ip: u32, emit: &mut dyn FnMut(u32, u32)| emit(region_of(ip, num_ips, regions), ip)
         },
         |region: &u32, ips: Vec<u32>| {
             let mut set = BitSet::new();
