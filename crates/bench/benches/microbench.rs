@@ -9,6 +9,8 @@ use hurricane_common::DetRng;
 use hurricane_format::{decode_all, encode_all};
 use hurricane_storage::bag::{BagClient, BatchRemoveResult, RemoveResult};
 use hurricane_storage::placement::CyclicPlacement;
+use hurricane_storage::prefetch::Prefetcher;
+use hurricane_storage::rpc::StorageRpc;
 use hurricane_storage::{ClusterConfig, StorageCluster};
 use hurricane_workloads::clicklog::{ClickLogGen, ClickLogSpec};
 use hurricane_workloads::rmat::{RmatGen, RmatSpec};
@@ -166,6 +168,44 @@ fn bench_contended(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+        g.bench_function("insert/rpc_inline", |b| {
+            b.iter_batched(
+                || StorageCluster::new(CONTENDED_NODES, ClusterConfig::default()),
+                |cluster| {
+                    let bag = cluster.create_bag();
+                    run_clients(clients, |t| {
+                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 7 + t);
+                        let chunks: Vec<_> =
+                            (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
+                        for batch in chunks.chunks(BATCH) {
+                            cl.insert_batch(batch).unwrap();
+                        }
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("insert/rpc_batch", |b| {
+            b.iter_batched(
+                || {
+                    let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                    let rpc = StorageRpc::serve(cluster.clone());
+                    (cluster, rpc)
+                },
+                |(cluster, rpc)| {
+                    let bag = cluster.create_bag();
+                    run_clients(clients, |t| {
+                        let mut cl = BagClient::connect(&rpc, bag, 7 + t);
+                        let chunks: Vec<_> =
+                            (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
+                        for batch in chunks.chunks(BATCH) {
+                            cl.insert_batch(batch).unwrap();
+                        }
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
 
         g.bench_function("remove/coarse", |b| {
             b.iter_batched(
@@ -238,8 +278,117 @@ fn bench_contended(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+        g.bench_function("remove/rpc_inline", |b| {
+            b.iter_batched(
+                || {
+                    let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                    let bag = cluster.create_bag();
+                    let mut cl = BagClient::new(cluster.clone(), bag, 3);
+                    let chunks: Vec<_> = (0..total_ops).map(|_| contended_chunk()).collect();
+                    cl.insert_batch(&chunks).unwrap();
+                    cluster.seal_bag(bag).unwrap();
+                    (cluster, bag)
+                },
+                |(cluster, bag)| {
+                    run_clients(clients, |t| {
+                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 11 + t);
+                        let mut left = OPS_PER_CLIENT as usize;
+                        while left > 0 {
+                            match cl.try_remove_batch(left.min(BATCH)).unwrap() {
+                                BatchRemoveResult::Chunks(chunks) => left -= chunks.len(),
+                                _ => break,
+                            }
+                        }
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("remove/rpc_batch", |b| {
+            b.iter_batched(
+                || {
+                    let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                    let rpc = StorageRpc::serve(cluster.clone());
+                    let bag = cluster.create_bag();
+                    let mut cl = BagClient::new(cluster.clone(), bag, 3);
+                    let chunks: Vec<_> = (0..total_ops).map(|_| contended_chunk()).collect();
+                    cl.insert_batch(&chunks).unwrap();
+                    cluster.seal_bag(bag).unwrap();
+                    (rpc, bag)
+                },
+                |(rpc, bag)| {
+                    run_clients(clients, |t| {
+                        let mut cl = BagClient::connect(&rpc, bag, 11 + t);
+                        let mut left = OPS_PER_CLIENT as usize;
+                        while left > 0 {
+                            match cl.try_remove_batch(left.min(BATCH)).unwrap() {
+                                BatchRemoveResult::Chunks(chunks) => left -= chunks.len(),
+                                _ => break,
+                            }
+                        }
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
         g.finish();
     }
+}
+
+/// The consumer-side prefetcher draining one bag: the synchronous
+/// one-probe-at-a-time loop over the direct port vs the RPC pipeline
+/// keeping `b = 10` requests in flight against distinct nodes.
+fn bench_prefetch(c: &mut Criterion) {
+    const CHUNKS: u64 = 8_000;
+    let mut g = c.benchmark_group("prefetch_8n");
+    g.throughput(Throughput::Elements(CHUNKS));
+    g.sample_size(10);
+    g.bench_function("direct", |b| {
+        b.iter_batched(
+            || {
+                let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                let bag = cluster.create_bag();
+                let mut cl = BagClient::new(cluster.clone(), bag, 5);
+                let chunks: Vec<_> = (0..CHUNKS).map(|_| contended_chunk()).collect();
+                cl.insert_batch(&chunks).unwrap();
+                cluster.seal_bag(bag).unwrap();
+                (cluster, bag)
+            },
+            |(cluster, bag)| {
+                let pf = Prefetcher::spawn(BagClient::new(cluster, bag, 6), 10);
+                let mut n = 0u64;
+                while pf.recv().unwrap().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("rpc_pipelined", |b| {
+        b.iter_batched(
+            || {
+                let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                let rpc = StorageRpc::serve(cluster.clone());
+                let bag = cluster.create_bag();
+                let mut cl = BagClient::new(cluster.clone(), bag, 5);
+                let chunks: Vec<_> = (0..CHUNKS).map(|_| contended_chunk()).collect();
+                cl.insert_batch(&chunks).unwrap();
+                cluster.seal_bag(bag).unwrap();
+                (rpc, bag)
+            },
+            |(rpc, bag)| {
+                let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 10);
+                let mut n = 0u64;
+                while pf.recv().unwrap().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
 }
 
 /// `BagSample` polling: the master samples input bags every heuristic
@@ -383,6 +532,7 @@ criterion_group!(
     bench_codec,
     bench_bags,
     bench_contended,
+    bench_prefetch,
     bench_sample,
     bench_placement,
     bench_workloads,

@@ -43,7 +43,7 @@ use crate::task::{BagWriter, ControlMsg, KillSwitch};
 use crossbeam::channel::{unbounded, Sender};
 use hurricane_common::BagId;
 use hurricane_format::{decode_all, Chunk, Record};
-use hurricane_storage::StorageCluster;
+use hurricane_storage::{rpc::StorageRpc, StorageCluster};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -193,9 +193,19 @@ impl HurricaneApp {
         let registry = Arc::new(RunningRegistry::new());
         let app_done = Arc::new(AtomicBool::new(false));
         let (control_tx, control_rx) = unbounded();
+        // When enabled, stand up the storage RPC boundary: per-node server
+        // loops that workers and the master address through messages.
+        let rpc = self.config.storage_rpc.then(|| {
+            Arc::new(StorageRpc::serve_with(
+                self.cluster.clone(),
+                self.config.rpc_dispatch_threads.max(1),
+                hurricane_storage::rpc::DEFAULT_REQUEST_TIMEOUT,
+            ))
+        });
         let mdeps = ManagerDeps {
             graph: self.graph.clone(),
             cluster: self.cluster.clone(),
+            rpc: rpc.clone(),
             config: self.config.clone(),
             kill: kill.clone(),
             registry: registry.clone(),
@@ -210,6 +220,7 @@ impl HurricaneApp {
         let master_deps = MasterDeps {
             graph: self.graph.clone(),
             cluster: self.cluster.clone(),
+            rpc: rpc.clone(),
             config: self.config.clone(),
             kill: kill.clone(),
             registry: registry.clone(),
@@ -227,6 +238,7 @@ impl HurricaneApp {
             managers,
             master: Some(master_thread),
             master_deps,
+            rpc,
             control_tx,
             app_done,
             start: Instant::now(),
@@ -262,6 +274,9 @@ pub struct RunningApp {
     managers: Vec<ComputeNodeHandle>,
     master: Option<JoinHandle<Result<MasterOutcome, EngineError>>>,
     master_deps: MasterDeps,
+    /// Keeps the RPC server loops alive for the run's duration; shut down
+    /// (draining in-flight requests) once everything has joined.
+    rpc: Option<Arc<StorageRpc>>,
     control_tx: Sender<ControlMsg>,
     app_done: Arc<AtomicBool>,
     start: Instant,
@@ -335,6 +350,9 @@ impl RunningApp {
         self.master_deps.kill.shutdown_all();
         for m in self.managers.drain(..) {
             m.join();
+        }
+        if let Some(rpc) = self.rpc.take() {
+            rpc.shutdown();
         }
         match outcome? {
             MasterOutcome::Completed(report) => Ok(AppReport::from_master(

@@ -37,6 +37,16 @@ pub struct HurricaneConfig {
     pub cloning_enabled: bool,
     /// Master poll period for the done bag / control messages.
     pub master_poll: Duration,
+    /// Route the data plane through the storage RPC boundary
+    /// (request/response messages to per-node server loops) instead of
+    /// direct in-process calls. Turns the prefetcher into a true pipeline
+    /// of `batch_factor` outstanding requests and lets writers overlap
+    /// replica acks; the direct path remains the default for tests and
+    /// benches of the storage substrate itself.
+    pub storage_rpc: bool,
+    /// Dispatch threads per storage-node RPC server (only used when
+    /// `storage_rpc` is on).
+    pub rpc_dispatch_threads: usize,
     /// Deterministic seed for placement permutations and tie-breaking.
     pub seed: u64,
 }
@@ -54,6 +64,8 @@ impl Default for HurricaneConfig {
             min_remaining_chunks_to_clone: 4,
             cloning_enabled: true,
             master_poll: Duration::from_millis(2),
+            storage_rpc: false,
+            rpc_dispatch_threads: 2,
             seed: 0xD1CE,
         }
     }
@@ -70,6 +82,13 @@ impl HurricaneConfig {
     /// Returns a copy with cloning disabled (HurricaneNC, paper §5.2).
     pub fn without_cloning(mut self) -> Self {
         self.cloning_enabled = false;
+        self
+    }
+
+    /// Returns a copy with the data plane routed over the storage RPC
+    /// boundary.
+    pub fn with_storage_rpc(mut self) -> Self {
+        self.storage_rpc = true;
         self
     }
 }

@@ -17,7 +17,7 @@ use crate::merges::ConcatMerge;
 use crate::task::{BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, TaskCtx};
 use crossbeam::channel::Sender;
 use hurricane_common::BagId;
-use hurricane_storage::{StorageCluster, WorkBag};
+use hurricane_storage::{BagClient, StorageCluster, StorageRpc, WorkBag};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +120,10 @@ pub struct ManagerDeps {
     pub graph: Arc<AppGraph>,
     /// The storage cluster.
     pub cluster: Arc<StorageCluster>,
+    /// The storage RPC boundary, when the deployment routes the data
+    /// plane through it (`HurricaneConfig::storage_rpc`). `None` keeps
+    /// the direct in-process path.
+    pub rpc: Option<Arc<StorageRpc>>,
     /// Runtime configuration.
     pub config: Arc<HurricaneConfig>,
     /// Shared cancellation state.
@@ -171,6 +175,22 @@ impl ComputeNodeHandle {
     }
 }
 
+impl ManagerDeps {
+    /// Opens a bag client for `bag` over the deployment's storage path:
+    /// RPC messages when the boundary is enabled, direct calls otherwise.
+    pub(crate) fn bag_client(&self, bag: BagId) -> BagClient {
+        match &self.rpc {
+            Some(rpc) => BagClient::connect(rpc, bag, self.seeds.next()),
+            None => BagClient::new(self.cluster.clone(), bag, self.seeds.next()),
+        }
+    }
+
+    /// Opens a typed work bag over the deployment's storage path.
+    fn workbag<T: hurricane_format::Record>(&self, bag: BagId) -> WorkBag<T> {
+        WorkBag::with_client(self.bag_client(bag))
+    }
+}
+
 /// Spawns the task-manager thread for compute node `node_id`.
 pub fn spawn_manager(node_id: u32, deps: ManagerDeps) -> ComputeNodeHandle {
     let alive = Arc::new(AtomicBool::new(true));
@@ -187,13 +207,8 @@ pub fn spawn_manager(node_id: u32, deps: ManagerDeps) -> ComputeNodeHandle {
 }
 
 fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
-    let mut ready =
-        WorkBag::<Descriptor>::new(deps.cluster.clone(), deps.workbags.ready, deps.seeds.next());
-    let mut running = WorkBag::<RunningRecord>::new(
-        deps.cluster.clone(),
-        deps.workbags.running,
-        deps.seeds.next(),
-    );
+    let mut ready: WorkBag<Descriptor> = deps.workbag(deps.workbags.ready);
+    let mut running: WorkBag<RunningRecord> = deps.workbag(deps.workbags.running);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         workers.retain(|w| !w.is_finished());
@@ -269,11 +284,7 @@ fn run_unit(node_id: u32, desc: Descriptor, deps: ManagerDeps, node_alive: Arc<A
             if probe.cancelled() {
                 return; // Cancelled at the finish line: no done record.
             }
-            let mut done = WorkBag::<DoneRecord>::new(
-                deps.cluster.clone(),
-                deps.workbags.done,
-                deps.seeds.next(),
-            );
+            let mut done: WorkBag<DoneRecord> = deps.workbag(deps.workbags.done);
             let _ = done.insert(&DoneRecord {
                 kind: desc.kind,
                 instance: desc.instance,
@@ -304,10 +315,8 @@ fn run_task(
         .inputs
         .iter()
         .map(|&b| {
-            BagReader::open(
-                deps.cluster.clone(),
-                BagId(b),
-                deps.seeds.next(),
+            BagReader::open_client(
+                deps.bag_client(BagId(b)),
                 deps.config.batch_factor,
                 Some(probe.clone()),
             )
@@ -317,10 +326,8 @@ fn run_task(
         .outputs
         .iter()
         .map(|&b| {
-            BagWriter::open_batched(
-                deps.cluster.clone(),
-                BagId(b),
-                deps.seeds.next(),
+            BagWriter::open_batched_client(
+                deps.bag_client(BagId(b)),
                 deps.config.chunk_size,
                 deps.config.batch_factor,
             )
@@ -365,19 +372,15 @@ fn run_merge(
     for (out_idx, &out_bag) in desc.outputs.iter().enumerate() {
         let mut partials: Vec<BagReader> = (0..instances)
             .map(|i| {
-                BagReader::open(
-                    deps.cluster.clone(),
-                    BagId(desc.inputs[i * stride + out_idx]),
-                    deps.seeds.next(),
+                BagReader::open_client(
+                    deps.bag_client(BagId(desc.inputs[i * stride + out_idx])),
                     deps.config.batch_factor,
                     Some(probe.clone()),
                 )
             })
             .collect();
-        let mut out = BagWriter::open_batched(
-            deps.cluster.clone(),
-            BagId(out_bag),
-            deps.seeds.next(),
+        let mut out = BagWriter::open_batched_client(
+            deps.bag_client(BagId(out_bag)),
             deps.config.chunk_size,
             deps.config.batch_factor,
         );

@@ -22,7 +22,7 @@ use crate::manager::{RunningRegistry, SeedGen, WorkBagIds};
 use crate::task::{ControlMsg, KillSwitch};
 use crossbeam::channel::Receiver;
 use hurricane_common::{BagId, TaskId, TaskInstanceId};
-use hurricane_storage::{StorageCluster, WorkBag};
+use hurricane_storage::{BagClient, StorageCluster, StorageRpc, WorkBag};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -63,6 +63,9 @@ pub struct MasterDeps {
     pub graph: Arc<AppGraph>,
     /// The storage cluster.
     pub cluster: Arc<StorageCluster>,
+    /// The storage RPC boundary when the deployment routes the data plane
+    /// through it; `None` keeps direct in-process calls.
+    pub rpc: Option<Arc<StorageRpc>>,
     /// Runtime configuration.
     pub config: Arc<HurricaneConfig>,
     /// Shared cancellation state.
@@ -106,6 +109,18 @@ pub struct Master {
     start: Instant,
 }
 
+impl MasterDeps {
+    /// Opens a typed work bag over the deployment's storage path (RPC
+    /// messages when the boundary is enabled, direct calls otherwise).
+    fn workbag<T: hurricane_format::Record>(&self, bag: BagId) -> WorkBag<T> {
+        let client = match &self.rpc {
+            Some(rpc) => BagClient::connect(rpc, bag, self.seeds.next()),
+            None => BagClient::new(self.cluster.clone(), bag, self.seeds.next()),
+        };
+        WorkBag::with_client(client)
+    }
+}
+
 impl Master {
     /// Creates a fresh master for a newly deployed application.
     pub fn new(deps: MasterDeps, control_rx: Receiver<ControlMsg>) -> Self {
@@ -113,13 +128,9 @@ impl Master {
             .map(|_| TaskState::default())
             .collect();
         Self {
-            ready: WorkBag::new(deps.cluster.clone(), deps.workbags.ready, deps.seeds.next()),
-            done_bag: WorkBag::new(deps.cluster.clone(), deps.workbags.done, deps.seeds.next()),
-            running_bag: WorkBag::new(
-                deps.cluster.clone(),
-                deps.workbags.running,
-                deps.seeds.next(),
-            ),
+            ready: deps.workbag(deps.workbags.ready),
+            done_bag: deps.workbag(deps.workbags.done),
+            running_bag: deps.workbag(deps.workbags.running),
             state,
             report: MasterReport::default(),
             start: Instant::now(),

@@ -140,7 +140,18 @@ impl BagReader {
         batch_factor: usize,
         cancel: Option<CancelProbe>,
     ) -> Self {
-        let client = BagClient::new(cluster, bag, seed);
+        Self::open_client(BagClient::new(cluster, bag, seed), batch_factor, cancel)
+    }
+
+    /// Opens a reader over an existing bag client. With a client connected
+    /// over the RPC boundary ([`BagClient::connect`]), the prefetcher
+    /// keeps `batch_factor` requests genuinely in flight against distinct
+    /// storage nodes.
+    pub fn open_client(
+        client: BagClient,
+        batch_factor: usize,
+        cancel: Option<CancelProbe>,
+    ) -> Self {
         Self {
             prefetcher: Prefetcher::spawn(client, batch_factor),
             bytes_read: 0,
@@ -209,8 +220,15 @@ impl BagWriter {
         chunk_size: usize,
         batch_factor: usize,
     ) -> Self {
+        Self::open_batched_client(BagClient::new(cluster, bag, seed), chunk_size, batch_factor)
+    }
+
+    /// Opens a batched writer over an existing bag client. With an
+    /// RPC-connected client, replicated batch flushes overlap their backup
+    /// acks on the wire.
+    pub fn open_batched_client(client: BagClient, chunk_size: usize, batch_factor: usize) -> Self {
         Self {
-            client: BagClient::new(cluster, bag, seed),
+            client,
             buf: Vec::with_capacity(chunk_size),
             batch: ChunkBatch::new(batch_factor.max(1)),
             chunk_size,

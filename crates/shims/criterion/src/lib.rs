@@ -10,12 +10,17 @@
 //! * `BENCH_JSON=<path>` appends one JSON object per benchmark
 //!   (`{"name", "ns_per_iter", "elems_per_sec"}`) — used by the repo's
 //!   `BENCH_*.json` record keeping.
+//! * `BENCH_SAMPLE_MS` / `BENCH_WARMUP_MS` override the measurement and
+//!   warm-up windows (milliseconds). CI's bench-smoke job sets small
+//!   values to exercise every bench quickly; unset, the defaults give
+//!   stable medians.
 //! * A positional CLI argument filters benchmarks by substring, matching
 //!   `cargo bench -- <filter>` behaviour.
 
 use std::fmt::Display;
 use std::hint;
 use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.
@@ -78,10 +83,33 @@ pub struct Bencher {
     measurement: Option<Measurement>,
 }
 
-/// Target wall-clock time for the measurement phase of one benchmark.
-const SAMPLE_WINDOW: Duration = Duration::from_millis(1500);
-/// Target wall-clock time for warm-up.
-const WARMUP_WINDOW: Duration = Duration::from_millis(300);
+/// Default target wall-clock time for the measurement phase of one
+/// benchmark; override with `BENCH_SAMPLE_MS`.
+const DEFAULT_SAMPLE_MS: u64 = 1500;
+/// Default target wall-clock time for warm-up; override with
+/// `BENCH_WARMUP_MS`.
+const DEFAULT_WARMUP_MS: u64 = 300;
+
+fn window_from_env(var: &str, cell: &'static OnceLock<Duration>, default_ms: u64) -> Duration {
+    *cell.get_or_init(|| {
+        let ms = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default_ms)
+            .max(1);
+        Duration::from_millis(ms)
+    })
+}
+
+fn sample_window() -> Duration {
+    static CELL: OnceLock<Duration> = OnceLock::new();
+    window_from_env("BENCH_SAMPLE_MS", &CELL, DEFAULT_SAMPLE_MS)
+}
+
+fn warmup_window() -> Duration {
+    static CELL: OnceLock<Duration> = OnceLock::new();
+    window_from_env("BENCH_WARMUP_MS", &CELL, DEFAULT_WARMUP_MS)
+}
 
 impl Bencher {
     /// Measures `routine`, called in a timed loop.
@@ -89,7 +117,7 @@ impl Bencher {
         // Warm-up: run until the window elapses, estimating cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP_WINDOW {
+        while warm_start.elapsed() < warmup_window() {
             hint::black_box(routine());
             warm_iters += 1;
         }
@@ -98,7 +126,7 @@ impl Bencher {
         // Choose per-sample iteration counts that fill the sample window.
         let samples = self.sample_size.max(5);
         let total_iters =
-            ((SAMPLE_WINDOW.as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
+            ((sample_window().as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
         let iters_per_sample = (total_iters / samples as u64).max(1);
 
         let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
@@ -127,7 +155,7 @@ impl Bencher {
         let mut warm_iters = 0u64;
         let mut warm_busy = Duration::ZERO;
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP_WINDOW {
+        while warm_start.elapsed() < warmup_window() {
             let input = setup();
             let t = Instant::now();
             hint::black_box(routine(input));
@@ -138,7 +166,7 @@ impl Bencher {
 
         let samples = self.sample_size.max(5);
         let total_iters =
-            ((SAMPLE_WINDOW.as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
+            ((sample_window().as_nanos() as f64 / est_ns).ceil() as u64).max(samples as u64);
         let iters_per_sample = (total_iters / samples as u64).max(1);
 
         let mut per_iter: Vec<f64> = Vec::with_capacity(samples);

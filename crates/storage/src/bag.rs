@@ -9,11 +9,85 @@
 
 use crate::cluster::StorageCluster;
 use crate::error::StorageError;
-use crate::node::{BagSample, NodeRemove};
+use crate::node::{BagSample, NodeRemove, NodeRemoveBatch};
 use crate::placement::CyclicPlacement;
+use crate::rpc::{RpcPort, StorageRpc};
 use hurricane_common::{BagId, DetRng};
 use hurricane_format::Chunk;
 use std::sync::Arc;
+
+/// How a client reaches storage: direct in-process method calls on the
+/// shared cluster object, or correlated messages over the RPC boundary
+/// ([`crate::rpc`]). Both expose the same cluster-level data-plane
+/// semantics; the port is chosen at client construction and invisible to
+/// everything above [`BagClient`].
+pub(crate) enum StoragePort {
+    /// In-process method calls (the original path; tests and benches).
+    Direct(Arc<StorageCluster>),
+    /// Correlated request/response messages to per-node server loops.
+    Rpc(RpcPort),
+}
+
+impl StoragePort {
+    pub(crate) fn cluster(&self) -> &Arc<StorageCluster> {
+        match self {
+            StoragePort::Direct(c) => c,
+            StoragePort::Rpc(p) => p.cluster(),
+        }
+    }
+
+    /// Number of storage nodes addressable through this port. A direct
+    /// port tracks cluster growth; an RPC port's connection set is fixed
+    /// when the port is minted.
+    pub(crate) fn num_nodes(&self) -> usize {
+        match self {
+            StoragePort::Direct(c) => c.num_nodes(),
+            StoragePort::Rpc(p) => p.num_nodes(),
+        }
+    }
+
+    pub(crate) fn insert_batch(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+        chunks: &[Chunk],
+    ) -> Result<(), StorageError> {
+        match self {
+            StoragePort::Direct(c) => c.insert_batch(primary_idx, bag, chunks),
+            StoragePort::Rpc(p) => p.insert_batch(primary_idx, bag, chunks),
+        }
+    }
+
+    pub(crate) fn remove(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+    ) -> Result<NodeRemove, StorageError> {
+        match self {
+            StoragePort::Direct(c) => c.remove(primary_idx, bag),
+            StoragePort::Rpc(p) => p.remove(primary_idx, bag),
+        }
+    }
+
+    pub(crate) fn remove_batch(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+        max_n: usize,
+    ) -> Result<NodeRemoveBatch, StorageError> {
+        match self {
+            StoragePort::Direct(c) => c.remove_batch(primary_idx, bag, max_n),
+            StoragePort::Rpc(p) => p.remove_batch(primary_idx, bag, max_n),
+        }
+    }
+
+    pub(crate) fn sample_bag(&mut self, bag: BagId) -> Result<BagSample, StorageError> {
+        match self {
+            StoragePort::Direct(c) => c.sample_bag(bag),
+            StoragePort::Rpc(p) => p.sample_bag(bag),
+        }
+    }
+}
 
 /// Outcome of a bag-level remove attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,10 +116,10 @@ pub enum BatchRemoveResult {
 
 /// A client handle for inserting into / removing from one bag.
 pub struct BagClient {
-    cluster: Arc<StorageCluster>,
-    bag: BagId,
+    pub(crate) port: StoragePort,
+    pub(crate) bag: BagId,
     insert_cursor: CyclicPlacement,
-    remove_cursor: CyclicPlacement,
+    pub(crate) remove_cursor: CyclicPlacement,
     rng: DetRng,
     /// Per-target scratch buckets reused across `insert_batch` calls so a
     /// steady stream of batches allocates nothing.
@@ -56,12 +130,36 @@ impl BagClient {
     /// Creates a client for `bag`. Each client should use a distinct
     /// `seed` so that placement cycles decorrelate across workers.
     pub fn new(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
+        Self::with_port(StoragePort::Direct(cluster), bag, seed)
+    }
+
+    /// Creates a client for `bag` that talks to storage over the RPC
+    /// boundary: every data-plane operation becomes correlated messages to
+    /// the per-node server loops of `rpc`.
+    pub fn connect(rpc: &StorageRpc, bag: BagId, seed: u64) -> Self {
+        Self::with_port(StoragePort::Rpc(rpc.port()), bag, seed)
+    }
+
+    /// Creates a client over an explicit [`RpcPort`] — the seam for
+    /// injecting custom transports (tests, future network sockets).
+    pub fn with_rpc_port(port: RpcPort, bag: BagId, seed: u64) -> Self {
+        Self::with_port(StoragePort::Rpc(port), bag, seed)
+    }
+
+    /// Creates a client speaking the RPC message protocol with inline
+    /// dispatch ([`crate::rpc::InlineTransport`]): the boundary without
+    /// the thread hops, for colocated compute and storage.
+    pub fn connect_inline(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
+        Self::with_port(StoragePort::Rpc(RpcPort::inline(cluster)), bag, seed)
+    }
+
+    pub(crate) fn with_port(port: StoragePort, bag: BagId, seed: u64) -> Self {
         let mut rng = DetRng::new(seed);
-        let m = cluster.num_nodes();
+        let m = port.num_nodes();
         Self {
             insert_cursor: CyclicPlacement::new(m, &mut rng),
             remove_cursor: CyclicPlacement::new(m, &mut rng),
-            cluster,
+            port,
             bag,
             rng,
             insert_buckets: Vec::new(),
@@ -75,13 +173,15 @@ impl BagClient {
 
     /// The cluster this client talks to.
     pub fn cluster(&self) -> &Arc<StorageCluster> {
-        &self.cluster
+        self.port.cluster()
     }
 
     /// Picks up storage nodes added since this client was created
     /// (paper §3.4: the master informs compute nodes about new nodes).
+    /// An RPC client's connection set is fixed at connect time, so its
+    /// membership only grows when a fresh client is connected.
     pub fn refresh_membership(&mut self) {
-        let m = self.cluster.num_nodes();
+        let m = self.port.num_nodes();
         if m > self.insert_cursor.len() {
             self.insert_cursor.grow(m, &mut self.rng);
         }
@@ -99,12 +199,16 @@ impl BagClient {
         let mut last_err = None;
         for _ in 0..m {
             let target = self.insert_cursor.next_node();
-            match self.cluster.insert(target, self.bag, chunk.clone()) {
+            match self
+                .port
+                .insert_batch(target, self.bag, std::slice::from_ref(&chunk))
+            {
                 Ok(()) => return Ok(()),
                 Err(
                     e @ (StorageError::NodeDown(_)
                     | StorageError::NodeDraining(_)
-                    | StorageError::AllReplicasDown(_)),
+                    | StorageError::AllReplicasDown(_)
+                    | StorageError::Disconnected(_)),
                 ) => last_err = Some(e),
                 Err(e) => return Err(e),
             }
@@ -135,6 +239,10 @@ impl BagClient {
         for chunk in chunks {
             self.insert_buckets[self.insert_cursor.next_node()].push(chunk.clone());
         }
+        // Over RPC, all buckets go on the wire before any ack is awaited.
+        if let StoragePort::Rpc(port) = &mut self.port {
+            return port.insert_buckets(self.bag, &self.insert_buckets);
+        }
         for (target, bucket) in self.insert_buckets.iter().enumerate() {
             if bucket.is_empty() {
                 continue;
@@ -145,7 +253,7 @@ impl BagClient {
             let mut last_err = None;
             for offset in 0..m {
                 let idx = (target + offset) % m;
-                match self.cluster.insert_batch(idx, self.bag, bucket) {
+                match self.port.insert_batch(idx, self.bag, bucket) {
                     Ok(()) => {
                         landed = true;
                         break;
@@ -176,11 +284,15 @@ impl BagClient {
         let mut down = 0usize;
         for _ in 0..m {
             let target = self.remove_cursor.next_node();
-            match self.cluster.remove(target, self.bag) {
+            match self.port.remove(target, self.bag) {
                 Ok(NodeRemove::Chunk(c)) => return Ok(RemoveResult::Chunk(c)),
                 Ok(NodeRemove::Empty) => saw_pending = true,
                 Ok(NodeRemove::Eof) => {}
-                Err(StorageError::NodeDown(_) | StorageError::AllReplicasDown(_)) => {
+                Err(
+                    StorageError::NodeDown(_)
+                    | StorageError::AllReplicasDown(_)
+                    | StorageError::Disconnected(_),
+                ) => {
                     down += 1;
                 }
                 Err(e) => return Err(e),
@@ -189,7 +301,7 @@ impl BagClient {
         if down == m {
             return Err(StorageError::AllReplicasDown(self.bag));
         }
-        if saw_pending || !self.cluster.is_sealed(self.bag)? {
+        if saw_pending || !self.port.cluster().is_sealed(self.bag)? {
             Ok(RemoveResult::Pending)
         } else {
             Ok(RemoveResult::Drained)
@@ -200,6 +312,14 @@ impl BagClient {
     /// cyclic order and taking as many chunks from each probed node as
     /// the budget allows — one storage round-trip per node rather than
     /// per chunk (the data-plane analog of batch sampling, paper §3.3).
+    ///
+    /// Over either port the probe loop is sequential — a full-budget
+    /// probe usually fills from the first non-empty node, so one message
+    /// moves the whole batch. (Scattering capped sub-requests across all
+    /// nodes was tried and rejected: it multiplies message count by `m`
+    /// per batch. Latency hiding for reads belongs to the
+    /// [`Prefetcher`](crate::prefetch::Prefetcher), whose RPC pipeline
+    /// keeps `b` of these probes in flight.)
     pub fn try_remove_batch(&mut self, max_n: usize) -> Result<BatchRemoveResult, StorageError> {
         let m = self.remove_cursor.len();
         let mut got: Vec<Chunk> = Vec::new();
@@ -211,14 +331,18 @@ impl BagClient {
                 break;
             }
             let target = self.remove_cursor.next_node();
-            match self.cluster.remove_batch(target, self.bag, budget) {
+            match self.port.remove_batch(target, self.bag, budget) {
                 Ok(batch) => {
                     if batch.exhausted && !batch.eof {
                         saw_pending = true;
                     }
                     got.extend(batch.chunks);
                 }
-                Err(StorageError::NodeDown(_) | StorageError::AllReplicasDown(_)) => {
+                Err(
+                    StorageError::NodeDown(_)
+                    | StorageError::AllReplicasDown(_)
+                    | StorageError::Disconnected(_),
+                ) => {
                     down += 1;
                 }
                 Err(e) => return Err(e),
@@ -230,7 +354,7 @@ impl BagClient {
         if down == m {
             return Err(StorageError::AllReplicasDown(self.bag));
         }
-        if saw_pending || !self.cluster.is_sealed(self.bag)? {
+        if saw_pending || !self.port.cluster().is_sealed(self.bag)? {
             Ok(BatchRemoveResult::Pending)
         } else {
             Ok(BatchRemoveResult::Drained)
@@ -254,8 +378,8 @@ impl BagClient {
     }
 
     /// Samples the bag's cluster-wide state (for progress estimation).
-    pub fn sample(&self) -> Result<BagSample, StorageError> {
-        self.cluster.sample_bag(self.bag)
+    pub fn sample(&mut self) -> Result<BagSample, StorageError> {
+        self.port.sample_bag(self.bag)
     }
 }
 

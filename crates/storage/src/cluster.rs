@@ -139,7 +139,7 @@ impl StorageCluster {
         id
     }
 
-    fn check_bag(&self, bag: BagId) -> Result<(), StorageError> {
+    pub(crate) fn check_bag(&self, bag: BagId) -> Result<(), StorageError> {
         let bags = self.bags.read();
         match bags.get(&bag) {
             None => Err(StorageError::UnknownBag(bag)),
@@ -150,7 +150,7 @@ impl StorageCluster {
 
     /// Validates `bag` and returns its sealed flag in one metadata-lock
     /// acquisition — the hot path's single metadata touch.
-    fn bag_state(&self, bag: BagId) -> Result<bool, StorageError> {
+    pub(crate) fn bag_state(&self, bag: BagId) -> Result<bool, StorageError> {
         let bags = self.bags.read();
         match bags.get(&bag) {
             None => Err(StorageError::UnknownBag(bag)),
@@ -270,7 +270,7 @@ impl StorageCluster {
 
     /// Returns the append-ordering lock for `(bag, origin)`, creating it
     /// on first use. Only called when replication > 1.
-    fn order_lock(&self, bag: BagId, origin: u32) -> Arc<parking_lot::Mutex<()>> {
+    pub(crate) fn order_lock(&self, bag: BagId, origin: u32) -> Arc<parking_lot::Mutex<()>> {
         if let Some(l) = self.repl_order.read().get(&(bag, origin)) {
             return l.clone();
         }

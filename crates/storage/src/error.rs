@@ -21,6 +21,20 @@ pub enum StorageError {
     BagCollected(BagId),
     /// Every replica of the addressed data is down.
     AllReplicasDown(BagId),
+    /// The RPC transport to the addressed storage node is gone: its server
+    /// loop shut down (or a network connection dropped). Unlike
+    /// [`StorageError::NodeDown`], this is a property of the *connection*,
+    /// not the node — the node may be healthy and reachable over a fresh
+    /// transport.
+    Disconnected(StorageNodeId),
+    /// An RPC request got no reply within the client's timeout. The
+    /// request may still execute at the server; callers must treat the
+    /// operation's outcome as unknown.
+    Timeout(StorageNodeId),
+    /// The prefetcher's fetch loop terminated without reaching end-of-bag
+    /// (its thread died or its transport was lost mid-stream). Consumers
+    /// must not mistake this for a drained bag.
+    PrefetchAborted,
     /// A work-bag record failed to decode.
     Codec(CodecError),
 }
@@ -37,6 +51,15 @@ impl fmt::Display for StorageError {
             StorageError::BagCollected(b) => write!(f, "bag {b} was garbage-collected"),
             StorageError::AllReplicasDown(b) => {
                 write!(f, "all replicas holding bag {b} data are down")
+            }
+            StorageError::Disconnected(n) => {
+                write!(f, "transport to storage node {n} is disconnected")
+            }
+            StorageError::Timeout(n) => {
+                write!(f, "request to storage node {n} timed out")
+            }
+            StorageError::PrefetchAborted => {
+                write!(f, "prefetch stream ended before end-of-bag")
             }
             StorageError::Codec(e) => write!(f, "work bag record corrupt: {e}"),
         }

@@ -20,8 +20,14 @@
 //!   shared with the simulator.
 //! * [`batch`] — batch-sampling math: the utilization lower bound of
 //!   paper Eq. 1 and a Monte-Carlo counterpart used to validate it.
+//! * [`rpc`] — the explicit message boundary between compute and storage:
+//!   request/response enums covering the node API, a [`rpc::Transport`]
+//!   trait (in-process channels today, a network socket tomorrow),
+//!   per-node server loops, and the correlation layer that lets clients
+//!   keep many requests in flight.
 //! * [`bag`] — `BagClient`, the per-worker handle combining placement with
-//!   cluster access; [`prefetch`] adds the b-outstanding-requests pipeline.
+//!   cluster access over either the direct or the RPC port; [`prefetch`]
+//!   adds the b-outstanding-requests pipeline.
 //! * [`workbag`] — typed bags of task descriptors used for decentralized
 //!   scheduling (ready / running / done, paper §4.1).
 
@@ -32,10 +38,12 @@ pub mod error;
 pub mod node;
 pub mod placement;
 pub mod prefetch;
+pub mod rpc;
 pub mod workbag;
 
 pub use bag::{BagClient, BatchRemoveResult, RemoveResult};
 pub use cluster::{ClusterConfig, StorageCluster};
 pub use error::StorageError;
 pub use node::{BagSample, NodeRemoveBatch, StorageNode};
+pub use rpc::{StorageRequest, StorageResponse, StorageRpc, Transport};
 pub use workbag::WorkBag;

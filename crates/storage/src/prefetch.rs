@@ -3,24 +3,35 @@
 //! Paper §3.3 keeps `b` outstanding storage requests per compute node so
 //! that storage stays busy and workers are never starved — "essentially
 //! overlapping computation and communication through prefetching of
-//! chunks". In this in-process runtime the analog is a background fetcher
-//! thread per consuming worker that keeps up to `b` removed chunks buffered
-//! in a bounded queue: the queue bound *is* the number of outstanding
-//! requests, and the worker consumes from the queue without ever waiting on
-//! a probe round-trip while data is available.
+//! chunks". The prefetcher runs one background fetcher thread per
+//! consuming worker and delivers chunks through a bounded queue; how the
+//! fetcher talks to storage depends on the client's port:
 //!
-//! The fetcher refills in *batches*: each probe round asks the bag for up
-//! to `b` chunks at once ([`BagClient::try_remove_batch`]), so a queue
-//! that drained completely is refilled with one storage round-trip per
-//! node instead of one per chunk.
+//! * **Direct port** (in-process method calls): one synchronous probe
+//!   round at a time, each asking the bag for up to `b` chunks
+//!   ([`BagClient::try_remove_batch`]). The queue bound stands in for the
+//!   outstanding-request budget.
+//! * **RPC port** ([`crate::rpc`]): a true pipeline. The fetcher keeps up
+//!   to `b` *concurrently outstanding* `RemoveBatch` requests against
+//!   distinct storage nodes (walking the client's pseudorandom cyclic
+//!   order) and collects completions as they arrive, so storage-side
+//!   latency is overlapped across nodes exactly as the paper describes.
+//!
+//! Transport failures are *surfaced*: a fetcher that loses its connection
+//! mid-stream sends the error to the consumer rather than ending the
+//! stream, and a stream that ends without the fetcher's explicit
+//! end-of-bag mark is reported as [`StorageError::PrefetchAborted`] — a
+//! drained bag and a dead fetcher are never confused.
 
-use crate::bag::{BagClient, BatchRemoveResult};
+use crate::bag::{BagClient, BatchRemoveResult, StoragePort};
 use crate::error::StorageError;
-use crossbeam::channel::{bounded, Receiver};
+use crate::rpc::{CompletionToken, StorageRequest, StorageResponse};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use hurricane_format::Chunk;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A handle to a prefetching consumer of one bag.
 ///
@@ -29,59 +40,47 @@ use std::thread::JoinHandle;
 /// the data channel. A fetcher parked on a full queue observes the
 /// disconnect (its blocked `send` fails immediately), and a fetcher
 /// mid-probe observes the flag before its next send — there is no window
-/// in which it can keep running, unlike the old drain-then-swap scheme,
-/// which raced with a concurrent send landing between the drain and the
-/// swap.
+/// in which it can keep running.
 pub struct Prefetcher {
     rx: Option<Receiver<Result<Chunk, StorageError>>>,
     shutdown: Arc<AtomicBool>,
+    /// Set by the fetcher before every intentional exit (drained bag or
+    /// explicitly delivered error). A disconnected channel without this
+    /// mark means the fetcher died: surfaced as `PrefetchAborted`.
+    ended: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Prefetcher {
     /// Spawns a fetcher over `client` keeping up to `batch_factor` chunks
-    /// buffered.
+    /// buffered (and, over an RPC port, up to `batch_factor` requests in
+    /// flight).
     ///
     /// # Panics
     ///
     /// Panics if `batch_factor` is zero.
-    pub fn spawn(mut client: BagClient, batch_factor: usize) -> Self {
+    pub fn spawn(client: BagClient, batch_factor: usize) -> Self {
         assert!(batch_factor > 0, "batch factor must be at least 1");
         let (tx, rx) = bounded(batch_factor);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let ended = Arc::new(AtomicBool::new(false));
         let shutdown2 = shutdown.clone();
+        let ended2 = ended.clone();
+        let pipelined = matches!(client.port, StoragePort::Rpc(_));
         let handle = std::thread::Builder::new()
             .name(format!("prefetch-{}", client.bag_id()))
             .spawn(move || {
-                let mut backoff_us = 10u64;
-                while !shutdown2.load(Ordering::Acquire) {
-                    match client.try_remove_batch(batch_factor) {
-                        Ok(BatchRemoveResult::Chunks(chunks)) => {
-                            backoff_us = 10;
-                            for c in chunks {
-                                // A failed send means the consumer dropped
-                                // the handle; exit immediately.
-                                if tx.send(Ok(c)).is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                        Ok(BatchRemoveResult::Pending) => {
-                            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                            backoff_us = (backoff_us * 2).min(1000);
-                        }
-                        Ok(BatchRemoveResult::Drained) => return,
-                        Err(e) => {
-                            let _ = tx.send(Err(e));
-                            return;
-                        }
-                    }
+                if pipelined {
+                    pipelined_fetch(client, batch_factor, &tx, &shutdown2, &ended2);
+                } else {
+                    direct_fetch(client, batch_factor, &tx, &shutdown2, &ended2);
                 }
             })
             .expect("spawning prefetch thread");
         Self {
             rx: Some(rx),
             shutdown,
+            ended,
             handle: Some(handle),
         }
     }
@@ -96,7 +95,9 @@ impl Prefetcher {
         match self.rx().recv() {
             Ok(Ok(c)) => Ok(Some(c)),
             Ok(Err(e)) => Err(e),
-            Err(_) => Ok(None), // Fetcher exited: bag drained.
+            // Fetcher exited. Only an intentional exit means "drained".
+            Err(_) if self.ended.load(Ordering::Acquire) => Ok(None),
+            Err(_) => Err(StorageError::PrefetchAborted),
         }
     }
 
@@ -126,10 +127,294 @@ impl Drop for Prefetcher {
     }
 }
 
+/// The synchronous fetch loop used over a direct (in-process) port: one
+/// batched probe round outstanding at a time.
+fn direct_fetch(
+    mut client: BagClient,
+    batch_factor: usize,
+    tx: &Sender<Result<Chunk, StorageError>>,
+    shutdown: &AtomicBool,
+    ended: &AtomicBool,
+) {
+    let mut backoff_us = 10u64;
+    while !shutdown.load(Ordering::Acquire) {
+        match client.try_remove_batch(batch_factor) {
+            Ok(BatchRemoveResult::Chunks(chunks)) => {
+                backoff_us = 10;
+                for c in chunks {
+                    // A failed send means the consumer dropped the
+                    // handle; exit immediately.
+                    if tx.send(Ok(c)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(BatchRemoveResult::Pending) => {
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(1000);
+            }
+            Ok(BatchRemoveResult::Drained) => {
+                ended.store(true, Ordering::Release);
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                ended.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// What the last completed request from a node reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeLast {
+    /// No completion yet.
+    Unknown,
+    /// Returned chunks.
+    Chunks,
+    /// Exhausted with nothing to give, bag not at end-of-file there.
+    Empty,
+    /// End-of-file: sealed and exhausted. The node is done for good.
+    Eof,
+    /// Unreachable (node down / all its replicas down).
+    Down,
+}
+
+/// How long the collector blocks on one connection when no completion is
+/// ready anywhere — short, so top-up latency stays bounded.
+const PUMP_WAIT: Duration = Duration::from_micros(200);
+
+/// The pipelined fetch loop used over an RPC port: keeps up to `b`
+/// `RemoveBatch` requests outstanding against distinct nodes and collects
+/// completions out of order.
+fn pipelined_fetch(
+    mut client: BagClient,
+    b: usize,
+    tx: &Sender<Result<Chunk, StorageError>>,
+    shutdown: &AtomicBool,
+    ended: &AtomicBool,
+) {
+    let bag = client.bag;
+    let m = client.remove_cursor.len();
+    let target = b.min(m).max(1);
+    // At most one outstanding request per node (the paper spreads the `b`
+    // requests over distinct nodes); `tokens[i]` is node i's in-flight
+    // request plus the cluster sealed flag captured *at submit time* —
+    // sealed-before-probe is what makes an `exhausted && sealed`
+    // conclusion safe (a sealed bag rejects inserts, so nothing can land
+    // after a pre-probe sealed read; a post-completion read would race a
+    // concurrent insert-then-seal and drop the inserted chunk).
+    let mut tokens: Vec<Option<(CompletionToken, bool)>> = vec![None; m];
+    let mut last: Vec<NodeLast> = vec![NodeLast::Unknown; m];
+    let mut outstanding = 0usize;
+    let mut empty_streak = 0usize;
+    let mut backoff_us = 10u64;
+
+    macro_rules! fail {
+        ($e:expr) => {{
+            let _ = tx.send(Err($e));
+            ended.store(true, Ordering::Release);
+            return;
+        }};
+    }
+
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let StoragePort::Rpc(port) = &mut client.port else {
+            unreachable!("pipelined_fetch requires an RPC port");
+        };
+
+        // Top up: issue requests to non-EOF nodes without one in flight,
+        // following the cyclic placement order.
+        let mut scanned = 0;
+        while outstanding < target && scanned < m {
+            let node = client.remove_cursor.next_node();
+            scanned += 1;
+            if tokens[node].is_some() || last[node] == NodeLast::Eof {
+                continue;
+            }
+            let sealed_at_submit = match port.cluster().is_sealed(bag) {
+                Ok(s) => s,
+                Err(e) => fail!(e),
+            };
+            match port.conns[node].submit(StorageRequest::RemoveBatch {
+                bag,
+                origin: node as u32,
+                max_n: b,
+            }) {
+                Ok(t) => {
+                    tokens[node] = Some((t, sealed_at_submit));
+                    outstanding += 1;
+                }
+                // A dead connection marks the node unreachable, like a
+                // down node; the all-down check below surfaces the error
+                // once nothing is left to serve from.
+                Err(StorageError::Disconnected(_)) => last[node] = NodeLast::Down,
+                Err(e) => fail!(e),
+            }
+        }
+
+        if outstanding == 0 && last.iter().all(|&s| s == NodeLast::Eof) {
+            // Nothing in flight and every node is at end-of-file: the bag
+            // is drained. (Mixtures involving unreachable nodes fall
+            // through to the classification below.)
+            ended.store(true, Ordering::Release);
+            return;
+        }
+
+        // Collect completions (any order).
+        let mut completed = 0usize;
+        let mut delivered = false;
+        for node in 0..m {
+            let Some((token, sealed_at_submit)) = tokens[node] else {
+                continue;
+            };
+            match port.conns[node].try_poll(token) {
+                Ok(None) => {}
+                Ok(Some(StorageResponse::Removed(batch))) => {
+                    tokens[node] = None;
+                    outstanding -= 1;
+                    completed += 1;
+                    if !batch.chunks.is_empty() {
+                        delivered = true;
+                        last[node] = NodeLast::Chunks;
+                        if port.cluster().replication() > 1 {
+                            // Keep the backup pointers in step (the raw
+                            // node request bypasses the cluster's mirror).
+                            mirror(port, node, bag, batch.chunks.len());
+                        }
+                        for c in batch.chunks {
+                            if tx.send(Ok(c)).is_err() {
+                                return;
+                            }
+                        }
+                    } else if batch.eof || (batch.exhausted && sealed_at_submit) {
+                        // The cluster-level sealed flag is the end-of-bag
+                        // authority, read BEFORE the probe was issued: a
+                        // sealed bag rejects inserts, so an exhausted
+                        // stream under a pre-probe seal is final.
+                        last[node] = NodeLast::Eof;
+                    } else {
+                        last[node] = NodeLast::Empty;
+                    }
+                }
+                Ok(Some(_)) => fail!(StorageError::Disconnected(port.conns[node].node())),
+                Err(
+                    e @ (StorageError::NodeDown(_)
+                    | StorageError::AllReplicasDown(_)
+                    | StorageError::Disconnected(_)),
+                ) => {
+                    tokens[node] = None;
+                    outstanding -= 1;
+                    completed += 1;
+                    if port.cluster().replication() > 1 {
+                        // Failover: retry through the replica set with the
+                        // synchronous port path (rare; correctness first).
+                        match port.remove_batch(node, bag, b) {
+                            Ok(batch) if !batch.chunks.is_empty() => {
+                                delivered = true;
+                                last[node] = NodeLast::Chunks;
+                                for c in batch.chunks {
+                                    if tx.send(Ok(c)).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                            Ok(batch) if batch.eof => last[node] = NodeLast::Eof,
+                            Ok(_) => last[node] = NodeLast::Empty,
+                            Err(StorageError::AllReplicasDown(_)) => last[node] = NodeLast::Down,
+                            Err(e) => fail!(e),
+                        }
+                    } else {
+                        let _ = e;
+                        last[node] = NodeLast::Down;
+                    }
+                }
+                Err(e) => fail!(e),
+            }
+        }
+
+        // A whole cluster of unreachable nodes is an error, not a drain —
+        // parity with `BagClient::try_remove_batch`.
+        if last.iter().all(|&s| s == NodeLast::Down) {
+            fail!(StorageError::AllReplicasDown(bag));
+        }
+        // Sealed bag with every node at end-of-file or unreachable: the
+        // reachable data is exhausted. (Same caveat as the direct path:
+        // chunks marooned on a down node without replicas are unreachable
+        // until it recovers.)
+        if last
+            .iter()
+            .all(|&s| matches!(s, NodeLast::Eof | NodeLast::Down))
+        {
+            let sealed = match client.port.cluster().is_sealed(bag) {
+                Ok(s) => s,
+                Err(e) => fail!(e),
+            };
+            if sealed {
+                ended.store(true, Ordering::Release);
+                return;
+            }
+        }
+
+        if delivered {
+            empty_streak = 0;
+            backoff_us = 10;
+        } else if completed > 0 {
+            empty_streak += completed;
+            if empty_streak >= m {
+                // A full round of empty completions: the bag is (locally)
+                // empty but unsealed. Back off like the direct path.
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(1000);
+                empty_streak = 0;
+            }
+        } else {
+            // Nothing completed this sweep: block briefly on one in-flight
+            // connection instead of spinning — or, with nothing in flight
+            // (unreachable nodes being re-probed), back off.
+            let StoragePort::Rpc(port) = &mut client.port else {
+                unreachable!();
+            };
+            if let Some(node) = (0..m).find(|&n| tokens[n].is_some()) {
+                port.conns[node].pump(PUMP_WAIT);
+            } else {
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(1000);
+            }
+        }
+    }
+}
+
+/// Advances the backup pointers after the pipeline consumed `n` chunks
+/// from `primary`'s own stream: all mirrors submitted first, acks
+/// collected afterwards (one overlapped round trip, not `r − 1`).
+/// Unreachable replicas are skipped exactly as in the direct path.
+fn mirror(port: &mut crate::rpc::RpcPort, primary: usize, bag: hurricane_common::BagId, n: usize) {
+    let m = port.conns.len();
+    let r = port.cluster().replication();
+    let origin = primary as u32;
+    let timeout = port.timeout;
+    let tokens: Vec<(usize, Result<crate::rpc::CompletionToken, StorageError>)> = (1..r)
+        .map(|k| {
+            let idx = (primary + k) % m;
+            let t = port.conns[idx].submit(StorageRequest::MirrorRemoveN { bag, origin, n });
+            (idx, t)
+        })
+        .collect();
+    for (idx, token) in tokens {
+        let _ = token.and_then(|t| port.conns[idx].wait(t, timeout));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, StorageCluster};
+    use crate::rpc::StorageRpc;
 
     fn chunk(v: u64) -> Chunk {
         Chunk::from_vec(v.to_le_bytes().to_vec())
@@ -150,6 +435,72 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn pipelined_prefetcher_drains_bag() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::connect(&rpc, bag, 1);
+        let chunks: Vec<Chunk> = (0..100).map(chunk).collect();
+        producer.insert_batch(&chunks).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 8);
+        let mut n = 0;
+        while let Some(_c) = pf.recv().unwrap() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn pipelined_prefetcher_sees_concurrent_producer() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 3), 4);
+        let cluster2 = cluster.clone();
+        let producer = std::thread::spawn(move || {
+            let mut p = BagClient::new(cluster2.clone(), bag, 4);
+            for i in 0..50 {
+                p.insert(chunk(i)).unwrap();
+            }
+            cluster2.seal_bag(bag).unwrap();
+        });
+        let mut n = 0;
+        while let Some(_c) = pf.recv().unwrap() {
+            n += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn pipelined_prefetcher_with_replication_mirrors() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::connect(&rpc, bag, 5);
+        let chunks: Vec<Chunk> = (0..60).map(chunk).collect();
+        producer.insert_batch(&chunks).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        {
+            let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 4);
+            let mut n = 0;
+            while let Some(_c) = pf.recv().unwrap() {
+                n += 1;
+            }
+            assert_eq!(n, 60);
+        }
+        // The pipeline mirrored its pointer advances: failing every
+        // primary now serves nothing a second time.
+        for i in 0..3 {
+            cluster.node(i).recover();
+        }
+        cluster.node(0).fail();
+        let rest = cluster.remove_batch(0, bag, 100).unwrap();
+        assert!(rest.chunks.is_empty() && rest.eof, "no chunk served twice");
     }
 
     #[test]
@@ -185,6 +536,20 @@ mod tests {
         let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 6), 2);
         let _first = pf.recv().unwrap();
         drop(pf); // Must join cleanly even with 998 chunks unread.
+    }
+
+    #[test]
+    fn dropping_pipelined_prefetcher_mid_stream_does_not_hang() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::connect(&rpc, bag, 5);
+        let chunks: Vec<Chunk> = (0..1000).map(chunk).collect();
+        producer.insert_batch(&chunks).unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 3);
+        let _first = pf.recv().unwrap();
+        drop(pf);
     }
 
     #[test]
@@ -249,5 +614,21 @@ mod tests {
         cluster.node(0).fail();
         let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 11), 2);
         assert!(pf.recv().is_err());
+    }
+
+    #[test]
+    fn pipelined_error_propagates_on_all_down() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut producer = BagClient::connect(&rpc, bag, 12);
+        producer.insert(chunk(1)).unwrap();
+        cluster.node(0).fail();
+        cluster.node(1).fail();
+        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 13), 4);
+        assert!(matches!(
+            pf.recv(),
+            Err(StorageError::AllReplicasDown(_) | StorageError::NodeDown(_))
+        ));
     }
 }

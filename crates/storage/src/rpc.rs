@@ -1,0 +1,1273 @@
+//! The storage RPC boundary: explicit messages between compute and storage.
+//!
+//! Hurricane's compute/storage separation (paper §3) only pays off when
+//! storage is addressed through a *message* boundary rather than in-process
+//! method calls: the prefetcher keeps `b` requests outstanding against
+//! remote storage nodes (paper §3.3), and writers overlap replica acks —
+//! neither is expressible when every operation is a blocking method call.
+//! This module makes the boundary explicit.
+//!
+//! # The message protocol
+//!
+//! Every storage-node operation is one [`StorageRequest`] message answered
+//! by exactly one [`StorageResponse`] (or a [`StorageError`]). Requests
+//! travel inside a [`RequestEnvelope`] carrying a **correlation id**
+//! assigned by the client; the reply echoes the id in its
+//! [`ReplyEnvelope`]. Ids are what let a client keep many requests in
+//! flight on one connection and match completions to callers — replies may
+//! legitimately arrive out of order, because each node dispatches requests
+//! on a small pool of server threads (and a future networked server makes
+//! no ordering promises at all).
+//!
+//! The request set covers the full node API: batched inserts and removes
+//! (the single-chunk operations of the original API are the `n = 1` case),
+//! pointer mirroring for replication, sampling, non-destructive reads, and
+//! the bag lifecycle (seal / rewind / discard / collect). Batch messages
+//! are deliberate: one envelope per *batch*, not per chunk, is what keeps
+//! the boundary cheap enough to put under the hot path.
+//!
+//! # Layers
+//!
+//! * [`Transport`] — one bidirectional connection to one storage node:
+//!   non-blocking `send`, polled receive. [`ChannelTransport`] is the
+//!   in-process implementation over crossbeam channels; a network
+//!   transport implements the same trait over a socket (serialize the
+//!   envelope, write; read, deserialize) and **nothing above this trait
+//!   changes** — `NodeConnection`, `RpcPort`, `BagClient`, and the
+//!   prefetcher are all transport-agnostic.
+//! * [`NodeServerHandle`] — the per-node server: a small pool of dispatch
+//!   threads draining one MPMC request queue into the sharded
+//!   [`StorageNode`]. Shutdown is *draining*: every request already
+//!   submitted is answered before the loops exit, then clients observe
+//!   disconnection on their next send.
+//! * [`NodeConnection`] — the client-side correlation layer: assigns ids,
+//!   parks out-of-order replies, and exposes completion *tokens*
+//!   ([`CompletionToken`]) so callers can submit now and collect later.
+//! * [`RpcPort`] — a per-owner set of connections (one per node) plus the
+//!   cluster metadata handle; implements the cluster-level data plane
+//!   (replica fan-out with backups-first ordering, failover, pointer
+//!   mirroring) on top of submit/wait. [`crate::BagClient`] routes through
+//!   it when constructed with [`crate::BagClient::connect`].
+//! * [`StorageRpc`] — serves every node of a cluster and mints ports.
+//!
+//! # Replication over RPC
+//!
+//! The port preserves the two invariants count-based pointer mirroring
+//! depends on (see [`crate::StorageCluster::insert_batch`]): backups are
+//! written — concurrently, overlapping their acks — and *acknowledged*
+//! before the primary write is issued, and concurrent writers to one
+//! (bag, origin) stream serialize their fan-out on the cluster's
+//! append-ordering lock. Replica sets of size `r` therefore pay one
+//! round-trip of latency for the backups (not `r − 1`) plus one for the
+//! primary.
+
+use crate::cluster::StorageCluster;
+use crate::error::StorageError;
+use crate::node::{BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hurricane_common::{BagId, StorageNodeId};
+use hurricane_format::Chunk;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default client-side request timeout. Generous: in-process dispatch is
+/// microseconds, so a timeout here means the server is gone or wedged.
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default dispatch threads per node server. More than one so replies can
+/// genuinely reorder (keeping the correlation layer honest) and so
+/// operations on different bags exploit the node's per-bag sharding.
+pub const DEFAULT_DISPATCH_THREADS: usize = 2;
+
+/// One storage-node operation, as a message.
+///
+/// Single-chunk operations of the in-process API are expressed as `n = 1`
+/// batches; the wire protocol only carries the batched forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageRequest {
+    /// Append `chunks` to `bag` under origin stream `origin`
+    /// ([`StorageNode::insert_from_batch`]).
+    InsertBatch {
+        /// Target bag.
+        bag: BagId,
+        /// Primary index the chunks are addressed to.
+        origin: u32,
+        /// Chunks to append, in order.
+        chunks: Vec<Chunk>,
+    },
+    /// Remove up to `max_n` chunks of origin stream `origin`
+    /// ([`StorageNode::remove_from_batch`]).
+    RemoveBatch {
+        /// Target bag.
+        bag: BagId,
+        /// Origin stream to read.
+        origin: u32,
+        /// Maximum chunks to remove.
+        max_n: usize,
+    },
+    /// Advance origin stream `origin`'s pointer by `n` without returning
+    /// data ([`StorageNode::mirror_remove_n`]).
+    MirrorRemoveN {
+        /// Target bag.
+        bag: BagId,
+        /// Origin stream to advance.
+        origin: u32,
+        /// Positions to advance.
+        n: usize,
+    },
+    /// Sample `bag`'s state at this node ([`StorageNode::sample`]).
+    Sample {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Read chunk `index` non-destructively ([`StorageNode::read_at`]).
+    ReadAt {
+        /// Target bag.
+        bag: BagId,
+        /// Chunk index within the node's own stream.
+        index: usize,
+    },
+    /// Copy every chunk of `bag` at this node ([`StorageNode::snapshot`]).
+    Snapshot {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Copy every chunk of `bag` whose origin is `origin`
+    /// ([`StorageNode::snapshot_from`]).
+    SnapshotFrom {
+        /// Target bag.
+        bag: BagId,
+        /// Origin stream to copy.
+        origin: u32,
+    },
+    /// Seal `bag` against inserts ([`StorageNode::seal`]).
+    Seal {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Rewind `bag`'s read pointers ([`StorageNode::rewind`]).
+    Rewind {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Discard `bag`'s contents and reopen it ([`StorageNode::discard`]).
+    Discard {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Garbage-collect `bag` ([`StorageNode::collect`]).
+    Collect {
+        /// Target bag.
+        bag: BagId,
+    },
+    /// Ask whether every bag here is fully drained
+    /// ([`StorageNode::is_drained`]).
+    IsDrained,
+    /// Liveness probe; answered with [`StorageResponse::Pong`].
+    Ping,
+}
+
+/// The success payload of one [`StorageRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageResponse {
+    /// Acknowledges [`StorageRequest::InsertBatch`].
+    Inserted,
+    /// Answers [`StorageRequest::RemoveBatch`].
+    Removed(NodeRemoveBatch),
+    /// Acknowledges [`StorageRequest::MirrorRemoveN`].
+    Mirrored,
+    /// Answers [`StorageRequest::Sample`].
+    Sampled(BagSample),
+    /// Answers [`StorageRequest::ReadAt`].
+    ChunkAt(Option<Chunk>),
+    /// Answers [`StorageRequest::Snapshot`] / [`StorageRequest::SnapshotFrom`].
+    Chunks(Vec<Chunk>),
+    /// Acknowledges a lifecycle request (seal / rewind / discard / collect).
+    Done,
+    /// Answers [`StorageRequest::IsDrained`].
+    Drained(bool),
+    /// Answers [`StorageRequest::Ping`].
+    Pong,
+}
+
+/// A request tagged with its client-assigned correlation id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestEnvelope {
+    /// Correlation id, unique per connection.
+    pub id: u64,
+    /// The operation.
+    pub request: StorageRequest,
+}
+
+/// A reply carrying the correlation id of the request it answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyEnvelope {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// Outcome of the operation at the server.
+    pub result: Result<StorageResponse, StorageError>,
+}
+
+/// Executes one request against a node. This is the *entire* server-side
+/// semantics: a network server deserializes an envelope, calls this, and
+/// serializes the reply.
+pub fn dispatch(
+    node: &StorageNode,
+    request: StorageRequest,
+) -> Result<StorageResponse, StorageError> {
+    match request {
+        StorageRequest::InsertBatch {
+            bag,
+            origin,
+            chunks,
+        } => node
+            .insert_from_batch(bag, &chunks, origin)
+            .map(|()| StorageResponse::Inserted),
+        StorageRequest::RemoveBatch { bag, origin, max_n } => node
+            .remove_from_batch(bag, origin, max_n)
+            .map(StorageResponse::Removed),
+        StorageRequest::MirrorRemoveN { bag, origin, n } => node
+            .mirror_remove_n(bag, origin, n)
+            .map(|()| StorageResponse::Mirrored),
+        StorageRequest::Sample { bag } => node.sample(bag).map(StorageResponse::Sampled),
+        StorageRequest::ReadAt { bag, index } => {
+            node.read_at(bag, index).map(StorageResponse::ChunkAt)
+        }
+        StorageRequest::Snapshot { bag } => node.snapshot(bag).map(StorageResponse::Chunks),
+        StorageRequest::SnapshotFrom { bag, origin } => {
+            node.snapshot_from(bag, origin).map(StorageResponse::Chunks)
+        }
+        StorageRequest::Seal { bag } => node.seal(bag).map(|()| StorageResponse::Done),
+        StorageRequest::Rewind { bag } => node.rewind(bag).map(|()| StorageResponse::Done),
+        StorageRequest::Discard { bag } => node.discard(bag).map(|()| StorageResponse::Done),
+        StorageRequest::Collect { bag } => node.collect(bag).map(|()| StorageResponse::Done),
+        StorageRequest::IsDrained => node.is_drained().map(StorageResponse::Drained),
+        StorageRequest::Ping => Ok(StorageResponse::Pong),
+    }
+}
+
+/// One bidirectional connection to one storage node.
+///
+/// `send` must not block on the server (enqueue and return); receives are
+/// polled. Implementations map their transport's failure modes onto
+/// [`StorageError::Disconnected`].
+pub trait Transport: Send {
+    /// The node this connection addresses.
+    fn node(&self) -> StorageNodeId;
+
+    /// Enqueues a request. Fails only when the server side is gone.
+    fn send(&mut self, env: RequestEnvelope) -> Result<(), StorageError>;
+
+    /// Returns the next buffered reply, if any, without blocking.
+    fn try_recv(&mut self) -> Option<ReplyEnvelope>;
+
+    /// Waits up to `timeout` for the next reply.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<ReplyEnvelope>;
+}
+
+/// A request on the wire of the channel transport: the envelope plus the
+/// sending connection's reply lane (the in-process stand-in for "the
+/// socket the request arrived on").
+struct WireRequest {
+    env: RequestEnvelope,
+    reply_tx: Sender<ReplyEnvelope>,
+}
+
+/// What flows through a node server's request queue.
+enum WireMsg {
+    /// A client request to dispatch.
+    Request(WireRequest),
+    /// The circulating shutdown token: exactly one exists per shutdown.
+    /// The receiving worker drains the queue, hands the token to the next
+    /// worker, and exits — prompt, drained teardown with no flag polling.
+    Shutdown,
+}
+
+/// The crossbeam-channel [`Transport`]: an unbounded request lane shared
+/// with the node's server pool and a private reply lane.
+pub struct ChannelTransport {
+    node: StorageNodeId,
+    req_tx: Sender<WireMsg>,
+    reply_tx: Sender<ReplyEnvelope>,
+    reply_rx: Receiver<ReplyEnvelope>,
+}
+
+impl Transport for ChannelTransport {
+    fn node(&self) -> StorageNodeId {
+        self.node
+    }
+
+    fn send(&mut self, env: RequestEnvelope) -> Result<(), StorageError> {
+        self.req_tx
+            .send(WireMsg::Request(WireRequest {
+                env,
+                reply_tx: self.reply_tx.clone(),
+            }))
+            .map_err(|_| StorageError::Disconnected(self.node))
+    }
+
+    fn try_recv(&mut self) -> Option<ReplyEnvelope> {
+        self.reply_rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<ReplyEnvelope> {
+        self.reply_rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// The serving side of one storage node: a pool of dispatch threads
+/// draining a shared request queue into the node.
+pub struct NodeServerHandle {
+    node: Arc<StorageNode>,
+    req_tx: Sender<WireMsg>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NodeServerHandle {
+    /// Starts serving `node` on `dispatch_threads` loop threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dispatch_threads` is zero.
+    pub fn spawn(node: Arc<StorageNode>, dispatch_threads: usize) -> Self {
+        assert!(dispatch_threads > 0, "a server needs at least one thread");
+        let (req_tx, req_rx) = unbounded::<WireMsg>();
+        let workers = (0..dispatch_threads)
+            .map(|i| {
+                let node = node.clone();
+                let req_rx = req_rx.clone();
+                let req_tx = req_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("storage-rpc-{}-{i}", node.id()))
+                    .spawn(move || server_loop(&node, &req_rx, &req_tx))
+                    .expect("spawning storage rpc server thread")
+            })
+            .collect();
+        Self {
+            node,
+            req_tx,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The node being served.
+    pub fn node(&self) -> &Arc<StorageNode> {
+        &self.node
+    }
+
+    /// Opens a new connection to this server. Connections are cheap: a
+    /// clone of the request lane plus a private reply lane.
+    pub fn connect(&self) -> ChannelTransport {
+        let (reply_tx, reply_rx) = unbounded();
+        ChannelTransport {
+            node: self.node.id(),
+            req_tx: self.req_tx.clone(),
+            reply_tx,
+            reply_rx,
+        }
+    }
+
+    /// Stops the server, *draining* first: every request submitted before
+    /// the loops exit is dispatched and answered. After this returns,
+    /// client sends fail with [`StorageError::Disconnected`].
+    pub fn shutdown(&self) {
+        // One shutdown token circulates worker to worker; the last one
+        // drops it into a dead channel.
+        let _ = self.req_tx.send(WireMsg::Shutdown);
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for NodeServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn server_loop(node: &StorageNode, req_rx: &Receiver<WireMsg>, req_tx: &Sender<WireMsg>) {
+    loop {
+        match req_rx.recv() {
+            Ok(WireMsg::Request(w)) => serve_one(node, w),
+            Ok(WireMsg::Shutdown) => {
+                // Drain: answer everything already in the queue, then pass
+                // the token(s) on and exit. Requests submitted after the
+                // queue empties race the disconnect and fail at the
+                // client's next send. Tokens drained alongside requests
+                // (e.g. concurrent shutdown calls) are forwarded too, so
+                // every remaining worker still gets its wake-up.
+                let mut tokens = 1usize;
+                while let Ok(m) = req_rx.try_recv() {
+                    match m {
+                        WireMsg::Request(w) => serve_one(node, w),
+                        WireMsg::Shutdown => tokens += 1,
+                    }
+                }
+                for _ in 0..tokens {
+                    let _ = req_tx.send(WireMsg::Shutdown);
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_one(node: &StorageNode, w: WireRequest) {
+    let result = dispatch(node, w.env.request);
+    // A send failure means the requesting client is gone; the work is
+    // already done (storage ops are not transactional), so just drop it.
+    let _ = w.reply_tx.send(ReplyEnvelope {
+        id: w.env.id,
+        result,
+    });
+}
+
+/// A client-held handle for one in-flight request.
+///
+/// Tokens are minted by [`NodeConnection::submit`] and redeemed — in any
+/// order — with [`NodeConnection::wait`] or [`NodeConnection::try_poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionToken {
+    id: u64,
+}
+
+impl CompletionToken {
+    /// The correlation id this token tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// The correlation layer over one [`Transport`]: assigns ids, parks
+/// replies that arrive before their token is redeemed, and drops stale
+/// replies to abandoned (timed-out) requests.
+pub struct NodeConnection {
+    transport: Box<dyn Transport>,
+    next_id: u64,
+    in_flight: HashSet<u64>,
+    parked: HashMap<u64, Result<StorageResponse, StorageError>>,
+    abandoned: HashSet<u64>,
+}
+
+impl NodeConnection {
+    /// Wraps `transport` in a fresh correlation space.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        Self {
+            transport,
+            next_id: 0,
+            in_flight: HashSet::new(),
+            parked: HashMap::new(),
+            abandoned: HashSet::new(),
+        }
+    }
+
+    /// The node this connection addresses.
+    pub fn node(&self) -> StorageNodeId {
+        self.transport.node()
+    }
+
+    /// Number of requests submitted but not yet redeemed or abandoned.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends `request` without waiting, returning its completion token.
+    pub fn submit(&mut self, request: StorageRequest) -> Result<CompletionToken, StorageError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transport.send(RequestEnvelope { id, request })?;
+        self.in_flight.insert(id);
+        Ok(CompletionToken { id })
+    }
+
+    fn park(&mut self, reply: ReplyEnvelope) {
+        if self.abandoned.remove(&reply.id) {
+            return; // Stale reply to a request the caller gave up on.
+        }
+        self.parked.insert(reply.id, reply.result);
+    }
+
+    fn claim(&mut self, id: u64) -> Option<Result<StorageResponse, StorageError>> {
+        let result = self.parked.remove(&id)?;
+        self.in_flight.remove(&id);
+        Some(result)
+    }
+
+    /// Non-blocking completion check. `Ok(None)` means the reply has not
+    /// arrived yet; `Err` carries either the server's error reply or a
+    /// transport failure.
+    pub fn try_poll(
+        &mut self,
+        token: CompletionToken,
+    ) -> Result<Option<StorageResponse>, StorageError> {
+        while let Some(reply) = self.transport.try_recv() {
+            self.park(reply);
+        }
+        match self.claim(token.id) {
+            Some(result) => result.map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until `token`'s reply arrives or `timeout` elapses. On
+    /// timeout the request is *abandoned*: its outcome is unknown and a
+    /// late reply will be discarded.
+    pub fn wait(
+        &mut self,
+        token: CompletionToken,
+        timeout: Duration,
+    ) -> Result<StorageResponse, StorageError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(result) = self.claim(token.id) {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.in_flight.remove(&token.id);
+                self.abandoned.insert(token.id);
+                return Err(StorageError::Timeout(self.node()));
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                // Fast path: the reply we are waiting for — no parking.
+                Some(reply) if reply.id == token.id => {
+                    self.in_flight.remove(&token.id);
+                    return reply.result;
+                }
+                Some(reply) => self.park(reply),
+                None => {
+                    self.in_flight.remove(&token.id);
+                    self.abandoned.insert(token.id);
+                    return Err(StorageError::Timeout(self.node()));
+                }
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for *any* reply to arrive and parks it for
+    /// its token to claim. Returns whether one arrived. Unlike
+    /// [`NodeConnection::wait`], nothing is abandoned on timeout — this is
+    /// the blocking primitive for pipelines polling many tokens.
+    pub fn pump(&mut self, timeout: Duration) -> bool {
+        match self.transport.recv_timeout(timeout) {
+            Some(reply) => {
+                self.park(reply);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Synchronous convenience: submit + wait.
+    pub fn call(
+        &mut self,
+        request: StorageRequest,
+        timeout: Duration,
+    ) -> Result<StorageResponse, StorageError> {
+        let token = self.submit(request)?;
+        self.wait(token, timeout)
+    }
+}
+
+/// A [`Transport`] for colocated compute and storage: the full message
+/// protocol (envelopes, correlation ids, one reply per request) with the
+/// dispatch executed inline on the sending thread — no server threads, no
+/// scheduler round-trip. `send` runs the request against the node and
+/// queues the reply; receives pop it.
+///
+/// This is the transport to use when the "remote" node lives in the same
+/// process and the caller does not need genuine request concurrency (the
+/// prefetcher's pipeline degenerates to eager execution). It exists so
+/// the RPC boundary costs nearly nothing in colocated deployments: the
+/// architectural seam stays, the context switches go.
+pub struct InlineTransport {
+    node: Arc<StorageNode>,
+    replies: std::collections::VecDeque<ReplyEnvelope>,
+}
+
+impl InlineTransport {
+    /// Creates a transport dispatching directly into `node`.
+    pub fn new(node: Arc<StorageNode>) -> Self {
+        Self {
+            node,
+            replies: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl Transport for InlineTransport {
+    fn node(&self) -> StorageNodeId {
+        self.node.id()
+    }
+
+    fn send(&mut self, env: RequestEnvelope) -> Result<(), StorageError> {
+        let result = dispatch(&self.node, env.request);
+        self.replies.push_back(ReplyEnvelope { id: env.id, result });
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Option<ReplyEnvelope> {
+        self.replies.pop_front()
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> Option<ReplyEnvelope> {
+        // Replies are produced synchronously by `send`: if none is queued
+        // now, none will ever arrive — don't block.
+        self.replies.pop_front()
+    }
+}
+
+/// A test / tooling server end created by [`loopback`]: receives the raw
+/// envelopes a [`ChannelTransport`] sends and lets the caller reply in any
+/// order — the seam for exercising correlation, timeouts, and slow
+/// servers without threads.
+pub struct LoopbackServer {
+    req_rx: Receiver<WireMsg>,
+    reply_lanes: HashMap<u64, Sender<ReplyEnvelope>>,
+}
+
+impl LoopbackServer {
+    /// Receives the next request envelope, waiting up to `timeout`.
+    pub fn recv(&mut self, timeout: Duration) -> Option<RequestEnvelope> {
+        loop {
+            match self.req_rx.recv_timeout(timeout).ok()? {
+                WireMsg::Request(w) => {
+                    self.reply_lanes.insert(w.env.id, w.reply_tx);
+                    return Some(w.env);
+                }
+                WireMsg::Shutdown => continue,
+            }
+        }
+    }
+
+    /// Number of requests currently queued (sent but not yet received).
+    pub fn queued(&self) -> usize {
+        self.req_rx.len()
+    }
+
+    /// Replies to request `id`. Returns false if `id` was never received
+    /// or the client is gone.
+    pub fn reply(&mut self, id: u64, result: Result<StorageResponse, StorageError>) -> bool {
+        match self.reply_lanes.remove(&id) {
+            Some(tx) => tx.send(ReplyEnvelope { id, result }).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// Creates a connected ([`ChannelTransport`], [`LoopbackServer`]) pair
+/// with no server threads: the caller plays the server.
+pub fn loopback(node: StorageNodeId) -> (ChannelTransport, LoopbackServer) {
+    let (req_tx, req_rx) = unbounded();
+    let (reply_tx, reply_rx) = unbounded();
+    (
+        ChannelTransport {
+            node,
+            req_tx,
+            reply_tx,
+            reply_rx,
+        },
+        LoopbackServer {
+            req_rx,
+            reply_lanes: HashMap::new(),
+        },
+    )
+}
+
+/// The served cluster: one [`NodeServerHandle`] per storage node, plus the
+/// shared metadata handle. Mint per-owner [`RpcPort`]s with
+/// [`StorageRpc::port`].
+pub struct StorageRpc {
+    cluster: Arc<StorageCluster>,
+    servers: Vec<NodeServerHandle>,
+    timeout: Duration,
+}
+
+impl StorageRpc {
+    /// Serves every node of `cluster` with default pool size and timeout.
+    ///
+    /// The node set is snapshotted here: nodes added to the cluster later
+    /// are reachable through the direct API but not through this RPC
+    /// instance (a follow-on; see ROADMAP).
+    pub fn serve(cluster: Arc<StorageCluster>) -> Self {
+        Self::serve_with(cluster, DEFAULT_DISPATCH_THREADS, DEFAULT_REQUEST_TIMEOUT)
+    }
+
+    /// Serves with an explicit per-node dispatch pool size and client
+    /// request timeout.
+    pub fn serve_with(
+        cluster: Arc<StorageCluster>,
+        dispatch_threads: usize,
+        timeout: Duration,
+    ) -> Self {
+        let servers = (0..cluster.num_nodes())
+            .map(|i| NodeServerHandle::spawn(cluster.node(i), dispatch_threads))
+            .collect();
+        Self {
+            cluster,
+            servers,
+            timeout,
+        }
+    }
+
+    /// The cluster being served.
+    pub fn cluster(&self) -> &Arc<StorageCluster> {
+        &self.cluster
+    }
+
+    /// Number of served nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Opens a fresh port: one new connection to every served node.
+    pub fn port(&self) -> RpcPort {
+        let conns = self
+            .servers
+            .iter()
+            .map(|s| NodeConnection::new(Box::new(s.connect())))
+            .collect();
+        RpcPort::from_connections(self.cluster.clone(), conns, self.timeout)
+    }
+
+    /// Shuts every node server down (draining in-flight requests).
+    pub fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+/// A per-owner data-plane handle over RPC: one connection per node plus
+/// the cluster metadata. Implements the same cluster-level semantics as
+/// the direct API (replication fan-out, failover, pointer mirroring,
+/// sealed-flag authority), but over correlated messages.
+pub struct RpcPort {
+    cluster: Arc<StorageCluster>,
+    pub(crate) conns: Vec<NodeConnection>,
+    pub(crate) timeout: Duration,
+}
+
+impl RpcPort {
+    /// Builds a port whose every connection is an [`InlineTransport`]:
+    /// the message protocol without server threads, for colocated
+    /// compute and storage.
+    pub fn inline(cluster: Arc<StorageCluster>) -> Self {
+        let conns = (0..cluster.num_nodes())
+            .map(|i| {
+                NodeConnection::new(
+                    Box::new(InlineTransport::new(cluster.node(i))) as Box<dyn Transport>
+                )
+            })
+            .collect();
+        Self::from_connections(cluster, conns, DEFAULT_REQUEST_TIMEOUT)
+    }
+
+    /// Builds a port from explicit connections — the seam where custom
+    /// transports (tests, future network sockets) plug in. `conns[i]` must
+    /// address the node serving cluster index `i`.
+    pub fn from_connections(
+        cluster: Arc<StorageCluster>,
+        conns: Vec<NodeConnection>,
+        timeout: Duration,
+    ) -> Self {
+        Self {
+            cluster,
+            conns,
+            timeout,
+        }
+    }
+
+    /// The cluster whose metadata governs this port.
+    pub fn cluster(&self) -> &Arc<StorageCluster> {
+        &self.cluster
+    }
+
+    /// Number of nodes this port can address.
+    pub fn num_nodes(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Synchronous request to node index `idx` over this port's
+    /// connection: submit + wait at the port timeout.
+    fn call(
+        &mut self,
+        idx: usize,
+        request: StorageRequest,
+    ) -> Result<StorageResponse, StorageError> {
+        self.conns[idx].call(request, self.timeout)
+    }
+
+    /// Whether `e` marks a replica as unreachable (fail over / reroute)
+    /// rather than a hard protocol error.
+    ///
+    /// `Disconnected` qualifies: server shutdown *drains* (every accepted
+    /// request is answered before the loops exit), so a disconnect means
+    /// the request was never executed and retrying elsewhere cannot
+    /// duplicate it. `Timeout` deliberately does NOT: a timed-out
+    /// request's outcome is unknown — retrying an insert could duplicate
+    /// chunks and retrying a remove could lose them — so timeouts
+    /// propagate as hard errors for the caller's recovery machinery
+    /// (task restart) to handle.
+    fn replica_unreachable(e: &StorageError) -> bool {
+        matches!(
+            e,
+            StorageError::NodeDown(_)
+                | StorageError::NodeDraining(_)
+                | StorageError::Disconnected(_)
+        )
+    }
+
+    /// RPC counterpart of [`StorageCluster::insert_batch`]: writes `chunks`
+    /// to the replica set of `primary_idx`, overlapping the backup acks.
+    ///
+    /// Backups are submitted concurrently and *all acknowledged* before the
+    /// primary write is issued, preserving the backups-first invariant.
+    pub fn insert_batch(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+        chunks: &[Chunk],
+    ) -> Result<(), StorageError> {
+        if self.cluster.bag_state(bag)? {
+            return Err(StorageError::BagSealed(bag));
+        }
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        let m = self.conns.len();
+        let primary = primary_idx % m;
+        let origin = primary as u32;
+        let r = self.cluster.replication();
+        let order_lock = (r > 1).then(|| self.cluster.order_lock(bag, origin));
+        let _held = order_lock.as_ref().map(|l| l.lock());
+
+        let mut landed = 0usize;
+        let mut soft_err = None;
+        let mut hard_err = None;
+        // Phase 1: all backups, overlapped — submit everything, then
+        // collect every ack.
+        let backup_tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (1..r)
+            .map(|k| {
+                let idx = (primary + k) % m;
+                let token = self.conns[idx].submit(StorageRequest::InsertBatch {
+                    bag,
+                    origin,
+                    chunks: chunks.to_vec(),
+                });
+                (idx, token)
+            })
+            .collect();
+        for (idx, token) in backup_tokens {
+            let outcome = token.and_then(|t| self.conns[idx].wait(t, self.timeout));
+            match outcome {
+                Ok(_) => landed += 1,
+                Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
+                Err(e) => hard_err = Some(e),
+            }
+        }
+        // Phase 2: the primary, only after every backup ack is in.
+        if hard_err.is_none() {
+            match self.call(
+                primary,
+                StorageRequest::InsertBatch {
+                    bag,
+                    origin,
+                    chunks: chunks.to_vec(),
+                },
+            ) {
+                Ok(_) => landed += 1,
+                Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
+                Err(e) => hard_err = Some(e),
+            }
+        }
+        if let Some(e) = hard_err {
+            return Err(e);
+        }
+        if landed > 0 {
+            Ok(())
+        } else {
+            Err(soft_err.unwrap_or(StorageError::AllReplicasDown(bag)))
+        }
+    }
+
+    /// Inserts pre-bucketed chunk runs — `buckets[i]` destined for node
+    /// `i` — overlapping the per-node acks: every bucket is submitted
+    /// before any ack is awaited, so the wire carries one batch message
+    /// per node while the servers work in parallel. This is the client
+    /// fan-out the message boundary exists for; the blocking per-node
+    /// round-trip of [`RpcPort::insert_batch`] is the degenerate case.
+    ///
+    /// Buckets refused by an unreachable node are rerouted to the next
+    /// nodes in index order, exactly like the direct path. With
+    /// replication, per-bucket writes keep their backups-first ordering
+    /// (buckets then cannot overlap each other, only their own backups).
+    pub fn insert_buckets(
+        &mut self,
+        bag: BagId,
+        buckets: &[Vec<Chunk>],
+    ) -> Result<(), StorageError> {
+        if self.cluster.bag_state(bag)? {
+            return Err(StorageError::BagSealed(bag));
+        }
+        debug_assert!(buckets.len() <= self.conns.len());
+        if self.cluster.replication() > 1 {
+            // Replicated writes must land backups-before-primary per
+            // (bag, origin) stream; keep the per-bucket ordered fan-out
+            // (which itself overlaps the backup acks).
+            for (target, bucket) in buckets.iter().enumerate() {
+                if !bucket.is_empty() {
+                    self.insert_bucket_rerouting(target, bag, bucket)?;
+                }
+            }
+            return Ok(());
+        }
+        // Replication 1: full overlap. Submit everything, then collect.
+        let mut tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = Vec::new();
+        for (target, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let token = self.conns[target].submit(StorageRequest::InsertBatch {
+                bag,
+                origin: target as u32,
+                chunks: bucket.clone(),
+            });
+            tokens.push((target, token));
+        }
+        let mut refused: Vec<usize> = Vec::new();
+        let mut hard_err = None;
+        for (target, token) in tokens {
+            match token.and_then(|t| self.conns[target].wait(t, self.timeout)) {
+                Ok(_) => {}
+                Err(e) if Self::replica_unreachable(&e) => refused.push(target),
+                Err(e) => hard_err = Some(e),
+            }
+        }
+        if let Some(e) = hard_err {
+            return Err(e);
+        }
+        for target in refused {
+            self.insert_bucket_rerouting(target, bag, &buckets[target])?;
+        }
+        Ok(())
+    }
+
+    /// Lands one bucket, walking nodes from `target` until a reachable
+    /// one accepts it (placement has no locality to preserve — any node
+    /// is as good as any other, paper §3.3).
+    fn insert_bucket_rerouting(
+        &mut self,
+        target: usize,
+        bag: BagId,
+        bucket: &[Chunk],
+    ) -> Result<(), StorageError> {
+        let m = self.conns.len();
+        let mut last_err = None;
+        for offset in 0..m {
+            let idx = (target + offset) % m;
+            match self.insert_batch(idx, bag, bucket) {
+                Ok(()) => return Ok(()),
+                Err(e)
+                    if Self::replica_unreachable(&e)
+                        || matches!(e, StorageError::AllReplicasDown(_)) =>
+                {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(StorageError::AllReplicasDown(bag)))
+    }
+
+    /// RPC counterpart of [`StorageCluster::remove_batch`]: failover
+    /// across the replica set, pointer mirroring onto the live backups,
+    /// cluster sealed flag as the end-of-bag authority.
+    pub fn remove_batch(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+        max_n: usize,
+    ) -> Result<NodeRemoveBatch, StorageError> {
+        let sealed = self.cluster.bag_state(bag)?;
+        let m = self.conns.len();
+        let primary = primary_idx % m;
+        let origin = primary as u32;
+        let r = self.cluster.replication();
+        let mut serving = None;
+        let mut soft_err = None;
+        for k in 0..r {
+            let idx = (primary + k) % m;
+            match self.call(idx, StorageRequest::RemoveBatch { bag, origin, max_n }) {
+                Ok(StorageResponse::Removed(batch)) => {
+                    serving = Some((idx, batch));
+                    break;
+                }
+                Ok(other) => return Err(protocol_violation(self.conns[idx].node(), &other)),
+                Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((served_by, mut batch)) = serving else {
+            return Err(soft_err.unwrap_or(StorageError::AllReplicasDown(bag)));
+        };
+        if !batch.chunks.is_empty() && r > 1 {
+            // Mirror the pointer advance onto the other replicas. Acks are
+            // awaited (cheap) so a subsequent failover cannot observe a
+            // lagging pointer; unreachable replicas are skipped exactly as
+            // in the direct path.
+            let n = batch.chunks.len();
+            let tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (0..r)
+                .filter_map(|k| {
+                    let idx = (primary + k) % m;
+                    (idx != served_by).then(|| {
+                        let t = self.conns[idx].submit(StorageRequest::MirrorRemoveN {
+                            bag,
+                            origin,
+                            n,
+                        });
+                        (idx, t)
+                    })
+                })
+                .collect();
+            for (idx, token) in tokens {
+                let _ = token.and_then(|t| self.conns[idx].wait(t, self.timeout));
+            }
+        }
+        batch.eof = batch.exhausted && sealed;
+        Ok(batch)
+    }
+
+    /// RPC counterpart of [`StorageCluster::remove`] (the `n = 1` case).
+    pub fn remove(&mut self, primary_idx: usize, bag: BagId) -> Result<NodeRemove, StorageError> {
+        let batch = self.remove_batch(primary_idx, bag, 1)?;
+        Ok(match batch.chunks.into_iter().next() {
+            Some(c) => NodeRemove::Chunk(c),
+            None if batch.eof => NodeRemove::Eof,
+            None => NodeRemove::Empty,
+        })
+    }
+
+    /// RPC counterpart of [`StorageCluster::sample_bag`]: fans the sample
+    /// out to every node concurrently and merges the replies.
+    pub fn sample_bag(&mut self, bag: BagId) -> Result<BagSample, StorageError> {
+        self.cluster.check_bag(bag)?;
+        let tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (0..self.conns.len())
+            .map(|idx| {
+                let t = self.conns[idx].submit(StorageRequest::Sample { bag });
+                (idx, t)
+            })
+            .collect();
+        let mut agg = BagSample {
+            sealed: true,
+            ..BagSample::default()
+        };
+        for (idx, token) in tokens {
+            match token.and_then(|t| self.conns[idx].wait(t, self.timeout)) {
+                Ok(StorageResponse::Sampled(s)) => agg.merge(&s),
+                Ok(other) => return Err(protocol_violation(self.conns[idx].node(), &other)),
+                Err(StorageError::NodeDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        agg.sealed = self.cluster.is_sealed(bag)?;
+        Ok(agg)
+    }
+}
+
+/// Maps an off-protocol reply (wrong response variant for the request —
+/// impossible with [`dispatch`], conceivable with a buggy remote server)
+/// onto a transport-level error.
+fn protocol_violation(node: StorageNodeId, _got: &StorageResponse) -> StorageError {
+    StorageError::Disconnected(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn chunk(v: u8) -> Chunk {
+        Chunk::from_vec(vec![v])
+    }
+
+    #[test]
+    fn dispatch_covers_roundtrip() {
+        let node = StorageNode::new(StorageNodeId(0));
+        let bag = BagId(1);
+        let r = dispatch(
+            &node,
+            StorageRequest::InsertBatch {
+                bag,
+                origin: 0,
+                chunks: vec![chunk(1), chunk(2)],
+            },
+        )
+        .unwrap();
+        assert_eq!(r, StorageResponse::Inserted);
+        match dispatch(&node, StorageRequest::Sample { bag }).unwrap() {
+            StorageResponse::Sampled(s) => assert_eq!(s.total_chunks, 2),
+            other => panic!("wrong response {other:?}"),
+        }
+        match dispatch(
+            &node,
+            StorageRequest::RemoveBatch {
+                bag,
+                origin: 0,
+                max_n: 8,
+            },
+        )
+        .unwrap()
+        {
+            StorageResponse::Removed(b) => assert_eq!(b.chunks.len(), 2),
+            other => panic!("wrong response {other:?}"),
+        }
+        assert_eq!(
+            dispatch(&node, StorageRequest::Ping).unwrap(),
+            StorageResponse::Pong
+        );
+    }
+
+    #[test]
+    fn dispatch_reports_node_errors() {
+        let node = StorageNode::new(StorageNodeId(3));
+        node.fail();
+        let e = dispatch(&node, StorageRequest::Sample { bag: BagId(0) }).unwrap_err();
+        assert_eq!(e, StorageError::NodeDown(StorageNodeId(3)));
+    }
+
+    #[test]
+    fn server_roundtrip_over_channel_transport() {
+        let node = Arc::new(StorageNode::new(StorageNodeId(0)));
+        let server = NodeServerHandle::spawn(node, 2);
+        let mut conn = NodeConnection::new(Box::new(server.connect()));
+        let bag = BagId(9);
+        let t = conn
+            .submit(StorageRequest::InsertBatch {
+                bag,
+                origin: 0,
+                chunks: vec![chunk(7)],
+            })
+            .unwrap();
+        assert_eq!(
+            conn.wait(t, Duration::from_secs(1)).unwrap(),
+            StorageResponse::Inserted
+        );
+        match conn
+            .call(
+                StorageRequest::RemoveBatch {
+                    bag,
+                    origin: 0,
+                    max_n: 4,
+                },
+                Duration::from_secs(1),
+            )
+            .unwrap()
+        {
+            StorageResponse::Removed(b) => assert_eq!(b.chunks, vec![chunk(7)]),
+            other => panic!("wrong response {other:?}"),
+        }
+        server.shutdown();
+        assert!(matches!(
+            conn.submit(StorageRequest::Ping),
+            Err(StorageError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_replies_correlate() {
+        let (transport, mut server) = loopback(StorageNodeId(5));
+        let mut conn = NodeConnection::new(Box::new(transport));
+        let a = conn.submit(StorageRequest::Ping).unwrap();
+        let b = conn.submit(StorageRequest::IsDrained).unwrap();
+        let ea = server.recv(Duration::from_millis(100)).unwrap();
+        let eb = server.recv(Duration::from_millis(100)).unwrap();
+        // Reply to b first, then a — tokens must still match.
+        assert!(server.reply(eb.id, Ok(StorageResponse::Drained(true))));
+        assert!(server.reply(ea.id, Ok(StorageResponse::Pong)));
+        assert_eq!(
+            conn.wait(a, Duration::from_secs(1)).unwrap(),
+            StorageResponse::Pong
+        );
+        assert_eq!(
+            conn.wait(b, Duration::from_secs(1)).unwrap(),
+            StorageResponse::Drained(true)
+        );
+        assert_eq!(conn.outstanding(), 0);
+    }
+
+    #[test]
+    fn wait_times_out_and_discards_late_reply() {
+        let (transport, mut server) = loopback(StorageNodeId(1));
+        let mut conn = NodeConnection::new(Box::new(transport));
+        let t = conn.submit(StorageRequest::Ping).unwrap();
+        assert_eq!(
+            conn.wait(t, Duration::from_millis(20)),
+            Err(StorageError::Timeout(StorageNodeId(1)))
+        );
+        // A late reply to the abandoned request must not leak into the
+        // next token's completion.
+        let env = server.recv(Duration::from_millis(100)).unwrap();
+        assert!(server.reply(env.id, Ok(StorageResponse::Pong)));
+        let t2 = conn.submit(StorageRequest::IsDrained).unwrap();
+        let env2 = server.recv(Duration::from_millis(100)).unwrap();
+        assert!(server.reply(env2.id, Ok(StorageResponse::Drained(false))));
+        assert_eq!(
+            conn.wait(t2, Duration::from_secs(1)).unwrap(),
+            StorageResponse::Drained(false)
+        );
+    }
+
+    #[test]
+    fn port_insert_remove_with_replication() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut port = rpc.port();
+        port.insert_batch(0, bag, &[chunk(1), chunk(2)]).unwrap();
+        // Backup holds the mirrored copies under origin 0.
+        assert_eq!(cluster.node(1).snapshot_from(bag, 0).unwrap().len(), 2);
+        let got = port.remove_batch(0, bag, 10).unwrap();
+        assert_eq!(got.chunks.len(), 2);
+        // The mirror advanced the backup pointer: failover serves nothing.
+        cluster.node(0).fail();
+        cluster.seal_bag(bag).unwrap();
+        let rest = port.remove_batch(0, bag, 10).unwrap();
+        assert!(rest.chunks.is_empty() && rest.eof);
+    }
+
+    #[test]
+    fn inline_transport_speaks_the_same_protocol() {
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        let mut port = RpcPort::inline(cluster.clone());
+        port.insert_batch(0, bag, &[chunk(1), chunk(2)]).unwrap();
+        assert_eq!(cluster.node(1).snapshot_from(bag, 0).unwrap().len(), 2);
+        let got = port.remove_batch(0, bag, 10).unwrap();
+        assert_eq!(got.chunks.len(), 2);
+        // Mirrors flowed inline too: failover after seal serves nothing.
+        cluster.node(0).fail();
+        cluster.seal_bag(bag).unwrap();
+        let rest = port.remove_batch(0, bag, 10).unwrap();
+        assert!(rest.chunks.is_empty() && rest.eof);
+    }
+
+    #[test]
+    fn port_sample_merges_nodes() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut port = rpc.port();
+        port.insert_batch(0, bag, &[chunk(1)]).unwrap();
+        port.insert_batch(1, bag, &[chunk(2), chunk(3)]).unwrap();
+        let s = port.sample_bag(bag).unwrap();
+        assert_eq!(s.total_chunks, 3);
+        assert!(!s.sealed);
+    }
+}

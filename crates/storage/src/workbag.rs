@@ -28,8 +28,14 @@ pub struct WorkBag<T: Record> {
 impl<T: Record> WorkBag<T> {
     /// Wraps bag `bag` on `cluster` as a typed work bag.
     pub fn new(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
+        Self::with_client(BagClient::new(cluster, bag, seed))
+    }
+
+    /// Wraps an existing bag client (e.g. one connected over the RPC
+    /// boundary via [`BagClient::connect`]) as a typed work bag.
+    pub fn with_client(client: BagClient) -> Self {
         Self {
-            client: BagClient::new(cluster, bag, seed),
+            client,
             _marker: PhantomData,
         }
     }

@@ -11,6 +11,7 @@
 
 use hurricane_format::Chunk;
 use hurricane_storage::bag::{BagClient, BatchRemoveResult};
+use hurricane_storage::rpc::StorageRpc;
 use hurricane_storage::{ClusterConfig, StorageCluster};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,8 +35,12 @@ fn chunk_val(c: &Chunk) -> u64 {
 }
 
 /// Runs the stress pattern on `cluster` and checks exactly-once delivery
-/// plus exact final sample totals.
-fn stress(cluster: Arc<StorageCluster>) {
+/// plus exact final sample totals. `make_client` decides the storage path
+/// (direct in-process calls, or messages over the RPC boundary).
+fn stress_with(
+    cluster: Arc<StorageCluster>,
+    make_client: impl Fn(hurricane_common::BagId, u64) -> BagClient + Send + Sync,
+) {
     let bag = cluster.create_bag();
     let total = INSERTERS * CHUNKS_PER_INSERTER;
 
@@ -62,52 +67,56 @@ fn stress(cluster: Arc<StorageCluster>) {
         })
     };
 
-    let inserters: Vec<_> = (0..INSERTERS)
-        .map(|t| {
-            let cluster = cluster.clone();
-            std::thread::spawn(move || {
-                let mut client = BagClient::new(cluster, bag, 1000 + t);
-                let ids = (t * CHUNKS_PER_INSERTER)..((t + 1) * CHUNKS_PER_INSERTER);
-                let chunks: Vec<Chunk> = ids.map(chunk).collect();
-                for batch in chunks.chunks(INSERT_BATCH) {
-                    client.insert_batch(batch).unwrap();
-                }
-            })
-        })
-        .collect();
-
-    let removers: Vec<_> = (0..REMOVERS)
-        .map(|t| {
-            let cluster = cluster.clone();
-            std::thread::spawn(move || {
-                let mut client = BagClient::new(cluster, bag, 2000 + t);
-                let mut got = Vec::new();
-                loop {
-                    match client.try_remove_batch(REMOVE_BATCH).unwrap() {
-                        BatchRemoveResult::Chunks(chunks) => {
-                            got.extend(chunks.iter().map(chunk_val));
-                        }
-                        BatchRemoveResult::Pending => std::thread::yield_now(),
-                        BatchRemoveResult::Drained => return got,
+    let scope_result = std::thread::scope(|s| {
+        let inserters: Vec<_> = (0..INSERTERS)
+            .map(|t| {
+                let make_client = &make_client;
+                s.spawn(move || {
+                    let mut client = make_client(bag, 1000 + t);
+                    let ids = (t * CHUNKS_PER_INSERTER)..((t + 1) * CHUNKS_PER_INSERTER);
+                    let chunks: Vec<Chunk> = ids.map(chunk).collect();
+                    for batch in chunks.chunks(INSERT_BATCH) {
+                        client.insert_batch(batch).unwrap();
                     }
-                }
+                })
             })
-        })
-        .collect();
+            .collect();
 
-    for h in inserters {
-        h.join().unwrap();
-    }
-    cluster.seal_bag(bag).unwrap();
+        let removers: Vec<_> = (0..REMOVERS)
+            .map(|t| {
+                let make_client = &make_client;
+                s.spawn(move || {
+                    let mut client = make_client(bag, 2000 + t);
+                    let mut got = Vec::new();
+                    loop {
+                        match client.try_remove_batch(REMOVE_BATCH).unwrap() {
+                            BatchRemoveResult::Chunks(chunks) => {
+                                got.extend(chunks.iter().map(chunk_val));
+                            }
+                            BatchRemoveResult::Pending => std::thread::yield_now(),
+                            BatchRemoveResult::Drained => return got,
+                        }
+                    }
+                })
+            })
+            .collect();
 
-    let mut seen = HashSet::with_capacity(total as usize);
-    let mut delivered = 0u64;
-    for h in removers {
-        for v in h.join().unwrap() {
-            delivered += 1;
-            assert!(seen.insert(v), "chunk {v} delivered more than once");
+        for h in inserters {
+            h.join().unwrap();
         }
-    }
+        cluster.seal_bag(bag).unwrap();
+
+        let mut seen = HashSet::with_capacity(total as usize);
+        let mut delivered = 0u64;
+        for h in removers {
+            for v in h.join().unwrap() {
+                delivered += 1;
+                assert!(seen.insert(v), "chunk {v} delivered more than once");
+            }
+        }
+        (seen, delivered)
+    });
+    let (seen, delivered) = scope_result;
     sampling.store(false, Ordering::Relaxed);
     let polls = sampler.join().unwrap();
     assert!(polls > 0, "sampler must have raced the data plane");
@@ -127,7 +136,11 @@ fn stress(cluster: Arc<StorageCluster>) {
 
 #[test]
 fn concurrent_batched_insert_remove_is_exactly_once() {
-    stress(StorageCluster::new(NODES, ClusterConfig::default()));
+    let cluster = StorageCluster::new(NODES, ClusterConfig::default());
+    let c2 = cluster.clone();
+    stress_with(cluster, move |bag, seed| {
+        BagClient::new(c2.clone(), bag, seed)
+    });
 }
 
 #[test]
@@ -135,7 +148,35 @@ fn concurrent_batched_insert_remove_with_replication() {
     // Replication factor 2: every batch is mirrored to a backup and every
     // batched remove advances the backup pointer. Exactly-once and exact
     // sample totals must survive the extra traffic.
-    stress(StorageCluster::new(NODES, ClusterConfig { replication: 2 }));
+    let cluster = StorageCluster::new(NODES, ClusterConfig { replication: 2 });
+    let c2 = cluster.clone();
+    stress_with(cluster, move |bag, seed| {
+        BagClient::new(c2.clone(), bag, seed)
+    });
+}
+
+#[test]
+fn concurrent_insert_remove_over_rpc_is_exactly_once() {
+    // The same traffic pattern with every data-plane operation flowing
+    // through the RPC boundary: correlated messages to per-node server
+    // pools, concurrent clients each on their own connections.
+    let cluster = StorageCluster::new(NODES, ClusterConfig::default());
+    let rpc = StorageRpc::serve(cluster.clone());
+    stress_with(cluster, move |bag, seed| {
+        BagClient::connect(&rpc, bag, seed)
+    });
+}
+
+#[test]
+fn concurrent_insert_remove_over_rpc_with_replication() {
+    // RPC path with replication: overlapped backup-ack writes and
+    // RPC-mirrored pointer advances must preserve exactly-once delivery
+    // and exact sample totals.
+    let cluster = StorageCluster::new(NODES, ClusterConfig { replication: 2 });
+    let rpc = StorageRpc::serve(cluster.clone());
+    stress_with(cluster, move |bag, seed| {
+        BagClient::connect(&rpc, bag, seed)
+    });
 }
 
 #[test]
