@@ -87,6 +87,9 @@ const CONTENDED_NODES: usize = 8;
 const OPS_PER_CLIENT: u64 = 4_000;
 const CONTENDED_CHUNK: usize = 256;
 const BATCH: usize = 64;
+/// Coalesce window for the RPC insert benches: eight 64-chunk batches
+/// merge into one envelope per node, an 8x envelope amortization.
+const COALESCE_WINDOW: usize = 8 * BATCH;
 
 /// One shared template payload: per-op "data" is a refcount clone, so the
 /// measurement isolates storage-path cost rather than allocator cost
@@ -168,7 +171,30 @@ fn bench_contended(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+        // The RPC insert paths run with the cross-batch coalescer on (a
+        // window of 8 batches), the data-plane configuration this layer
+        // exists for; `rpc_inline_eager` keeps the uncoalesced number for
+        // the before/after record in BENCH_storage.json.
         g.bench_function("insert/rpc_inline", |b| {
+            b.iter_batched(
+                || StorageCluster::new(CONTENDED_NODES, ClusterConfig::default()),
+                |cluster| {
+                    let bag = cluster.create_bag();
+                    run_clients(clients, |t| {
+                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 7 + t)
+                            .with_coalescing(COALESCE_WINDOW);
+                        let chunks: Vec<_> =
+                            (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
+                        for batch in chunks.chunks(BATCH) {
+                            cl.insert_batch(batch).unwrap();
+                        }
+                        cl.flush().unwrap();
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("insert/rpc_inline_eager", |b| {
             b.iter_batched(
                 || StorageCluster::new(CONTENDED_NODES, ClusterConfig::default()),
                 |cluster| {
@@ -195,12 +221,14 @@ fn bench_contended(c: &mut Criterion) {
                 |(cluster, rpc)| {
                     let bag = cluster.create_bag();
                     run_clients(clients, |t| {
-                        let mut cl = BagClient::connect(&rpc, bag, 7 + t);
+                        let mut cl =
+                            BagClient::connect(&rpc, bag, 7 + t).with_coalescing(COALESCE_WINDOW);
                         let chunks: Vec<_> =
                             (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
                         for batch in chunks.chunks(BATCH) {
                             cl.insert_batch(batch).unwrap();
                         }
+                        cl.flush().unwrap();
                     });
                 },
                 BatchSize::SmallInput,
@@ -355,7 +383,7 @@ fn bench_prefetch(c: &mut Criterion) {
                 (cluster, bag)
             },
             |(cluster, bag)| {
-                let pf = Prefetcher::spawn(BagClient::new(cluster, bag, 6), 10);
+                let mut pf = Prefetcher::spawn(BagClient::new(cluster, bag, 6), 10);
                 let mut n = 0u64;
                 while pf.recv().unwrap().is_some() {
                     n += 1;
@@ -378,7 +406,7 @@ fn bench_prefetch(c: &mut Criterion) {
                 (rpc, bag)
             },
             |(rpc, bag)| {
-                let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 10);
+                let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 10);
                 let mut n = 0u64;
                 while pf.recv().unwrap().is_some() {
                     n += 1;
@@ -388,6 +416,38 @@ fn bench_prefetch(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.finish();
+}
+
+/// Writer flow control on a healthy server: the per-connection credit
+/// bound must cost ~nothing when replies flow (the blocking acquire
+/// pumps them), even at a credit far below the request rate.
+fn bench_flow_control(c: &mut Criterion) {
+    const CHUNKS: u64 = 8_000;
+    let mut g = c.benchmark_group("rpc_credit_8n");
+    g.throughput(Throughput::Elements(CHUNKS));
+    g.sample_size(10);
+    for &credit in &[4usize, 64] {
+        g.bench_function(format!("insert_credit_{credit}"), |b| {
+            b.iter_batched(
+                || {
+                    let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
+                    let rpc = StorageRpc::serve(cluster.clone());
+                    (cluster, rpc)
+                },
+                |(cluster, rpc)| {
+                    let bag = cluster.create_bag();
+                    let mut cl = BagClient::connect(&rpc, bag, 5);
+                    cl.set_writer_credit(credit);
+                    let chunks: Vec<_> = (0..CHUNKS).map(|_| contended_chunk()).collect();
+                    for batch in chunks.chunks(BATCH) {
+                        cl.insert_batch(batch).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -533,6 +593,7 @@ criterion_group!(
     bench_bags,
     bench_contended,
     bench_prefetch,
+    bench_flow_control,
     bench_sample,
     bench_placement,
     bench_workloads,

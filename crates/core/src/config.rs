@@ -47,6 +47,21 @@ pub struct HurricaneConfig {
     /// Dispatch threads per storage-node RPC server (only used when
     /// `storage_rpc` is on).
     pub rpc_dispatch_threads: usize,
+    /// Insert-coalescing window (chunks) for RPC-connected task writers:
+    /// buckets from successive batch flushes stage on the port and go out
+    /// as one merged envelope per (node, bag) once this many chunks are
+    /// staged. `0` disables coalescing (every batch call flushes). A
+    /// nonzero window below two write batches cannot merge anything, so
+    /// the engine clamps the effective window to `2 * batch_factor` (see
+    /// [`HurricaneConfig::effective_coalesce_window`]). Only task-output
+    /// writers coalesce — work-bag scheduling traffic stays
+    /// call-synchronous so claims are immediately visible.
+    pub rpc_coalesce_chunks: usize,
+    /// Per-connection writer credit when `storage_rpc` is on: how many
+    /// requests may be on the wire unanswered before a writer blocks
+    /// (flow control; a stalled storage node bounds its lane at this many
+    /// envelopes instead of accumulating unbounded queue).
+    pub rpc_writer_credit: usize,
     /// Deterministic seed for placement permutations and tie-breaking.
     pub seed: u64,
 }
@@ -66,6 +81,12 @@ impl Default for HurricaneConfig {
             master_poll: Duration::from_millis(2),
             storage_rpc: false,
             rpc_dispatch_threads: 2,
+            // Nonzero = coalescing on; the effective window is clamped
+            // to at least two write batches whatever batch_factor is
+            // (see effective_coalesce_window), so this default tracks
+            // batch_factor rather than duplicating its value.
+            rpc_coalesce_chunks: 1,
+            rpc_writer_credit: hurricane_storage::rpc::DEFAULT_WRITER_CREDIT,
             seed: 0xD1CE,
         }
     }
@@ -90,6 +111,18 @@ impl HurricaneConfig {
     pub fn with_storage_rpc(mut self) -> Self {
         self.storage_rpc = true;
         self
+    }
+
+    /// The insert-coalescing window task writers actually use: `0` when
+    /// coalescing is disabled, otherwise at least two write batches — a
+    /// smaller window could never merge across batches, silently
+    /// degenerating to the eager path when `batch_factor` is raised.
+    pub fn effective_coalesce_window(&self) -> usize {
+        if self.rpc_coalesce_chunks == 0 {
+            0
+        } else {
+            self.rpc_coalesce_chunks.max(2 * self.batch_factor)
+        }
     }
 }
 

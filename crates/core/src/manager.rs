@@ -180,9 +180,22 @@ impl ManagerDeps {
     /// RPC messages when the boundary is enabled, direct calls otherwise.
     pub(crate) fn bag_client(&self, bag: BagId) -> BagClient {
         match &self.rpc {
-            Some(rpc) => BagClient::connect(rpc, bag, self.seeds.next()),
+            Some(rpc) => {
+                let mut client = BagClient::connect(rpc, bag, self.seeds.next());
+                client.set_writer_credit(self.config.rpc_writer_credit.max(1));
+                client
+            }
             None => BagClient::new(self.cluster.clone(), bag, self.seeds.next()),
         }
+    }
+
+    /// A bag client for a task-output writer: like
+    /// [`ManagerDeps::bag_client`], plus the configured insert-coalescing
+    /// window. Writers flush at task boundaries ([`BagWriter::flush`]
+    /// drains the port), so deferred completion never leaks past a task.
+    pub(crate) fn writer_client(&self, bag: BagId) -> BagClient {
+        self.bag_client(bag)
+            .with_coalescing(self.config.effective_coalesce_window())
     }
 
     /// Opens a typed work bag over the deployment's storage path.
@@ -327,7 +340,7 @@ fn run_task(
         .iter()
         .map(|&b| {
             BagWriter::open_batched_client(
-                deps.bag_client(BagId(b)),
+                deps.writer_client(BagId(b)),
                 deps.config.chunk_size,
                 deps.config.batch_factor,
             )
@@ -380,7 +393,7 @@ fn run_merge(
             })
             .collect();
         let mut out = BagWriter::open_batched_client(
-            deps.bag_client(BagId(out_bag)),
+            deps.writer_client(BagId(out_bag)),
             deps.config.chunk_size,
             deps.config.batch_factor,
         );

@@ -282,11 +282,13 @@ impl BagWriter {
         Ok(())
     }
 
-    /// Seals buffered records and inserts every pending chunk. After
+    /// Seals buffered records and inserts every pending chunk — including
+    /// draining any inserts the RPC port staged for coalescing. After
     /// `flush` returns, all written data is visible in the bag.
     pub fn flush(&mut self) -> Result<(), EngineError> {
         self.seal_chunk()?;
         self.batch.flush_into(&mut self.client)?;
+        self.client.flush()?;
         Ok(())
     }
 

@@ -223,25 +223,50 @@ impl BagClient {
     /// operation), so per-cycle balance is identical to repeated
     /// [`BagClient::insert`]; what is amortized is the expensive part —
     /// storage-node lock acquisitions and replication fan-out, which
-    /// happen at most once per node per batch.
+    /// happen at most once per node per batch. Prefer
+    /// [`BagClient::insert_batch_vec`] when the chunks can be given away:
+    /// it buckets by move, with no per-chunk refcount traffic.
     pub fn insert_batch(&mut self, chunks: &[Chunk]) -> Result<(), StorageError> {
         if chunks.is_empty() {
             return Ok(());
         }
+        self.bucket_chunks(chunks.iter().cloned());
+        self.dispatch_buckets()
+    }
+
+    /// [`BagClient::insert_batch`] taking the chunks by value: bucketing
+    /// moves each chunk, so a producer that drains its accumulator into
+    /// this call (see [`crate::batch::ChunkBatch::flush_into`]) hands the
+    /// storage layer ownership with zero defensive copies.
+    pub fn insert_batch_vec(&mut self, chunks: Vec<Chunk>) -> Result<(), StorageError> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        self.bucket_chunks(chunks.into_iter());
+        self.dispatch_buckets()
+    }
+
+    /// Buckets chunks into per-target runs following the cyclic order.
+    /// The buckets are client-owned scratch space: cleared, never
+    /// deallocated (the RPC port drains them by value when staging).
+    fn bucket_chunks(&mut self, chunks: impl Iterator<Item = Chunk>) {
         let m = self.insert_cursor.len();
-        // Bucket chunks into per-target runs following the cyclic order.
-        // The buckets are client-owned scratch space: cleared, never
-        // deallocated.
         self.insert_buckets.resize_with(m, Vec::new);
         for bucket in &mut self.insert_buckets {
             bucket.clear();
         }
         for chunk in chunks {
-            self.insert_buckets[self.insert_cursor.next_node()].push(chunk.clone());
+            self.insert_buckets[self.insert_cursor.next_node()].push(chunk);
         }
-        // Over RPC, all buckets go on the wire before any ack is awaited.
+    }
+
+    fn dispatch_buckets(&mut self) -> Result<(), StorageError> {
+        let m = self.insert_buckets.len();
+        // Over RPC the buckets are staged (and possibly coalesced with
+        // later batches) before going on the wire, all submitted before
+        // any ack is awaited.
         if let StoragePort::Rpc(port) = &mut self.port {
-            return port.insert_buckets(self.bag, &self.insert_buckets);
+            return port.insert_buckets(self.bag, &mut self.insert_buckets);
         }
         for (target, bucket) in self.insert_buckets.iter().enumerate() {
             if bucket.is_empty() {
@@ -380,6 +405,55 @@ impl BagClient {
     /// Samples the bag's cluster-wide state (for progress estimation).
     pub fn sample(&mut self) -> Result<BagSample, StorageError> {
         self.port.sample_bag(self.bag)
+    }
+
+    /// Enables cross-batch insert coalescing on an RPC port: successive
+    /// [`BagClient::insert_batch`] calls stage their buckets and the port
+    /// sends one merged envelope per (node, bag) once `window_chunks`
+    /// chunks are staged. Staged chunks are durable only after the next
+    /// flush — call [`BagClient::flush`] at batch-boundary handoffs (the
+    /// engine's writers do). No-op over a direct port, which has no
+    /// per-message cost to amortize.
+    pub fn set_coalescing(&mut self, window_chunks: usize) {
+        if let StoragePort::Rpc(port) = &mut self.port {
+            port.set_coalescing(window_chunks);
+        }
+    }
+
+    /// Builder form of [`BagClient::set_coalescing`].
+    #[must_use]
+    pub fn with_coalescing(mut self, window_chunks: usize) -> Self {
+        self.set_coalescing(window_chunks);
+        self
+    }
+
+    /// Bounds the outstanding on-wire request budget of each underlying
+    /// RPC connection (writer flow control; see
+    /// [`crate::rpc::NodeConnection::with_credit`]). No-op over a direct
+    /// port.
+    pub fn set_writer_credit(&mut self, credit: usize) {
+        if let StoragePort::Rpc(port) = &mut self.port {
+            port.set_writer_credit(credit);
+        }
+    }
+
+    /// Flushes any coalesced inserts still staged on the port. After this
+    /// returns `Ok`, every chunk handed to `insert_batch` is durable at
+    /// storage. A no-op over a direct port or when nothing is staged.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        match &mut self.port {
+            StoragePort::Rpc(port) => port.flush(),
+            StoragePort::Direct(_) => Ok(()),
+        }
+    }
+
+    /// RPC data-plane statistics of this client's port — envelope counts,
+    /// staged chunks, flushes. `None` over a direct port.
+    pub fn port_stats(&self) -> Option<crate::rpc::PortStats> {
+        match &self.port {
+            StoragePort::Rpc(port) => Some(port.stats()),
+            StoragePort::Direct(_) => None,
+        }
     }
 }
 

@@ -63,15 +63,21 @@ impl ChunkBatch {
         self.chunks.is_empty()
     }
 
-    /// Inserts every buffered chunk through `client` in one batched call
-    /// and clears the buffer. No-op when empty.
+    /// Inserts every buffered chunk through `client` in one batched call,
+    /// draining the buffer **by value**: the chunks are moved into
+    /// [`BagClient::insert_batch_vec`], so downstream ports (bucketing,
+    /// RPC staging, envelope construction) take ownership without a
+    /// defensive copy or per-chunk refcount traffic. No-op when empty.
+    ///
+    /// On error the drained chunks are consumed with the failed insert —
+    /// the batch does not retain them for retry (callers recover at the
+    /// task level, not the batch level).
     pub fn flush_into(&mut self, client: &mut BagClient) -> Result<(), StorageError> {
         if self.chunks.is_empty() {
             return Ok(());
         }
-        client.insert_batch(&self.chunks)?;
-        self.chunks.clear();
-        Ok(())
+        let run = std::mem::replace(&mut self.chunks, Vec::with_capacity(self.capacity));
+        client.insert_batch_vec(run)
     }
 }
 

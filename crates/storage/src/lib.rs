@@ -45,5 +45,7 @@ pub use bag::{BagClient, BatchRemoveResult, RemoveResult};
 pub use cluster::{ClusterConfig, StorageCluster};
 pub use error::StorageError;
 pub use node::{BagSample, NodeRemoveBatch, StorageNode};
-pub use rpc::{StorageRequest, StorageResponse, StorageRpc, Transport};
+pub use rpc::{
+    ChunkRun, PortStats, RpcPort, StorageRequest, StorageResponse, StorageRpc, Transport,
+};
 pub use workbag::WorkBag;

@@ -22,16 +22,30 @@
 //! stream, and a stream that ends without the fetcher's explicit
 //! end-of-bag mark is reported as [`StorageError::PrefetchAborted`] — a
 //! drained bag and a dead fetcher are never confused.
+//!
+//! The fetcher→consumer handoff is **batched**: each completed probe (a
+//! whole `RemoveBatch` reply, up to `b` chunks) crosses the bounded
+//! queue as one run, not one channel operation per chunk. The consumer
+//! side buffers the current run and serves [`Prefetcher::recv`] from it,
+//! so per-chunk delivery cost is a `VecDeque` pop, and the channel's
+//! synchronization is paid once per batch.
 
 use crate::bag::{BagClient, BatchRemoveResult, StoragePort};
 use crate::error::StorageError;
 use crate::rpc::{CompletionToken, StorageRequest, StorageResponse};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hurricane_format::Chunk;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How many chunk runs the fetcher→consumer queue buffers. Two gives
+/// double buffering (the fetcher refills one run while the consumer
+/// drains another); the pipeline depth proper lives in the fetcher's
+/// outstanding-request budget, not in this queue.
+const HANDOFF_RUNS: usize = 2;
 
 /// A handle to a prefetching consumer of one bag.
 ///
@@ -42,7 +56,9 @@ use std::time::Duration;
 /// mid-probe observes the flag before its next send — there is no window
 /// in which it can keep running.
 pub struct Prefetcher {
-    rx: Option<Receiver<Result<Chunk, StorageError>>>,
+    rx: Option<Receiver<Result<Vec<Chunk>, StorageError>>>,
+    /// The run currently being served to the consumer.
+    buffered: VecDeque<Chunk>,
     shutdown: Arc<AtomicBool>,
     /// Set by the fetcher before every intentional exit (drained bag or
     /// explicitly delivered error). A disconnected channel without this
@@ -61,7 +77,7 @@ impl Prefetcher {
     /// Panics if `batch_factor` is zero.
     pub fn spawn(client: BagClient, batch_factor: usize) -> Self {
         assert!(batch_factor > 0, "batch factor must be at least 1");
-        let (tx, rx) = bounded(batch_factor);
+        let (tx, rx) = bounded(HANDOFF_RUNS);
         let shutdown = Arc::new(AtomicBool::new(false));
         let ended = Arc::new(AtomicBool::new(false));
         let shutdown2 = shutdown.clone();
@@ -79,36 +95,48 @@ impl Prefetcher {
             .expect("spawning prefetch thread");
         Self {
             rx: Some(rx),
+            buffered: VecDeque::new(),
             shutdown,
             ended,
             handle: Some(handle),
         }
     }
 
-    fn rx(&self) -> &Receiver<Result<Chunk, StorageError>> {
+    fn rx(&self) -> &Receiver<Result<Vec<Chunk>, StorageError>> {
         self.rx.as_ref().expect("receiver lives until drop")
     }
 
     /// Receives the next chunk, blocking until one is available or the bag
-    /// drains (`Ok(None)`).
-    pub fn recv(&self) -> Result<Option<Chunk>, StorageError> {
-        match self.rx().recv() {
-            Ok(Ok(c)) => Ok(Some(c)),
-            Ok(Err(e)) => Err(e),
-            // Fetcher exited. Only an intentional exit means "drained".
-            Err(_) if self.ended.load(Ordering::Acquire) => Ok(None),
-            Err(_) => Err(StorageError::PrefetchAborted),
+    /// drains (`Ok(None)`). Serves from the buffered run when one is in
+    /// hand; whole runs cross the fetcher boundary once.
+    pub fn recv(&mut self) -> Result<Option<Chunk>, StorageError> {
+        loop {
+            if let Some(c) = self.buffered.pop_front() {
+                return Ok(Some(c));
+            }
+            match self.rx().recv() {
+                Ok(Ok(run)) => self.buffered = run.into(),
+                Ok(Err(e)) => return Err(e),
+                // Fetcher exited. Only an intentional exit means "drained".
+                Err(_) if self.ended.load(Ordering::Acquire) => return Ok(None),
+                Err(_) => return Err(StorageError::PrefetchAborted),
+            }
         }
     }
 
     /// Non-blocking receive; `Ok(None)` means nothing buffered *right now*
     /// (the bag may or may not be drained — use [`Prefetcher::recv`] for
     /// termination detection).
-    pub fn try_recv(&self) -> Result<Option<Chunk>, StorageError> {
-        match self.rx().try_recv() {
-            Ok(Ok(c)) => Ok(Some(c)),
-            Ok(Err(e)) => Err(e),
-            Err(_) => Ok(None),
+    pub fn try_recv(&mut self) -> Result<Option<Chunk>, StorageError> {
+        loop {
+            if let Some(c) = self.buffered.pop_front() {
+                return Ok(Some(c));
+            }
+            match self.rx().try_recv() {
+                Ok(Ok(run)) => self.buffered = run.into(),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Ok(None),
+            }
         }
     }
 }
@@ -132,7 +160,7 @@ impl Drop for Prefetcher {
 fn direct_fetch(
     mut client: BagClient,
     batch_factor: usize,
-    tx: &Sender<Result<Chunk, StorageError>>,
+    tx: &Sender<Result<Vec<Chunk>, StorageError>>,
     shutdown: &AtomicBool,
     ended: &AtomicBool,
 ) {
@@ -141,12 +169,10 @@ fn direct_fetch(
         match client.try_remove_batch(batch_factor) {
             Ok(BatchRemoveResult::Chunks(chunks)) => {
                 backoff_us = 10;
-                for c in chunks {
-                    // A failed send means the consumer dropped the
-                    // handle; exit immediately.
-                    if tx.send(Ok(c)).is_err() {
-                        return;
-                    }
+                // One handoff per probe round. A failed send means the
+                // consumer dropped the handle; exit immediately.
+                if tx.send(Ok(chunks)).is_err() {
+                    return;
                 }
             }
             Ok(BatchRemoveResult::Pending) => {
@@ -191,7 +217,7 @@ const PUMP_WAIT: Duration = Duration::from_micros(200);
 fn pipelined_fetch(
     mut client: BagClient,
     b: usize,
-    tx: &Sender<Result<Chunk, StorageError>>,
+    tx: &Sender<Result<Vec<Chunk>, StorageError>>,
     shutdown: &AtomicBool,
     ended: &AtomicBool,
 ) {
@@ -286,10 +312,10 @@ fn pipelined_fetch(
                             // node request bypasses the cluster's mirror).
                             mirror(port, node, bag, batch.chunks.len());
                         }
-                        for c in batch.chunks {
-                            if tx.send(Ok(c)).is_err() {
-                                return;
-                            }
+                        // The whole drained reply crosses the consumer
+                        // boundary once.
+                        if tx.send(Ok(batch.chunks)).is_err() {
+                            return;
                         }
                     } else if batch.eof || (batch.exhausted && sealed_at_submit) {
                         // The cluster-level sealed flag is the end-of-bag
@@ -317,10 +343,8 @@ fn pipelined_fetch(
                             Ok(batch) if !batch.chunks.is_empty() => {
                                 delivered = true;
                                 last[node] = NodeLast::Chunks;
-                                for c in batch.chunks {
-                                    if tx.send(Ok(c)).is_err() {
-                                        return;
-                                    }
+                                if tx.send(Ok(batch.chunks)).is_err() {
+                                    return;
                                 }
                             }
                             Ok(batch) if batch.eof => last[node] = NodeLast::Eof,
@@ -429,7 +453,7 @@ mod tests {
             producer.insert(chunk(i)).unwrap();
         }
         cluster.seal_bag(bag).unwrap();
-        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 2), 10);
+        let mut pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 2), 10);
         let mut n = 0;
         while let Some(_c) = pf.recv().unwrap() {
             n += 1;
@@ -446,7 +470,7 @@ mod tests {
         let chunks: Vec<Chunk> = (0..100).map(chunk).collect();
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
-        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 8);
+        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 8);
         let mut n = 0;
         while let Some(_c) = pf.recv().unwrap() {
             n += 1;
@@ -459,7 +483,7 @@ mod tests {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
         let rpc = StorageRpc::serve(cluster.clone());
         let bag = cluster.create_bag();
-        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 3), 4);
+        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 3), 4);
         let cluster2 = cluster.clone();
         let producer = std::thread::spawn(move || {
             let mut p = BagClient::new(cluster2.clone(), bag, 4);
@@ -486,7 +510,7 @@ mod tests {
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
         {
-            let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 4);
+            let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 4);
             let mut n = 0;
             while let Some(_c) = pf.recv().unwrap() {
                 n += 1;
@@ -507,7 +531,7 @@ mod tests {
     fn prefetcher_pipelines_concurrent_producer() {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
         let bag = cluster.create_bag();
-        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 3), 4);
+        let mut pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 3), 4);
         let cluster2 = cluster.clone();
         let t = std::thread::spawn(move || {
             let mut p = BagClient::new(cluster2.clone(), bag, 4);
@@ -533,7 +557,7 @@ mod tests {
             producer.insert(chunk(i)).unwrap();
         }
         cluster.seal_bag(bag).unwrap();
-        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 6), 2);
+        let mut pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 6), 2);
         let _first = pf.recv().unwrap();
         drop(pf); // Must join cleanly even with 998 chunks unread.
     }
@@ -547,7 +571,7 @@ mod tests {
         let chunks: Vec<Chunk> = (0..1000).map(chunk).collect();
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
-        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 3);
+        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 3);
         let _first = pf.recv().unwrap();
         drop(pf);
     }
@@ -565,7 +589,7 @@ mod tests {
             producer.insert(chunk(i)).unwrap();
         }
         for round in 0..50 {
-            let pf = Prefetcher::spawn(
+            let mut pf = Prefetcher::spawn(
                 BagClient::new(cluster.clone(), bag, 100 + round),
                 1 + (round as usize % 4),
             );
@@ -585,8 +609,8 @@ mod tests {
             producer.insert(chunk(i)).unwrap();
         }
         cluster.seal_bag(bag).unwrap();
-        let a = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 8), 5);
-        let b = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 9), 5);
+        let mut a = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 8), 5);
+        let mut b = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 9), 5);
         let ta = std::thread::spawn(move || {
             let mut n = 0;
             while let Some(_c) = a.recv().unwrap() {
@@ -612,7 +636,7 @@ mod tests {
         let mut producer = BagClient::new(cluster.clone(), bag, 10);
         producer.insert(chunk(1)).unwrap();
         cluster.node(0).fail();
-        let pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 11), 2);
+        let mut pf = Prefetcher::spawn(BagClient::new(cluster.clone(), bag, 11), 2);
         assert!(pf.recv().is_err());
     }
 
@@ -625,7 +649,7 @@ mod tests {
         producer.insert(chunk(1)).unwrap();
         cluster.node(0).fail();
         cluster.node(1).fail();
-        let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 13), 4);
+        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 13), 4);
         assert!(matches!(
             pf.recv(),
             Err(StorageError::AllReplicasDown(_) | StorageError::NodeDown(_))

@@ -60,6 +60,51 @@
 //! append-ordering lock. Replica sets of size `r` therefore pay one
 //! round-trip of latency for the backups (not `r − 1`) plus one for the
 //! primary.
+//!
+//! # The amortized data plane
+//!
+//! Message boundaries only pay off when per-message costs are amortized
+//! across batches instead of paid per bucket (the same discipline as the
+//! paper's batch sampling, §3.3 Eq. 1). Three layers of this module
+//! implement that amortization on the write path:
+//!
+//! ```text
+//!  BagClient::insert_batch / insert_batch_vec
+//!        │  cyclic bucketing (origin = target node)
+//!        ▼
+//!  ┌─ RpcPort ──────────────────────────────────────────────────────┐
+//!  │ insert COALESCER: per-node staging queues merge buckets from   │
+//!  │ successive calls into one run per (node, bag); flushed when    │
+//!  │ staged chunks reach the coalesce window, or by flush().        │
+//!  │        │  one InsertBatch envelope per (node, bag) per flush   │
+//!  │        ▼                                                       │
+//!  │ ChunkRun retransmit buffers: each envelope carries an          │
+//!  │ Arc<[Chunk]> view; replica fan-out and rerouting after a       │
+//!  │ refused node clone ONE refcount, never the chunks.             │
+//!  └────────┬───────────────────────────────────────────────────────┘
+//!           ▼
+//!  ┌─ NodeConnection (one per node) ────────────────────────────────┐
+//!  │ SLAB correlation table: completion tokens are reusable slots   │
+//!  │ (index ‖ generation), no per-request map churn; stale replies  │
+//!  │ to abandoned slots die on a generation mismatch.               │
+//!  │ WRITER CREDIT: submit blocks (pumping replies) once            │
+//!  │ `credit` requests are on the wire unanswered — a stalled node  │
+//!  │ bounds the lane instead of accumulating unbounded queue.       │
+//!  └────────┬───────────────────────────────────────────────────────┘
+//!           ▼
+//!       Transport (channel / inline / socket)
+//! ```
+//!
+//! Coalescing is **off by default** (`coalesce window = 0` flushes every
+//! call, preserving call-synchronous semantics); the engine and the
+//! contended microbenches opt in. With a window of `w`, successive
+//! batches of `n` chunks over `m` nodes send `m` envelopes per `w`
+//! staged chunks instead of `m` per `n` — an `w / n`-fold envelope
+//! reduction — at the cost of deferred completion: staged chunks are
+//! durable only after the next flush, so writers must [`RpcPort::flush`]
+//! before sealing the bag or handing off to readers. Reads and
+//! synchronous inserts through the same port flush first, so a port
+//! always reads its own writes.
 
 use crate::cluster::StorageCluster;
 use crate::error::StorageError;
@@ -68,7 +113,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use hurricane_common::{BagId, StorageNodeId};
 use hurricane_format::Chunk;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -81,6 +126,58 @@ pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
 /// genuinely reorder (keeping the correlation layer honest) and so
 /// operations on different bags exploit the node's per-bag sharding.
 pub const DEFAULT_DISPATCH_THREADS: usize = 2;
+
+/// Default per-connection writer credit: how many requests may be on the
+/// wire unanswered before [`NodeConnection::submit`] blocks. Sized well
+/// above the prefetcher's self-limit (one request per node) and the
+/// insert fan-out (one envelope per bag per node per flush) so healthy
+/// traffic never stalls, while a wedged node bounds its lane at a few
+/// dozen envelopes instead of accumulating unbounded queue.
+pub const DEFAULT_WRITER_CREDIT: usize = 64;
+
+/// A refcounted, immutable run of chunks — the insert data plane's unit
+/// of transfer and retransmission.
+///
+/// An [`StorageRequest::InsertBatch`] envelope carries one run. Because
+/// the backing store is an `Arc<[Chunk]>`, fanning a run out to `r`
+/// replicas or rerouting it after a refused node clones **one refcount**,
+/// not one per chunk (let alone the payload): the same buffer serves as
+/// the retransmit buffer for every attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRun {
+    chunks: Arc<[Chunk]>,
+}
+
+impl ChunkRun {
+    /// Wraps an owned chunk vector (moves the chunks; no per-chunk clone).
+    pub fn new(chunks: Vec<Chunk>) -> Self {
+        Self {
+            chunks: chunks.into(),
+        }
+    }
+
+    /// Builds a run from borrowed chunks (one refcount bump per chunk —
+    /// the entry point for callers that keep ownership).
+    pub fn from_slice(chunks: &[Chunk]) -> Self {
+        Self {
+            chunks: chunks.to_vec().into(),
+        }
+    }
+}
+
+impl From<Vec<Chunk>> for ChunkRun {
+    fn from(chunks: Vec<Chunk>) -> Self {
+        Self::new(chunks)
+    }
+}
+
+impl std::ops::Deref for ChunkRun {
+    type Target = [Chunk];
+
+    fn deref(&self) -> &[Chunk] {
+        &self.chunks
+    }
+}
 
 /// One storage-node operation, as a message.
 ///
@@ -95,8 +192,8 @@ pub enum StorageRequest {
         bag: BagId,
         /// Primary index the chunks are addressed to.
         origin: u32,
-        /// Chunks to append, in order.
-        chunks: Vec<Chunk>,
+        /// Chunks to append, in order (shared retransmit buffer).
+        chunks: ChunkRun,
     },
     /// Remove up to `max_n` chunks of origin stream `origin`
     /// ([`StorageNode::remove_from_batch`]).
@@ -432,6 +529,9 @@ fn serve_one(node: &StorageNode, w: WireRequest) {
 ///
 /// Tokens are minted by [`NodeConnection::submit`] and redeemed — in any
 /// order — with [`NodeConnection::wait`] or [`NodeConnection::try_poll`].
+/// The id encodes a slab slot index in the low 32 bits and that slot's
+/// generation in the high 32, so slot reuse can never confuse a stale
+/// reply with a fresh request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompletionToken {
     id: u64,
@@ -444,26 +544,79 @@ impl CompletionToken {
     }
 }
 
-/// The correlation layer over one [`Transport`]: assigns ids, parks
-/// replies that arrive before their token is redeemed, and drops stale
-/// replies to abandoned (timed-out) requests.
+/// One reusable correlation slot in a connection's slab.
+#[derive(Debug)]
+struct Slot {
+    /// Bumped on every allocation and on abandonment, so an id is never
+    /// valid across two uses of the same slot.
+    generation: u32,
+    state: SlotState,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// Free for reuse.
+    Vacant,
+    /// Request on the wire, no reply yet.
+    Pending,
+    /// Reply parked, waiting for its token to claim it.
+    Ready(Result<StorageResponse, StorageError>),
+}
+
+/// How long one pump slice lasts while a submit waits for writer credit.
+const CREDIT_PUMP_SLICE: Duration = Duration::from_micros(200);
+
+/// The correlation layer over one [`Transport`], built on a **slab** of
+/// reusable token slots instead of per-request map entries: a steady
+/// request stream allocates nothing after warm-up, and matching a reply
+/// is an index plus a generation compare. The slab also enforces the
+/// per-connection **writer credit**: once `credit` requests are on the
+/// wire unanswered, [`NodeConnection::submit`] becomes a blocking acquire
+/// (pumping replies while it waits) instead of growing the lane — the
+/// flow-control bound a stalled node is held to.
 pub struct NodeConnection {
     transport: Box<dyn Transport>,
-    next_id: u64,
-    in_flight: HashSet<u64>,
-    parked: HashMap<u64, Result<StorageResponse, StorageError>>,
-    abandoned: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Tokens minted but not yet redeemed or abandoned.
+    unredeemed: usize,
+    /// Requests sent whose replies have not been received (what the
+    /// server-side lane can be holding); the quantity credit bounds.
+    on_wire: usize,
+    credit: usize,
+    /// How long a credit acquire may block before surfacing `Timeout`.
+    /// Ports align this with their request timeout.
+    credit_timeout: Duration,
+    /// Total requests ever sent — the envelope counter the coalescing
+    /// benchmarks and tests read.
+    requests_sent: u64,
 }
 
 impl NodeConnection {
-    /// Wraps `transport` in a fresh correlation space.
+    /// Wraps `transport` in a fresh correlation space with the default
+    /// writer credit.
     pub fn new(transport: Box<dyn Transport>) -> Self {
+        Self::with_credit(transport, DEFAULT_WRITER_CREDIT)
+    }
+
+    /// Wraps `transport` with an explicit writer credit (outstanding
+    /// on-wire request budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `credit` is zero: a connection that can never send is
+    /// meaningless.
+    pub fn with_credit(transport: Box<dyn Transport>, credit: usize) -> Self {
+        assert!(credit > 0, "writer credit must be at least 1");
         Self {
             transport,
-            next_id: 0,
-            in_flight: HashSet::new(),
-            parked: HashMap::new(),
-            abandoned: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            unredeemed: 0,
+            on_wire: 0,
+            credit,
+            credit_timeout: DEFAULT_REQUEST_TIMEOUT,
+            requests_sent: 0,
         }
     }
 
@@ -474,29 +627,155 @@ impl NodeConnection {
 
     /// Number of requests submitted but not yet redeemed or abandoned.
     pub fn outstanding(&self) -> usize {
-        self.in_flight.len()
+        self.unredeemed
+    }
+
+    /// Requests currently on the wire (sent, reply not yet received).
+    pub fn on_wire(&self) -> usize {
+        self.on_wire
+    }
+
+    /// The writer-credit bound this connection enforces.
+    pub fn credit(&self) -> usize {
+        self.credit
+    }
+
+    /// Re-bounds the writer credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `credit` is zero.
+    pub fn set_credit(&mut self, credit: usize) {
+        assert!(credit > 0, "writer credit must be at least 1");
+        self.credit = credit;
+    }
+
+    /// Bounds how long a credit acquire may block before surfacing
+    /// [`StorageError::Timeout`]. Ports align this with their request
+    /// timeout so flow control never fails faster than a wait would.
+    pub fn set_credit_timeout(&mut self, timeout: Duration) {
+        self.credit_timeout = timeout;
+    }
+
+    /// Total requests ever sent on this connection.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Blocks until the on-wire count drops below the credit, pumping
+    /// replies while waiting. A node that answers nothing within the
+    /// credit timeout surfaces as [`StorageError::Timeout`] — the
+    /// backpressure contract: a stalled node blocks (then fails) the
+    /// writer instead of accumulating unbounded lane queue.
+    fn acquire_credit(&mut self) -> Result<(), StorageError> {
+        if self.on_wire < self.credit {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.credit_timeout;
+        while self.on_wire >= self.credit {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(StorageError::Timeout(self.node()));
+            }
+            if let Some(reply) = self
+                .transport
+                .recv_timeout((deadline - now).min(CREDIT_PUMP_SLICE))
+            {
+                self.park(reply);
+            }
+        }
+        Ok(())
     }
 
     /// Sends `request` without waiting, returning its completion token.
+    /// Blocks first if the writer credit is exhausted (see
+    /// [`NodeConnection::with_credit`]).
     pub fn submit(&mut self, request: StorageRequest) -> Result<CompletionToken, StorageError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.transport.send(RequestEnvelope { id, request })?;
-        self.in_flight.insert(id);
-        Ok(CompletionToken { id })
+        self.acquire_credit()?;
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: SlotState::Vacant,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.generation = slot.generation.wrapping_add(1);
+        let id = u64::from(idx) | (u64::from(slot.generation) << 32);
+        slot.state = SlotState::Pending;
+        match self.transport.send(RequestEnvelope { id, request }) {
+            Ok(()) => {
+                self.unredeemed += 1;
+                self.on_wire += 1;
+                self.requests_sent += 1;
+                Ok(CompletionToken { id })
+            }
+            Err(e) => {
+                self.slots[idx as usize].state = SlotState::Vacant;
+                self.free.push(idx);
+                Err(e)
+            }
+        }
     }
 
     fn park(&mut self, reply: ReplyEnvelope) {
-        if self.abandoned.remove(&reply.id) {
-            return; // Stale reply to a request the caller gave up on.
+        let idx = (reply.id & u64::from(u32::MAX)) as usize;
+        let generation = (reply.id >> 32) as u32;
+        match self.slots.get_mut(idx) {
+            Some(slot)
+                if slot.generation == generation && matches!(slot.state, SlotState::Pending) =>
+            {
+                slot.state = SlotState::Ready(reply.result);
+                self.on_wire -= 1;
+            }
+            // Stale reply to an abandoned (or never-issued) request: the
+            // generation no longer matches; drop it.
+            _ => {}
         }
-        self.parked.insert(reply.id, reply.result);
     }
 
     fn claim(&mut self, id: u64) -> Option<Result<StorageResponse, StorageError>> {
-        let result = self.parked.remove(&id)?;
-        self.in_flight.remove(&id);
+        let idx = (id & u64::from(u32::MAX)) as usize;
+        let generation = (id >> 32) as u32;
+        let slot = self.slots.get_mut(idx)?;
+        if slot.generation != generation || !matches!(slot.state, SlotState::Ready(_)) {
+            return None;
+        }
+        let SlotState::Ready(result) = std::mem::replace(&mut slot.state, SlotState::Vacant) else {
+            unreachable!("checked Ready above");
+        };
+        self.free.push(idx as u32);
+        self.unredeemed -= 1;
         Some(result)
+    }
+
+    /// Gives up on `id`: frees its slot (bumping the generation so a late
+    /// reply dies on the mismatch) and returns its credit.
+    fn abandon(&mut self, id: u64) {
+        let idx = (id & u64::from(u32::MAX)) as usize;
+        let generation = (id >> 32) as u32;
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        if slot.generation != generation {
+            return;
+        }
+        match std::mem::replace(&mut slot.state, SlotState::Vacant) {
+            SlotState::Pending => {
+                slot.generation = slot.generation.wrapping_add(1);
+                self.unredeemed -= 1;
+                self.on_wire -= 1;
+                self.free.push(idx as u32);
+            }
+            SlotState::Ready(_) => {
+                self.unredeemed -= 1;
+                self.free.push(idx as u32);
+            }
+            SlotState::Vacant => {}
+        }
     }
 
     /// Non-blocking completion check. `Ok(None)` means the reply has not
@@ -525,25 +804,21 @@ impl NodeConnection {
     ) -> Result<StorageResponse, StorageError> {
         let deadline = Instant::now() + timeout;
         loop {
+            while let Some(reply) = self.transport.try_recv() {
+                self.park(reply);
+            }
             if let Some(result) = self.claim(token.id) {
                 return result;
             }
             let now = Instant::now();
             if now >= deadline {
-                self.in_flight.remove(&token.id);
-                self.abandoned.insert(token.id);
+                self.abandon(token.id);
                 return Err(StorageError::Timeout(self.node()));
             }
             match self.transport.recv_timeout(deadline - now) {
-                // Fast path: the reply we are waiting for — no parking.
-                Some(reply) if reply.id == token.id => {
-                    self.in_flight.remove(&token.id);
-                    return reply.result;
-                }
                 Some(reply) => self.park(reply),
                 None => {
-                    self.in_flight.remove(&token.id);
-                    self.abandoned.insert(token.id);
+                    self.abandon(token.id);
                     return Err(StorageError::Timeout(self.node()));
                 }
             }
@@ -744,14 +1019,38 @@ impl StorageRpc {
     }
 }
 
+/// Data-plane statistics of one [`RpcPort`] — what the coalescing tests
+/// and microbenches read to assert envelope amortization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// `InsertBatch` envelopes put on the wire (including replica fan-out
+    /// and reroute retries).
+    pub insert_envelopes: u64,
+    /// Chunks that passed through the insert coalescer's staging queues.
+    pub staged_chunks: u64,
+    /// Staged-data flushes (threshold-triggered or explicit).
+    pub flushes: u64,
+}
+
 /// A per-owner data-plane handle over RPC: one connection per node plus
 /// the cluster metadata. Implements the same cluster-level semantics as
 /// the direct API (replication fan-out, failover, pointer mirroring,
-/// sealed-flag authority), but over correlated messages.
+/// sealed-flag authority), but over correlated messages — with the
+/// cross-batch insert coalescer of the module docs in front of the wire.
 pub struct RpcPort {
     cluster: Arc<StorageCluster>,
     pub(crate) conns: Vec<NodeConnection>,
     pub(crate) timeout: Duration,
+    /// Coalesce window in chunks; `0` flushes every `insert_buckets` call
+    /// (call-synchronous semantics, the default).
+    coalesce_chunks: usize,
+    /// Per-node staging queues: at most one pending run per (node, bag),
+    /// in first-staged order, so one flush sends at most one envelope per
+    /// (bag, origin) stream and can never reorder within it.
+    staged: Vec<Vec<(BagId, Vec<Chunk>)>>,
+    /// Chunks currently staged across all nodes.
+    staged_len: usize,
+    stats: PortStats,
 }
 
 impl RpcPort {
@@ -774,13 +1073,24 @@ impl RpcPort {
     /// address the node serving cluster index `i`.
     pub fn from_connections(
         cluster: Arc<StorageCluster>,
-        conns: Vec<NodeConnection>,
+        mut conns: Vec<NodeConnection>,
         timeout: Duration,
     ) -> Self {
+        // Flow control must not fail faster than a wait on the same port
+        // would: align each connection's credit-acquire bound with the
+        // port's request timeout.
+        for conn in &mut conns {
+            conn.set_credit_timeout(timeout);
+        }
+        let staged = conns.iter().map(|_| Vec::new()).collect();
         Self {
             cluster,
             conns,
             timeout,
+            coalesce_chunks: 0,
+            staged,
+            staged_len: 0,
+            stats: PortStats::default(),
         }
     }
 
@@ -792,6 +1102,45 @@ impl RpcPort {
     /// Number of nodes this port can address.
     pub fn num_nodes(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Sets the insert-coalescing window: buckets from successive
+    /// [`RpcPort::insert_buckets`] calls are merged into per-node staging
+    /// queues and flushed once `window_chunks` chunks are staged (or on
+    /// [`RpcPort::flush`]). `0` (the default) flushes every call.
+    ///
+    /// Coalescing defers completion: staged chunks are durable — and
+    /// errors for them surface — only at the next flush. Flush before
+    /// sealing the bag or handing off to readers on other ports.
+    pub fn set_coalescing(&mut self, window_chunks: usize) {
+        self.coalesce_chunks = window_chunks;
+    }
+
+    /// The configured coalesce window (chunks; 0 = off).
+    pub fn coalescing(&self) -> usize {
+        self.coalesce_chunks
+    }
+
+    /// Sets the writer credit of every connection of this port.
+    pub fn set_writer_credit(&mut self, credit: usize) {
+        for conn in &mut self.conns {
+            conn.set_credit(credit);
+        }
+    }
+
+    /// Data-plane statistics (envelope counts, staged chunks, flushes).
+    pub fn stats(&self) -> PortStats {
+        self.stats
+    }
+
+    /// Total request envelopes sent across this port's connections.
+    pub fn envelopes_sent(&self) -> u64 {
+        self.conns.iter().map(NodeConnection::requests_sent).sum()
+    }
+
+    /// Chunks currently staged and not yet flushed.
+    pub fn staged_chunks(&self) -> usize {
+        self.staged_len
     }
 
     /// Synchronous request to node index `idx` over this port's
@@ -829,18 +1178,51 @@ impl RpcPort {
     ///
     /// Backups are submitted concurrently and *all acknowledged* before the
     /// primary write is issued, preserving the backups-first invariant.
+    /// Flushes any staged coalesced inserts first, so the port's writes
+    /// stay ordered across the two paths.
     pub fn insert_batch(
         &mut self,
         primary_idx: usize,
         bag: BagId,
         chunks: &[Chunk],
     ) -> Result<(), StorageError> {
+        self.flush()?;
         if self.cluster.bag_state(bag)? {
             return Err(StorageError::BagSealed(bag));
         }
         if chunks.is_empty() {
             return Ok(());
         }
+        self.insert_run(primary_idx, bag, ChunkRun::from_slice(chunks))
+    }
+
+    /// Sends one `InsertBatch` envelope (counted) without waiting.
+    fn submit_insert(
+        &mut self,
+        idx: usize,
+        bag: BagId,
+        origin: u32,
+        run: ChunkRun,
+    ) -> Result<CompletionToken, StorageError> {
+        self.stats.insert_envelopes += 1;
+        self.conns[idx].submit(StorageRequest::InsertBatch {
+            bag,
+            origin,
+            chunks: run,
+        })
+    }
+
+    /// The replica fan-out of one run addressed to primary `primary_idx`:
+    /// backups overlapped and acknowledged first, then the primary. The
+    /// run is the shared retransmit buffer — every envelope clones one
+    /// refcount. Bag-state checks are the caller's job (entry points and
+    /// the coalescer check at staging time).
+    fn insert_run(
+        &mut self,
+        primary_idx: usize,
+        bag: BagId,
+        run: ChunkRun,
+    ) -> Result<(), StorageError> {
         let m = self.conns.len();
         let primary = primary_idx % m;
         let origin = primary as u32;
@@ -856,11 +1238,7 @@ impl RpcPort {
         let backup_tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (1..r)
             .map(|k| {
                 let idx = (primary + k) % m;
-                let token = self.conns[idx].submit(StorageRequest::InsertBatch {
-                    bag,
-                    origin,
-                    chunks: chunks.to_vec(),
-                });
+                let token = self.submit_insert(idx, bag, origin, run.clone());
                 (idx, token)
             })
             .collect();
@@ -874,14 +1252,11 @@ impl RpcPort {
         }
         // Phase 2: the primary, only after every backup ack is in.
         if hard_err.is_none() {
-            match self.call(
-                primary,
-                StorageRequest::InsertBatch {
-                    bag,
-                    origin,
-                    chunks: chunks.to_vec(),
-                },
-            ) {
+            let timeout = self.timeout;
+            match self
+                .submit_insert(primary, bag, origin, run)
+                .and_then(|t| self.conns[primary].wait(t, timeout))
+            {
                 Ok(_) => landed += 1,
                 Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
                 Err(e) => hard_err = Some(e),
@@ -897,82 +1272,117 @@ impl RpcPort {
         }
     }
 
-    /// Inserts pre-bucketed chunk runs — `buckets[i]` destined for node
-    /// `i` — overlapping the per-node acks: every bucket is submitted
-    /// before any ack is awaited, so the wire carries one batch message
-    /// per node while the servers work in parallel. This is the client
-    /// fan-out the message boundary exists for; the blocking per-node
-    /// round-trip of [`RpcPort::insert_batch`] is the degenerate case.
-    ///
-    /// Buckets refused by an unreachable node are rerouted to the next
-    /// nodes in index order, exactly like the direct path. With
-    /// replication, per-bucket writes keep their backups-first ordering
-    /// (buckets then cannot overlap each other, only their own backups).
+    /// Stages pre-bucketed chunk runs — `buckets[i]` destined for node
+    /// `i`, drained by value — into the per-node coalescing queues, then
+    /// flushes if the staged total reached the coalesce window (always,
+    /// when coalescing is off). Within a node, chunks for the same bag
+    /// merge into one pending run regardless of which call staged them:
+    /// that is the cross-batch amortization, and it is also what keeps
+    /// per-(bag, origin) order — one envelope per stream per flush.
     pub fn insert_buckets(
         &mut self,
         bag: BagId,
-        buckets: &[Vec<Chunk>],
+        buckets: &mut [Vec<Chunk>],
     ) -> Result<(), StorageError> {
         if self.cluster.bag_state(bag)? {
             return Err(StorageError::BagSealed(bag));
         }
         debug_assert!(buckets.len() <= self.conns.len());
+        for (target, bucket) in buckets.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let chunks = std::mem::take(bucket);
+            self.staged_len += chunks.len();
+            self.stats.staged_chunks += chunks.len() as u64;
+            let stage = &mut self.staged[target];
+            match stage.iter_mut().find(|(b, _)| *b == bag) {
+                Some((_, run)) => run.extend(chunks),
+                None => stage.push((bag, chunks)),
+            }
+        }
+        if self.coalesce_chunks == 0 || self.staged_len >= self.coalesce_chunks {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes every staged run: one `InsertBatch` envelope per
+    /// (node, bag), all submitted before any ack is awaited, so the wire
+    /// carries the merged batches while the servers work in parallel.
+    /// Runs refused by an unreachable node are rerouted to the next nodes
+    /// in index order — sharing the same [`ChunkRun`] buffer, not a copy.
+    /// With replication, each run keeps the backups-first ordered fan-out.
+    ///
+    /// Returns once every staged chunk is acknowledged (or an error is
+    /// surfaced); a no-op when nothing is staged.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if self.staged_len == 0 {
+            return Ok(());
+        }
+        self.stats.flushes += 1;
+        self.staged_len = 0;
+        let mut runs: Vec<(usize, BagId, ChunkRun)> = Vec::new();
+        for (target, stage) in self.staged.iter_mut().enumerate() {
+            for (bag, chunks) in stage.drain(..) {
+                runs.push((target, bag, ChunkRun::new(chunks)));
+            }
+        }
         if self.cluster.replication() > 1 {
             // Replicated writes must land backups-before-primary per
-            // (bag, origin) stream; keep the per-bucket ordered fan-out
+            // (bag, origin) stream; keep the per-run ordered fan-out
             // (which itself overlaps the backup acks).
-            for (target, bucket) in buckets.iter().enumerate() {
-                if !bucket.is_empty() {
-                    self.insert_bucket_rerouting(target, bag, bucket)?;
-                }
+            for (target, bag, run) in runs {
+                self.insert_run_rerouting(target, bag, run)?;
             }
             return Ok(());
         }
         // Replication 1: full overlap. Submit everything, then collect.
-        let mut tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = Vec::new();
-        for (target, bucket) in buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let token = self.conns[target].submit(StorageRequest::InsertBatch {
-                bag,
-                origin: target as u32,
-                chunks: bucket.clone(),
-            });
-            tokens.push((target, token));
-        }
-        let mut refused: Vec<usize> = Vec::new();
+        let tokens: Vec<(
+            usize,
+            BagId,
+            ChunkRun,
+            Result<CompletionToken, StorageError>,
+        )> = runs
+            .into_iter()
+            .map(|(target, bag, run)| {
+                let token = self.submit_insert(target, bag, target as u32, run.clone());
+                (target, bag, run, token)
+            })
+            .collect();
+        let mut refused: Vec<(usize, BagId, ChunkRun)> = Vec::new();
         let mut hard_err = None;
-        for (target, token) in tokens {
+        for (target, bag, run, token) in tokens {
             match token.and_then(|t| self.conns[target].wait(t, self.timeout)) {
                 Ok(_) => {}
-                Err(e) if Self::replica_unreachable(&e) => refused.push(target),
+                Err(e) if Self::replica_unreachable(&e) => refused.push((target, bag, run)),
                 Err(e) => hard_err = Some(e),
             }
         }
         if let Some(e) = hard_err {
             return Err(e);
         }
-        for target in refused {
-            self.insert_bucket_rerouting(target, bag, &buckets[target])?;
+        for (target, bag, run) in refused {
+            self.insert_run_rerouting(target, bag, run)?;
         }
         Ok(())
     }
 
-    /// Lands one bucket, walking nodes from `target` until a reachable
-    /// one accepts it (placement has no locality to preserve — any node
-    /// is as good as any other, paper §3.3).
-    fn insert_bucket_rerouting(
+    /// Lands one run, walking nodes from `target` until a reachable one
+    /// accepts it (placement has no locality to preserve — any node is as
+    /// good as any other, paper §3.3). Every attempt reuses the run's
+    /// shared buffer.
+    fn insert_run_rerouting(
         &mut self,
         target: usize,
         bag: BagId,
-        bucket: &[Chunk],
+        run: ChunkRun,
     ) -> Result<(), StorageError> {
         let m = self.conns.len();
         let mut last_err = None;
         for offset in 0..m {
             let idx = (target + offset) % m;
-            match self.insert_batch(idx, bag, bucket) {
+            match self.insert_run(idx, bag, run.clone()) {
                 Ok(()) => return Ok(()),
                 Err(e)
                     if Self::replica_unreachable(&e)
@@ -988,13 +1398,15 @@ impl RpcPort {
 
     /// RPC counterpart of [`StorageCluster::remove_batch`]: failover
     /// across the replica set, pointer mirroring onto the live backups,
-    /// cluster sealed flag as the end-of-bag authority.
+    /// cluster sealed flag as the end-of-bag authority. Staged coalesced
+    /// inserts are flushed first so a port always reads its own writes.
     pub fn remove_batch(
         &mut self,
         primary_idx: usize,
         bag: BagId,
         max_n: usize,
     ) -> Result<NodeRemoveBatch, StorageError> {
+        self.flush()?;
         let sealed = self.cluster.bag_state(bag)?;
         let m = self.conns.len();
         let primary = primary_idx % m;
@@ -1055,8 +1467,10 @@ impl RpcPort {
     }
 
     /// RPC counterpart of [`StorageCluster::sample_bag`]: fans the sample
-    /// out to every node concurrently and merges the replies.
+    /// out to every node concurrently and merges the replies. Staged
+    /// coalesced inserts are flushed first so the sample sees them.
     pub fn sample_bag(&mut self, bag: BagId) -> Result<BagSample, StorageError> {
+        self.flush()?;
         self.cluster.check_bag(bag)?;
         let tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (0..self.conns.len())
             .map(|idx| {
@@ -1078,6 +1492,21 @@ impl RpcPort {
         }
         agg.sealed = self.cluster.is_sealed(bag)?;
         Ok(agg)
+    }
+}
+
+impl Drop for RpcPort {
+    fn drop(&mut self) {
+        // Best effort: a port dropped with staged chunks still owes them
+        // to the wire. Errors are unreportable here, and a destructor
+        // must not hang teardown on a wedged node — cap the per-request
+        // wait (flush's reroute walk is bounded by nodes × this cap).
+        // Callers that need the outcome flush explicitly (the engine's
+        // writers do).
+        if self.staged_len > 0 {
+            self.timeout = self.timeout.min(Duration::from_millis(500));
+            let _ = self.flush();
+        }
     }
 }
 
@@ -1106,7 +1535,7 @@ mod tests {
             StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
-                chunks: vec![chunk(1), chunk(2)],
+                chunks: vec![chunk(1), chunk(2)].into(),
             },
         )
         .unwrap();
@@ -1152,7 +1581,7 @@ mod tests {
             .submit(StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
-                chunks: vec![chunk(7)],
+                chunks: vec![chunk(7)].into(),
             })
             .unwrap();
         assert_eq!(
@@ -1256,6 +1685,105 @@ mod tests {
         cluster.seal_bag(bag).unwrap();
         let rest = port.remove_batch(0, bag, 10).unwrap();
         assert!(rest.chunks.is_empty() && rest.eof);
+    }
+
+    #[test]
+    fn chunk_run_clones_share_backing_storage() {
+        let run = ChunkRun::new(vec![chunk(1), chunk(2)]);
+        let copy = run.clone();
+        // Slice pointer equality: the clone views the same Arc'd buffer —
+        // replica fan-out and reroutes never duplicate the chunks.
+        assert_eq!(run.as_ptr(), copy.as_ptr());
+        assert_eq!(&run[..], &copy[..]);
+    }
+
+    #[test]
+    fn slab_reuses_correlation_slots() {
+        let node = Arc::new(StorageNode::new(StorageNodeId(4)));
+        let mut conn = NodeConnection::new(Box::new(InlineTransport::new(node)));
+        for round in 0..100u64 {
+            let t = conn.submit(StorageRequest::Ping).unwrap();
+            assert_eq!(
+                t.id() & u64::from(u32::MAX),
+                0,
+                "sequential submit/wait must reuse slot 0 (round {round})"
+            );
+            assert_eq!(
+                conn.wait(t, Duration::from_secs(1)).unwrap(),
+                StorageResponse::Pong
+            );
+        }
+        assert_eq!(conn.requests_sent(), 100);
+        assert_eq!(conn.outstanding(), 0);
+    }
+
+    #[test]
+    fn coalescer_merges_cross_batch_runs_per_bag_stream() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag_a = cluster.create_bag();
+        let bag_b = cluster.create_bag();
+        let mut port = RpcPort::inline(cluster.clone());
+        port.set_coalescing(1000);
+        // Three staging calls interleaving two bags; nothing flushes yet.
+        port.insert_buckets(bag_a, &mut [vec![chunk(0)], vec![chunk(1)]])
+            .unwrap();
+        port.insert_buckets(bag_b, &mut [vec![chunk(10)], vec![]])
+            .unwrap();
+        port.insert_buckets(bag_a, &mut [vec![chunk(2)], vec![chunk(3)]])
+            .unwrap();
+        assert_eq!(port.staged_chunks(), 5);
+        assert_eq!(port.stats().insert_envelopes, 0, "still staged");
+        port.flush().unwrap();
+        // One envelope per (node, bag): node 0 carries bag_a and bag_b,
+        // node 1 carries bag_a — three envelopes for five chunks across
+        // three calls, and per-stream order is preserved.
+        assert_eq!(port.stats().insert_envelopes, 3);
+        assert_eq!(port.stats().flushes, 1);
+        assert_eq!(
+            cluster.node(0).snapshot_from(bag_a, 0).unwrap(),
+            vec![chunk(0), chunk(2)]
+        );
+        assert_eq!(
+            cluster.node(1).snapshot_from(bag_a, 1).unwrap(),
+            vec![chunk(1), chunk(3)]
+        );
+        assert_eq!(
+            cluster.node(0).snapshot_from(bag_b, 0).unwrap(),
+            vec![chunk(10)]
+        );
+    }
+
+    #[test]
+    fn coalesced_port_reads_its_own_writes() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut port = RpcPort::inline(cluster.clone());
+        port.set_coalescing(1_000_000);
+        port.insert_buckets(bag, &mut [vec![chunk(1)], vec![chunk(2)]])
+            .unwrap();
+        assert_eq!(port.staged_chunks(), 2);
+        // A read through the same port flushes the stage first.
+        let got = port.remove_batch(0, bag, 10).unwrap();
+        assert_eq!(got.chunks, vec![chunk(1)]);
+        assert_eq!(port.staged_chunks(), 0);
+        // Sampling likewise sees staged inserts.
+        port.insert_buckets(bag, &mut [vec![chunk(3)], vec![]])
+            .unwrap();
+        let s = port.sample_bag(bag).unwrap();
+        assert_eq!(s.total_chunks, 3);
+    }
+
+    #[test]
+    fn dropping_a_port_flushes_staged_inserts() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        {
+            let mut port = RpcPort::inline(cluster.clone());
+            port.set_coalescing(1_000_000);
+            port.insert_buckets(bag, &mut [vec![chunk(7)], vec![chunk(8)]])
+                .unwrap();
+        }
+        assert_eq!(cluster.sample_bag(bag).unwrap().total_chunks, 2);
     }
 
     #[test]

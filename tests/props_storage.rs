@@ -123,6 +123,64 @@ proptest! {
         prop_assert!(sim >= rho - 0.08, "b={b} m={m}: sim {sim:.3} < bound {rho:.3}");
     }
 
+    /// The insert coalescer preserves per-(bag, origin) chunk order and
+    /// exactly-once delivery across arbitrary interleavings of batch
+    /// sizes, flush thresholds, explicit flushes, reroutes, and a
+    /// mid-stream node failure.
+    ///
+    /// Exactly-once holds unconditionally. The full per-stream order
+    /// check applies to failure-free schedules: a reroute re-origins the
+    /// whole refused run onto another node's stream (interleaving two
+    /// streams' values), so after a failure the invariant is per-run
+    /// contiguity, which the deterministic reroute tests pin down.
+    #[test]
+    fn coalescer_preserves_order_and_exactly_once(
+        nodes in 2usize..6,
+        window in 0usize..96,
+        batch_sizes in prop::collection::vec(1usize..40, 1..12),
+        fail_at in 0usize..24,
+        fail_node in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cluster = StorageCluster::new(nodes, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut client = BagClient::connect_inline(cluster.clone(), bag, seed)
+            .with_coalescing(window);
+        let failed = fail_at < batch_sizes.len();
+        let fail_node = fail_node % nodes;
+        let mut next_val = 0u64;
+        for (i, &n) in batch_sizes.iter().enumerate() {
+            if i == fail_at {
+                cluster.node(fail_node).fail();
+            }
+            let chunks: Vec<Chunk> = (0..n as u64).map(|k| chunk(next_val + k)).collect();
+            next_val += n as u64;
+            client.insert_batch_vec(chunks).unwrap();
+        }
+        client.flush().unwrap();
+        if failed {
+            cluster.node(fail_node).recover();
+        }
+        // Exactly once: every staged value landed somewhere, none twice.
+        let landed = cluster.snapshot_bag(bag).unwrap();
+        let vals: Vec<u64> = landed.iter().map(chunk_val).collect();
+        let set: HashSet<u64> = vals.iter().copied().collect();
+        prop_assert_eq!(vals.len() as u64, next_val, "chunk lost or duplicated");
+        prop_assert_eq!(set.len() as u64, next_val, "duplicate delivery");
+        if !failed {
+            // A single client stages each stream's values in increasing
+            // order; coalescing across batches must preserve it.
+            for n in 0..nodes {
+                let stream = cluster.node(n).snapshot_from(bag, n as u32).unwrap();
+                let v: Vec<u64> = stream.iter().map(chunk_val).collect();
+                prop_assert!(
+                    v.windows(2).all(|w| w[0] < w[1]),
+                    "stream order violated at node {}: {:?}", n, v
+                );
+            }
+        }
+    }
+
     /// Sealing is permanent for contents: a drained sealed bag stays
     /// drained no matter how clients keep probing.
     #[test]

@@ -89,7 +89,7 @@ fn server_shutdown_drains_in_flight_requests() {
             conn.submit(StorageRequest::InsertBatch {
                 bag,
                 origin: 2,
-                chunks: vec![chunk(i)],
+                chunks: vec![chunk(i)].into(),
             })
             .unwrap()
         })
@@ -135,7 +135,7 @@ fn prefetcher_keeps_b_requests_in_flight() {
         servers.push(server);
     }
     let port = RpcPort::from_connections(cluster.clone(), conns, Duration::from_secs(10));
-    let pf = Prefetcher::spawn(BagClient::with_rpc_port(port, bag, 2), B);
+    let mut pf = Prefetcher::spawn(BagClient::with_rpc_port(port, bag, 2), B);
 
     // With no server answering, the pipeline must stall at exactly its
     // outstanding budget: B requests queued across B distinct nodes.
@@ -193,7 +193,7 @@ fn prefetcher_surfaces_disconnect_not_silent_eof() {
         producer.insert(chunk(i)).unwrap();
     }
     // NOT sealed: after consuming everything the prefetcher keeps polling.
-    let pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 4);
+    let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 4);
     for _ in 0..10 {
         assert!(pf.recv().unwrap().is_some());
     }
@@ -302,4 +302,98 @@ fn rpc_clients_share_exactly_once_with_replication() {
     }
     assert_eq!(delivered, total);
     assert_eq!(seen.len() as u64, total);
+}
+
+/// The coalescer's whole point, asserted: the same insert traffic sends a
+/// fraction of the envelopes. Four 64-chunk batches over 8 nodes cost
+/// 8 envelopes with a 256-chunk window (one per node for the merged run)
+/// versus 32 eager (one per node per batch).
+#[test]
+fn coalescer_reduces_insert_envelope_count() {
+    let cluster = StorageCluster::new(8, ClusterConfig::default());
+    let chunks: Vec<Chunk> = (0..256u64).map(chunk).collect();
+
+    let eager_bag = cluster.create_bag();
+    let mut eager = BagClient::connect_inline(cluster.clone(), eager_bag, 7);
+    for batch in chunks.chunks(64) {
+        eager.insert_batch(batch).unwrap();
+    }
+    let eager_stats = eager.port_stats().unwrap();
+    assert_eq!(eager_stats.insert_envelopes, 32, "8 nodes x 4 batches");
+    assert_eq!(eager_stats.flushes, 4);
+
+    let bag = cluster.create_bag();
+    let mut coalesced = BagClient::connect_inline(cluster.clone(), bag, 7).with_coalescing(256);
+    for batch in chunks.chunks(64) {
+        coalesced.insert_batch(batch).unwrap();
+    }
+    coalesced.flush().unwrap();
+    let stats = coalesced.port_stats().unwrap();
+    assert_eq!(stats.staged_chunks, 256);
+    assert_eq!(
+        stats.insert_envelopes, 8,
+        "one merged envelope per node for the whole window"
+    );
+    assert_eq!(stats.flushes, 1);
+    // Same data landed, same cyclic balance (identical seed).
+    for i in 0..8 {
+        assert_eq!(cluster.node(i).sample(bag).unwrap().total_chunks, 32);
+    }
+}
+
+/// Writer flow control (ROADMAP item): against a stalled node, a writer's
+/// submits block at the configured credit instead of growing the request
+/// lane unboundedly — and resume as soon as a reply frees credit.
+#[test]
+fn writer_credit_bounds_the_lane_on_a_stalled_node() {
+    let (transport, mut server) = loopback(StorageNodeId(0));
+    let mut conn = NodeConnection::with_credit(Box::new(transport), 4);
+    for _ in 0..4 {
+        conn.submit(StorageRequest::Ping).unwrap();
+    }
+    assert_eq!(conn.on_wire(), 4);
+    assert_eq!(server.queued(), 4);
+    // The fifth submit must block (the server answers nothing).
+    let blocked = std::thread::spawn(move || {
+        conn.submit(StorageRequest::Ping).unwrap();
+        conn
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(
+        !blocked.is_finished(),
+        "submit must block at the credit, not grow the lane"
+    );
+    assert_eq!(server.queued(), 4, "stalled lane bounded at the credit");
+    // Answer one request: credit frees, the blocked submit completes.
+    let env = server.recv(Duration::from_secs(1)).unwrap();
+    assert!(server.reply(env.id, Ok(StorageResponse::Pong)));
+    let conn = blocked.join().unwrap();
+    assert_eq!(conn.on_wire(), 4, "one freed, one newly sent");
+}
+
+/// A coalesced window split across a mid-stream node failure: staged runs
+/// refused at flush reroute to live nodes, with nothing lost or doubled.
+#[test]
+fn coalesced_flush_reroutes_around_mid_stream_failure() {
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let bag = cluster.create_bag();
+    let mut client = BagClient::connect_inline(cluster.clone(), bag, 11).with_coalescing(10_000);
+    let first: Vec<Chunk> = (0..40u64).map(chunk).collect();
+    client.insert_batch(&first).unwrap();
+    // Node 2 dies while the window is still staged.
+    cluster.node(2).fail();
+    let second: Vec<Chunk> = (40..80u64).map(chunk).collect();
+    client.insert_batch(&second).unwrap();
+    client.flush().unwrap();
+    // Exactly once across the three live nodes.
+    let landed = cluster.snapshot_bag(bag).unwrap();
+    let mut vals: Vec<u64> = landed.iter().map(chunk_val).collect();
+    vals.sort_unstable();
+    assert_eq!(vals, (0..80u64).collect::<Vec<_>>());
+    cluster.node(2).recover();
+    assert_eq!(
+        cluster.node(2).sample(bag).unwrap().total_chunks,
+        0,
+        "nothing landed on the dead node"
+    );
 }

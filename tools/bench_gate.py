@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench-smoke regression gate.
+
+Diffs a fresh bench JSONL (the `BENCH_JSON` output of the criterion shim:
+one `{"name", "ns_per_iter", "elems_per_sec"}` object per line) against
+the committed baseline in `BENCH_storage.json` (`bench_smoke_baseline`
+section) and fails on a throughput regression beyond the tolerance in the
+gated suites.
+
+Machine-aware: the baseline records the cpu count it was measured on.
+When the runner's cpu count differs (e.g. a 1-cpu container baseline
+checked on the 8-core CI runner), the comparison is reported but does not
+fail the build — cross-machine throughput deltas are not regressions.
+The first artifact measured on the CI runner's shape should be graduated
+into `bench_smoke_baseline` to arm the gate there (see the section's
+`note`).
+
+Exit codes: 0 ok / informational, 1 regression beyond tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_fresh(path):
+    """Parses the shim's JSONL, keeping the last measurement per name."""
+    fresh = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("elems_per_sec") is not None:
+                fresh[row["name"]] = float(row["elems_per_sec"])
+    return fresh
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, help="fresh BENCH_JSON (jsonl)")
+    ap.add_argument(
+        "--baseline", default="BENCH_storage.json", help="committed baseline json"
+    )
+    ap.add_argument(
+        "--cpus",
+        type=int,
+        default=os.cpu_count(),
+        help="runner cpu count (default: os.cpu_count())",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        committed = json.load(f)
+    base = committed.get("bench_smoke_baseline")
+    if not base:
+        print("no bench_smoke_baseline section committed; nothing to gate")
+        return 0
+
+    tolerance = float(base.get("tolerance_pct", 15)) / 100.0
+    prefixes = tuple(base.get("suites_prefix", ["contended_"]))
+    baseline_cpus = int(base.get("cpus", 0))
+    enforce = baseline_cpus == args.cpus
+    fresh = load_fresh(args.fresh)
+
+    regressions = []
+    missing = []
+    checked = 0
+    for name, want in sorted(base.get("elems_per_sec", {}).items()):
+        if not name.startswith(prefixes):
+            continue
+        got = fresh.get(name)
+        if got is None:
+            print(f"  MISSING  {name} (not in fresh run)")
+            missing.append(name)
+            continue
+        checked += 1
+        delta = (got - want) / want * 100.0
+        floor = want * (1.0 - tolerance)
+        mark = "ok" if got >= floor else "REGRESSED"
+        print(f"  {mark:>9}  {name}: {got:,.0f} vs baseline {want:,.0f} ({delta:+.1f}%)")
+        if got < floor:
+            regressions.append(name)
+
+    print(
+        f"checked {checked} gated benches, tolerance {tolerance:.0%}, "
+        f"baseline cpus={baseline_cpus}, runner cpus={args.cpus}"
+    )
+    if missing and enforce:
+        # A renamed suite or a broken BENCH_JSON must not silently disarm
+        # the gate: every gated baseline name has to show up fresh.
+        print(
+            f"FAIL: {len(missing)} gated benchmark(s) missing from the fresh "
+            "run — update bench_smoke_baseline if the suite was renamed"
+        )
+        return 1
+    if regressions and enforce:
+        print(f"FAIL: {len(regressions)} regression(s) beyond tolerance")
+        return 1
+    if regressions or missing:
+        print(
+            "issues observed but baseline machine shape differs from the "
+            "runner's — informational only; graduate a runner-shaped baseline "
+            "into bench_smoke_baseline to arm the gate"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
