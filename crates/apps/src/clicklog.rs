@@ -57,12 +57,16 @@ impl ClickLogJob {
         let region_bags: Vec<GraphBag> =
             (0..regions).map(|r| g.bag(format!("region.{r}"))).collect();
         let outs: Vec<GraphBag> = region_bags.clone();
+        // Phase 1 is the record-routing hot loop: stream each chunk's
+        // records as borrowed views and re-emit per region. Holding the
+        // chunk locally lets the closure write through `ctx` while the
+        // views borrow the chunk.
         g.task("phase1", &[input], &outs, move |ctx: &mut TaskCtx| {
-            while let Some(ips) = ctx.next_records::<u32>(0)? {
-                for ip in ips {
+            while let Some(chunk) = ctx.next_chunk(0)? {
+                hurricane_format::try_for_each_view::<u32, EngineError, _>(&chunk, |ip| {
                     let r = region_of(ip, num_ips, regions) as usize;
-                    ctx.write_record(r, &ip)?;
-                }
+                    ctx.write_record(r, &ip)
+                })?;
             }
             Ok(())
         });
@@ -75,11 +79,7 @@ impl ClickLogJob {
                 &[distinct],
                 |ctx: &mut TaskCtx| {
                     let mut bits = BitSet::new();
-                    while let Some(ips) = ctx.next_records::<u32>(0)? {
-                        for ip in ips {
-                            bits.set(ip);
-                        }
-                    }
+                    ctx.for_each_record::<u32, _>(0, |ip| bits.set(ip))?;
                     ctx.write_record(0, &bits.into_words())?;
                     Ok(())
                 },
@@ -91,12 +91,11 @@ impl ClickLogJob {
                 &[distinct],
                 &[count],
                 |ctx: &mut TaskCtx| {
-                    let mut total = 0u64;
-                    while let Some(sets) = ctx.next_records::<Vec<u64>>(0)? {
-                        for words in sets {
-                            total += BitSet::from_words(words).count();
-                        }
-                    }
+                    // Count bits straight off the borrowed word views —
+                    // no Vec<u64> is materialized per bitset record.
+                    let total = ctx.fold_records::<Vec<u64>, u64, _>(0, 0, |acc, words| {
+                        acc + words.iter().map(|w| w.count_ones() as u64).sum::<u64>()
+                    })?;
                     ctx.write_record(0, &total)?;
                     Ok(())
                 },

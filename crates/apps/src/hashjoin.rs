@@ -72,15 +72,17 @@ impl HashJoinJob {
             &[r_input, s_input],
             &all_outs,
             move |ctx: &mut TaskCtx| {
-                while let Some(tuples) = ctx.next_records::<Tuple>(0)? {
-                    for t in tuples {
-                        ctx.write_record(partition_of(t.0, parts), &t)?;
-                    }
+                // Route both relations by key hash, streaming borrowed
+                // views per chunk (Tuple's view is itself: two ints).
+                while let Some(chunk) = ctx.next_chunk(0)? {
+                    hurricane_format::try_for_each_view::<Tuple, EngineError, _>(&chunk, |t| {
+                        ctx.write_record(partition_of(t.0, parts), &t)
+                    })?;
                 }
-                while let Some(tuples) = ctx.next_records::<Tuple>(1)? {
-                    for t in tuples {
-                        ctx.write_record(parts + partition_of(t.0, parts), &t)?;
-                    }
+                while let Some(chunk) = ctx.next_chunk(1)? {
+                    hurricane_format::try_for_each_view::<Tuple, EngineError, _>(&chunk, |t| {
+                        ctx.write_record(parts + partition_of(t.0, parts), &t)
+                    })?;
                 }
                 Ok(())
             },
@@ -101,14 +103,21 @@ impl HashJoinJob {
                         table.entry(k).or_default().push(payload);
                     }
                     // Probe side: exactly-once chunks shared across clones.
-                    while let Some(tuples) = ctx.next_records::<Tuple>(1)? {
-                        for (k, s_payload) in tuples {
-                            if let Some(rs) = table.get(&k) {
-                                for &r_payload in rs {
-                                    ctx.write_record(0, &(k, r_payload, s_payload))?;
+                    // The probe loop never owns a tuple: each chunk's
+                    // records stream through as views and matches encode
+                    // straight into the output writer's chunk buffer.
+                    while let Some(chunk) = ctx.next_chunk(1)? {
+                        hurricane_format::try_for_each_view::<Tuple, EngineError, _>(
+                            &chunk,
+                            |(k, s_payload)| {
+                                if let Some(rs) = table.get(&k) {
+                                    for &r_payload in rs {
+                                        ctx.write_record(0, &(k, r_payload, s_payload))?;
+                                    }
                                 }
-                            }
-                        }
+                                Ok(())
+                            },
+                        )?;
                     }
                     Ok(())
                 },

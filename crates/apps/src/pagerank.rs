@@ -13,6 +13,14 @@
 //! chunk-by-chunk — so clones split edge traversal, the skewed part of
 //! the work on power-law graphs. Clone partials merge by keyed
 //! contribution sums.
+//!
+//! Hot-path mechanics: the init task fans the edge list into one private
+//! copy per iteration by **chunk splatting** — each input chunk forwards
+//! to all `iters` outputs as refcount bumps (`TaskCtx::splat_chunk`),
+//! never re-encoding an edge — and both the degree count and the
+//! per-iteration edge traversal stream **borrowed views**
+//! (`TaskCtx::for_each_record`), so the steady-state loop does no
+//! per-record allocation.
 
 use hurricane_core::graph::{AppGraph, GraphBag, GraphBuilder};
 use hurricane_core::merges::{ConcatMerge, KeyedMerge};
@@ -87,19 +95,24 @@ impl PageRankJob {
         // Init: count out-degrees, emit initial rank records, and fan the
         // edge list out into one private copy per iteration (bags are
         // consumed destructively; iterations each need their own).
+        //
+        // The fan-out is *chunk splatting*: each input chunk is already
+        // the exact byte stream an edge copy needs, so it is forwarded to
+        // all `iters` outputs as refcount bumps — the per-record
+        // re-encode-k-times loop this task used to run is gone, and the
+        // degree count reads the same chunk through borrowed views.
         g.task_with_merge(
             "init",
             &[edges_src],
             &init_outs,
             move |ctx: &mut TaskCtx| {
+                let copy_outs: Vec<usize> = (1..=iters).collect();
                 let mut deg = vec![0u32; n as usize];
-                while let Some(edges) = ctx.next_records::<(u32, u32)>(0)? {
-                    for &(u, v) in &edges {
+                while let Some(chunk) = ctx.next_chunk(0)? {
+                    hurricane_format::for_each_view::<(u32, u32), _>(&chunk, |(u, _)| {
                         deg[u as usize] += 1;
-                        for i in 0..iters {
-                            ctx.write_record(1 + i, &(u, v))?;
-                        }
-                    }
+                    })?;
+                    ctx.splat_chunk(&copy_outs, &chunk)?;
                 }
                 for v in 0..n {
                     // (vertex, (contribution, partial degree)) — keyed
@@ -119,24 +132,34 @@ impl PageRankJob {
                 &[next_ranks],
                 move |ctx: &mut TaskCtx| {
                     // Full rank/degree table: every clone needs all of it.
-                    let table: Vec<(u32, (f64, u32))> = ctx.snapshot_input(0)?;
+                    // The decode buffer lives in a thread-local so clones
+                    // executing on the same worker thread reuse its
+                    // capacity instead of re-collecting a Vec each run.
+                    thread_local! {
+                        static TABLE: std::cell::RefCell<Vec<(u32, (f64, u32))>> =
+                            const { std::cell::RefCell::new(Vec::new()) };
+                    }
                     let mut rank = vec![0.0f64; n as usize];
                     let mut deg = vec![0u32; n as usize];
-                    for (v, (contrib, d)) in table {
-                        rank[v as usize] = 0.15 / n as f64 + DAMPING * contrib;
-                        deg[v as usize] = d;
-                    }
-                    // Edge chunks: exactly-once across clones — this is
-                    // where skewed work splits.
-                    let mut acc = vec![0.0f64; n as usize];
-                    while let Some(edges) = ctx.next_records::<(u32, u32)>(1)? {
-                        for (u, v) in edges {
-                            let d = deg[u as usize];
-                            if d > 0 {
-                                acc[v as usize] += rank[u as usize] / d as f64;
-                            }
+                    TABLE.with(|buf| -> Result<(), EngineError> {
+                        let mut table = buf.borrow_mut();
+                        ctx.snapshot_input_into(0, &mut table)?;
+                        for &(v, (contrib, d)) in table.iter() {
+                            rank[v as usize] = 0.15 / n as f64 + DAMPING * contrib;
+                            deg[v as usize] = d;
                         }
-                    }
+                        Ok(())
+                    })?;
+                    // Edge chunks: exactly-once across clones — this is
+                    // where skewed work splits. Borrowed views keep the
+                    // traversal allocation-free.
+                    let mut acc = vec![0.0f64; n as usize];
+                    ctx.for_each_record::<(u32, u32), _>(1, |(u, v)| {
+                        let d = deg[u as usize];
+                        if d > 0 {
+                            acc[v as usize] += rank[u as usize] / d as f64;
+                        }
+                    })?;
                     for v in 0..n {
                         ctx.write_record(0, &(v, (acc[v as usize], deg[v as usize])))?;
                     }

@@ -37,6 +37,199 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
+/// The compute-side record hot path (PR 4): owned vs borrowed decode,
+/// two-pass vs single-pass encode, and the fan-out spectrum — re-encode
+/// per output vs encode-once (`push_encoded`) vs chunk splatting.
+fn bench_compute_path(c: &mut Criterion) {
+    use hurricane_format::{Chunk, ChunkReader, ChunkWriter, Record};
+
+    const RECS: u64 = 10_000;
+    const CHUNK: usize = 64 * 1024;
+    const FAN_OUT: usize = 4;
+
+    /// The pre-PR-4 `ChunkWriter::push`: probe `encoded_len()`, seal on
+    /// would-overflow, then `encode` — every record traversed twice.
+    /// Kept here verbatim as the before-number for the encode benches.
+    struct TwoPassWriter {
+        chunk_size: usize,
+        buf: Vec<u8>,
+        records_in_buf: u64,
+        records_total: u64,
+    }
+
+    impl TwoPassWriter {
+        fn new(chunk_size: usize) -> Self {
+            Self {
+                chunk_size,
+                buf: Vec::with_capacity(chunk_size),
+                records_in_buf: 0,
+                records_total: 0,
+            }
+        }
+
+        fn push<T: Record>(
+            &mut self,
+            record: &T,
+        ) -> Result<Option<Chunk>, hurricane_format::CodecError> {
+            let len = record.encoded_len();
+            if len > self.chunk_size {
+                return Err(hurricane_format::CodecError::RecordTooLarge {
+                    record: len,
+                    chunk: self.chunk_size,
+                });
+            }
+            let mut completed = None;
+            if self.buf.len() + len > self.chunk_size {
+                let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
+                self.records_in_buf = 0;
+                completed = Some(Chunk::from_vec(data));
+            }
+            record.encode(&mut self.buf);
+            self.records_in_buf += 1;
+            self.records_total += 1;
+            Ok(completed)
+        }
+
+        fn finish(mut self) -> Option<Chunk> {
+            let _ = (self.records_in_buf, self.records_total);
+            (!self.buf.is_empty()).then(|| Chunk::from_vec(std::mem::take(&mut self.buf)))
+        }
+    }
+
+    let records: Vec<(u64, String)> = (0..RECS).map(|i| (i, format!("payload-{i}"))).collect();
+    let chunks = encode_all(records.iter().cloned(), CHUNK).unwrap();
+
+    let mut g = c.benchmark_group("compute_path");
+    g.throughput(Throughput::Elements(RECS));
+
+    // Decode-heavy loop: sum of name lengths over every record. The owned
+    // path pays a String allocation per record plus a Vec per chunk; the
+    // borrowed path reads `&str` views straight out of the chunk.
+    g.bench_function("decode/owned_vec", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for chunk in &chunks {
+                for (_, s) in decode_all::<(u64, String)>(chunk).unwrap() {
+                    bytes += s.len();
+                }
+            }
+            bytes
+        })
+    });
+    g.bench_function("decode/borrowed_view", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for chunk in &chunks {
+                ChunkReader::<(u64, String)>::new(chunk)
+                    .for_each(|(_, s)| bytes += s.len())
+                    .unwrap();
+            }
+            bytes
+        })
+    });
+
+    // Encode: the two-pass (encoded_len + encode) before-number vs the
+    // live single-pass push — on flat records (encoded_len is O(1), the
+    // probe was nearly free) and on nested records (encoded_len walks
+    // the whole vector, so two-pass traverses every byte twice).
+    g.bench_function("encode/two_pass", |b| {
+        b.iter(|| {
+            let mut w = TwoPassWriter::new(CHUNK);
+            let mut n = 0usize;
+            for r in &records {
+                n += w.push(r).unwrap().is_some() as usize;
+            }
+            n + w.finish().is_some() as usize
+        })
+    });
+    g.bench_function("encode/single_pass", |b| {
+        b.iter(|| {
+            let mut w = ChunkWriter::<(u64, String)>::new(CHUNK);
+            let mut n = 0usize;
+            for r in &records {
+                n += w.push(r).unwrap().is_some() as usize;
+            }
+            n + w.finish().is_some() as usize
+        })
+    });
+    // Nested records: one record = 16 (id, name) pairs. Throughput stays
+    // per-leaf-element so the numbers compare against the flat encode.
+    type Nested = (u64, Vec<(u32, String)>);
+    let nested: Vec<Nested> = (0..RECS / 16)
+        .map(|i| {
+            (
+                i,
+                (0..16u32).map(|j| (j, format!("field-{i}-{j}"))).collect(),
+            )
+        })
+        .collect();
+    g.bench_function("encode_nested/two_pass", |b| {
+        b.iter(|| {
+            let mut w = TwoPassWriter::new(CHUNK);
+            let mut n = 0usize;
+            for r in &nested {
+                n += w.push(r).unwrap().is_some() as usize;
+            }
+            n + w.finish().is_some() as usize
+        })
+    });
+    g.bench_function("encode_nested/single_pass", |b| {
+        b.iter(|| {
+            let mut w = ChunkWriter::<Nested>::new(CHUNK);
+            let mut n = 0usize;
+            for r in &nested {
+                n += w.push(r).unwrap().is_some() as usize;
+            }
+            n + w.finish().is_some() as usize
+        })
+    });
+
+    // Fan-out: the same stream delivered to FAN_OUT outputs. Throughput
+    // stays per-input-record, so elems/sec across the three variants
+    // reads directly as "cost of fanning one record out k ways".
+    g.bench_function(format!("fanout_k{FAN_OUT}/reencode_per_output"), |b| {
+        b.iter(|| {
+            let mut ws: Vec<ChunkWriter<(u64, String)>> =
+                (0..FAN_OUT).map(|_| ChunkWriter::new(CHUNK)).collect();
+            let mut n = 0usize;
+            for r in &records {
+                for w in &mut ws {
+                    n += w.push(r).unwrap().is_some() as usize;
+                }
+            }
+            n
+        })
+    });
+    g.bench_function(format!("fanout_k{FAN_OUT}/encode_once"), |b| {
+        b.iter(|| {
+            let mut ws: Vec<ChunkWriter<(u64, String)>> =
+                (0..FAN_OUT).map(|_| ChunkWriter::new(CHUNK)).collect();
+            let mut scratch = Vec::new();
+            let mut n = 0usize;
+            for r in &records {
+                scratch.clear();
+                r.encode(&mut scratch);
+                for w in &mut ws {
+                    n += w.push_encoded(&scratch).unwrap().is_some() as usize;
+                }
+            }
+            n
+        })
+    });
+    g.bench_function(format!("fanout_k{FAN_OUT}/chunk_splat"), |b| {
+        b.iter(|| {
+            let mut sinks: Vec<Vec<Chunk>> = (0..FAN_OUT).map(|_| Vec::new()).collect();
+            for chunk in &chunks {
+                for sink in &mut sinks {
+                    sink.push(chunk.clone());
+                }
+            }
+            sinks.iter().map(Vec::len).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 fn bench_bags(c: &mut Criterion) {
     let mut g = c.benchmark_group("bags");
     g.throughput(Throughput::Elements(1000));
@@ -590,6 +783,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_codec,
+    bench_compute_path,
     bench_bags,
     bench_contended,
     bench_prefetch,

@@ -357,6 +357,7 @@ fn run_task(
         clone_tx: deps.config.cloning_enabled.then(|| deps.control_tx.clone()),
         clone_interval: deps.config.clone_interval,
         last_ping: Instant::now(),
+        scratch: Vec::new(),
     };
     logic.run(&mut ctx)?;
     ctx.flush_outputs()?;

@@ -18,13 +18,13 @@
 use crate::error::EngineError;
 use crossbeam::channel::Sender;
 use hurricane_common::{BagId, TaskInstanceId};
-use hurricane_format::{Chunk, Record};
+use hurricane_format::{Chunk, ChunkBuf, Record, RecordView};
 use hurricane_storage::batch::ChunkBatch;
 use hurricane_storage::prefetch::Prefetcher;
 use hurricane_storage::{BagClient, StorageCluster};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,9 +62,19 @@ pub enum ControlMsg {
 ///
 /// Killing `(task, generation)` cancels every worker executing that task at
 /// that generation or older; newer generations (restarts) are unaffected.
+///
+/// Workers poll [`KillSwitch::is_killed`] between chunks, which makes it
+/// part of the record hot path's fixed overhead. The common case — nothing
+/// has ever been killed — is served by one relaxed atomic load (`epoch ==
+/// 0`); the RwLock + map lookup only runs once a kill or shutdown has
+/// actually happened.
 #[derive(Debug, Default)]
 pub struct KillSwitch {
     killed: RwLock<HashMap<u32, u32>>,
+    /// Bumped (release) on every kill/shutdown; a zero read means the map
+    /// is empty and no shutdown was requested, so polling can skip the
+    /// lock entirely.
+    epoch: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -79,10 +89,26 @@ impl KillSwitch {
         let mut map = self.killed.write();
         let entry = map.entry(task).or_insert(generation);
         *entry = (*entry).max(generation);
+        drop(map);
+        // Publish after the map write so a poller that observes a nonzero
+        // epoch and takes the slow path sees the new entry (the RwLock
+        // acquire orders it regardless; the bump is the wake-up flag).
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Returns whether `(task, generation)` is cancelled.
+    ///
+    /// Fast path: a single relaxed load when nothing was ever killed.
+    /// Relaxed suffices — a poller racing a concurrent kill may miss it
+    /// this round, but cache coherence delivers the bump by the next poll
+    /// (the "observed within one chunk" guarantee the tests pin down is
+    /// about polls *after* the kill call returns, which the release bump
+    /// plus the subsequent acquire-free read on the same cache line
+    /// satisfies in practice; the slow path re-checks under the lock).
     pub fn is_killed(&self, task: u32, generation: u32) -> bool {
+        if self.epoch.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
         if self.shutdown.load(Ordering::Relaxed) {
             return true;
         }
@@ -95,6 +121,7 @@ impl KillSwitch {
     /// Cancels everything — application shutdown.
     pub fn shutdown_all(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Returns whether global shutdown was requested.
@@ -195,9 +222,11 @@ impl BagReader {
 /// storage call per node per batch instead of one per chunk.
 pub struct BagWriter {
     client: BagClient,
-    buf: Vec<u8>,
+    /// The shared single-pass chunk-building core: the boundary
+    /// invariant, encode headroom, and overflow-carry protocol live in
+    /// `hurricane_format::ChunkBuf`, not here.
+    body: ChunkBuf,
     batch: ChunkBatch,
-    chunk_size: usize,
     bytes_written: u64,
     chunks_written: u64,
 }
@@ -229,9 +258,8 @@ impl BagWriter {
     pub fn open_batched_client(client: BagClient, chunk_size: usize, batch_factor: usize) -> Self {
         Self {
             client,
-            buf: Vec::with_capacity(chunk_size),
+            body: ChunkBuf::new(chunk_size),
             batch: ChunkBatch::new(batch_factor.max(1)),
-            chunk_size,
             bytes_written: 0,
             chunks_written: 0,
         }
@@ -239,20 +267,35 @@ impl BagWriter {
 
     /// Appends one record, sealing a chunk (and, at the batch factor,
     /// inserting the pending batch) when full.
+    ///
+    /// Encoding is single-pass: the record serializes straight into the
+    /// chunk buffer (no `encoded_len` pre-traversal). On capacity
+    /// overflow the freshly written bytes are carried into the next
+    /// chunk's buffer; an oversized record is rolled back and reported as
+    /// [`hurricane_format::CodecError::RecordTooLarge`], leaving the
+    /// writer usable.
+    #[inline]
     pub fn write_record<T: Record>(&mut self, record: &T) -> Result<(), EngineError> {
-        let len = record.encoded_len();
-        if len > self.chunk_size {
-            return Err(EngineError::Codec(
-                hurricane_format::CodecError::RecordTooLarge {
-                    record: len,
-                    chunk: self.chunk_size,
-                },
-            ));
+        let start = self.body.len();
+        record.encode(self.body.encode_buf());
+        if let Some(data) = self.body.commit(start).map_err(EngineError::Codec)? {
+            self.seal_data(data)?;
         }
-        if self.buf.len() + len > self.chunk_size {
-            self.seal_chunk()?;
+        Ok(())
+    }
+
+    /// Appends one pre-serialized record — the fan-out primitive: encode
+    /// once, hand the same bytes to every output writer. `bytes` must be
+    /// exactly one record's encoding so the boundary invariant holds.
+    #[inline]
+    pub fn write_encoded(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        if let Some(data) = self
+            .body
+            .append_encoded(bytes)
+            .map_err(EngineError::Codec)?
+        {
+            self.seal_data(data)?;
         }
-        record.encode(&mut self.buf);
         Ok(())
     }
 
@@ -270,10 +313,16 @@ impl BagWriter {
 
     /// Seals buffered records into a chunk, queueing it on the batch.
     fn seal_chunk(&mut self) -> Result<(), EngineError> {
-        if self.buf.is_empty() {
-            return Ok(());
+        match self.body.take() {
+            Some(data) => self.seal_data(data),
+            None => Ok(()),
         }
-        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
+    }
+
+    /// Queues `data` (a complete chunk payload) on the pending batch.
+    /// Cold: runs once per sealed chunk.
+    #[cold]
+    fn seal_data(&mut self, data: Vec<u8>) -> Result<(), EngineError> {
         self.bytes_written += data.len() as u64;
         self.chunks_written += 1;
         if self.batch.push(Chunk::from_vec(data)) {
@@ -320,6 +369,9 @@ pub struct TaskCtx {
     pub(crate) clone_tx: Option<Sender<ControlMsg>>,
     pub(crate) clone_interval: Duration,
     pub(crate) last_ping: Instant,
+    /// Reusable encode buffer for [`TaskCtx::write_record_multi`]:
+    /// cleared, never shrunk, so steady-state fan-out allocates nothing.
+    pub(crate) scratch: Vec<u8>,
 }
 
 impl TaskCtx {
@@ -358,17 +410,100 @@ impl TaskCtx {
         self.outputs[o].write_record(record)
     }
 
+    /// Appends `record` to every output in `outs`, encoding it **once**.
+    ///
+    /// The fan-out write for tasks that route one record to k outputs:
+    /// the record serializes into a reusable scratch buffer and the same
+    /// bytes append to each listed writer, so the encode cost is
+    /// independent of k. For copying *whole chunks* verbatim, prefer
+    /// [`TaskCtx::splat_chunk`], which is k refcount bumps.
+    pub fn write_record_multi<T: Record>(
+        &mut self,
+        outs: &[usize],
+        record: &T,
+    ) -> Result<(), EngineError> {
+        self.scratch.clear();
+        record.encode(&mut self.scratch);
+        let scratch = &self.scratch;
+        for &o in outs {
+            self.outputs[o].write_encoded(scratch)?;
+        }
+        Ok(())
+    }
+
     /// Inserts a pre-built chunk into output `o`.
     pub fn emit_chunk(&mut self, o: usize, chunk: Chunk) -> Result<(), EngineError> {
         self.outputs[o].emit_chunk(chunk)
     }
 
+    /// Copies `chunk` verbatim into every output in `outs`.
+    ///
+    /// Chunks are refcounted, so each copy is an `Arc` bump — no decode,
+    /// no re-encode, no byte copy. This is the cheapest possible fan-out
+    /// for tasks that forward an input chunk to k outputs unchanged
+    /// (e.g. PageRank's per-iteration edge copies). Record framing is
+    /// preserved: each writer seals its buffered records first.
+    pub fn splat_chunk(&mut self, outs: &[usize], chunk: &Chunk) -> Result<(), EngineError> {
+        for &o in outs {
+            self.outputs[o].emit_chunk(chunk.clone())?;
+        }
+        Ok(())
+    }
+
     /// Decodes every record of input `i`'s next chunk, or `None` at end.
+    ///
+    /// This is the *owned* read loop: one `Vec<T>` (plus any per-record
+    /// heap fields) per chunk. For hot loops that only inspect records,
+    /// prefer [`TaskCtx::for_each_record`] / [`TaskCtx::fold_records`],
+    /// which stream borrowed views and allocate nothing.
     pub fn next_records<T: Record>(&mut self, i: usize) -> Result<Option<Vec<T>>, EngineError> {
         match self.next_chunk(i)? {
             None => Ok(None),
             Some(c) => Ok(Some(hurricane_format::decode_all::<T>(&c)?)),
         }
+    }
+
+    /// Streams every remaining record of input `i` through `f` as a
+    /// borrowed view ([`RecordView`]), draining the input. Returns the
+    /// record count.
+    ///
+    /// Zero per-record allocation: views borrow each chunk's bytes, and
+    /// the chunk is released before the next is fetched. Cancellation and
+    /// overload pings keep their per-chunk cadence. The closure cannot
+    /// touch `self` (the context is driving the iteration) — for
+    /// read-then-write loops, hold the chunk yourself via
+    /// [`TaskCtx::next_chunk`] and iterate it with
+    /// [`hurricane_format::try_for_each_view`], writing through `self`
+    /// from inside the closure.
+    pub fn for_each_record<T, F>(&mut self, i: usize, mut f: F) -> Result<u64, EngineError>
+    where
+        T: RecordView,
+        F: for<'a> FnMut(T::View<'a>),
+    {
+        let mut n = 0;
+        while let Some(chunk) = self.next_chunk(i)? {
+            n += hurricane_format::ChunkReader::<T>::new(&chunk).for_each(&mut f)?;
+        }
+        Ok(n)
+    }
+
+    /// Folds every remaining record of input `i` into an accumulator via
+    /// borrowed views, draining the input.
+    pub fn fold_records<T, Acc, F>(
+        &mut self,
+        i: usize,
+        init: Acc,
+        mut f: F,
+    ) -> Result<Acc, EngineError>
+    where
+        T: RecordView,
+        F: for<'a> FnMut(Acc, T::View<'a>) -> Acc,
+    {
+        let mut acc = init;
+        while let Some(chunk) = self.next_chunk(i)? {
+            acc = hurricane_format::ChunkReader::<T>::new(&chunk).fold(acc, &mut f)?;
+        }
+        Ok(acc)
     }
 
     /// Reads *all* of input `i` non-destructively, without advancing the
@@ -381,12 +516,29 @@ impl TaskCtx {
     /// PageRank iteration — while the *other* input is consumed chunk-by-
     /// chunk to partition the work among clones.
     pub fn snapshot_input<T: Record>(&mut self, i: usize) -> Result<Vec<T>, EngineError> {
-        let chunks = self.cluster.snapshot_bag(self.input_bags[i])?;
         let mut out = Vec::new();
-        for c in &chunks {
-            out.extend(hurricane_format::decode_all::<T>(c)?);
-        }
+        self.snapshot_input_into(i, &mut out)?;
         Ok(out)
+    }
+
+    /// Like [`TaskCtx::snapshot_input`], but decodes into a caller-owned
+    /// buffer (cleared first, capacity retained). Task logic that runs
+    /// once per clone can keep the buffer in a `thread_local!` so repeated
+    /// executions on the same worker reuse the allocation instead of
+    /// re-collecting a fresh `Vec` per clone.
+    pub fn snapshot_input_into<T: Record>(
+        &mut self,
+        i: usize,
+        out: &mut Vec<T>,
+    ) -> Result<(), EngineError> {
+        out.clear();
+        let chunks = self.cluster.snapshot_bag(self.input_bags[i])?;
+        for c in &chunks {
+            for rec in hurricane_format::ChunkReader::<T>::new(c) {
+                out.push(rec?);
+            }
+        }
+        Ok(())
     }
 
     /// Flushes all output writers. Called by the worker after the logic
@@ -485,6 +637,33 @@ mod tests {
         ks.shutdown_all();
         assert!(ks.is_killed(7, 99));
         assert!(ks.is_shutdown());
+    }
+
+    #[test]
+    fn killswitch_fast_path_stays_correct_after_first_kill() {
+        let ks = KillSwitch::new();
+        // Fresh switch: the epoch==0 fast path answers for every query.
+        for t in 0..100 {
+            assert!(!ks.is_killed(t, 0));
+        }
+        // After any kill, unrelated tasks must still (correctly) take the
+        // slow path and come back unkilled.
+        ks.kill(3, 1);
+        assert!(ks.is_killed(3, 0));
+        assert!(!ks.is_killed(4, 0), "unrelated task unaffected");
+        assert!(!ks.is_killed(3, 2), "newer generation unaffected");
+    }
+
+    #[test]
+    fn kill_is_observed_by_the_very_next_poll() {
+        // The cancellation contract the epoch fast path must preserve:
+        // once kill() returns, the next is_killed poll (i.e. within one
+        // chunk of reading) observes it — from another thread too.
+        let ks = Arc::new(KillSwitch::new());
+        let ks2 = ks.clone();
+        let t = std::thread::spawn(move || ks2.kill(9, 5));
+        t.join().unwrap();
+        assert!(ks.is_killed(9, 5), "poll after kill joined must observe it");
     }
 
     #[test]
@@ -591,6 +770,179 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..200u64).collect::<Vec<_>>());
         assert_eq!(r.chunks_read(), w.chunks_written());
+    }
+
+    /// Builds a bare context over `cluster` for exercising the streaming
+    /// APIs without a full runtime.
+    fn test_ctx(
+        cluster: &Arc<StorageCluster>,
+        inputs: Vec<hurricane_common::BagId>,
+        outputs: Vec<hurricane_common::BagId>,
+    ) -> TaskCtx {
+        TaskCtx {
+            inputs: inputs
+                .iter()
+                .map(|&b| BagReader::open(cluster.clone(), b, 900 + b.0, 2, None))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&b| BagWriter::open(cluster.clone(), b, 500 + b.0, 64))
+                .collect(),
+            input_bags: inputs,
+            cluster: cluster.clone(),
+            instance: TaskInstanceId::original(hurricane_common::TaskId(0)),
+            node: 0,
+            generation: 0,
+            clone_tx: None,
+            clone_interval: Duration::from_secs(3600),
+            last_ping: Instant::now(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn filled_bag(cluster: &Arc<StorageCluster>, records: impl IntoIterator<Item = u64>) -> BagId {
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster.clone(), bag, 1, 64);
+        for r in records {
+            w.write_record(&r).unwrap();
+        }
+        w.flush().unwrap();
+        cluster.seal_bag(bag).unwrap();
+        bag
+    }
+
+    fn read_sorted(cluster: &Arc<StorageCluster>, bag: BagId) -> Vec<u64> {
+        let mut out: Vec<u64> = cluster
+            .snapshot_bag(bag)
+            .unwrap()
+            .iter()
+            .flat_map(|c| hurricane_format::decode_all::<u64>(c).unwrap())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn write_encoded_matches_write_record() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let by_rec = cluster.create_bag();
+        let by_bytes = cluster.create_bag();
+        let mut a = BagWriter::open(cluster.clone(), by_rec, 1, 32);
+        let mut b = BagWriter::open(cluster.clone(), by_bytes, 1, 32);
+        let mut scratch = Vec::new();
+        for i in 0..200u64 {
+            a.write_record(&i).unwrap();
+            scratch.clear();
+            i.encode(&mut scratch);
+            b.write_encoded(&scratch).unwrap();
+        }
+        a.flush().unwrap();
+        b.flush().unwrap();
+        cluster.seal_bag(by_rec).unwrap();
+        cluster.seal_bag(by_bytes).unwrap();
+        assert_eq!(a.chunks_written(), b.chunks_written());
+        assert_eq!(a.bytes_written(), b.bytes_written());
+        assert_eq!(
+            read_sorted(&cluster, by_rec),
+            read_sorted(&cluster, by_bytes)
+        );
+    }
+
+    #[test]
+    fn write_encoded_rejects_oversized() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagWriter::open(cluster, bag, 1, 8);
+        let err = w.write_encoded(&[0u8; 9]);
+        assert!(matches!(err, Err(EngineError::Codec(_))));
+        // Still usable.
+        w.write_encoded(&[1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn for_each_and_fold_stream_the_input() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let input = filled_bag(&cluster, 0..1000);
+        let mut ctx = test_ctx(&cluster, vec![input], vec![]);
+        let mut sum = 0u64;
+        let n = ctx.for_each_record::<u64, _>(0, |v| sum += v).unwrap();
+        assert_eq!(n, 1000);
+        assert_eq!(sum, 999 * 1000 / 2);
+
+        let input2 = filled_bag(&cluster, 0..100);
+        let mut ctx2 = test_ctx(&cluster, vec![input2], vec![]);
+        let max = ctx2
+            .fold_records::<u64, u64, _>(0, 0, |acc, v| acc.max(v))
+            .unwrap();
+        assert_eq!(max, 99);
+    }
+
+    #[test]
+    fn write_record_multi_encodes_once_delivers_everywhere() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let outs: Vec<BagId> = (0..3).map(|_| cluster.create_bag()).collect();
+        let mut ctx = test_ctx(&cluster, vec![], outs.clone());
+        for i in 0..50u64 {
+            ctx.write_record_multi(&[0, 1, 2], &i).unwrap();
+        }
+        ctx.flush_outputs().unwrap();
+        let expect: Vec<u64> = (0..50).collect();
+        for &bag in &outs {
+            cluster.seal_bag(bag).unwrap();
+            assert_eq!(read_sorted(&cluster, bag), expect);
+        }
+    }
+
+    #[test]
+    fn splat_chunk_is_refcount_copy() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let outs: Vec<BagId> = (0..3).map(|_| cluster.create_bag()).collect();
+        let mut ctx = test_ctx(&cluster, vec![], outs.clone());
+        let chunk = Chunk::from_vec(vec![1, 2, 3, 4]);
+        ctx.splat_chunk(&[0, 1, 2], &chunk).unwrap();
+        ctx.flush_outputs().unwrap();
+        for &bag in &outs {
+            let chunks = cluster.snapshot_bag(bag).unwrap();
+            assert_eq!(chunks.len(), 1);
+            assert_eq!(chunks[0].bytes(), chunk.bytes());
+            // Same backing storage: the splat cloned the refcount, not
+            // the bytes.
+            assert_eq!(chunks[0].shared().as_ptr(), chunk.shared().as_ptr());
+        }
+    }
+
+    #[test]
+    fn splat_chunk_seals_buffered_records_first() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let out = cluster.create_bag();
+        let mut ctx = test_ctx(&cluster, vec![], vec![out]);
+        ctx.write_record(0, &7u64).unwrap();
+        ctx.splat_chunk(&[0], &Chunk::from_vec(vec![9])).unwrap();
+        ctx.flush_outputs().unwrap();
+        let chunks = cluster.snapshot_bag(out).unwrap();
+        assert_eq!(chunks.len(), 2, "buffered record sealed before splat");
+    }
+
+    #[test]
+    fn snapshot_input_into_reuses_the_buffer() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let input = filled_bag(&cluster, 0..500);
+        let mut ctx = test_ctx(&cluster, vec![input], vec![]);
+        let mut buf: Vec<u64> = Vec::new();
+        ctx.snapshot_input_into(0, &mut buf).unwrap();
+        let mut got = buf.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        // A second snapshot into the same buffer must not reallocate.
+        ctx.snapshot_input_into(0, &mut buf).unwrap();
+        assert_eq!(buf.len(), 500);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
+        // And it must replace, not append.
+        ctx.snapshot_input_into(0, &mut buf).unwrap();
+        assert_eq!(buf.len(), 500);
     }
 
     #[test]

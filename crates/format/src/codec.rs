@@ -85,7 +85,7 @@ const fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     if input.len() < n {
         return Err(CodecError::Truncated);
     }
@@ -222,6 +222,36 @@ impl Record for String {
 
     fn encoded_len(&self) -> usize {
         varint::encoded_len(self.len() as u64) + self.len()
+    }
+}
+
+/// An owned byte string with a length-prefixed wire form.
+///
+/// `Blob` is byte-for-byte wire-compatible with both `String` (minus the
+/// UTF-8 requirement) and `Vec<u8>`: a varint length followed by the raw
+/// payload. It exists so binary payloads get a borrowed view —
+/// [`crate::view::RecordView::decode_view`] yields `&[u8]` pointing
+/// straight into the chunk, where `Vec<u8>`'s element-wise view would
+/// iterate bytes one at a time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Blob(pub Vec<u8>);
+
+impl Record for Blob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::encode(self.0.len() as u64, out);
+        out.extend_from_slice(&self.0);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = varint::decode(input)?;
+        if len > input.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        Ok(Blob(take(input, len as usize)?.to_vec()))
+    }
+
+    fn encoded_len(&self) -> usize {
+        varint::encoded_len(self.0.len() as u64) + self.0.len()
     }
 }
 
@@ -372,6 +402,19 @@ mod tests {
         buf.extend_from_slice(&[0xff, 0xfe]);
         let mut slice = buf.as_slice();
         assert_eq!(String::decode(&mut slice), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn blob_roundtrips_and_matches_string_wire_form() {
+        roundtrip(Blob(Vec::new()));
+        roundtrip(Blob(vec![0xff, 0x00, 0x80]));
+        roundtrip(Blob(vec![7u8; 5_000]));
+        // Blob("hi") and "hi".to_string() share a wire form.
+        let mut a = Vec::new();
+        Blob(b"hi".to_vec()).encode(&mut a);
+        let mut b = Vec::new();
+        "hi".to_string().encode(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

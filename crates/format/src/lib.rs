@@ -14,9 +14,16 @@
 //! * [`codec::Record`] — the typed-record trait, with implementations for
 //!   integers, floats, booleans, strings, byte blobs, options, vectors, and
 //!   tuples (nested composition gives "nested tuples" as in the paper).
+//! * [`view::RecordView`] — the borrowed half of the codec: decode a
+//!   record as a view whose `&str`/`&[u8]` fields point straight into the
+//!   chunk, for allocation-free hot loops. See the [`view`] module docs
+//!   for when to use `Record` vs `RecordView`.
 //! * [`stream::ChunkWriter`] / [`stream::ChunkReader`] — the typed
 //!   iterators that serialize a record stream into boundary-respecting
-//!   chunks and back.
+//!   chunks (single-pass encoding, with [`stream::ChunkWriter::push_encoded`]
+//!   for pre-serialized fan-out) and back. The reader's
+//!   [`stream::ChunkReader::for_each`] / [`stream::ChunkReader::fold`]
+//!   drivers stream borrowed views without materializing a `Vec`.
 //!
 //! # Examples
 //!
@@ -43,7 +50,12 @@ pub mod chunk;
 pub mod codec;
 pub mod stream;
 pub mod varint;
+pub mod view;
 
 pub use chunk::{Chunk, DEFAULT_CHUNK_SIZE};
-pub use codec::{CodecError, Record};
-pub use stream::{decode_all, encode_all, ChunkReader, ChunkWriter};
+pub use codec::{Blob, CodecError, Record};
+pub use stream::{
+    decode_all, encode_all, fold_views, for_each_view, try_for_each_view, ChunkBuf, ChunkReader,
+    ChunkWriter,
+};
+pub use view::{RecordView, SeqIter, SeqView};

@@ -9,6 +9,7 @@
 
 use crate::chunk::Chunk;
 use crate::codec::{CodecError, Record};
+use crate::view::RecordView;
 use core::marker::PhantomData;
 
 /// Serializes records into fixed-capacity chunks.
@@ -27,12 +28,155 @@ use core::marker::PhantomData;
 /// assert!(chunks.iter().all(|c| c.len() <= 16));
 /// ```
 pub struct ChunkWriter<T: Record> {
-    chunk_size: usize,
-    buf: Vec<u8>,
+    body: ChunkBuf,
     records_in_buf: u64,
     records_total: u64,
     chunks_emitted: u64,
     _marker: PhantomData<fn(&T)>,
+}
+
+/// The type-free core of single-pass chunk building: a byte buffer plus
+/// the never-cross-a-chunk-boundary protocol.
+///
+/// Both [`ChunkWriter`] (typed, this crate) and `hurricane-core`'s
+/// `BagWriter` build chunks the same way — serialize one record's bytes
+/// into the buffer, then enforce the boundary invariant — so the
+/// protocol lives here once: the encode-headroom capacity policy, the
+/// carry-the-overflowing-record-into-the-next-buffer seal, and the
+/// truncate rollback (with capacity release) for oversized records.
+///
+/// Usage per record: append exactly one record's encoding to
+/// [`ChunkBuf::encode_buf`], then call [`ChunkBuf::commit`] with the
+/// pre-append length. A returned `Ok(Some(payload))` is a completed
+/// chunk's bytes.
+#[derive(Debug)]
+pub struct ChunkBuf {
+    chunk_size: usize,
+    buf: Vec<u8>,
+}
+
+impl ChunkBuf {
+    /// Headroom reserved beyond the chunk capacity so that single-pass
+    /// encoding of the record that overflows a chunk (its bytes land in
+    /// the buffer *before* the boundary check) does not reallocate the
+    /// nearly-full buffer. Records up to this size never trigger a
+    /// mid-encode realloc; capped at `chunk_size` so tiny test chunks
+    /// don't over-allocate.
+    const ENCODE_HEADROOM: usize = 4096;
+
+    fn normal_capacity(chunk_size: usize) -> usize {
+        chunk_size + Self::ENCODE_HEADROOM.min(chunk_size)
+    }
+
+    fn fresh(chunk_size: usize) -> Vec<u8> {
+        Vec::with_capacity(Self::normal_capacity(chunk_size))
+    }
+
+    /// Creates an empty buffer for chunks of at most `chunk_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            chunk_size,
+            buf: Self::fresh(chunk_size),
+        }
+    }
+
+    /// The configured chunk capacity.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The raw buffer to serialize one record into. Callers must append
+    /// exactly one record's encoding and then [`ChunkBuf::commit`] it.
+    #[inline]
+    pub fn encode_buf(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Enforces the boundary invariant for the record appended since
+    /// `start` (the buffer length before the append). Returns the sealed
+    /// previous contents if the record overflowed the capacity and was
+    /// carried into a fresh buffer, or [`CodecError::RecordTooLarge`]
+    /// (rolled back; the buffer stays usable) if the record alone can
+    /// never fit a chunk.
+    #[inline]
+    pub fn commit(&mut self, start: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        // One branch on the hot path: an in-capacity append needs no
+        // other bookkeeping. Overflow (once per chunk) and the oversized-
+        // record error share the cold path.
+        if self.buf.len() > self.chunk_size {
+            return self.overflow(start);
+        }
+        Ok(None)
+    }
+
+    /// Cold: runs once per sealed chunk (or on an oversized record),
+    /// keeping `commit`'s hot body small enough to inline into record
+    /// loops.
+    #[cold]
+    fn overflow(&mut self, start: usize) -> Result<Option<Vec<u8>>, CodecError> {
+        let len = self.buf.len() - start;
+        if len > self.chunk_size {
+            self.buf.truncate(start);
+            // The oversized encode may have grown the buffer well past
+            // its normal capacity; release that transient spike rather
+            // than carrying it until the next seal.
+            self.buf.shrink_to(Self::normal_capacity(self.chunk_size));
+            return Err(CodecError::RecordTooLarge {
+                record: len,
+                chunk: self.chunk_size,
+            });
+        }
+        let mut next = Self::fresh(self.chunk_size);
+        next.extend_from_slice(&self.buf[start..]);
+        self.buf.truncate(start);
+        debug_assert!(!self.buf.is_empty(), "overflow implies a non-empty prefix");
+        Ok(Some(std::mem::replace(&mut self.buf, next)))
+    }
+
+    /// Appends one pre-serialized record, sealing first if it would not
+    /// fit — the fan-out primitive's byte layer.
+    #[inline]
+    pub fn append_encoded(&mut self, bytes: &[u8]) -> Result<Option<Vec<u8>>, CodecError> {
+        if bytes.len() > self.chunk_size {
+            return Err(CodecError::RecordTooLarge {
+                record: bytes.len(),
+                chunk: self.chunk_size,
+            });
+        }
+        let mut completed = None;
+        if self.buf.len() + bytes.len() > self.chunk_size {
+            completed = self.take();
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(completed)
+    }
+
+    /// Takes the buffered payload as a completed (possibly short) chunk
+    /// body, leaving a fresh buffer; `None` when nothing is buffered.
+    pub fn take(&mut self) -> Option<Vec<u8>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(std::mem::replace(
+            &mut self.buf,
+            Self::fresh(self.chunk_size),
+        ))
+    }
 }
 
 impl<T: Record> ChunkWriter<T> {
@@ -42,10 +186,8 @@ impl<T: Record> ChunkWriter<T> {
     ///
     /// Panics if `chunk_size` is zero.
     pub fn new(chunk_size: usize) -> Self {
-        assert!(chunk_size > 0, "chunk size must be positive");
         Self {
-            chunk_size,
-            buf: Vec::with_capacity(chunk_size),
+            body: ChunkBuf::new(chunk_size),
             records_in_buf: 0,
             records_total: 0,
             chunks_emitted: 0,
@@ -56,25 +198,47 @@ impl<T: Record> ChunkWriter<T> {
     /// Appends one record; returns a completed chunk if this record closed
     /// one.
     ///
+    /// Encoding is single-pass: the record is serialized directly into the
+    /// chunk buffer (no `encoded_len` pre-measurement traversal). If that
+    /// overflows the capacity, the freshly written bytes are moved into
+    /// the next chunk's buffer and the previous contents are sealed.
+    ///
     /// Returns [`CodecError::RecordTooLarge`] if the record alone exceeds
     /// the chunk capacity — such a record could never be stored without
-    /// crossing a boundary.
+    /// crossing a boundary. The oversized bytes are rolled back with
+    /// `truncate`, so the writer stays usable (note the record is fully
+    /// serialized before rejection; the rollback also releases the
+    /// transient capacity the encode forced).
+    #[inline]
     pub fn push(&mut self, record: &T) -> Result<Option<Chunk>, CodecError> {
-        let len = record.encoded_len();
-        if len > self.chunk_size {
-            return Err(CodecError::RecordTooLarge {
-                record: len,
-                chunk: self.chunk_size,
-            });
-        }
-        let mut completed = None;
-        if self.buf.len() + len > self.chunk_size {
-            completed = self.seal();
-        }
-        record.encode(&mut self.buf);
+        let start = self.body.len();
+        record.encode(self.body.encode_buf());
+        let completed = self.body.commit(start)?.map(|data| self.sealed(data));
         self.records_in_buf += 1;
         self.records_total += 1;
         Ok(completed)
+    }
+
+    /// Appends one pre-serialized record. The bytes must be exactly one
+    /// record's encoding; the boundary invariant is enforced the same way
+    /// as [`ChunkWriter::push`]. This is the fan-out primitive: encode a
+    /// record once, then feed the same bytes to many writers.
+    #[inline]
+    pub fn push_encoded(&mut self, bytes: &[u8]) -> Result<Option<Chunk>, CodecError> {
+        let completed = self
+            .body
+            .append_encoded(bytes)?
+            .map(|data| self.sealed(data));
+        self.records_in_buf += 1;
+        self.records_total += 1;
+        Ok(completed)
+    }
+
+    /// Counts a sealed payload and wraps it as a chunk.
+    fn sealed(&mut self, data: Vec<u8>) -> Chunk {
+        self.records_in_buf = 0;
+        self.chunks_emitted += 1;
+        Chunk::from_vec(data)
     }
 
     /// Flushes any buffered records into a final (possibly short) chunk.
@@ -88,13 +252,8 @@ impl<T: Record> ChunkWriter<T> {
     }
 
     fn seal(&mut self) -> Option<Chunk> {
-        if self.buf.is_empty() {
-            return None;
-        }
-        let data = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk_size));
-        self.records_in_buf = 0;
-        self.chunks_emitted += 1;
-        Some(Chunk::from_vec(data))
+        let data = self.body.take()?;
+        Some(self.sealed(data))
     }
 
     /// Number of records accepted so far.
@@ -156,9 +315,85 @@ impl<'a, T: Record> Iterator for ChunkReader<'a, T> {
     }
 }
 
+impl<'a, T: RecordView> ChunkReader<'a, T> {
+    /// Drives `f` over every record of the chunk as a borrowed view —
+    /// no `Vec`, no owned values, no per-record allocation. Returns the
+    /// record count.
+    ///
+    /// This is the steady-state read loop: where `decode_all` pays an
+    /// owned `String`/`Vec` per record plus the collecting `Vec`, the
+    /// view path hands `f` data that points straight into the chunk.
+    pub fn for_each(mut self, mut f: impl FnMut(T::View<'a>)) -> Result<u64, CodecError> {
+        let mut n = 0;
+        while !self.rest.is_empty() {
+            f(T::decode_view(&mut self.rest)?);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Like [`ChunkReader::for_each`] but the closure is fallible; the
+    /// first error aborts the iteration. `E` absorbs decode errors too,
+    /// so task loops can mix decoding and writing under one error type.
+    pub fn try_for_each<E: From<CodecError>>(
+        mut self,
+        mut f: impl FnMut(T::View<'a>) -> Result<(), E>,
+    ) -> Result<u64, E> {
+        let mut n = 0;
+        while !self.rest.is_empty() {
+            f(T::decode_view(&mut self.rest)?)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Folds the chunk's record views into an accumulator.
+    pub fn fold<Acc>(
+        mut self,
+        init: Acc,
+        mut f: impl FnMut(Acc, T::View<'a>) -> Acc,
+    ) -> Result<Acc, CodecError> {
+        let mut acc = init;
+        while !self.rest.is_empty() {
+            acc = f(acc, T::decode_view(&mut self.rest)?);
+        }
+        Ok(acc)
+    }
+}
+
 /// Decodes every record in `chunk`, failing on any corruption.
 pub fn decode_all<T: Record>(chunk: &Chunk) -> Result<Vec<T>, CodecError> {
     ChunkReader::<T>::new(chunk).collect()
+}
+
+/// Drives `f` over every record view in `chunk`. Free-function sugar for
+/// [`ChunkReader::for_each`].
+pub fn for_each_view<T, F>(chunk: &Chunk, f: F) -> Result<u64, CodecError>
+where
+    T: RecordView,
+    F: for<'a> FnMut(T::View<'a>),
+{
+    ChunkReader::<T>::new(chunk).for_each(f)
+}
+
+/// Fallible-closure variant of [`for_each_view`].
+pub fn try_for_each_view<T, E, F>(chunk: &Chunk, f: F) -> Result<u64, E>
+where
+    T: RecordView,
+    E: From<CodecError>,
+    F: for<'a> FnMut(T::View<'a>) -> Result<(), E>,
+{
+    ChunkReader::<T>::new(chunk).try_for_each(f)
+}
+
+/// Folds every record view in `chunk` into an accumulator. Free-function
+/// sugar for [`ChunkReader::fold`].
+pub fn fold_views<T, Acc, F>(chunk: &Chunk, init: Acc, f: F) -> Result<Acc, CodecError>
+where
+    T: RecordView,
+    F: for<'a> FnMut(Acc, T::View<'a>) -> Acc,
+{
+    ChunkReader::<T>::new(chunk).fold(init, f)
 }
 
 /// Encodes `records` into a sequence of chunks of at most `chunk_size`
@@ -261,6 +496,141 @@ mod tests {
     fn empty_chunk_yields_nothing() {
         let c = Chunk::from_vec(Vec::new());
         assert_eq!(decode_all::<u64>(&c).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn push_encoded_matches_push() {
+        // The same stream through push and push_encoded produces the
+        // same chunk boundaries and the same bytes.
+        let records: Vec<(u64, String)> = (0..300).map(|i| (i, format!("r{i}"))).collect();
+        let mut by_push = ChunkWriter::<(u64, String)>::new(48);
+        let mut by_bytes = ChunkWriter::<(u64, String)>::new(48);
+        let mut chunks_a = Vec::new();
+        let mut chunks_b = Vec::new();
+        let mut scratch = Vec::new();
+        for r in &records {
+            chunks_a.extend(by_push.push(r).unwrap());
+            scratch.clear();
+            r.encode(&mut scratch);
+            chunks_b.extend(by_bytes.push_encoded(&scratch).unwrap());
+        }
+        chunks_a.extend(by_push.finish());
+        chunks_b.extend(by_bytes.finish());
+        assert_eq!(chunks_a.len(), chunks_b.len());
+        for (a, b) in chunks_a.iter().zip(&chunks_b) {
+            assert_eq!(a.bytes(), b.bytes());
+        }
+    }
+
+    #[test]
+    fn oversized_record_rollback_releases_capacity() {
+        // An oversized record is fully serialized before rejection; the
+        // rollback must release the transient buffer growth rather than
+        // carrying a record-sized capacity until the next seal.
+        let mut w = ChunkWriter::<Vec<u8>>::new(64);
+        let baseline_cap = 64 + 64; // chunk_size + capped headroom
+        let err = w.push(&vec![0u8; 1 << 20]).unwrap_err();
+        assert!(matches!(err, CodecError::RecordTooLarge { .. }));
+        assert!(
+            w.body.encode_buf().capacity() <= baseline_cap,
+            "rollback must shed the 1 MB transient: capacity {}",
+            w.body.encode_buf().capacity()
+        );
+        // Writer still fully usable afterwards.
+        assert!(w.push(&vec![1, 2, 3]).unwrap().is_none());
+        assert_eq!(
+            decode_all::<Vec<u8>>(&w.finish().unwrap()).unwrap(),
+            vec![vec![1, 2, 3]]
+        );
+    }
+
+    #[test]
+    fn push_encoded_rejects_oversized() {
+        let mut w = ChunkWriter::<u64>::new(4);
+        let err = w.push_encoded(&[0u8; 9]).unwrap_err();
+        assert!(matches!(err, CodecError::RecordTooLarge { record: 9, .. }));
+        // Writer still usable.
+        assert!(w.push_encoded(&[1, 2]).unwrap().is_none());
+        assert_eq!(w.records_written(), 1);
+    }
+
+    #[test]
+    fn single_pass_overflow_carries_the_record() {
+        // Capacity 8: three 3-byte records overflow on the third; the
+        // sealed chunk holds two records and the third starts the next.
+        let mut w = ChunkWriter::<String>::new(8);
+        assert!(w.push(&"ab".to_string()).unwrap().is_none());
+        assert!(w.push(&"cd".to_string()).unwrap().is_none());
+        let sealed = w.push(&"ef".to_string()).unwrap().unwrap();
+        assert_eq!(decode_all::<String>(&sealed).unwrap(), vec!["ab", "cd"]);
+        assert_eq!(w.buffered_records(), 1);
+        let tail = w.finish().unwrap();
+        assert_eq!(decode_all::<String>(&tail).unwrap(), vec!["ef"]);
+    }
+
+    #[test]
+    fn for_each_streams_views_without_vec() {
+        let chunks = encode_all((0..500u64).map(|i| (i, format!("s{i}"))), 64).unwrap();
+        let mut n = 0u64;
+        let mut name_bytes = 0usize;
+        for c in &chunks {
+            n += ChunkReader::<(u64, String)>::new(c)
+                .for_each(|(_, s)| name_bytes += s.len())
+                .unwrap();
+        }
+        assert_eq!(n, 500);
+        assert_eq!(
+            name_bytes,
+            (0..500).map(|i| format!("s{i}").len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn fold_accumulates_views() {
+        let chunks = encode_all(0..100u64, 32).unwrap();
+        let total: u64 = chunks
+            .iter()
+            .map(|c| fold_views::<u64, u64, _>(c, 0, |acc, v| acc + v).unwrap())
+            .sum();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn try_for_each_surfaces_closure_errors() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            Codec(CodecError),
+            App,
+        }
+        impl From<CodecError> for E {
+            fn from(e: CodecError) -> Self {
+                E::Codec(e)
+            }
+        }
+        let chunks = encode_all(0..10u64, 1024).unwrap();
+        let r =
+            try_for_each_view::<u64, E, _>(
+                &chunks[0],
+                |v| {
+                    if v == 3 {
+                        Err(E::App)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        assert_eq!(r, Err(E::App));
+        // And decode errors surface through the same type.
+        let corrupt = Chunk::from_vec(vec![0x80, 0x80]);
+        let r = try_for_each_view::<u64, E, _>(&corrupt, |_| Ok(()));
+        assert_eq!(r, Err(E::Codec(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn view_drivers_report_corruption() {
+        let corrupt = Chunk::from_vec(vec![0x80, 0x80]);
+        assert!(for_each_view::<u64, _>(&corrupt, |_| ()).is_err());
+        assert!(fold_views::<u64, u64, _>(&corrupt, 0, |a, v| a + v).is_err());
     }
 
     #[test]

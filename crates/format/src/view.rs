@@ -1,0 +1,443 @@
+//! Borrowed record decoding: views straight out of chunk bytes.
+//!
+//! [`crate::Record::decode`] materializes an *owned* value per record —
+//! for a `(u64, String)` that is a heap allocation per record, and for
+//! the steady-state task loop (decode → inspect → maybe re-emit) the
+//! allocation usually outlives a single closure call by nanoseconds. The
+//! paper's typed-iterator framing (§2.2) never requires ownership: a task
+//! iterating a chunk only needs to *look at* each record, and a chunk is
+//! immutable for as long as any reader holds it.
+//!
+//! [`RecordView`] is the borrowed half of the codec plane. For a record
+//! type `T`, `T::View<'a>` is the zero-copy shape of one decoded record
+//! whose string/byte fields point directly into the chunk:
+//!
+//! | owned type       | `View<'a>`                 |
+//! |------------------|----------------------------|
+//! | integers, floats, `bool`, `()` | the value itself (`Copy`) |
+//! | `String`         | `&'a str`                  |
+//! | [`Blob`]         | `&'a [u8]`                 |
+//! | `Option<T>`      | `Option<T::View<'a>>`      |
+//! | tuples           | tuple of field views       |
+//! | `Vec<T>`         | [`SeqView<'a, T>`] (lazy)  |
+//!
+//! # When to use `Record` vs `RecordView`
+//!
+//! * Use **`Record`** (owned decode) when the record must outlive the
+//!   chunk it came from: buffering into a hash table, a snapshot the task
+//!   keeps across chunks, a merge accumulator.
+//! * Use **`RecordView`** (borrowed decode) for the per-record hot loop:
+//!   scan, filter, aggregate into pre-sized arrays, or re-emit. The view
+//!   borrows the chunk, so nothing is allocated per record and string
+//!   payloads are never copied.
+//!
+//! The two decoders are two readings of one wire format. Every
+//! implementation must uphold the **view law**: for any well-formed
+//! input, `decode_view` consumes exactly the same bytes as
+//! [`Record::decode`], and [`RecordView::view_to_owned`] of the view
+//! equals the owned decode. `tests/props_format.rs` pins this down by
+//! property test across arbitrary chunk boundaries.
+//!
+//! # Lifetimes: borrowing from the chunk
+//!
+//! A [`crate::Chunk`] is refcounted and immutable, so a `T::View<'a>`
+//! borrows the chunk's payload for `'a` — the chunk (or the buffer it
+//! wraps) must stay alive while views of it are in scope. The drivers in
+//! [`crate::stream`] ([`crate::ChunkReader::for_each`] and friends) keep
+//! that containment structural: the closure receives each view in turn
+//! and nothing borrowed can escape the iteration.
+//!
+//! # Examples
+//!
+//! ```
+//! use hurricane_format::{encode_all, ChunkReader};
+//!
+//! let chunks = encode_all(
+//!     (0..100u64).map(|i| (i, format!("name-{i}"))),
+//!     1 << 16,
+//! )
+//! .unwrap();
+//! // Count records whose name ends in "7" without allocating a single
+//! // String: the `&str` view points into the chunk.
+//! let mut hits = 0u64;
+//! for chunk in &chunks {
+//!     ChunkReader::<(u64, String)>::new(chunk)
+//!         .for_each(|(_, name)| {
+//!             if name.ends_with('7') {
+//!                 hits += 1;
+//!             }
+//!         })
+//!         .unwrap();
+//! }
+//! assert_eq!(hits, 10);
+//! ```
+
+use crate::codec::{take, Blob, CodecError, Record};
+use crate::varint;
+use core::marker::PhantomData;
+
+/// A record type with a borrowed decoded form.
+///
+/// The supertrait bound keeps the two planes coherent: every viewable
+/// type also has an owned codec, and the pair must satisfy the view law
+/// (see the [module docs](self)) — `decode_view` advances the input by
+/// exactly the bytes [`Record::decode`] would consume, and
+/// `view_to_owned(decode_view(b)) == Record::decode(b)`.
+pub trait RecordView: Record {
+    /// The borrowed form of one decoded record, valid while the source
+    /// bytes (typically a [`crate::Chunk`]) are alive.
+    type View<'a>: Copy;
+
+    /// Decodes one record from the front of `input` as a borrowed view,
+    /// advancing the input exactly as [`Record::decode`] would.
+    fn decode_view<'a>(input: &mut &'a [u8]) -> Result<Self::View<'a>, CodecError>;
+
+    /// Rebuilds the owned record from a view. The bridge back to the
+    /// owned plane — and the instrument the view-law property tests use.
+    fn view_to_owned(view: Self::View<'_>) -> Self;
+}
+
+macro_rules! self_view {
+    ($($ty:ty),+) => {$(
+        impl RecordView for $ty {
+            type View<'a> = $ty;
+
+            fn decode_view(input: &mut &[u8]) -> Result<$ty, CodecError> {
+                <$ty as Record>::decode(input)
+            }
+
+            fn view_to_owned(view: $ty) -> $ty {
+                view
+            }
+        }
+    )+};
+}
+
+self_view!(u8, u16, u32, u64, usize, i16, i32, i64, f32, f64, bool, ());
+
+impl RecordView for String {
+    type View<'a> = &'a str;
+
+    fn decode_view<'a>(input: &mut &'a [u8]) -> Result<&'a str, CodecError> {
+        let len = varint::decode(input)?;
+        if len > input.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let bytes = take(input, len as usize)?;
+        core::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    fn view_to_owned(view: &str) -> String {
+        view.to_string()
+    }
+}
+
+impl RecordView for Blob {
+    type View<'a> = &'a [u8];
+
+    fn decode_view<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], CodecError> {
+        let len = varint::decode(input)?;
+        if len > input.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        take(input, len as usize)
+    }
+
+    fn view_to_owned(view: &[u8]) -> Blob {
+        Blob(view.to_vec())
+    }
+}
+
+impl<T: RecordView> RecordView for Option<T> {
+    type View<'a> = Option<T::View<'a>>;
+
+    fn decode_view<'a>(input: &mut &'a [u8]) -> Result<Self::View<'a>, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_view(input)?)),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    fn view_to_owned(view: Self::View<'_>) -> Self {
+        view.map(T::view_to_owned)
+    }
+}
+
+/// A lazily decoded sequence view — the borrowed form of `Vec<T>`.
+///
+/// `decode_view` walks the elements once to validate them and find the
+/// sequence's end (no allocation); [`SeqView::iter`] then re-decodes each
+/// element on demand. Iteration is infallible because the bytes were
+/// validated at view-construction time. The trade is a second decode pass
+/// *if* the caller iterates — still allocation-free, and strictly cheaper
+/// than the owned path (which also decodes every element, into a fresh
+/// `Vec`) whenever any element holds a string or nested vector.
+pub struct SeqView<'a, T: RecordView> {
+    /// The validated payload: exactly `len` back-to-back encoded records.
+    bytes: &'a [u8],
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: RecordView> core::fmt::Debug for SeqView<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SeqView({} elems, {} bytes)", self.len, self.bytes.len())
+    }
+}
+
+impl<T: RecordView> Clone for SeqView<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: RecordView> Copy for SeqView<'_, T> {}
+
+impl<'a, T: RecordView> SeqView<'a, T> {
+    /// Number of elements in the sequence.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true for an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw encoded payload (without the length prefix).
+    pub fn payload(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Iterates the element views.
+    pub fn iter(&self) -> SeqIter<'a, T> {
+        SeqIter {
+            rest: self.bytes,
+            remaining: self.len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Collects the elements into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().map(T::view_to_owned).collect()
+    }
+}
+
+impl<'a, T: RecordView> IntoIterator for SeqView<'a, T> {
+    type Item = T::View<'a>;
+    type IntoIter = SeqIter<'a, T>;
+
+    fn into_iter(self) -> SeqIter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`SeqView`]'s element views.
+pub struct SeqIter<'a, T: RecordView> {
+    rest: &'a [u8],
+    remaining: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: RecordView> Iterator for SeqIter<'a, T> {
+    type Item = T::View<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // The bytes were fully decoded once when the SeqView was built,
+        // so re-decoding the identical input cannot fail.
+        Some(T::decode_view(&mut self.rest).expect("SeqView bytes validated at construction"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T: RecordView> ExactSizeIterator for SeqIter<'_, T> {}
+
+impl<T: RecordView> RecordView for Vec<T> {
+    type View<'a> = SeqView<'a, T>;
+
+    fn decode_view<'a>(input: &mut &'a [u8]) -> Result<Self::View<'a>, CodecError> {
+        let len = varint::decode(input)?;
+        // Mirrors the owned decoder: each element consumes at least one
+        // byte, so a longer declared length is corrupt.
+        if len > input.len() as u64 {
+            return Err(CodecError::LengthOverflow);
+        }
+        let start = *input;
+        for _ in 0..len {
+            T::decode_view(input)?;
+        }
+        let consumed = start.len() - input.len();
+        Ok(SeqView {
+            bytes: &start[..consumed],
+            len: len as usize,
+            _marker: PhantomData,
+        })
+    }
+
+    fn view_to_owned(view: Self::View<'_>) -> Self {
+        view.to_vec()
+    }
+}
+
+macro_rules! tuple_view {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: RecordView),+> RecordView for ($($name,)+) {
+            type View<'a> = ($($name::View<'a>,)+);
+
+            fn decode_view<'a>(input: &mut &'a [u8]) -> Result<Self::View<'a>, CodecError> {
+                Ok(($($name::decode_view(input)?,)+))
+            }
+
+            fn view_to_owned(view: Self::View<'_>) -> Self {
+                ($($name::view_to_owned(view.$idx),)+)
+            }
+        }
+    };
+}
+
+tuple_view!(A: 0);
+tuple_view!(A: 0, B: 1);
+tuple_view!(A: 0, B: 1, C: 2);
+tuple_view!(A: 0, B: 1, C: 2, D: 3);
+tuple_view!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_view!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::fmt;
+
+    /// Asserts the view law on one value: same bytes consumed, equal
+    /// owned reconstruction.
+    fn view_law<T: RecordView + PartialEq + fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut owned_slice = buf.as_slice();
+        let owned = T::decode(&mut owned_slice).unwrap();
+        let mut view_slice = buf.as_slice();
+        let view = T::decode_view(&mut view_slice).unwrap();
+        assert_eq!(
+            owned_slice.len(),
+            view_slice.len(),
+            "decode_view must consume exactly decode's bytes for {v:?}"
+        );
+        assert_eq!(T::view_to_owned(view), owned);
+        assert_eq!(owned, v);
+    }
+
+    #[test]
+    fn primitive_views_obey_the_law() {
+        view_law(0u8);
+        view_law(u64::MAX);
+        view_law(-42i64);
+        view_law(3.5f64);
+        view_law(true);
+        view_law(());
+    }
+
+    #[test]
+    fn string_view_borrows_in_place() {
+        let mut buf = Vec::new();
+        "hurricane".to_string().encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let view = String::decode_view(&mut slice).unwrap();
+        assert_eq!(view, "hurricane");
+        // The view points into the encoded buffer: zero copies.
+        assert_eq!(view.as_ptr(), buf[1..].as_ptr());
+        view_law("héllo ✓".to_string());
+        view_law(String::new());
+    }
+
+    #[test]
+    fn blob_view_borrows_in_place() {
+        let payload = vec![0xde, 0xad, 0xbe, 0xef];
+        let mut buf = Vec::new();
+        Blob(payload.clone()).encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let view = Blob::decode_view(&mut slice).unwrap();
+        assert_eq!(view, &payload[..]);
+        assert_eq!(view.as_ptr(), buf[1..].as_ptr());
+    }
+
+    #[test]
+    fn nested_views_obey_the_law() {
+        view_law((7u64, "key".to_string()));
+        view_law(Some((1u32, "x".to_string())));
+        view_law(None::<String>);
+        view_law(vec!["a".to_string(), String::new(), "ccc".to_string()]);
+        view_law(((1u64, 2u64), ("k".to_string(), vec![9u32, 10])));
+        view_law((1u8, 2u16, 3u32, 4u64, 5i64, 6.0f64));
+        view_law(vec![vec![1u64, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn seq_view_iterates_lazily_and_exactly() {
+        let v = vec![(1u64, "one".to_string()), (2, "two".to_string())];
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<(u64, String)>::decode_view(&mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(seq.len(), 2);
+        assert!(!seq.is_empty());
+        let items: Vec<(u64, &str)> = seq.iter().collect();
+        assert_eq!(items, vec![(1, "one"), (2, "two")]);
+        // Copy semantics: iterating twice works on the same view.
+        assert_eq!(seq.iter().count(), 2);
+        assert_eq!(seq.to_vec(), v);
+        assert_eq!(seq.iter().size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn view_decode_detects_corruption() {
+        // Truncated string payload.
+        let mut buf = Vec::new();
+        varint::encode(10, &mut buf);
+        buf.extend_from_slice(b"abc");
+        let mut slice = buf.as_slice();
+        assert_eq!(String::decode_view(&mut slice), Err(CodecError::Truncated));
+        // Overlong vector length.
+        let mut buf = Vec::new();
+        varint::encode(u64::MAX, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(
+            Vec::<u64>::decode_view(&mut slice).unwrap_err(),
+            CodecError::LengthOverflow
+        );
+        // Bad option tag.
+        let mut slice: &[u8] = &[9];
+        assert_eq!(
+            Option::<u64>::decode_view(&mut slice),
+            Err(CodecError::InvalidTag(9))
+        );
+        // Invalid UTF-8 stays an error on the borrowed path too.
+        let mut buf = Vec::new();
+        varint::encode(2, &mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut slice = buf.as_slice();
+        assert_eq!(
+            String::decode_view(&mut slice),
+            Err(CodecError::InvalidUtf8)
+        );
+    }
+
+    #[test]
+    fn truncation_detected_everywhere_on_view_path() {
+        let mut buf = Vec::new();
+        (12345u64, "abcdef".to_string(), 2.5f64).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            let r = <(u64, String, f64)>::decode_view(&mut slice);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+}

@@ -68,8 +68,10 @@ def main():
     regressions = []
     missing = []
     checked = 0
+    checked_per_prefix = {p: 0 for p in prefixes}
     for name, want in sorted(base.get("elems_per_sec", {}).items()):
-        if not name.startswith(prefixes):
+        matched = [p for p in prefixes if name.startswith(p)]
+        if not matched:
             continue
         got = fresh.get(name)
         if got is None:
@@ -77,6 +79,8 @@ def main():
             missing.append(name)
             continue
         checked += 1
+        for p in matched:
+            checked_per_prefix[p] += 1
         delta = (got - want) / want * 100.0
         floor = want * (1.0 - tolerance)
         mark = "ok" if got >= floor else "REGRESSED"
@@ -84,10 +88,22 @@ def main():
         if got < floor:
             regressions.append(name)
 
+    per_suite = ", ".join(f"{p}*: {n}" for p, n in checked_per_prefix.items())
     print(
-        f"checked {checked} gated benches, tolerance {tolerance:.0%}, "
-        f"baseline cpus={baseline_cpus}, runner cpus={args.cpus}"
+        f"checked {checked} gated benches ({per_suite}), tolerance "
+        f"{tolerance:.0%}, baseline cpus={baseline_cpus}, runner cpus={args.cpus}"
     )
+    # A suites_prefix that matches zero baseline entries gates nothing —
+    # usually a typo or a rename that forgot the baseline. Fail loudly
+    # rather than letting the gate silently disarm itself.
+    dead = [p for p, n in checked_per_prefix.items() if n == 0
+            and not any(name.startswith(p) for name in base.get("elems_per_sec", {}))]
+    if dead:
+        print(
+            f"FAIL: suites_prefix {dead} match no baseline benchmark — "
+            "add their elems_per_sec entries or fix the prefix"
+        )
+        return 1
     if missing and enforce:
         # A renamed suite or a broken BENCH_JSON must not silently disarm
         # the gate: every gated baseline name has to show up fresh.
