@@ -2,8 +2,16 @@
 //!
 //! ClickLog's Phase 2 represents the set of distinct IPs as a bitset
 //! (paper Figure 3: `distinct |= ip`), and its merge is a word-wise OR of
-//! partial bitsets. The wire form is simply `Vec<u64>` words, which the
-//! `hurricane-format` codec already knows how to carry.
+//! partial bitsets. The wire form is `Vec<FixedU64>` words: a populated
+//! bitset's words are dense bit patterns that varints would spend 9–10
+//! bytes (and a data-dependent decode loop) on, while the fixed form is
+//! eight flat little-endian bytes per word — constant-stride, so the
+//! Phase 3 bit count and the Phase 2 OR-merge run branch-free loops over
+//! the word views ([`hurricane_format::FixedStride`]). The legacy
+//! `Vec<u64>` varint form is still available via
+//! [`BitSet::into_words`]/[`BitSet::from_words`].
+
+use hurricane_format::{FixedU64, SeqView};
 
 /// A fixed-capacity bitset indexed by `u32` keys.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -67,14 +75,46 @@ impl BitSet {
         Self { words }
     }
 
-    /// Merges two wire-form bitsets (the merge combiner used with
-    /// `hurricane_core::merges::ReduceMerge`).
+    /// Merges two wire-form bitsets (the owned-combiner shape usable
+    /// with `hurricane_core::merges::ReduceMerge::new`).
     pub fn or_words(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
         let (mut long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         for (i, w) in short.into_iter().enumerate() {
             long[i] |= w;
         }
         long
+    }
+
+    /// Consumes into the fixed-stride wire form (see the module docs).
+    pub fn into_fixed_words(self) -> Vec<FixedU64> {
+        self.words.into_iter().map(FixedU64).collect()
+    }
+
+    /// Builds from the fixed-stride wire form.
+    pub fn from_fixed_words(words: Vec<FixedU64>) -> Self {
+        Self {
+            words: words.into_iter().map(|w| w.0).collect(),
+        }
+    }
+
+    /// ORs a borrowed word-sequence view into an owned accumulator — the
+    /// Phase 2 merge fold for `hurricane_core::merges::ReduceMerge::
+    /// folding`: the partial bitset is read straight out of the chunk
+    /// (fixed-stride trusted loads), never materialized as an owned
+    /// `Vec`.
+    pub fn or_fixed_words_into(acc: &mut Vec<FixedU64>, words: SeqView<'_, FixedU64>) {
+        if words.len() > acc.len() {
+            acc.resize(words.len(), FixedU64(0));
+        }
+        for (slot, w) in acc.iter_mut().zip(words.iter()) {
+            slot.0 |= w.0;
+        }
+    }
+
+    /// Counts the set bits of a borrowed fixed-word view — Phase 3's
+    /// per-record fold, reading eight-byte little-endian words in place.
+    pub fn count_fixed_words(words: SeqView<'_, FixedU64>) -> u64 {
+        words.iter().map(|w| w.0.count_ones() as u64).sum()
     }
 }
 
@@ -135,5 +175,36 @@ mod tests {
         bs.set(200);
         let words = bs.clone().into_words();
         assert_eq!(BitSet::from_words(words), bs);
+        let fixed = bs.clone().into_fixed_words();
+        assert_eq!(BitSet::from_fixed_words(fixed), bs);
+    }
+
+    #[test]
+    fn fixed_word_fold_matches_owned_or() {
+        use hurricane_format::{Record, RecordView};
+        let mut a = BitSet::new();
+        a.set(1);
+        a.set(100);
+        let mut b = BitSet::new();
+        b.set(2);
+        b.set(5000);
+        // Encode b's fixed words, view them, and OR into a's words.
+        let b_words = b.clone().into_fixed_words();
+        let mut buf = Vec::new();
+        b_words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let view = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        let mut acc = a.clone().into_fixed_words();
+        BitSet::or_fixed_words_into(&mut acc, view);
+        let merged = BitSet::from_fixed_words(acc);
+        let mut expect = a.clone();
+        expect.or_with(&b);
+        assert_eq!(merged, expect);
+        // And the borrowed count agrees with the owned count.
+        let mut buf = Vec::new();
+        merged.clone().into_fixed_words().encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let view = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        assert_eq!(BitSet::count_fixed_words(view), expect.count());
     }
 }

@@ -9,6 +9,16 @@
 //!    build a partial bitset from the chunks they happened to remove;
 //!    the merge ORs the partials (`output.insert(partial1 | partial2)`).
 //! 3. **Phase 3** (per region) counts the bits; its merge sums counts.
+//!
+//! Hot-path mechanics: bitsets travel as `Vec<FixedU64>` — fixed-stride
+//! eight-byte words rather than varints (a populated word is a dense bit
+//! pattern that costs 9–10 varint bytes and a data-dependent decode
+//! loop). Phase 3's bit count and Phase 2's OR-merge
+//! ([`hurricane_core::merges::ReduceMerge::folding`]) both run over
+//! *borrowed* word views read straight out of the chunk with trusted
+//! constant-stride loads — the partial bitsets are never materialized as
+//! owned vectors on the merge path; only the single surviving
+//! accumulator is.
 
 use crate::bitset::BitSet;
 use hurricane_core::graph::{AppGraph, GraphBag, GraphBuilder};
@@ -80,10 +90,12 @@ impl ClickLogJob {
                 |ctx: &mut TaskCtx| {
                     let mut bits = BitSet::new();
                     ctx.for_each_record::<u32, _>(0, |ip| bits.set(ip))?;
-                    ctx.write_record(0, &bits.into_words())?;
+                    ctx.write_record(0, &bits.into_fixed_words())?;
                     Ok(())
                 },
-                ReduceMerge::new(BitSet::or_words),
+                // Partial bitsets OR into the accumulator as borrowed
+                // fixed-word views — the merge owns one bitset total.
+                ReduceMerge::folding(BitSet::or_fixed_words_into),
             );
             let count = g.bag(format!("count.{r}"));
             g.task_with_merge(
@@ -91,11 +103,13 @@ impl ClickLogJob {
                 &[distinct],
                 &[count],
                 |ctx: &mut TaskCtx| {
-                    // Count bits straight off the borrowed word views —
-                    // no Vec<u64> is materialized per bitset record.
-                    let total = ctx.fold_records::<Vec<u64>, u64, _>(0, 0, |acc, words| {
-                        acc + words.iter().map(|w| w.count_ones() as u64).sum::<u64>()
-                    })?;
+                    // Count bits straight off the borrowed fixed-stride
+                    // word views — no Vec is materialized per record.
+                    let total = ctx.fold_records::<Vec<hurricane_format::FixedU64>, u64, _>(
+                        0,
+                        0,
+                        |acc, words| acc + BitSet::count_fixed_words(words),
+                    )?;
                     ctx.write_record(0, &total)?;
                     Ok(())
                 },

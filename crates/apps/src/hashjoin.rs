@@ -14,10 +14,18 @@
 //! removed exactly-once — so clones split the probe work for a hot
 //! partition with zero repartitioning, and the output needs no merge
 //! (concatenation of match tuples is already correct).
+//!
+//! Hot-path mechanics: the partitioned relations travel as
+//! [`FixedTuple`] — `(FixedU32, FixedU64)`, a constant 12-byte stride —
+//! so every partition-bag chunk is a flat array of tuples. The probe
+//! loop types each chunk with [`hurricane_format::stride_records`] and
+//! iterates it with trusted constant-stride loads: no per-record varint
+//! loop, no validation pass, no `Vec`.
 
 use hurricane_core::graph::{AppGraph, GraphBag, GraphBuilder};
 use hurricane_core::task::TaskCtx;
 use hurricane_core::{AppReport, EngineError, HurricaneApp, HurricaneConfig};
+use hurricane_format::{stride_records, FixedU32, FixedU64};
 use hurricane_storage::StorageCluster;
 use hurricane_workloads::join::Tuple;
 use std::collections::HashMap;
@@ -25,6 +33,11 @@ use std::sync::Arc;
 
 /// One joined output row: `(key, r_payload, s_payload)`.
 pub type JoinRow = (u32, u64, u64);
+
+/// The partitioned wire form of one relation tuple: fixed-stride ints
+/// (12 bytes), giving partition-bag chunks O(1) random access and
+/// branch-free iteration.
+pub type FixedTuple = (FixedU32, FixedU64);
 
 /// Static parameters of a join job.
 #[derive(Debug, Clone, Copy)]
@@ -73,15 +86,18 @@ impl HashJoinJob {
             &all_outs,
             move |ctx: &mut TaskCtx| {
                 // Route both relations by key hash, streaming borrowed
-                // views per chunk (Tuple's view is itself: two ints).
+                // views per chunk (Tuple's view is itself: two ints) and
+                // re-emitting in the fixed-stride partition wire form.
                 while let Some(chunk) = ctx.next_chunk(0)? {
                     hurricane_format::try_for_each_view::<Tuple, EngineError, _>(&chunk, |t| {
-                        ctx.write_record(partition_of(t.0, parts), &t)
+                        let fixed: FixedTuple = (FixedU32(t.0), FixedU64(t.1));
+                        ctx.write_record(partition_of(t.0, parts), &fixed)
                     })?;
                 }
                 while let Some(chunk) = ctx.next_chunk(1)? {
                     hurricane_format::try_for_each_view::<Tuple, EngineError, _>(&chunk, |t| {
-                        ctx.write_record(parts + partition_of(t.0, parts), &t)
+                        let fixed: FixedTuple = (FixedU32(t.0), FixedU64(t.1));
+                        ctx.write_record(parts + partition_of(t.0, parts), &fixed)
                     })?;
                 }
                 Ok(())
@@ -97,27 +113,26 @@ impl HashJoinJob {
                 move |ctx: &mut TaskCtx| {
                     // Build side: full non-destructive scan (every clone
                     // holds the whole table, paper §4.3's concurrent read).
-                    let build: Vec<Tuple> = ctx.snapshot_input(0)?;
+                    let build: Vec<FixedTuple> = ctx.snapshot_input(0)?;
                     let mut table: HashMap<u32, Vec<u64>> = HashMap::new();
-                    for (k, payload) in build {
+                    for (FixedU32(k), FixedU64(payload)) in build {
                         table.entry(k).or_default().push(payload);
                     }
                     // Probe side: exactly-once chunks shared across clones.
-                    // The probe loop never owns a tuple: each chunk's
-                    // records stream through as views and matches encode
-                    // straight into the output writer's chunk buffer.
+                    // Every chunk is a flat array of 12-byte tuples, so
+                    // the probe loop runs over a fixed-stride slice —
+                    // trusted constant-width loads, no validating decode
+                    // pass — and matches encode straight into the output
+                    // writer's chunk buffer.
                     while let Some(chunk) = ctx.next_chunk(1)? {
-                        hurricane_format::try_for_each_view::<Tuple, EngineError, _>(
-                            &chunk,
-                            |(k, s_payload)| {
-                                if let Some(rs) = table.get(&k) {
-                                    for &r_payload in rs {
-                                        ctx.write_record(0, &(k, r_payload, s_payload))?;
-                                    }
+                        let tuples = stride_records::<FixedTuple>(&chunk)?;
+                        for (FixedU32(k), FixedU64(s_payload)) in tuples {
+                            if let Some(rs) = table.get(&k) {
+                                for &r_payload in rs {
+                                    ctx.write_record(0, &(k, r_payload, s_payload))?;
                                 }
-                                Ok(())
-                            },
-                        )?;
+                            }
+                        }
                     }
                     Ok(())
                 },

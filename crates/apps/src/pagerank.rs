@@ -20,7 +20,10 @@
 //! never re-encoding an edge — and both the degree count and the
 //! per-iteration edge traversal stream **borrowed views**
 //! (`TaskCtx::for_each_record`), so the steady-state loop does no
-//! per-record allocation.
+//! per-record allocation. Clone partials reconcile through *borrowed*
+//! keyed merges ([`KeyedMerge::folding`]): the merge streams `(vertex,
+//! (contrib, deg))` views out of the chunk bytes and owns only the
+//! surviving per-vertex accumulators.
 
 use hurricane_core::graph::{AppGraph, GraphBag, GraphBuilder};
 use hurricane_core::merges::{ConcatMerge, KeyedMerge};
@@ -70,10 +73,13 @@ impl MergeLogic for InitMerge {
             // Partial records are (v, (contrib, partial_deg)): every
             // partial carries the same initial contribution (1/N), and
             // the per-clone partial degrees sum to the true out-degree.
+            // The fold runs over borrowed views; only the per-vertex
+            // accumulator is owned.
             let _ = self.vertices;
-            let keyed = KeyedMerge::<u32, (f64, u32), _>::new(|a: (f64, u32), b: (f64, u32)| {
-                (a.0, a.1 + b.1)
-            });
+            let keyed =
+                KeyedMerge::<u32, (f64, u32), _>::folding(|acc: &mut (f64, u32), b: (f64, u32)| {
+                    acc.1 += b.1
+                });
             keyed.merge(0, partials, out)
         } else {
             ConcatMerge.merge(output_index, partials, out)
@@ -165,8 +171,11 @@ impl PageRankJob {
                     }
                     Ok(())
                 },
-                KeyedMerge::<u32, (f64, u32), _>::new(|a: (f64, u32), b: (f64, u32)| {
-                    (a.0 + b.0, a.1.max(b.1))
+                // Per-vertex contribution sums fold in place over
+                // borrowed views (rank combine on the borrowed plane).
+                KeyedMerge::<u32, (f64, u32), _>::folding(|acc: &mut (f64, u32), b: (f64, u32)| {
+                    acc.0 += b.0;
+                    acc.1 = acc.1.max(b.1);
                 }),
             );
             prev_ranks = next_ranks;

@@ -230,6 +230,211 @@ fn bench_compute_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The merge plane (PR 5): the borrowed keyed fold vs the owned-decode
+/// baseline it replaced, trusted `SeqView` iteration vs the validating
+/// second pass, and fixed-stride random access vs sequential checked
+/// decoding of the same bytes.
+fn bench_merge_path(c: &mut Criterion) {
+    use hurricane_common::SplitMix64;
+    use hurricane_core::merges::KeyedMerge;
+    use hurricane_core::task::{BagReader, BagWriter, MergeLogic};
+    use hurricane_core::EngineError;
+    use hurricane_format::{FixedU64, Record, RecordView, SeqView};
+    use std::collections::BTreeMap;
+
+    const RECS: u64 = 40_000;
+    const KEYS: u64 = 1024;
+    const PARTIALS: u64 = 2;
+    const MERGE_CHUNK: usize = 64 * 1024;
+
+    /// The pre-PR-5 `KeyedMerge`: decode every record owned, BTreeMap
+    /// remove+insert per record. Vendored verbatim as the before-number
+    /// for the borrowed fold.
+    struct OwnedKeyedMerge;
+
+    impl MergeLogic for OwnedKeyedMerge {
+        fn merge(
+            &self,
+            _output_index: usize,
+            partials: &mut [BagReader],
+            out: &mut BagWriter,
+        ) -> Result<(), EngineError> {
+            let mut table: BTreeMap<u64, u64> = BTreeMap::new();
+            for p in partials {
+                while let Some(chunk) = p.next_chunk()? {
+                    for (k, v) in hurricane_format::decode_all::<(u64, u64)>(&chunk)? {
+                        match table.remove(&k) {
+                            None => {
+                                table.insert(k, v);
+                            }
+                            Some(prev) => {
+                                table.insert(k, prev + v);
+                            }
+                        }
+                    }
+                }
+            }
+            for (k, v) in table {
+                out.write_record(&(k, v))?;
+            }
+            out.flush()?;
+            Ok(())
+        }
+    }
+
+    /// Two sealed partial bags of (key, count) records plus an output
+    /// writer — the unit a keyed merge consumes per call.
+    fn keyed_setup() -> (Vec<BagReader>, BagWriter) {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let mut readers = Vec::new();
+        for part in 0..PARTIALS {
+            let bag = cluster.create_bag();
+            let mut w = BagWriter::open(cluster.clone(), bag, part, MERGE_CHUNK);
+            for i in 0..RECS / PARTIALS {
+                let key = SplitMix64::mix(part * 1_000_003 + i) % KEYS;
+                w.write_record(&(key, 1u64)).unwrap();
+            }
+            w.flush().unwrap();
+            cluster.seal_bag(bag).unwrap();
+            readers.push(BagReader::open(cluster.clone(), bag, 100 + part, 4, None));
+        }
+        let out_bag = cluster.create_bag();
+        let out = BagWriter::open(cluster, out_bag, 999, MERGE_CHUNK);
+        (readers, out)
+    }
+
+    let mut g = c.benchmark_group("merge_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(RECS));
+    g.bench_function("keyed_fold/owned_btree", |b| {
+        b.iter_batched(
+            keyed_setup,
+            |(mut readers, mut out)| {
+                OwnedKeyedMerge.merge(0, &mut readers, &mut out).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("keyed_fold/borrowed", |b| {
+        let live = KeyedMerge::<u64, u64, _>::new(|a, b| a + b);
+        b.iter_batched(
+            keyed_setup,
+            |(mut readers, mut out)| {
+                live.merge(0, &mut readers, &mut out).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Sequence iteration: records holding (id, name) element lists —
+    // the shape where the validating second pass genuinely re-pays
+    // (UTF-8 revalidation, length checks, Result plumbing per element).
+    // The views are validated once outside the measurement, mirroring a
+    // merge fold that constructs the record view and then walks the
+    // sequence — the measured pass is only the per-element re-read.
+    const SEQ_RECORDS: usize = 256;
+    const ELEMS_PER: usize = 16;
+    let seq_recs: Vec<Vec<(u32, String)>> = (0..SEQ_RECORDS)
+        .map(|i| {
+            (0..ELEMS_PER)
+                .map(|j| (j as u32, format!("member-{i}-{j}")))
+                .collect()
+        })
+        .collect();
+    let mut seq_buf = Vec::new();
+    for r in &seq_recs {
+        r.encode(&mut seq_buf);
+    }
+    let mut views: Vec<SeqView<(u32, String)>> = Vec::new();
+    let mut rest = seq_buf.as_slice();
+    while !rest.is_empty() {
+        views.push(Vec::<(u32, String)>::decode_view(&mut rest).unwrap());
+    }
+    g.throughput(Throughput::Elements((SEQ_RECORDS * ELEMS_PER) as u64));
+    g.bench_function("seq_iter/validating", |b| {
+        b.iter(|| {
+            // The pre-PR-5 second pass: re-decode each element with the
+            // checked decoder.
+            let mut bytes = 0usize;
+            for v in &views {
+                let mut rest = v.payload();
+                for _ in 0..v.len() {
+                    let (id, name) = <(u32, String)>::decode_view(&mut rest).unwrap();
+                    bytes += id as usize + name.len();
+                }
+            }
+            bytes
+        })
+    });
+    g.bench_function("seq_iter/trusted", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for v in &views {
+                for (id, name) in v.iter() {
+                    bytes += id as usize + name.len();
+                }
+            }
+            bytes
+        })
+    });
+
+    // Fixed stride: bitset-style dense words in the constant-width wire
+    // form, summing every 8th word (the sparse-batch pattern random
+    // access exists for). `get` touches exactly the words it needs; the
+    // baseline has no stride, so reaching element i means sequentially
+    // decoding elements 0..i — the whole sequence, checked.
+    const WORD_RECORDS: usize = 256;
+    const WORDS_PER: usize = 64;
+    const GATHER_STEP: usize = 8;
+    let fixed_recs: Vec<Vec<FixedU64>> = (0..WORD_RECORDS)
+        .map(|i| {
+            (0..WORDS_PER)
+                .map(|j| FixedU64(SplitMix64::mix((i * WORDS_PER + j) as u64)))
+                .collect()
+        })
+        .collect();
+    let mut fixed_buf = Vec::new();
+    for r in &fixed_recs {
+        r.encode(&mut fixed_buf);
+    }
+    let mut fixed_views: Vec<SeqView<FixedU64>> = Vec::new();
+    let mut rest = fixed_buf.as_slice();
+    while !rest.is_empty() {
+        fixed_views.push(Vec::<FixedU64>::decode_view(&mut rest).unwrap());
+    }
+    let gathered = (WORD_RECORDS * WORDS_PER / GATHER_STEP) as u64;
+    g.throughput(Throughput::Elements(gathered));
+    g.bench_function("fixed_stride/gather_8th/sequential_decode", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in &fixed_views {
+                let mut rest = v.payload();
+                for i in 0..v.len() {
+                    let w = FixedU64::decode_view(&mut rest).unwrap().0;
+                    if i % GATHER_STEP == 0 {
+                        sum = sum.wrapping_add(w);
+                    }
+                }
+            }
+            sum
+        })
+    });
+    g.bench_function("fixed_stride/gather_8th/get", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in &fixed_views {
+                let mut i = 0;
+                while i < v.len() {
+                    sum = sum.wrapping_add(v.get(i).0);
+                    i += GATHER_STEP;
+                }
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
 fn bench_bags(c: &mut Criterion) {
     let mut g = c.benchmark_group("bags");
     g.throughput(Throughput::Elements(1000));
@@ -784,6 +989,7 @@ criterion_group!(
     benches,
     bench_codec,
     bench_compute_path,
+    bench_merge_path,
     bench_bags,
     bench_contended,
     bench_prefetch,

@@ -11,17 +11,52 @@
 //! outputs of `n` clones produces output equal (as a multiset of records,
 //! or exactly where ordering is the point, as in [`SortedMerge`]) to what
 //! a single uncloned task would have produced.
+//!
+//! # The three merge cost classes
+//!
+//! The merge plane is the convergence point of the paper's skew story:
+//! every record a cloned task emits flows through here, so merges are
+//! tiered by how much of the record they ever materialize:
+//!
+//! * **Forward chunks verbatim** — [`ConcatMerge`] moves whole chunks
+//!   from partials to the output as refcount bumps: no decode, no
+//!   re-encode, no byte copy. This is also why chunk *splatting*
+//!   (`TaskCtx::splat_chunk`) composes with the default merge for free —
+//!   a splatted chunk forwarded by `ConcatMerge` is never re-encoded
+//!   anywhere on its path from producer to final bag.
+//! * **Fold borrowed views, own only accumulators** — [`ReduceMerge`]
+//!   and [`KeyedMerge`] stream every record as a [`RecordView`] borrowed
+//!   straight from the chunk bytes and fold it into accumulators in
+//!   place. Only the *surviving* state is owned: one accumulator for a
+//!   reduce, one `(encoded key, accumulator)` table entry per distinct
+//!   key for a keyed merge. The records themselves — including string
+//!   payloads and nested sequences — are never copied out of the chunk.
+//! * **Own the records** — [`SortedMerge`], [`SetUnionMerge`],
+//!   [`TopKMerge`] and [`MedianMerge`] must compare records that outlive
+//!   their chunks, so they convert each view to an owned record into a
+//!   scratch buffer that is *reused across merge calls* (per logic
+//!   instance; concurrent merges fall back to a fresh buffer), keeping
+//!   steady-state allocation amortized to zero.
+//!
+//! Results re-encode through the single-pass writer path
+//! (`BagWriter::write_record` serializes straight into the chunk
+//! buffer).
 
 use crate::error::EngineError;
 use crate::task::{BagReader, BagWriter, MergeLogic};
-use hurricane_format::{decode_all, Record};
-use std::collections::BTreeMap;
+use hurricane_format::{ChunkReader, RecordView};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::marker::PhantomData;
 
 /// The default merge: concatenates all partial chunks into the output.
 ///
 /// Correct whenever record order and grouping do not matter — map-style
-/// tasks, filters, selects (paper §2.3).
+/// tasks, filters, selects (paper §2.3). Chunks forward verbatim (an
+/// `Arc` bump each): this merge never decodes or re-encodes a byte, so
+/// chunks fanned out by splatting stay shared all the way down.
 pub struct ConcatMerge;
 
 impl MergeLogic for ConcatMerge {
@@ -40,23 +75,103 @@ impl MergeLogic for ConcatMerge {
     }
 }
 
-/// Reduces *all* records across all partials into a single record with a
-/// binary combiner — the shape of the paper's Phase 2 (`partial1 |
-/// partial2`) and Phase 3 (`partial1 + partial2`) merges.
+/// How a merge folds record views into an owned accumulator.
+///
+/// The accumulator is `Option<T>` so the fold owns initialization too:
+/// `None` means no record has been folded yet. Implementations must be
+/// *initialization-neutral* — folding a single record into `None` yields
+/// exactly that record — so that merging one uncloned partial is the
+/// identity.
+///
+/// Obtained via [`ReduceMerge::new`]/[`KeyedMerge::new`] (owned binary
+/// combiner, converts each view to an owned record first) or
+/// [`ReduceMerge::folding`]/[`KeyedMerge::folding`] (in-place borrowed
+/// fold — the allocation-free path for accumulators with heap fields).
+pub trait ViewFold<T: RecordView>: Send + Sync + 'static {
+    /// Folds one record view into the accumulator.
+    fn fold(&self, acc: &mut Option<T>, view: T::View<'_>);
+}
+
+/// [`ViewFold`] adapter over an owned binary combiner `Fn(T, T) -> T`.
+///
+/// Every record is converted to an owned value before combining — free
+/// for `Copy` records, one conversion per record for heap-backed ones.
+/// Prefer the `folding` constructors when the accumulator can absorb
+/// views in place.
+pub struct OwnedCombine<C>(C);
+
+impl<T, C> ViewFold<T> for OwnedCombine<C>
+where
+    T: RecordView + Send + Sync + 'static,
+    C: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    fn fold(&self, acc: &mut Option<T>, view: T::View<'_>) {
+        let owned = T::view_to_owned(view);
+        *acc = Some(match acc.take() {
+            None => owned,
+            Some(a) => (self.0)(a, owned),
+        });
+    }
+}
+
+/// [`ViewFold`] adapter over an in-place borrowed fold
+/// `Fn(&mut T, T::View<'_>)`.
+///
+/// The first record initializes the accumulator (via
+/// [`RecordView::view_to_owned`]); every further record is handed to the
+/// closure as a borrowed view, so nothing else is ever copied out of the
+/// chunk.
+pub struct InPlaceFold<C>(C);
+
+impl<T, C> ViewFold<T> for InPlaceFold<C>
+where
+    T: RecordView + Send + Sync + 'static,
+    C: for<'a> Fn(&mut T, T::View<'a>) + Send + Sync + 'static,
+{
+    fn fold(&self, acc: &mut Option<T>, view: T::View<'_>) {
+        match acc {
+            Some(a) => (self.0)(a, view),
+            None => *acc = Some(T::view_to_owned(view)),
+        }
+    }
+}
+
+/// Reduces *all* records across all partials into a single record — the
+/// shape of the paper's Phase 2 (`partial1 | partial2`) and Phase 3
+/// (`partial1 + partial2`) merges.
+///
+/// Records stream through as borrowed views; only the single surviving
+/// accumulator is owned.
 pub struct ReduceMerge<T, F> {
-    combine: F,
+    fold: F,
     _marker: PhantomData<fn(&T)>,
 }
 
-impl<T, F> ReduceMerge<T, F>
+impl<T, C> ReduceMerge<T, OwnedCombine<C>>
 where
-    T: Record + Send + Sync + 'static,
-    F: Fn(T, T) -> T + Send + Sync + 'static,
+    T: RecordView + Send + Sync + 'static,
+    C: Fn(T, T) -> T + Send + Sync + 'static,
 {
-    /// Creates a reduce merge with binary combiner `combine`.
-    pub fn new(combine: F) -> Self {
+    /// Creates a reduce merge with owned binary combiner `combine`.
+    pub fn new(combine: C) -> Self {
         Self {
-            combine,
+            fold: OwnedCombine(combine),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, C> ReduceMerge<T, InPlaceFold<C>>
+where
+    T: RecordView + Send + Sync + 'static,
+    C: for<'a> Fn(&mut T, T::View<'a>) + Send + Sync + 'static,
+{
+    /// Creates a reduce merge that folds borrowed views into the
+    /// accumulator in place — no per-record owned conversion. The first
+    /// record initializes the accumulator.
+    pub fn folding(fold: C) -> Self {
+        Self {
+            fold: InPlaceFold(fold),
             _marker: PhantomData,
         }
     }
@@ -64,8 +179,8 @@ where
 
 impl<T, F> MergeLogic for ReduceMerge<T, F>
 where
-    T: Record + Send + Sync + 'static,
-    F: Fn(T, T) -> T + Send + Sync + 'static,
+    T: RecordView + Send + Sync + 'static,
+    F: ViewFold<T>,
 {
     fn merge(
         &self,
@@ -76,12 +191,7 @@ where
         let mut acc: Option<T> = None;
         for p in partials {
             while let Some(chunk) = p.next_chunk()? {
-                for rec in decode_all::<T>(&chunk)? {
-                    acc = Some(match acc.take() {
-                        None => rec,
-                        Some(a) => (self.combine)(a, rec),
-                    });
-                }
+                ChunkReader::<T>::new(&chunk).for_each(|v| self.fold.fold(&mut acc, v))?;
             }
         }
         if let Some(a) = acc {
@@ -92,23 +202,79 @@ where
     }
 }
 
+/// FxHash-style byte hasher for the keyed-merge table. Keys are short
+/// encoded records hashed on every record of every partial; SipHash's
+/// per-call setup would dominate at that grain.
+#[derive(Default)]
+struct FxBytesHasher(u64);
+
+impl Hasher for FxBytesHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"));
+            self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Disambiguate short tails by length (rem.len() < 8, so byte
+            // 7 is never a data byte).
+            tail[7] = rem.len() as u8;
+            let v = u64::from_le_bytes(tail);
+            self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Merges keyed records by combining values of equal keys — the merge
 /// combiner shape (group-by aggregation) generalized to clone partials.
+///
+/// The hot loop never materializes a record: each `(key, value)` pair is
+/// decoded as borrowed views, the key's *encoded bytes* (which are equal
+/// iff the keys are equal — the codec is canonical) index a hash table,
+/// and the value view folds into that key's accumulator in place. Only
+/// the surviving entries own memory: one boxed key-byte string plus one
+/// accumulator per distinct key. Keys are decoded once at emit time and
+/// the output is written in key order, so results are deterministic.
 pub struct KeyedMerge<K, V, F> {
-    combine: F,
+    fold: F,
     _marker: PhantomData<fn(&K, &V)>,
 }
 
-impl<K, V, F> KeyedMerge<K, V, F>
+impl<K, V, C> KeyedMerge<K, V, OwnedCombine<C>>
 where
-    K: Record + Ord + Send + Sync + 'static,
-    V: Record + Send + Sync + 'static,
-    F: Fn(V, V) -> V + Send + Sync + 'static,
+    K: RecordView + Ord + Send + Sync + 'static,
+    V: RecordView + Send + Sync + 'static,
+    C: Fn(V, V) -> V + Send + Sync + 'static,
 {
-    /// Creates a keyed merge with per-key value combiner `combine`.
-    pub fn new(combine: F) -> Self {
+    /// Creates a keyed merge with owned per-key value combiner `combine`.
+    pub fn new(combine: C) -> Self {
         Self {
-            combine,
+            fold: OwnedCombine(combine),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V, C> KeyedMerge<K, V, InPlaceFold<C>>
+where
+    K: RecordView + Ord + Send + Sync + 'static,
+    V: RecordView + Send + Sync + 'static,
+    C: for<'a> Fn(&mut V, V::View<'a>) + Send + Sync + 'static,
+{
+    /// Creates a keyed merge whose values fold into the per-key
+    /// accumulator as borrowed views, in place. The first value of each
+    /// key initializes its accumulator.
+    pub fn folding(fold: C) -> Self {
+        Self {
+            fold: InPlaceFold(fold),
             _marker: PhantomData,
         }
     }
@@ -116,9 +282,9 @@ where
 
 impl<K, V, F> MergeLogic for KeyedMerge<K, V, F>
 where
-    K: Record + Ord + Send + Sync + 'static,
-    V: Record + Send + Sync + 'static,
-    F: Fn(V, V) -> V + Send + Sync + 'static,
+    K: RecordView + Ord + Send + Sync + 'static,
+    V: RecordView + Send + Sync + 'static,
+    F: ViewFold<V>,
 {
     fn merge(
         &self,
@@ -126,26 +292,72 @@ where
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        let mut table: BTreeMap<K, V> = BTreeMap::new();
+        // Keyed by the key's encoded bytes rather than the decoded key:
+        // equal keys encode identically (and vice versa), so no owned
+        // key — and no Hash bridge between K and its view — is needed on
+        // the per-record path. The manual span walk (instead of a
+        // ChunkReader driver) is what exposes each key's byte range.
+        let mut table: HashMap<Box<[u8]>, Option<V>, BuildHasherDefault<FxBytesHasher>> =
+            HashMap::default();
         for p in partials {
             while let Some(chunk) = p.next_chunk()? {
-                for (k, v) in decode_all::<(K, V)>(&chunk)? {
-                    match table.remove(&k) {
+                let mut rest = chunk.bytes();
+                while !rest.is_empty() {
+                    let record_start = rest;
+                    K::decode_view(&mut rest).map_err(EngineError::Codec)?;
+                    let key_bytes = &record_start[..record_start.len() - rest.len()];
+                    let value = V::decode_view(&mut rest).map_err(EngineError::Codec)?;
+                    match table.get_mut(key_bytes) {
+                        Some(slot) => self.fold.fold(slot, value),
                         None => {
-                            table.insert(k, v);
-                        }
-                        Some(prev) => {
-                            table.insert(k, (self.combine)(prev, v));
+                            let mut slot = None;
+                            self.fold.fold(&mut slot, value);
+                            table.insert(key_bytes.into(), slot);
                         }
                     }
                 }
             }
         }
-        for (k, v) in table {
-            out.write_record(&(k, v))?;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(table.len());
+        for (key_bytes, slot) in table {
+            let mut kb = &key_bytes[..];
+            let key = K::decode(&mut kb).expect("key bytes were validated on ingest");
+            entries.push((key, slot.expect("every table slot is filled on insert")));
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for rec in &entries {
+            out.write_record(rec)?;
         }
         out.flush()?;
         Ok(())
+    }
+}
+
+/// A reusable owned-record buffer shared across `merge` calls.
+///
+/// `MergeLogic::merge` takes `&self`, and the same logic instance may
+/// merge several outputs (possibly concurrently). The scratch hands out
+/// its buffer under a `try_lock`: the steady-state sequential case reuses
+/// one allocation forever; a concurrent merge simply takes a fresh
+/// buffer instead of blocking.
+struct Scratch<T>(Mutex<Vec<T>>);
+
+impl<T> Scratch<T> {
+    fn new() -> Self {
+        Self(Mutex::new(Vec::new()))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        match self.0.try_lock() {
+            Some(mut buf) => {
+                buf.clear();
+                let r = f(&mut buf);
+                // Drop the owned records now; keep the capacity.
+                buf.clear();
+                r
+            }
+            None => f(&mut Vec::new()),
+        }
     }
 }
 
@@ -160,111 +372,97 @@ where
 /// from a single storage node (FIFO per node) or k-way-merges the sorted
 /// chunks it removes — both cheap because every chunk is already sorted.
 pub struct SortedMerge<T> {
-    _marker: PhantomData<fn(&T)>,
+    scratch: Scratch<T>,
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> SortedMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> SortedMerge<T> {
     /// Creates a sorted merge.
     pub fn new() -> Self {
         Self {
-            _marker: PhantomData,
+            scratch: Scratch::new(),
         }
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> Default for SortedMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> Default for SortedMerge<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for SortedMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> MergeLogic for SortedMerge<T> {
     fn merge(
         &self,
         _output_index: usize,
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        // Chunk arrival order within one partial need not be sorted (bags
-        // are unordered), so collect per-partial, sort, then k-way merge
-        // degenerates to a global sort-merge. Still streaming-friendly at
-        // chunk granularity for the common single-chunk partials.
-        let mut runs: Vec<Vec<T>> = Vec::with_capacity(partials.len());
-        for p in partials.iter_mut() {
-            let mut run = Vec::new();
-            while let Some(chunk) = p.next_chunk()? {
-                run.extend(decode_all::<T>(&chunk)?);
-            }
-            run.sort();
-            runs.push(run);
-        }
-        let mut cursors = vec![0usize; runs.len()];
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, run) in runs.iter().enumerate() {
-                if cursors[i] < run.len() {
-                    best = match best {
-                        None => Some(i),
-                        Some(b) if run[cursors[i]] < runs[b][cursors[b]] => Some(i),
-                        keep => keep,
-                    };
+        // Sorting needs records that outlive their chunks, so this is an
+        // owning merge: views convert into the reused scratch buffer and
+        // one unstable sort replaces the per-partial sort + k-way merge
+        // (same output, no per-output-record O(partials) scan).
+        self.scratch.with(|all| {
+            for p in partials.iter_mut() {
+                while let Some(chunk) = p.next_chunk()? {
+                    ChunkReader::<T>::new(&chunk).for_each(|v| all.push(T::view_to_owned(v)))?;
                 }
             }
-            match best {
-                None => break,
-                Some(i) => {
-                    out.write_record(&runs[i][cursors[i]])?;
-                    cursors[i] += 1;
-                }
+            all.sort_unstable();
+            for rec in all.iter() {
+                out.write_record(rec)?;
             }
-        }
-        out.flush()?;
-        Ok(())
+            out.flush()?;
+            Ok(())
+        })
     }
 }
 
 /// Set-union merge: deduplicates records across partials (distinct
 /// values / duplicate removal, one of the paper's non commutative-
-/// associative examples).
+/// associative examples). Output is emitted in ascending order.
 pub struct SetUnionMerge<T> {
-    _marker: PhantomData<fn(&T)>,
+    scratch: Scratch<T>,
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> SetUnionMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> SetUnionMerge<T> {
     /// Creates a set-union merge.
     pub fn new() -> Self {
         Self {
-            _marker: PhantomData,
+            scratch: Scratch::new(),
         }
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> Default for SetUnionMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> Default for SetUnionMerge<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for SetUnionMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> MergeLogic for SetUnionMerge<T> {
     fn merge(
         &self,
         _output_index: usize,
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        let mut set = std::collections::BTreeSet::new();
-        for p in partials {
-            while let Some(chunk) = p.next_chunk()? {
-                for rec in decode_all::<T>(&chunk)? {
-                    set.insert(rec);
+        // sort + dedup over the reused scratch replaces the old BTreeSet
+        // (a node allocation per distinct record) while producing the
+        // same ascending output.
+        self.scratch.with(|all| {
+            for p in partials.iter_mut() {
+                while let Some(chunk) = p.next_chunk()? {
+                    ChunkReader::<T>::new(&chunk).for_each(|v| all.push(T::view_to_owned(v)))?;
                 }
             }
-        }
-        for rec in set {
-            out.write_record(&rec)?;
-        }
-        out.flush()?;
-        Ok(())
+            all.sort_unstable();
+            all.dedup();
+            for rec in all.iter() {
+                out.write_record(rec)?;
+            }
+            out.flush()?;
+            Ok(())
+        })
     }
 }
 
@@ -272,44 +470,57 @@ impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for SetUnionMerge<T> {
 /// in descending order.
 pub struct TopKMerge<T> {
     k: usize,
-    _marker: PhantomData<fn(&T)>,
+    scratch: Scratch<Reverse<T>>,
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> TopKMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> TopKMerge<T> {
     /// Creates a top-`k` merge.
     pub fn new(k: usize) -> Self {
         Self {
             k,
-            _marker: PhantomData,
+            scratch: Scratch::new(),
         }
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for TopKMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> MergeLogic for TopKMerge<T> {
     fn merge(
         &self,
         _output_index: usize,
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        let mut heap = std::collections::BinaryHeap::new(); // Min-heap via Reverse.
-        for p in partials {
-            while let Some(chunk) = p.next_chunk()? {
-                for rec in decode_all::<T>(&chunk)? {
-                    heap.push(std::cmp::Reverse(rec));
-                    if heap.len() > self.k {
-                        heap.pop();
-                    }
+        // A min-heap of at most k owned records (via Reverse); records
+        // that cannot displace the current minimum are dropped without
+        // entering the heap. The heap's backing vec is the reused
+        // scratch.
+        self.scratch.with(|vec| {
+            let mut heap = BinaryHeap::from(std::mem::take(vec));
+            for p in partials.iter_mut() {
+                while let Some(chunk) = p.next_chunk()? {
+                    ChunkReader::<T>::new(&chunk).for_each(|v| {
+                        let rec = T::view_to_owned(v);
+                        if heap.len() < self.k {
+                            heap.push(Reverse(rec));
+                        } else if let Some(min) = heap.peek() {
+                            if rec > min.0 {
+                                heap.pop();
+                                heap.push(Reverse(rec));
+                            }
+                        }
+                    })?;
                 }
             }
-        }
-        let mut top: Vec<T> = heap.into_iter().map(|r| r.0).collect();
-        top.sort_by(|a, b| b.cmp(a));
-        for rec in top {
-            out.write_record(&rec)?;
-        }
-        out.flush()?;
-        Ok(())
+            let mut top = heap.into_vec();
+            // Ascending Reverse<T> is descending T.
+            top.sort_unstable();
+            for rec in top.iter() {
+                out.write_record(&rec.0)?;
+            }
+            out.flush()?;
+            *vec = top;
+            Ok(())
+        })
     }
 }
 
@@ -317,51 +528,54 @@ impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for TopKMerge<T> {
 /// canonical example of an operation that shuffle-based combining cannot
 /// express but whole-partial merging can.
 pub struct MedianMerge<T> {
-    _marker: PhantomData<fn(&T)>,
+    scratch: Scratch<T>,
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> MedianMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> MedianMerge<T> {
     /// Creates a median merge.
     pub fn new() -> Self {
         Self {
-            _marker: PhantomData,
+            scratch: Scratch::new(),
         }
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> Default for MedianMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> Default for MedianMerge<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T: Record + Ord + Send + Sync + 'static> MergeLogic for MedianMerge<T> {
+impl<T: RecordView + Ord + Send + Sync + 'static> MergeLogic for MedianMerge<T> {
     fn merge(
         &self,
         _output_index: usize,
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        let mut all = Vec::new();
-        for p in partials {
-            while let Some(chunk) = p.next_chunk()? {
-                all.extend(decode_all::<T>(&chunk)?);
+        self.scratch.with(|all| {
+            for p in partials.iter_mut() {
+                while let Some(chunk) = p.next_chunk()? {
+                    ChunkReader::<T>::new(&chunk).for_each(|v| all.push(T::view_to_owned(v)))?;
+                }
             }
-        }
-        if all.is_empty() {
-            return Ok(());
-        }
-        let mid = (all.len() - 1) / 2;
-        all.sort();
-        out.write_record(&all[mid])?;
-        out.flush()?;
-        Ok(())
+            if all.is_empty() {
+                return Ok(());
+            }
+            let mid = (all.len() - 1) / 2;
+            // Selection, not a full sort: O(n) expected.
+            let (_, median, _) = all.select_nth_unstable(mid);
+            out.write_record(&*median)?;
+            out.flush()?;
+            Ok(())
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hurricane_format::{decode_all, FixedU64, Record, SeqView};
     use hurricane_storage::{ClusterConfig, StorageCluster};
     use std::sync::Arc;
 
@@ -445,6 +659,44 @@ mod tests {
     }
 
     #[test]
+    fn reduce_folding_ors_bitsets_in_place() {
+        // The borrowed-fold path: word views OR straight into the
+        // accumulator, no owned Vec per record.
+        fn or_into(acc: &mut Vec<u64>, words: SeqView<'_, u64>) {
+            if words.len() > acc.len() {
+                acc.resize(words.len(), 0);
+            }
+            for (slot, w) in acc.iter_mut().zip(words.iter()) {
+                *slot |= w;
+            }
+        }
+        let got: Vec<Vec<u64>> = run_merge(
+            3,
+            |i| vec![vec![1u64 << i, if i == 2 { 0b100 } else { 0 }]],
+            ReduceMerge::folding(or_into),
+        );
+        assert_eq!(got, vec![vec![0b111, 0b100]]);
+    }
+
+    #[test]
+    fn reduce_folding_over_fixed_words() {
+        fn or_into(acc: &mut Vec<FixedU64>, words: SeqView<'_, FixedU64>) {
+            if words.len() > acc.len() {
+                acc.resize(words.len(), FixedU64(0));
+            }
+            for (slot, w) in acc.iter_mut().zip(words.iter()) {
+                slot.0 |= w.0;
+            }
+        }
+        let got: Vec<Vec<FixedU64>> = run_merge(
+            4,
+            |i| vec![vec![FixedU64(1 << i)]],
+            ReduceMerge::folding(or_into),
+        );
+        assert_eq!(got, vec![vec![FixedU64(0b1111)]]);
+    }
+
+    #[test]
     fn reduce_single_partial_is_identity() {
         let got: Vec<u64> = run_merge(1, |_| vec![42], ReduceMerge::new(|a: u64, b: u64| a + b));
         assert_eq!(got, vec![42]);
@@ -469,6 +721,39 @@ mod tests {
     }
 
     #[test]
+    fn keyed_merge_emits_in_key_order() {
+        let got: Vec<(u32, u64)> = run_merge(
+            3,
+            |i| (0..10u32).rev().map(|k| (k, i as u64 + 1)).collect(),
+            KeyedMerge::<u32, u64, _>::new(|a, b| a + b),
+        );
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "keys ascending");
+        assert!(got.iter().all(|&(_, v)| v == 6), "1+2+3 per key");
+    }
+
+    #[test]
+    fn keyed_merge_folding_combines_in_place() {
+        let got: Vec<(String, (u64, u64))> = run_merge(
+            2,
+            |i| {
+                vec![
+                    ("a".to_string(), (i as u64, 1)),
+                    ("b".to_string(), (10, i as u64)),
+                ]
+            },
+            KeyedMerge::<String, (u64, u64), _>::folding(|acc, v: (u64, u64)| {
+                acc.0 += v.0;
+                acc.1 = acc.1.max(v.1);
+            }),
+        );
+        assert_eq!(
+            got,
+            vec![("a".to_string(), (1, 1)), ("b".to_string(), (20, 1)),]
+        );
+    }
+
+    #[test]
     fn sorted_merge_orders_globally() {
         let got: Vec<u64> = run_merge(
             3,
@@ -490,6 +775,31 @@ mod tests {
     }
 
     #[test]
+    fn sorted_merge_scratch_survives_reuse() {
+        // The same logic instance runs several merges: the scratch must
+        // fully reset between calls (no leakage across outputs).
+        let merge = SortedMerge::<u64>::new();
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        for round in 0..3u64 {
+            let bag = cluster.create_bag();
+            let mut w = BagWriter::open(cluster.clone(), bag, round, 64);
+            for v in [3 + round, 1 + round, 2 + round] {
+                w.write_record(&v).unwrap();
+            }
+            w.flush().unwrap();
+            cluster.seal_bag(bag).unwrap();
+            let mut readers = vec![BagReader::open(cluster.clone(), bag, 50 + round, 2, None)];
+            let out_bag = cluster.create_bag();
+            let mut out = BagWriter::open(cluster.clone(), out_bag, 99, 64);
+            merge.merge(0, &mut readers, &mut out).unwrap();
+            out.flush().unwrap();
+            cluster.seal_bag(out_bag).unwrap();
+            let got = read_bag::<u64>(&cluster, out_bag);
+            assert_eq!(got, vec![1 + round, 2 + round, 3 + round]);
+        }
+    }
+
+    #[test]
     fn set_union_dedups() {
         let got: Vec<u64> = run_merge(3, |i| vec![1, 2, 2 + i as u64], SetUnionMerge::<u64>::new());
         assert_eq!(got, vec![1, 2, 3, 4]);
@@ -506,6 +816,16 @@ mod tests {
     }
 
     #[test]
+    fn topk_with_duplicates_and_small_input() {
+        // Two partials of [5, 5, 1] make the multiset {5,5,5,5,1,1}.
+        let got: Vec<u64> = run_merge(2, |_| vec![5, 5, 1], TopKMerge::<u64>::new(5));
+        assert_eq!(got, vec![5, 5, 5, 5, 1]);
+        // k = 0 emits nothing.
+        let got: Vec<u64> = run_merge(2, |_| vec![7], TopKMerge::<u64>::new(0));
+        assert!(got.is_empty());
+    }
+
+    #[test]
     fn median_of_all_partials() {
         let got: Vec<u64> = run_merge(
             2,
@@ -519,5 +839,18 @@ mod tests {
     fn median_of_empty_is_empty() {
         let got: Vec<u64> = run_merge(2, |_| vec![], MedianMerge::<u64>::new());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_lengths_and_bytes() {
+        fn hash(bytes: &[u8]) -> u64 {
+            let mut h = FxBytesHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        assert_ne!(hash(b"a"), hash(b"b"));
+        assert_ne!(hash(b"abc"), hash(b"abcd"));
+        assert_ne!(hash(&[0; 3]), hash(&[0; 4]));
+        assert_eq!(hash(b"hurricane"), hash(b"hurricane"));
     }
 }

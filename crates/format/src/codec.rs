@@ -80,8 +80,9 @@ const fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-/// Inverse of [`zigzag`].
-const fn unzigzag(v: u64) -> i64 {
+/// Inverse of [`zigzag`]. `pub(crate)` so the trusted view decoders can
+/// share the mapping.
+pub(crate) const fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -255,6 +256,61 @@ impl Record for Blob {
     }
 }
 
+/// A `u32` with a fixed four-byte little-endian wire form.
+///
+/// The varint codecs optimize for *small* values; data whose values are
+/// dense bit patterns (hash keys, bitset words, packed ids) pays 5–10
+/// varint bytes per word *and* a data-dependent decode loop. The fixed
+/// forms trade those bytes for a constant-size encoding, which is what
+/// makes a sequence of them [`crate::view::FixedStride`]: random access
+/// by offset multiplication and branch-free batch loops over chunk bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct FixedU32(pub u32);
+
+/// A `u64` with a fixed eight-byte little-endian wire form.
+///
+/// See [`FixedU32`] for when to prefer the fixed forms over varints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct FixedU64(pub u64);
+
+macro_rules! fixed_le_record {
+    ($ty:ty, $inner:ty, $bytes:literal) => {
+        impl Record for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.0.to_le_bytes());
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let b = take(input, $bytes)?;
+                let mut arr = [0u8; $bytes];
+                arr.copy_from_slice(b);
+                Ok(Self(<$inner>::from_le_bytes(arr)))
+            }
+
+            fn encoded_len(&self) -> usize {
+                $bytes
+            }
+        }
+    };
+}
+
+fixed_le_record!(FixedU32, u32, 4);
+fixed_le_record!(FixedU64, u64, 8);
+
+impl From<u32> for FixedU32 {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<u64> for FixedU64 {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
 impl<T: Record> Record for Option<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -415,6 +471,23 @@ mod tests {
         let mut b = Vec::new();
         "hi".to_string().encode(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_ints_roundtrip_at_constant_width() {
+        roundtrip(FixedU32(0));
+        roundtrip(FixedU32(u32::MAX));
+        roundtrip(FixedU64(0));
+        roundtrip(FixedU64(u64::MAX));
+        // Unlike varints, width never depends on the value.
+        assert_eq!(FixedU32(0).encoded_len(), 4);
+        assert_eq!(FixedU32(u32::MAX).encoded_len(), 4);
+        assert_eq!(FixedU64(1).encoded_len(), 8);
+        assert_eq!(FixedU64(u64::MAX).encoded_len(), 8);
+        roundtrip((FixedU32(7), FixedU64(1 << 60)));
+        roundtrip(vec![FixedU64(3), FixedU64(u64::MAX), FixedU64(0)]);
+        assert_eq!(FixedU64::from(9u64), FixedU64(9));
+        assert_eq!(FixedU32::from(9u32), FixedU32(9));
     }
 
     #[test]

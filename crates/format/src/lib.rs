@@ -16,7 +16,11 @@
 //!   tuples (nested composition gives "nested tuples" as in the paper).
 //! * [`view::RecordView`] — the borrowed half of the codec: decode a
 //!   record as a view whose `&str`/`&[u8]` fields point straight into the
-//!   chunk, for allocation-free hot loops. See the [`view`] module docs
+//!   chunk, for allocation-free hot loops. Spans validated once re-read
+//!   through the trusted decoder (no second round of checks), and
+//!   [`view::FixedStride`] types ([`codec::FixedU32`]/[`codec::FixedU64`],
+//!   floats, tuples of them) get O(1) random access into sequences and
+//!   whole chunks ([`view::StrideSlice`]). See the [`view`] module docs
 //!   for when to use `Record` vs `RecordView`.
 //! * [`stream::ChunkWriter`] / [`stream::ChunkReader`] — the typed
 //!   iterators that serialize a record stream into boundary-respecting
@@ -53,9 +57,9 @@ pub mod varint;
 pub mod view;
 
 pub use chunk::{Chunk, DEFAULT_CHUNK_SIZE};
-pub use codec::{Blob, CodecError, Record};
+pub use codec::{Blob, CodecError, FixedU32, FixedU64, Record};
 pub use stream::{
-    decode_all, encode_all, fold_views, for_each_view, try_for_each_view, ChunkBuf, ChunkReader,
-    ChunkWriter,
+    decode_all, encode_all, fold_views, for_each_view, stride_records, try_for_each_view, ChunkBuf,
+    ChunkReader, ChunkWriter,
 };
-pub use view::{RecordView, SeqIter, SeqView};
+pub use view::{FixedStride, RecordView, SeqChunks, SeqIter, SeqView, StrideIter, StrideSlice};

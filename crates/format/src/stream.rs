@@ -9,7 +9,7 @@
 
 use crate::chunk::Chunk;
 use crate::codec::{CodecError, Record};
-use crate::view::RecordView;
+use crate::view::{FixedStride, RecordView, StrideSlice};
 use core::marker::PhantomData;
 
 /// Serializes records into fixed-capacity chunks.
@@ -394,6 +394,19 @@ where
     F: for<'a> FnMut(Acc, T::View<'a>) -> Acc,
 {
     ChunkReader::<T>::new(chunk).fold(init, f)
+}
+
+/// Types `chunk` as a run of fixed-stride records with O(1) random
+/// access — no validating decode pass at all.
+///
+/// Because records never cross chunk boundaries and a [`FixedStride`]
+/// type's every value occupies exactly `STRIDE` bytes, a chunk of such
+/// records is well-formed iff its length divides evenly; the returned
+/// [`StrideSlice`] then reads any record by offset arithmetic. This is
+/// the batch-loop entry point for int-tuple chunks (e.g. a hash join's
+/// partitioned `(key, payload)` pairs).
+pub fn stride_records<T: FixedStride>(chunk: &Chunk) -> Result<StrideSlice<'_, T>, CodecError> {
+    StrideSlice::new(chunk.bytes())
 }
 
 /// Encodes `records` into a sequence of chunks of at most `chunk_size`

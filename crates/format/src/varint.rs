@@ -29,6 +29,45 @@ pub fn encoded_len(value: u64) -> usize {
     core::cmp::max(1, bits.div_ceil(7))
 }
 
+/// Decodes a LEB128 value whose bytes were already validated by
+/// [`decode`] — no truncation, length, or overflow checks.
+///
+/// This is the trusted-bytes half of the varint codec: sequence views
+/// ([`crate::SeqView`]) validate a whole span once at construction and
+/// then re-read it on iteration, where every check [`decode`] performs is
+/// a branch the first pass already took.
+///
+/// # Safety
+///
+/// `input` must start with a complete varint that a previous call to
+/// [`decode`] accepted (same bytes, same position). In particular the
+/// terminating byte (MSB clear) must occur within the slice and within
+/// [`MAX_VARINT_LEN`] bytes.
+#[inline]
+pub unsafe fn decode_trusted(input: &mut &[u8]) -> u64 {
+    // SAFETY: the caller guarantees a validated varint starts here, so
+    // byte 0 exists and the terminator lands in bounds.
+    let b0 = *input.get_unchecked(0);
+    if b0 < 0x80 {
+        *input = input.get_unchecked(1..);
+        return b0 as u64;
+    }
+    let mut value = (b0 & 0x7f) as u64;
+    let mut shift = 7u32;
+    let mut i = 1usize;
+    loop {
+        let byte = *input.get_unchecked(i);
+        value |= ((byte & 0x7f) as u64) << shift;
+        i += 1;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    *input = input.get_unchecked(i..);
+    value
+}
+
 /// Decodes a LEB128 value from the front of `input`, advancing it.
 ///
 /// Rejects encodings longer than [`MAX_VARINT_LEN`] and encodings whose
@@ -83,6 +122,32 @@ mod tests {
             u64::MAX,
         ] {
             roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn trusted_decode_agrees_with_validating_decode() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            buf.extend_from_slice(&[0xAA, 0xBB]); // Trailing bytes untouched.
+            let mut checked = buf.as_slice();
+            let want = decode(&mut checked).unwrap();
+            let mut trusted = buf.as_slice();
+            // SAFETY: the same bytes were just accepted by `decode`.
+            let got = unsafe { decode_trusted(&mut trusted) };
+            assert_eq!(got, want);
+            assert_eq!(trusted, checked, "must consume identical bytes for {v}");
         }
     }
 

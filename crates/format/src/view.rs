@@ -15,6 +15,7 @@
 //! | owned type       | `View<'a>`                 |
 //! |------------------|----------------------------|
 //! | integers, floats, `bool`, `()` | the value itself (`Copy`) |
+//! | [`FixedU32`], [`FixedU64`] | the value itself (`Copy`) |
 //! | `String`         | `&'a str`                  |
 //! | [`Blob`]         | `&'a [u8]`                 |
 //! | `Option<T>`      | `Option<T::View<'a>>`      |
@@ -37,6 +38,32 @@
 //! [`Record::decode`], and [`RecordView::view_to_owned`] of the view
 //! equals the owned decode. `tests/props_format.rs` pins this down by
 //! property test across arbitrary chunk boundaries.
+//!
+//! # Trusted bytes: decoding a span twice without validating it twice
+//!
+//! `decode_view` validates as it goes, because chunk bytes arrive from
+//! storage and may be corrupt. But some spans are decoded *twice*: a
+//! [`SeqView`] walks its elements once at construction (to validate them
+//! and find the sequence's end) and again on [`SeqView::iter`]. The
+//! second pass re-ran every truncation/overflow/UTF-8 check the first
+//! pass already passed. [`RecordView::decode_view_trusted`] is the
+//! second reading: an `unsafe` decoder whose contract is that the input
+//! starts with bytes a previous `decode_view` accepted, letting it use
+//! unchecked varint reads, unchecked slicing, and
+//! `str::from_utf8_unchecked`. [`SeqIter`] uses it, which is what makes
+//! `Vec`-heavy records (bitset words, adjacency lists) cheap to re-read.
+//!
+//! # Fixed stride: random access without decoding
+//!
+//! Varint encodings are value-dependent, so element `i` of a sequence is
+//! only reachable by decoding elements `0..i`. Types whose encoding is a
+//! compile-time constant size — floats, [`FixedU32`]/[`FixedU64`], and
+//! tuples of such — implement [`FixedStride`], and their sequences gain
+//! O(1) random access ([`SeqView::get`]), [`SeqView::split_at`] /
+//! [`SeqView::chunks_exact`] for batch loops, and whole-chunk access via
+//! [`StrideSlice`] (every record in a chunk of fixed-stride records sits
+//! at a known offset). The layout is flat little-endian bytes, which is
+//! the shape SIMD-friendly loops want.
 //!
 //! # Lifetimes: borrowing from the chunk
 //!
@@ -72,9 +99,34 @@
 //! assert_eq!(hits, 10);
 //! ```
 
-use crate::codec::{take, Blob, CodecError, Record};
+use crate::codec::{take, unzigzag, Blob, CodecError, FixedU32, FixedU64, Record};
 use crate::varint;
 use core::marker::PhantomData;
+
+/// Advances `input` past its first `n` bytes without a bounds check.
+///
+/// # Safety
+///
+/// `input` must hold at least `n` bytes.
+#[inline]
+unsafe fn take_trusted<'a>(input: &mut &'a [u8], n: usize) -> &'a [u8] {
+    debug_assert!(input.len() >= n);
+    let head = input.get_unchecked(..n);
+    *input = input.get_unchecked(n..);
+    head
+}
+
+/// Reads `N` little-endian bytes without a bounds check.
+///
+/// # Safety
+///
+/// `input` must hold at least `N` bytes.
+#[inline]
+unsafe fn read_array_trusted<const N: usize>(input: &mut &[u8]) -> [u8; N] {
+    let bytes = take_trusted(input, N);
+    // SAFETY: `bytes` has exactly N elements.
+    bytes.try_into().unwrap_unchecked()
+}
 
 /// A record type with a borrowed decoded form.
 ///
@@ -92,18 +144,66 @@ pub trait RecordView: Record {
     /// advancing the input exactly as [`Record::decode`] would.
     fn decode_view<'a>(input: &mut &'a [u8]) -> Result<Self::View<'a>, CodecError>;
 
+    /// Decodes one record from bytes that a previous
+    /// [`RecordView::decode_view`] call already accepted, skipping the
+    /// validation that pass performed (bounds, varint canonicality,
+    /// UTF-8). Must consume exactly the bytes `decode_view` consumed and
+    /// produce an equal view.
+    ///
+    /// The default implementation simply re-validates; the in-crate
+    /// types override it with genuinely unchecked reads. This is what
+    /// [`SeqIter`] drives, so a sequence validated once at view
+    /// construction pays no second round of checks on iteration.
+    ///
+    /// # Safety
+    ///
+    /// `input` must start with a byte span (same bytes, same position)
+    /// that `decode_view` previously returned `Ok` for.
+    unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> Self::View<'a> {
+        Self::decode_view(input).expect("trusted bytes were previously validated")
+    }
+
     /// Rebuilds the owned record from a view. The bridge back to the
     /// owned plane — and the instrument the view-law property tests use.
     fn view_to_owned(view: Self::View<'_>) -> Self;
 }
 
+/// Marker for record types whose encoding is a compile-time constant
+/// number of bytes — the precondition for random access into sequences
+/// and chunks of them.
+///
+/// # Safety
+///
+/// Implementations assert two properties that unsafe code (notably
+/// [`StrideSlice`] and [`SeqView::get`]) relies on:
+///
+/// * **Constant size**: every value encodes to exactly `STRIDE` bytes
+///   (`STRIDE > 0`), and both decoders consume exactly `STRIDE` bytes.
+/// * **Totality**: *every* `STRIDE`-byte pattern is a valid encoding —
+///   `decode`/`decode_view` on any `STRIDE` bytes succeeds. (This is why
+///   `bool` — whose decoder rejects tag bytes other than 0/1 — does not
+///   implement `FixedStride` even though its encoding is one byte.)
+///
+/// Together they make offset arithmetic a substitute for sequential
+/// validation: any `k * STRIDE`-byte span can be read as `k` records
+/// with the trusted decoder, no per-element checks.
+pub unsafe trait FixedStride: RecordView {
+    /// Exact encoded size of every value, in bytes. Always positive.
+    const STRIDE: usize;
+}
+
 macro_rules! self_view {
-    ($($ty:ty),+) => {$(
+    ($($ty:ty => |$input:ident| $trusted:expr),+ $(,)?) => {$(
         impl RecordView for $ty {
             type View<'a> = $ty;
 
             fn decode_view(input: &mut &[u8]) -> Result<$ty, CodecError> {
                 <$ty as Record>::decode(input)
+            }
+
+            #[inline]
+            unsafe fn decode_view_trusted($input: &mut &[u8]) -> $ty {
+                $trusted
             }
 
             fn view_to_owned(view: $ty) -> $ty {
@@ -113,7 +213,52 @@ macro_rules! self_view {
     )+};
 }
 
-self_view!(u8, u16, u32, u64, usize, i16, i32, i64, f32, f64, bool, ());
+// SAFETY of the trusted bodies: per the decode_view_trusted contract the
+// input starts with bytes the validating decoder accepted, so every
+// unchecked read stays in bounds and every value-range check (varint
+// canonicality, integer width, bool tag) already passed.
+self_view! {
+    u8 => |input| take_trusted(input, 1)[0],
+    u16 => |input| varint::decode_trusted(input) as u16,
+    u32 => |input| varint::decode_trusted(input) as u32,
+    u64 => |input| varint::decode_trusted(input),
+    usize => |input| varint::decode_trusted(input) as usize,
+    i16 => |input| unzigzag(varint::decode_trusted(input)) as i16,
+    i32 => |input| unzigzag(varint::decode_trusted(input)) as i32,
+    i64 => |input| unzigzag(varint::decode_trusted(input)),
+    f32 => |input| f32::from_le_bytes(read_array_trusted(input)),
+    f64 => |input| f64::from_le_bytes(read_array_trusted(input)),
+    bool => |input| take_trusted(input, 1)[0] == 1,
+    () => |_input| (),
+    FixedU32 => |input| FixedU32(u32::from_le_bytes(read_array_trusted(input))),
+    FixedU64 => |input| FixedU64(u64::from_le_bytes(read_array_trusted(input))),
+}
+
+// SAFETY: one byte always, and `u8::decode` accepts any byte (total).
+unsafe impl FixedStride for u8 {
+    const STRIDE: usize = 1;
+}
+
+// SAFETY: fixed-width little-endian floats; every bit pattern is a valid
+// IEEE-754 value (including NaNs), so the decoders are total.
+unsafe impl FixedStride for f32 {
+    const STRIDE: usize = 4;
+}
+
+// SAFETY: as for `f32`.
+unsafe impl FixedStride for f64 {
+    const STRIDE: usize = 8;
+}
+
+// SAFETY: fixed four-byte little-endian; any bit pattern is a valid u32.
+unsafe impl FixedStride for FixedU32 {
+    const STRIDE: usize = 4;
+}
+
+// SAFETY: fixed eight-byte little-endian; any bit pattern is a valid u64.
+unsafe impl FixedStride for FixedU64 {
+    const STRIDE: usize = 8;
+}
 
 impl RecordView for String {
     type View<'a> = &'a str;
@@ -125,6 +270,14 @@ impl RecordView for String {
         }
         let bytes = take(input, len as usize)?;
         core::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    #[inline]
+    unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> &'a str {
+        // SAFETY (both ops): the validating pass accepted this span, so
+        // the declared length is in bounds and the payload is UTF-8.
+        let len = varint::decode_trusted(input) as usize;
+        core::str::from_utf8_unchecked(take_trusted(input, len))
     }
 
     fn view_to_owned(view: &str) -> String {
@@ -143,6 +296,13 @@ impl RecordView for Blob {
         take(input, len as usize)
     }
 
+    #[inline]
+    unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> &'a [u8] {
+        // SAFETY: length validated in bounds by the accepting pass.
+        let len = varint::decode_trusted(input) as usize;
+        take_trusted(input, len)
+    }
+
     fn view_to_owned(view: &[u8]) -> Blob {
         Blob(view.to_vec())
     }
@@ -159,6 +319,16 @@ impl<T: RecordView> RecordView for Option<T> {
         }
     }
 
+    #[inline]
+    unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> Self::View<'a> {
+        // SAFETY: tag byte exists and is 0 or 1 (validated), and a Some
+        // payload was validated right after it.
+        match take_trusted(input, 1)[0] {
+            0 => None,
+            _ => Some(T::decode_view_trusted(input)),
+        }
+    }
+
     fn view_to_owned(view: Self::View<'_>) -> Self {
         view.map(T::view_to_owned)
     }
@@ -167,12 +337,16 @@ impl<T: RecordView> RecordView for Option<T> {
 /// A lazily decoded sequence view — the borrowed form of `Vec<T>`.
 ///
 /// `decode_view` walks the elements once to validate them and find the
-/// sequence's end (no allocation); [`SeqView::iter`] then re-decodes each
-/// element on demand. Iteration is infallible because the bytes were
-/// validated at view-construction time. The trade is a second decode pass
-/// *if* the caller iterates — still allocation-free, and strictly cheaper
-/// than the owned path (which also decodes every element, into a fresh
-/// `Vec`) whenever any element holds a string or nested vector.
+/// sequence's end (no allocation); [`SeqView::iter`] then re-reads each
+/// element on demand **with the trusted decoder** — unchecked varint and
+/// fixed-width reads, no re-validation — so the second pass costs raw
+/// byte decoding only. Iteration is infallible because the bytes were
+/// validated at view-construction time.
+///
+/// For element types with a [`FixedStride`] encoding the view is also
+/// randomly accessible: [`SeqView::get`], [`SeqView::split_at`] and
+/// [`SeqView::chunks_exact`] index by offset arithmetic instead of
+/// sequential decoding.
 pub struct SeqView<'a, T: RecordView> {
     /// The validated payload: exactly `len` back-to-back encoded records.
     bytes: &'a [u8],
@@ -210,7 +384,9 @@ impl<'a, T: RecordView> SeqView<'a, T> {
         self.bytes
     }
 
-    /// Iterates the element views.
+    /// Iterates the element views. Infallible and unchecked: the span
+    /// was validated when this view was constructed, so each element is
+    /// re-read with [`RecordView::decode_view_trusted`].
     pub fn iter(&self) -> SeqIter<'a, T> {
         SeqIter {
             rest: self.bytes,
@@ -222,6 +398,72 @@ impl<'a, T: RecordView> SeqView<'a, T> {
     /// Collects the elements into an owned `Vec`.
     pub fn to_vec(&self) -> Vec<T> {
         self.iter().map(T::view_to_owned).collect()
+    }
+}
+
+impl<'a, T: FixedStride> SeqView<'a, T> {
+    /// Returns element `i` in O(1) by offset arithmetic — no sequential
+    /// decode of the preceding elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T::View<'a> {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        debug_assert_eq!(self.bytes.len(), self.len * T::STRIDE);
+        let mut at = &self.bytes[i * T::STRIDE..];
+        // SAFETY: the span was validated at construction and fixed
+        // stride places element i at exactly i * STRIDE.
+        unsafe { T::decode_view_trusted(&mut at) }
+    }
+
+    /// Splits into the first `mid` elements and the rest, both still
+    /// zero-copy views over the same chunk bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > self.len()`.
+    pub fn split_at(&self, mid: usize) -> (Self, Self) {
+        assert!(
+            mid <= self.len,
+            "mid {mid} out of bounds (len {})",
+            self.len
+        );
+        let at = mid * T::STRIDE;
+        (
+            SeqView {
+                bytes: &self.bytes[..at],
+                len: mid,
+                _marker: PhantomData,
+            },
+            SeqView {
+                bytes: &self.bytes[at..],
+                len: self.len - mid,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Iterates `chunk_len`-element sub-views (the `chunks_exact` shape):
+    /// every yielded view has exactly `chunk_len` elements; the tail that
+    /// doesn't fill a whole sub-view is available from
+    /// [`SeqChunks::remainder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn chunks_exact(&self, chunk_len: usize) -> SeqChunks<'a, T> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        // The tail is fixed at construction (std `ChunksExact`
+        // semantics): `remainder` answers the same view whether the
+        // iterator has been driven or not.
+        let (full, tail) = self.split_at(self.len - self.len % chunk_len);
+        SeqChunks {
+            rest: full,
+            chunk_len,
+            tail,
+        }
     }
 }
 
@@ -244,14 +486,15 @@ pub struct SeqIter<'a, T: RecordView> {
 impl<'a, T: RecordView> Iterator for SeqIter<'a, T> {
     type Item = T::View<'a>;
 
+    #[inline]
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {
             return None;
         }
         self.remaining -= 1;
-        // The bytes were fully decoded once when the SeqView was built,
-        // so re-decoding the identical input cannot fail.
-        Some(T::decode_view(&mut self.rest).expect("SeqView bytes validated at construction"))
+        // SAFETY: the bytes were fully decoded once when the SeqView was
+        // built, so the trusted re-read stays within the validated span.
+        Some(unsafe { T::decode_view_trusted(&mut self.rest) })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -260,6 +503,42 @@ impl<'a, T: RecordView> Iterator for SeqIter<'a, T> {
 }
 
 impl<T: RecordView> ExactSizeIterator for SeqIter<'_, T> {}
+
+/// Iterator of fixed-length [`SeqView`] windows — see
+/// [`SeqView::chunks_exact`].
+pub struct SeqChunks<'a, T: FixedStride> {
+    rest: SeqView<'a, T>,
+    chunk_len: usize,
+    tail: SeqView<'a, T>,
+}
+
+impl<'a, T: FixedStride> SeqChunks<'a, T> {
+    /// The trailing elements (fewer than `chunk_len`) that do not fill a
+    /// whole window. Fixed at construction, like
+    /// `slice::ChunksExact::remainder`: the answer is the same whether
+    /// or not the iterator has been driven.
+    pub fn remainder(&self) -> SeqView<'a, T> {
+        self.tail
+    }
+}
+
+impl<'a, T: FixedStride> Iterator for SeqChunks<'a, T> {
+    type Item = SeqView<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.len() < self.chunk_len {
+            return None;
+        }
+        let (head, tail) = self.rest.split_at(self.chunk_len);
+        self.rest = tail;
+        Some(head)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.len() / self.chunk_len;
+        (n, Some(n))
+    }
+}
 
 impl<T: RecordView> RecordView for Vec<T> {
     type View<'a> = SeqView<'a, T>;
@@ -283,6 +562,25 @@ impl<T: RecordView> RecordView for Vec<T> {
         })
     }
 
+    #[inline]
+    unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> Self::View<'a> {
+        // The walk to find the sequence's end is unavoidable for
+        // variable-size elements, but it runs entirely on trusted reads.
+        // SAFETY: the accepting pass validated the length prefix and all
+        // `len` elements in place.
+        let len = varint::decode_trusted(input) as usize;
+        let start = *input;
+        for _ in 0..len {
+            T::decode_view_trusted(input);
+        }
+        let consumed = start.len() - input.len();
+        SeqView {
+            bytes: start.get_unchecked(..consumed),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
     fn view_to_owned(view: Self::View<'_>) -> Self {
         view.to_vec()
     }
@@ -297,9 +595,22 @@ macro_rules! tuple_view {
                 Ok(($($name::decode_view(input)?,)+))
             }
 
+            #[inline]
+            unsafe fn decode_view_trusted<'a>(input: &mut &'a [u8]) -> Self::View<'a> {
+                // SAFETY: fields were validated in this exact order.
+                ($($name::decode_view_trusted(input),)+)
+            }
+
             fn view_to_owned(view: Self::View<'_>) -> Self {
                 ($($name::view_to_owned(view.$idx),)+)
             }
+        }
+
+        // SAFETY: a tuple of constant-size total encodings is itself a
+        // constant-size total encoding (fields concatenate; each field
+        // accepts any bytes of its width).
+        unsafe impl<$($name: FixedStride),+> FixedStride for ($($name,)+) {
+            const STRIDE: usize = 0 $(+ $name::STRIDE)+;
         }
     };
 }
@@ -311,13 +622,137 @@ tuple_view!(A: 0, B: 1, C: 2, D: 3);
 tuple_view!(A: 0, B: 1, C: 2, D: 3, E: 4);
 tuple_view!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
+/// A typed fixed-stride window over raw encoded bytes: `k` back-to-back
+/// records of a [`FixedStride`] type, randomly accessible without any
+/// prior validating decode.
+///
+/// Where [`SeqView`] is the borrowed form of a `Vec<T>` *record* (length
+/// prefix on the wire, validated at view construction), a `StrideSlice`
+/// types a *bare* byte run — most usefully a whole chunk whose records
+/// are all fixed-stride, where the only well-formedness condition is
+/// that the length divides evenly (the `FixedStride` contract makes
+/// every such slice valid). This is the random-access path for int-tuple
+/// chunks: `get(i)` is offset arithmetic, `iter` is branch-free trusted
+/// reads.
+pub struct StrideSlice<'a, T: FixedStride> {
+    bytes: &'a [u8],
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: FixedStride> core::fmt::Debug for StrideSlice<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "StrideSlice({} elems x {} bytes)", self.len, T::STRIDE)
+    }
+}
+
+impl<T: FixedStride> Clone for StrideSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: FixedStride> Copy for StrideSlice<'_, T> {}
+
+impl<'a, T: FixedStride> StrideSlice<'a, T> {
+    /// Types `bytes` as a run of fixed-stride records. Fails with
+    /// [`CodecError::Truncated`] when the length is not a multiple of
+    /// the stride (a partial trailing record).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        debug_assert!(T::STRIDE > 0, "FixedStride::STRIDE must be positive");
+        if !bytes.len().is_multiple_of(T::STRIDE) {
+            return Err(CodecError::Truncated);
+        }
+        Ok(Self {
+            bytes,
+            len: bytes.len() / T::STRIDE,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of records in the slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true when the slice holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying encoded bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Returns record `i` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T::View<'a> {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut at = &self.bytes[i * T::STRIDE..];
+        // SAFETY: `FixedStride` totality — any STRIDE bytes decode, and
+        // construction guaranteed i * STRIDE + STRIDE <= bytes.len().
+        unsafe { T::decode_view_trusted(&mut at) }
+    }
+
+    /// Iterates the record views with trusted (branch-free) reads.
+    pub fn iter(&self) -> StrideIter<'a, T> {
+        StrideIter {
+            rest: self.bytes,
+            remaining: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: FixedStride> IntoIterator for StrideSlice<'a, T> {
+    type Item = T::View<'a>;
+    type IntoIter = StrideIter<'a, T>;
+
+    fn into_iter(self) -> StrideIter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`StrideSlice`]'s record views.
+pub struct StrideIter<'a, T: FixedStride> {
+    rest: &'a [u8],
+    remaining: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: FixedStride> Iterator for StrideIter<'a, T> {
+    type Item = T::View<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // SAFETY: construction sized `rest` to remaining * STRIDE bytes
+        // and FixedStride totality makes every stride decodable.
+        Some(unsafe { T::decode_view_trusted(&mut self.rest) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<T: FixedStride> ExactSizeIterator for StrideIter<'_, T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use core::fmt;
 
     /// Asserts the view law on one value: same bytes consumed, equal
-    /// owned reconstruction.
+    /// owned reconstruction — on both the validating and trusted paths.
     fn view_law<T: RecordView + PartialEq + fmt::Debug>(v: T) {
         let mut buf = Vec::new();
         v.encode(&mut buf);
@@ -332,6 +767,15 @@ mod tests {
         );
         assert_eq!(T::view_to_owned(view), owned);
         assert_eq!(owned, v);
+        // SAFETY: decode_view just accepted these exact bytes.
+        let mut trusted_slice = buf.as_slice();
+        let trusted = unsafe { T::decode_view_trusted(&mut trusted_slice) };
+        assert_eq!(
+            trusted_slice.len(),
+            view_slice.len(),
+            "trusted decode must consume exactly decode_view's bytes for {v:?}"
+        );
+        assert_eq!(T::view_to_owned(trusted), v);
     }
 
     #[test]
@@ -342,6 +786,8 @@ mod tests {
         view_law(3.5f64);
         view_law(true);
         view_law(());
+        view_law(FixedU32(u32::MAX));
+        view_law(FixedU64(0x0123_4567_89ab_cdef));
     }
 
     #[test]
@@ -377,6 +823,8 @@ mod tests {
         view_law(((1u64, 2u64), ("k".to_string(), vec![9u32, 10])));
         view_law((1u8, 2u16, 3u32, 4u64, 5i64, 6.0f64));
         view_law(vec![vec![1u64, 2], vec![], vec![3]]);
+        view_law(vec![FixedU64(u64::MAX), FixedU64(0), FixedU64(42)]);
+        view_law((FixedU32(1), FixedU64(2), "s".to_string()));
     }
 
     #[test]
@@ -395,6 +843,122 @@ mod tests {
         assert_eq!(seq.iter().count(), 2);
         assert_eq!(seq.to_vec(), v);
         assert_eq!(seq.iter().size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn trusted_iteration_matches_validating_decode() {
+        // The double-decode elimination target: iterating a SeqView must
+        // yield exactly what owned decoding yields, for varint, string,
+        // and fixed-width element types.
+        let words: Vec<u64> = (0..200u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut buf = Vec::new();
+        words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<u64>::decode_view(&mut slice).unwrap();
+        let got: Vec<u64> = seq.iter().collect();
+        assert_eq!(got, words);
+
+        let names: Vec<String> = (0..50).map(|i| format!("name-{i}")).collect();
+        let mut buf = Vec::new();
+        names.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<String>::decode_view(&mut slice).unwrap();
+        let got: Vec<String> = seq.iter().map(str::to_string).collect();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn fixed_stride_constants_compose() {
+        assert_eq!(u8::STRIDE, 1);
+        assert_eq!(f32::STRIDE, 4);
+        assert_eq!(f64::STRIDE, 8);
+        assert_eq!(FixedU32::STRIDE, 4);
+        assert_eq!(FixedU64::STRIDE, 8);
+        assert_eq!(<(FixedU32, FixedU64)>::STRIDE, 12);
+        assert_eq!(<(f64, f64, u8)>::STRIDE, 17);
+    }
+
+    #[test]
+    fn seq_view_random_access_matches_iteration() {
+        let words: Vec<FixedU64> = (0..100u64).map(|i| FixedU64(i * 3)).collect();
+        let mut buf = Vec::new();
+        words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        for (i, w) in seq.iter().enumerate() {
+            assert_eq!(seq.get(i), w);
+        }
+        assert_eq!(seq.get(99), FixedU64(297));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn seq_view_get_out_of_bounds_panics() {
+        let words = vec![FixedU64(1)];
+        let mut buf = Vec::new();
+        words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        let _ = seq.get(1);
+    }
+
+    #[test]
+    fn seq_view_split_and_chunks() {
+        let words: Vec<FixedU32> = (0..10u32).map(FixedU32).collect();
+        let mut buf = Vec::new();
+        words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU32>::decode_view(&mut slice).unwrap();
+        let (a, b) = seq.split_at(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 7);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![FixedU32(0), FixedU32(1), FixedU32(2)]
+        );
+        assert_eq!(b.get(0), FixedU32(3));
+        // chunks_exact: 3 full windows of 3, remainder of 1 — and the
+        // remainder is the same before, during, and after iteration
+        // (std `ChunksExact` semantics).
+        let mut chunks = seq.chunks_exact(3);
+        assert_eq!(chunks.remainder().len(), 1);
+        assert_eq!(chunks.remainder().get(0), FixedU32(9));
+        let mut seen = Vec::new();
+        for w in chunks.by_ref() {
+            assert_eq!(w.len(), 3);
+            seen.extend(w.iter());
+        }
+        assert_eq!(seen.len(), 9);
+        assert_eq!(chunks.remainder().len(), 1);
+        assert_eq!(chunks.remainder().get(0), FixedU32(9));
+        // Degenerate splits.
+        let (empty, all) = seq.split_at(0);
+        assert!(empty.is_empty());
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn stride_slice_types_raw_bytes() {
+        type Rec = (FixedU32, FixedU64);
+        let mut buf = Vec::new();
+        for i in 0..20u32 {
+            (FixedU32(i), FixedU64(i as u64 * 7)).encode(&mut buf);
+        }
+        let s = StrideSlice::<Rec>::new(&buf).unwrap();
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(5), (FixedU32(5), FixedU64(35)));
+        let all: Vec<(FixedU32, FixedU64)> = s.iter().collect();
+        assert_eq!(all.len(), 20);
+        assert_eq!(all[19], (FixedU32(19), FixedU64(133)));
+        assert_eq!(s.bytes(), &buf[..]);
+        assert_eq!(s.iter().size_hint(), (20, Some(20)));
+        // A partial trailing record is rejected.
+        assert!(StrideSlice::<Rec>::new(&buf[..buf.len() - 1]).is_err());
+        // Empty is fine.
+        assert!(StrideSlice::<Rec>::new(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -427,6 +991,12 @@ mod tests {
         assert_eq!(
             String::decode_view(&mut slice),
             Err(CodecError::InvalidUtf8)
+        );
+        // Truncated fixed-width int.
+        let mut slice: &[u8] = &[1, 2, 3];
+        assert_eq!(
+            FixedU32::decode_view(&mut slice),
+            Err(CodecError::Truncated)
         );
     }
 

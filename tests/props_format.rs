@@ -1,7 +1,10 @@
 //! Property tests for the serialization layer: the roundtrip law and the
 //! never-cross-a-chunk-boundary invariant, over arbitrary record streams.
 
-use hurricane_format::{decode_all, encode_all, ChunkReader, ChunkWriter, Record, RecordView};
+use hurricane_format::{
+    decode_all, encode_all, stride_records, ChunkReader, ChunkWriter, FixedU32, FixedU64, Record,
+    RecordView,
+};
 use proptest::prelude::*;
 
 fn record_strategy() -> impl Strategy<Value = (u64, i64, String, Vec<u32>)> {
@@ -102,6 +105,93 @@ proptest! {
         }
         prop_assert_eq!(&viewed, &owned, "view decode must equal owned decode");
         prop_assert_eq!(&viewed, &records, "and both must equal the input");
+    }
+
+    /// Trusted sequence iteration ([`hurricane_format::SeqView::iter`],
+    /// which re-reads a validated span with unchecked decodes) agrees
+    /// element-for-element with the owned decoder, for varint, string,
+    /// and fixed-width element types, across arbitrary chunk boundaries.
+    #[test]
+    fn trusted_seq_iteration_agrees_with_owned(
+        words in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..12),
+            1..60,
+        ),
+        names in prop::collection::vec(
+            prop::collection::vec("[a-zA-Z0-9]{0,9}", 0..6),
+            1..40,
+        ),
+        chunk_size in 256usize..2048,
+    ) {
+        let chunks = encode_all(words.iter().cloned(), chunk_size);
+        prop_assume!(chunks.is_ok());
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        for c in &chunks.unwrap() {
+            ChunkReader::<Vec<u64>>::new(c)
+                .for_each(|seq| got.push(seq.iter().collect()))
+                .unwrap();
+        }
+        prop_assert_eq!(&got, &words);
+
+        let chunks = encode_all(names.iter().cloned(), chunk_size);
+        prop_assume!(chunks.is_ok());
+        let mut got: Vec<Vec<String>> = Vec::new();
+        for c in &chunks.unwrap() {
+            ChunkReader::<Vec<String>>::new(c)
+                .for_each(|seq| got.push(seq.iter().map(str::to_string).collect()))
+                .unwrap();
+        }
+        prop_assert_eq!(&got, &names);
+    }
+
+    /// Fixed-stride random access: `SeqView::get(i)` equals sequential
+    /// iteration at position `i`, and any `split_at` concatenates back
+    /// to the whole sequence.
+    #[test]
+    fn fixed_stride_random_access_agrees(
+        words in prop::collection::vec(any::<u64>(), 0..64),
+        split in 0usize..256,
+    ) {
+        let fixed: Vec<FixedU64> = words.iter().copied().map(FixedU64).collect();
+        let mut buf = Vec::new();
+        fixed.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        prop_assert!(slice.is_empty());
+        for (i, w) in seq.iter().enumerate() {
+            prop_assert_eq!(seq.get(i), w);
+        }
+        let mid = split % (seq.len() + 1);
+        let (a, b) = seq.split_at(mid);
+        let mut rejoined: Vec<FixedU64> = a.iter().collect();
+        rejoined.extend(b.iter());
+        prop_assert_eq!(rejoined, fixed);
+    }
+
+    /// A chunk of fixed-stride records types as a [`hurricane_format::
+    /// StrideSlice`] whose random access and iteration agree with the
+    /// validating owned decoder — for every chunk boundary placement.
+    #[test]
+    fn stride_records_agree_with_owned_decode(
+        tuples in prop::collection::vec(any::<(u32, u64)>(), 1..300),
+        chunk_size in 24usize..512,
+    ) {
+        let fixed: Vec<(FixedU32, FixedU64)> = tuples
+            .iter()
+            .map(|&(k, v)| (FixedU32(k), FixedU64(v)))
+            .collect();
+        let chunks = encode_all(fixed.iter().copied(), chunk_size).unwrap();
+        let mut strided = Vec::new();
+        for c in &chunks {
+            let s = stride_records::<(FixedU32, FixedU64)>(c).unwrap();
+            let owned = decode_all::<(FixedU32, FixedU64)>(c).unwrap();
+            prop_assert_eq!(s.len(), owned.len());
+            for (i, rec) in owned.iter().enumerate() {
+                prop_assert_eq!(s.get(i), *rec);
+            }
+            strided.extend(s.iter());
+        }
+        prop_assert_eq!(strided, fixed);
     }
 
     /// `encoded_len` is exact for every record the stream writer accepts.
