@@ -196,11 +196,15 @@ impl HurricaneApp {
         // When enabled, stand up the storage RPC boundary: per-node server
         // loops that workers and the master address through messages.
         let rpc = self.config.storage_rpc.then(|| {
-            Arc::new(StorageRpc::serve_with(
+            let mut rpc = StorageRpc::serve_with(
                 self.cluster.clone(),
                 self.config.rpc_dispatch_threads.max(1),
-                hurricane_storage::rpc::DEFAULT_REQUEST_TIMEOUT,
-            ))
+                self.config.rpc_request_timeout,
+            );
+            rpc.set_retry_policy(hurricane_storage::RetryPolicy::with_attempts(
+                self.config.rpc_retry_attempts,
+            ));
+            Arc::new(rpc)
         });
         let mdeps = ManagerDeps {
             graph: self.graph.clone(),

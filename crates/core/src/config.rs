@@ -62,6 +62,18 @@ pub struct HurricaneConfig {
     /// (flow control; a stalled storage node bounds its lane at this many
     /// envelopes instead of accumulating unbounded queue).
     pub rpc_writer_credit: usize,
+    /// Client-side RPC request timeout: how long a caller waits for one
+    /// reply before abandoning the request (its outcome then unknown).
+    /// The per-connection credit-acquire timeout is aligned with this
+    /// automatically when ports are minted, so flow control never fails
+    /// faster than a request wait would.
+    pub rpc_request_timeout: Duration,
+    /// Total attempts per RPC request when `storage_rpc` is on: `1`
+    /// (the default) fails fast on timeout; higher values retransmit a
+    /// timed-out request under its original sequence number, which the
+    /// server-side dedup window resolves to at most one execution (see
+    /// `hurricane_storage::rpc::RetryPolicy`).
+    pub rpc_retry_attempts: u32,
     /// Deterministic seed for placement permutations and tie-breaking.
     pub seed: u64,
 }
@@ -87,6 +99,8 @@ impl Default for HurricaneConfig {
             // batch_factor rather than duplicating its value.
             rpc_coalesce_chunks: 1,
             rpc_writer_credit: hurricane_storage::rpc::DEFAULT_WRITER_CREDIT,
+            rpc_request_timeout: hurricane_storage::rpc::DEFAULT_REQUEST_TIMEOUT,
+            rpc_retry_attempts: 1,
             seed: 0xD1CE,
         }
     }
@@ -138,6 +152,11 @@ mod tests {
         assert!(c.chunk_size > 0);
         assert_eq!(c.instance_cap(), c.compute_nodes);
         assert!(c.cloning_enabled);
+        assert_eq!(
+            c.rpc_request_timeout,
+            hurricane_storage::rpc::DEFAULT_REQUEST_TIMEOUT
+        );
+        assert_eq!(c.rpc_retry_attempts, 1);
     }
 
     #[test]

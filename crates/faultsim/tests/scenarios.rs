@@ -1,0 +1,307 @@
+//! Scripted fault scenarios against the real RPC protocol stack.
+//!
+//! Every scenario prints its seed (`faultsim: seed = …`); rerun a
+//! failure with `FAULTSIM_SEED=<seed> cargo test -p hurricane-faultsim
+//! <name> -- --nocapture`.
+
+use std::time::Duration;
+
+use hurricane_common::DetRng;
+use hurricane_faultsim::net::{FaultAction, SimConfig, SimNet, TraceEvent};
+use hurricane_faultsim::scenario::{
+    assert_exactly_once, chunk_of, drain_all, scenario_seed, sweep_seeds, value_of, FaultSim,
+};
+use hurricane_storage::prefetch::Prefetcher;
+use hurricane_storage::rpc::{NodeConnection, ServedKind, StorageRequest};
+use hurricane_storage::StorageResponse;
+
+/// Crash a storage node mid-replicated-insert-burst — after backups have
+/// started acking but with primary writes still in flight — restart it a
+/// few virtual ms later, and require that client retries carry every
+/// insert across the outage with no loss and no double-apply on either
+/// replica.
+#[test]
+fn crash_primary_mid_replicated_insert() {
+    let seed = scenario_seed(0xC0A5);
+    let trace = run_crash_scenario(seed);
+    // Same seed, same script: the whole protocol interaction replays
+    // bit-identically (the scenario is single-threaded).
+    let replay = run_crash_scenario(seed);
+    assert_eq!(trace, replay, "same-seed replay diverged");
+}
+
+fn run_crash_scenario(seed: u64) -> Vec<TraceEvent> {
+    const N: u64 = 200;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.timeout = Duration::from_millis(10);
+    let sim = FaultSim::new(3, 2, cfg);
+    // The crash window opens mid-burst (the first few dozen inserts have
+    // completed their replicated fan-out; more are in flight) and closes
+    // well inside the retry budget of 8 × 10 ms.
+    sim.net.schedule(2_000, FaultAction::Crash(1));
+    sim.net.schedule(30_000, FaultAction::Restart(1));
+
+    let mut writer = sim.client(seed, 8);
+    let mut attempted = Vec::new();
+    let mut acked = Vec::new();
+    for v in 0..N {
+        attempted.push(v);
+        writer
+            .insert(chunk_of(v))
+            .unwrap_or_else(|e| panic!("insert {v} failed despite retries: {e:?}"));
+        acked.push(v);
+    }
+
+    // The outage must actually have eaten messages; otherwise the
+    // scenario silently stopped testing anything.
+    let trace = sim.net.trace();
+    let dropped = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::DropUnreachable { node: 1, .. }
+                    | TraceEvent::ReplyDropUnreachable { node: 1, .. }
+            )
+        })
+        .count();
+    assert!(dropped > 0, "crash window missed the insert burst");
+
+    // Replica convergence: with replication 2 and every insert acked,
+    // both copies of every value exist — a retried envelope that
+    // double-applied would show up as a third copy here.
+    sim.net.heal_all();
+    let stored = sim.stored_values();
+    let mut expect: Vec<u64> = (0..N).flat_map(|v| [v, v]).collect();
+    expect.sort_unstable();
+    assert_eq!(stored, expect, "replicas diverged after crash + retries");
+
+    // Exactly-once drain through the protocol as well.
+    sim.seal();
+    let mut reader = sim.client(seed ^ 1, 8);
+    let drained = drain_all(&mut reader).expect("drain");
+    assert_exactly_once(&attempted, &acked, &drained);
+    assert_eq!(drained.len() as u64, N);
+    sim.net.trace()
+}
+
+/// Seal a populated bag, partition a node, and let the prefetcher
+/// pipeline run dry on the reachable nodes; heal mid-prefetch and
+/// require the pipeline to recover the partitioned node's chunks via
+/// same-seq resubmission — every chunk delivered exactly once.
+#[test]
+fn partition_heals_mid_prefetch() {
+    let seed = scenario_seed(0x9A47);
+    const N: u64 = 180;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.timeout = Duration::from_millis(20);
+    let sim = FaultSim::new(3, 1, cfg);
+
+    let mut writer = sim.client(seed, 1);
+    for v in 0..N {
+        writer.insert(chunk_of(v)).expect("populate");
+    }
+    sim.seal();
+
+    // Cyclic placement spreads 180 chunks 60/60/60, so the two
+    // reachable nodes hold 120: consuming 100 keeps the heal genuinely
+    // mid-prefetch.
+    sim.net.apply(FaultAction::Partition(1));
+    let mut prefetcher = Prefetcher::spawn(sim.client(seed ^ 2, 1), 4);
+    let mut drained = Vec::new();
+    while drained.len() < 100 {
+        match prefetcher.recv().expect("prefetch recv") {
+            Some(c) => drained.push(value_of(&c)),
+            None => panic!("prefetcher drained early: partitioned data lost"),
+        }
+    }
+    sim.net.apply(FaultAction::Heal(1));
+    while let Some(c) = prefetcher.recv().expect("prefetch recv after heal") {
+        drained.push(value_of(&c));
+    }
+
+    let attempted: Vec<u64> = (0..N).collect();
+    assert_exactly_once(&attempted, &attempted, &drained);
+    assert_eq!(drained.len() as u64, N);
+    let dropped_on_partitioned = sim
+        .net
+        .trace()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::DropUnreachable { node: 1, .. }
+                    | TraceEvent::ReplyDropUnreachable { node: 1, .. }
+            )
+        })
+        .count();
+    assert!(
+        dropped_on_partitioned > 0,
+        "partition never intercepted a prefetch request"
+    );
+}
+
+/// Duplicate every envelope on the wire (dup rate 1000‰) and require the
+/// server-side dedup window to resolve each duplicate by replay — no
+/// double-insert, no double-remove, and the trace proves duplicates
+/// actually reached the server.
+#[test]
+fn duplicated_envelopes_are_suppressed() {
+    let seed = scenario_seed(0xD0B1);
+    const N: u64 = 100;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.dup_per_mille = 1000;
+    let sim = FaultSim::new(2, 1, cfg);
+
+    let mut writer = sim.client(seed, 1);
+    for v in 0..N {
+        writer.insert(chunk_of(v)).expect("insert");
+    }
+
+    // Every value stored exactly once despite every insert envelope
+    // having been delivered twice.
+    let stored = sim.stored_values();
+    let expect: Vec<u64> = (0..N).collect();
+    assert_eq!(stored, expect, "a duplicated envelope double-inserted");
+
+    let trace = sim.net.trace();
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Duplicated { .. })),
+        "wire never duplicated a request"
+    );
+    assert!(
+        trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::Delivered {
+                served: ServedKind::Replayed | ServedKind::Suppressed,
+                ..
+            }
+        )),
+        "no duplicate was resolved by the dedup window"
+    );
+
+    sim.seal();
+    let mut reader = sim.client(seed ^ 3, 1);
+    let drained = drain_all(&mut reader).expect("drain");
+    assert_exactly_once(&expect, &expect, &drained);
+    assert_eq!(drained.len() as u64, N);
+}
+
+/// Satellite regression: a timed-out request's slot must be unusable by
+/// its late reply. Long link delays force the first request to time out
+/// and its slot to be reused by a second request with a distinguishable
+/// answer; the late first reply must be discarded, not delivered to the
+/// reused slot.
+#[test]
+fn late_reply_cannot_reach_a_reused_slot() {
+    let seed = scenario_seed(0x1A7E);
+    let mut cfg = SimConfig::reliable(seed);
+    // One-way delay 30 ms against a 20 ms wait: every reply is late.
+    cfg.delay_min_us = 30_000;
+    cfg.delay_max_us = 30_000;
+    let sim = FaultSim::new(1, 1, cfg);
+    let node = sim.cluster.node(0);
+    node.insert(sim.bag, chunk_of(111)).unwrap();
+    node.insert(sim.bag, chunk_of(222)).unwrap();
+
+    let net: &SimNet = &sim.net;
+    let mut conn = NodeConnection::new(Box::new(net.transport(0)));
+    let t1 = conn
+        .submit(StorageRequest::ReadAt {
+            bag: sim.bag,
+            index: 0,
+        })
+        .unwrap();
+    let err = conn.wait(t1, Duration::from_millis(20)).unwrap_err();
+    assert!(matches!(err, hurricane_storage::StorageError::Timeout(_)));
+
+    // The second request reuses the abandoned slot (single-slot slab
+    // reuse is LIFO); its wait spans the delivery of BOTH replies.
+    let t2 = conn
+        .submit(StorageRequest::ReadAt {
+            bag: sim.bag,
+            index: 1,
+        })
+        .unwrap();
+    let resp = conn.wait(t2, Duration::from_millis(200)).unwrap();
+    let StorageResponse::ChunkAt(Some(c)) = resp else {
+        panic!("expected chunk reply, got {resp:?}");
+    };
+    assert_eq!(
+        value_of(&c),
+        222,
+        "late reply for the abandoned request leaked into the reused slot"
+    );
+
+    // Both replies really were delivered to the endpoint — the stale one
+    // was discarded by the generation check, not lost by the wire.
+    let delivered = sim
+        .net
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ReplyDelivered { .. }))
+        .count();
+    assert_eq!(delivered, 2, "test setup no longer delivers a late reply");
+}
+
+/// CI sweep: N seeds (FAULTSIM_SWEEP, default 4) of a randomized
+/// drop/dup/crash/partition run, each printing its seed before running
+/// so a failing log names the exact repro.
+#[test]
+fn seed_sweep_random_faults_preserve_exactly_once() {
+    for seed in sweep_seeds(0xFA57_0000) {
+        eprintln!("faultsim: seed = {seed} (override with FAULTSIM_SEED)");
+        run_random_fault_run(seed);
+    }
+}
+
+fn run_random_fault_run(seed: u64) {
+    const N: u64 = 80;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.timeout = Duration::from_millis(10);
+    cfg.drop_per_mille = 80;
+    cfg.dup_per_mille = 80;
+    let sim = FaultSim::new(3, 1, cfg);
+
+    // A short random schedule of reachability and availability faults.
+    let mut rng = DetRng::new(seed).fork(0xFA);
+    for _ in 0..4 {
+        let at = rng.gen_range_in(500, 30_000);
+        let node = rng.gen_range(3) as usize;
+        let action = match rng.gen_range(6) {
+            0 => FaultAction::Partition(node),
+            1 => FaultAction::Heal(node),
+            2 => FaultAction::Crash(node),
+            3 => FaultAction::Restart(node),
+            4 => FaultAction::Fail(node),
+            _ => FaultAction::Recover(node),
+        };
+        sim.net.schedule(at, action);
+    }
+
+    let mut writer = sim.client(seed, 3);
+    let mut attempted = Vec::new();
+    let mut acked = Vec::new();
+    for v in 0..N {
+        attempted.push(v);
+        if writer.insert(chunk_of(v)).is_ok() {
+            acked.push(v);
+        }
+    }
+
+    sim.net.heal_all();
+
+    // No value may exist twice in storage, acked or not: duplicate
+    // suppression must hold for every retransmission path.
+    let stored = sim.stored_values();
+    stored.windows(2).for_each(|w| {
+        assert_ne!(w[0], w[1], "value {} double-inserted (seed {seed})", w[0]);
+    });
+
+    sim.seal();
+    let mut reader = sim.client(seed ^ 5, 3);
+    let drained = drain_all(&mut reader).expect("drain");
+    assert_exactly_once(&attempted, &acked, &drained);
+}

@@ -365,6 +365,17 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
 }
 
 /// Skips the current case when its inputs don't satisfy a precondition.

@@ -23,8 +23,11 @@
 //! * [`rpc`] — the explicit message boundary between compute and storage:
 //!   request/response enums covering the node API, a [`rpc::Transport`]
 //!   trait (in-process channels today, a network socket tomorrow),
-//!   per-node server loops, and the correlation layer that lets clients
-//!   keep many requests in flight.
+//!   per-node server loops, the correlation layer that lets clients
+//!   keep many requests in flight, and retry-safe request semantics
+//!   (bounded retransmission under a server-side dedup window, so a
+//!   duplicated or retried envelope can never double-insert or lose a
+//!   removed chunk).
 //! * [`bag`] — `BagClient`, the per-worker handle combining placement with
 //!   cluster access over either the direct or the RPC port; [`prefetch`]
 //!   adds the b-outstanding-requests pipeline.
@@ -46,6 +49,7 @@ pub use cluster::{ClusterConfig, StorageCluster};
 pub use error::StorageError;
 pub use node::{BagSample, NodeRemoveBatch, StorageNode};
 pub use rpc::{
-    ChunkRun, PortStats, RpcPort, StorageRequest, StorageResponse, StorageRpc, Transport,
+    ChunkRun, PortStats, ReplyEnvelope, RequestEnvelope, RetryPolicy, RpcPort, ServedKind,
+    ServerDedup, StorageRequest, StorageResponse, StorageRpc, Transport,
 };
 pub use workbag::WorkBag;

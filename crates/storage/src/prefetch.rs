@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many chunk runs the fetcher→consumer queue buffers. Two gives
 /// double buffering (the fetcher refills one run while the consumer
@@ -211,6 +211,27 @@ enum NodeLast {
 /// ready anywhere — short, so top-up latency stays bounded.
 const PUMP_WAIT: Duration = Duration::from_micros(200);
 
+/// Resubmission budget for one logical probe: how many times a request
+/// whose reply never arrives is retransmitted (under its original
+/// sequence number, so the server dedup window replays rather than
+/// re-executes) before the node is written off as unreachable.
+const PREFETCH_ATTEMPTS: u32 = 8;
+
+/// One in-flight `RemoveBatch` probe against one node.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    token: CompletionToken,
+    /// Cluster sealed flag read before the ORIGINAL submit (retries keep
+    /// it: a retransmission is the same logical request).
+    sealed_at_submit: bool,
+    /// The probe's sequence number, reused by every retransmission.
+    seq: u64,
+    /// When the current attempt went on the wire.
+    issued: Instant,
+    /// Attempts made so far (≥ 1 once in flight).
+    attempts: u32,
+}
+
 /// The pipelined fetch loop used over an RPC port: keeps up to `b`
 /// `RemoveBatch` requests outstanding against distinct nodes and collects
 /// completions out of order.
@@ -231,7 +252,7 @@ fn pipelined_fetch(
     // conclusion safe (a sealed bag rejects inserts, so nothing can land
     // after a pre-probe sealed read; a post-completion read would race a
     // concurrent insert-then-seal and drop the inserted chunk).
-    let mut tokens: Vec<Option<(CompletionToken, bool)>> = vec![None; m];
+    let mut tokens: Vec<Option<InFlight>> = vec![None; m];
     let mut last: Vec<NodeLast> = vec![NodeLast::Unknown; m];
     let mut outstanding = 0usize;
     let mut empty_streak = 0usize;
@@ -266,13 +287,19 @@ fn pipelined_fetch(
                 Ok(s) => s,
                 Err(e) => fail!(e),
             };
-            match port.conns[node].submit(StorageRequest::RemoveBatch {
+            match port.conns[node].submit_tracked(StorageRequest::RemoveBatch {
                 bag,
                 origin: node as u32,
                 max_n: b,
             }) {
-                Ok(t) => {
-                    tokens[node] = Some((t, sealed_at_submit));
+                Ok((t, seq)) => {
+                    tokens[node] = Some(InFlight {
+                        token: t,
+                        sealed_at_submit,
+                        seq,
+                        issued: Instant::now(),
+                        attempts: 1,
+                    });
                     outstanding += 1;
                 }
                 // A dead connection marks the node unreachable, like a
@@ -295,11 +322,55 @@ fn pipelined_fetch(
         let mut completed = 0usize;
         let mut delivered = false;
         for node in 0..m {
-            let Some((token, sealed_at_submit)) = tokens[node] else {
+            let Some(inflight) = tokens[node] else {
                 continue;
             };
+            let InFlight {
+                token,
+                sealed_at_submit,
+                ..
+            } = inflight;
             match port.conns[node].try_poll(token) {
-                Ok(None) => {}
+                Ok(None) => {
+                    // No reply yet. A probe outstanding past the port's
+                    // request timeout is presumed lost (lossy transport or
+                    // wedged server): cancel the attempt and retransmit it
+                    // under the SAME sequence number — the server's dedup
+                    // window either executes it (original lost) or replays
+                    // the recorded reply, chunks included (reply lost), so
+                    // nothing is ever consumed twice or dropped. Without
+                    // this sweep a single lost message would hang the
+                    // stream forever.
+                    if inflight.issued.elapsed() >= port.timeout {
+                        port.conns[node].cancel(token);
+                        tokens[node] = None;
+                        outstanding -= 1;
+                        if inflight.attempts >= PREFETCH_ATTEMPTS {
+                            last[node] = NodeLast::Down;
+                        } else {
+                            match port.conns[node].resubmit(
+                                StorageRequest::RemoveBatch {
+                                    bag,
+                                    origin: node as u32,
+                                    max_n: b,
+                                },
+                                inflight.seq,
+                            ) {
+                                Ok(t) => {
+                                    tokens[node] = Some(InFlight {
+                                        token: t,
+                                        issued: Instant::now(),
+                                        attempts: inflight.attempts + 1,
+                                        ..inflight
+                                    });
+                                    outstanding += 1;
+                                }
+                                Err(StorageError::Disconnected(_)) => last[node] = NodeLast::Down,
+                                Err(e) => fail!(e),
+                            }
+                        }
+                    }
+                }
                 Ok(Some(StorageResponse::Removed(batch))) => {
                     tokens[node] = None;
                     outstanding -= 1;
@@ -422,15 +493,17 @@ fn mirror(port: &mut crate::rpc::RpcPort, primary: usize, bag: hurricane_common:
     let r = port.cluster().replication();
     let origin = primary as u32;
     let timeout = port.timeout;
-    let tokens: Vec<(usize, Result<crate::rpc::CompletionToken, StorageError>)> = (1..r)
+    let request = StorageRequest::MirrorRemoveN { bag, origin, n };
+    #[allow(clippy::type_complexity)]
+    let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (1..r)
         .map(|k| {
             let idx = (primary + k) % m;
-            let t = port.conns[idx].submit(StorageRequest::MirrorRemoveN { bag, origin, n });
+            let t = port.conns[idx].submit_tracked(request.clone());
             (idx, t)
         })
         .collect();
     for (idx, token) in tokens {
-        let _ = token.and_then(|t| port.conns[idx].wait(t, timeout));
+        let _ = token.and_then(|(t, seq)| port.conns[idx].wait_retrying(t, seq, &request, timeout));
     }
 }
 

@@ -267,6 +267,37 @@ pub enum StorageRequest {
     Ping,
 }
 
+impl StorageRequest {
+    /// Whether re-executing this request is harmless.
+    ///
+    /// Idempotent requests may be retried (and even executed twice by a
+    /// duplicated envelope) without changing the outcome; non-idempotent
+    /// ones must pass through the server's dedup window ([`ServerDedup`])
+    /// so a retransmission replays the first execution's result instead of
+    /// executing again. The classification is deliberately conservative:
+    /// `Rewind` / `Discard` / `Collect` are idempotent *with themselves*
+    /// but not commutative with interleaved removes (a delayed duplicate
+    /// `Rewind` arriving after fresh removes would resurrect consumed
+    /// chunks), so they are classified non-idempotent and deduplicated.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            StorageRequest::InsertBatch { .. }
+            | StorageRequest::RemoveBatch { .. }
+            | StorageRequest::MirrorRemoveN { .. }
+            | StorageRequest::Rewind { .. }
+            | StorageRequest::Discard { .. }
+            | StorageRequest::Collect { .. } => false,
+            StorageRequest::Sample { .. }
+            | StorageRequest::ReadAt { .. }
+            | StorageRequest::Snapshot { .. }
+            | StorageRequest::SnapshotFrom { .. }
+            | StorageRequest::Seal { .. }
+            | StorageRequest::IsDrained
+            | StorageRequest::Ping => true,
+        }
+    }
+}
+
 /// The success payload of one [`StorageRequest`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageResponse {
@@ -293,8 +324,17 @@ pub enum StorageResponse {
 /// A request tagged with its client-assigned correlation id.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestEnvelope {
-    /// Correlation id, unique per connection.
+    /// Correlation id, unique per connection *attempt*: a retransmission
+    /// of the same logical request carries a fresh id (the reply routes to
+    /// the retry's completion slot, not the abandoned one).
     pub id: u64,
+    /// Process-unique client identity, assigned per [`NodeConnection`] —
+    /// the namespace of the server's dedup window.
+    pub client: u64,
+    /// Client-assigned request sequence number, stable across
+    /// retransmissions of the same logical request. `(client, seq)` is the
+    /// key the server deduplicates non-idempotent requests on.
+    pub seq: u64,
     /// The operation.
     pub request: StorageRequest,
 }
@@ -343,6 +383,187 @@ pub fn dispatch(
         StorageRequest::Collect { bag } => node.collect(bag).map(|()| StorageResponse::Done),
         StorageRequest::IsDrained => node.is_drained().map(StorageResponse::Drained),
         StorageRequest::Ping => Ok(StorageResponse::Pong),
+    }
+}
+
+/// Completed dedup entries retained per client. Retransmissions arrive
+/// within `attempts × timeout` of the original, during which a healthy
+/// client completes far fewer than this many later requests (writer
+/// credit bounds it at [`DEFAULT_WRITER_CREDIT`] in flight).
+const DEDUP_WINDOW: usize = 256;
+
+/// Client windows retained per node server before the least recently
+/// active client is evicted wholesale.
+const DEDUP_MAX_CLIENTS: usize = 256;
+
+/// What [`ServerDedup::begin`] decided about an arriving envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Served {
+    /// First sighting of `(client, seq)`: execute the request, then record
+    /// the outcome with [`ServerDedup::complete`].
+    Execute,
+    /// A retransmission of a completed request: reply with the first
+    /// execution's recorded outcome, do NOT execute again.
+    Replayed(Result<StorageResponse, StorageError>),
+    /// A duplicate racing the original's in-progress execution (another
+    /// dispatch thread holds it): drop the envelope without replying — the
+    /// client's retry machinery will ask again and hit the replay path.
+    Suppressed,
+}
+
+/// One request's state in a client's dedup window.
+#[derive(Debug)]
+enum DedupEntry {
+    /// Execution in progress on some dispatch thread.
+    Running,
+    /// Execution finished with this outcome. Errors are cached too: the
+    /// first execution's outcome is THE outcome of the request, and a
+    /// retransmission must not get a second roll of the dice.
+    Done(Result<StorageResponse, StorageError>),
+}
+
+#[derive(Debug, Default)]
+struct ClientWindow {
+    entries: HashMap<u64, DedupEntry>,
+    /// Completed seqs in completion order, for window eviction.
+    completed: std::collections::VecDeque<u64>,
+    /// Last-activity stamp for whole-client LRU eviction.
+    stamp: u64,
+}
+
+/// Server-side duplicate suppression for non-idempotent requests: a
+/// bounded per-client window of `(seq → outcome)` entries.
+///
+/// The client reuses one sequence number across every retransmission of a
+/// logical request (see [`NodeConnection::resubmit`]), so whichever copy
+/// arrives first executes and every later copy is answered from the
+/// window ([`Served::Replayed`]) or dropped while the first is still
+/// running ([`Served::Suppressed`]). This is what makes a timed-out
+/// `InsertBatch` safe to retry — a duplicated or retried envelope can
+/// never double-insert — and what lets the prefetcher resubmit a lost
+/// `RemoveBatch` without losing the chunks the original may have consumed
+/// (the recorded reply carries them).
+///
+/// The window is part of the node's durable state in the same sense as
+/// its chunk logs: a simulated crash/restart ([`StorageNode::fail`] /
+/// [`StorageNode::recover`], or the faultsim crate's message-level crash)
+/// keeps it, modeling a write-ahead-logged window on disk.
+#[derive(Debug, Default)]
+pub struct ServerDedup {
+    inner: Mutex<DedupInner>,
+}
+
+#[derive(Debug, Default)]
+struct DedupInner {
+    clients: HashMap<u64, ClientWindow>,
+    clock: u64,
+}
+
+impl ServerDedup {
+    /// Creates an empty window set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies an arriving `(client, seq)` pair. On [`Served::Execute`]
+    /// the caller owns the execution and must call
+    /// [`ServerDedup::complete`] with the outcome.
+    pub fn begin(&self, client: u64, seq: u64) -> Served {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if !inner.clients.contains_key(&client) && inner.clients.len() >= DEDUP_MAX_CLIENTS {
+            // Evict the least recently active client wholesale.
+            if let Some((&oldest, _)) = inner.clients.iter().min_by_key(|(_, w)| w.stamp) {
+                inner.clients.remove(&oldest);
+            }
+        }
+        let window = inner.clients.entry(client).or_default();
+        window.stamp = stamp;
+        match window.entries.get(&seq) {
+            Some(DedupEntry::Running) => Served::Suppressed,
+            Some(DedupEntry::Done(result)) => Served::Replayed(result.clone()),
+            None => {
+                window.entries.insert(seq, DedupEntry::Running);
+                Served::Execute
+            }
+        }
+    }
+
+    /// Records the outcome of an execution admitted by
+    /// [`ServerDedup::begin`], evicting the oldest completed entries
+    /// beyond the window bound.
+    pub fn complete(&self, client: u64, seq: u64, result: &Result<StorageResponse, StorageError>) {
+        let mut inner = self.inner.lock();
+        let Some(window) = inner.clients.get_mut(&client) else {
+            // The whole client window was LRU-evicted mid-execution;
+            // nothing to record (a late duplicate would re-execute, which
+            // the eviction bound accepts as out-of-window).
+            return;
+        };
+        window.entries.insert(seq, DedupEntry::Done(result.clone()));
+        window.completed.push_back(seq);
+        while window.completed.len() > DEDUP_WINDOW {
+            if let Some(old) = window.completed.pop_front() {
+                window.entries.remove(&old);
+            }
+        }
+    }
+}
+
+/// How [`serve_deduped_traced`] handled an envelope — the observable
+/// server-side classification, used by fault-injection harnesses to
+/// assert that a duplicated envelope was resolved by the dedup window
+/// rather than executed again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedKind {
+    /// Idempotent request: dispatched directly, no dedup bookkeeping.
+    Idempotent,
+    /// First delivery of a non-idempotent request: executed and recorded.
+    Executed,
+    /// Retransmission of a completed request: recorded outcome replayed.
+    Replayed,
+    /// Duplicate racing a still-running execution: dropped without reply.
+    Suppressed,
+}
+
+/// Executes one envelope against a node with duplicate suppression: the
+/// full server-side semantics of the retry-safe protocol. Idempotent
+/// requests dispatch directly; non-idempotent ones pass through `dedup`
+/// so retransmissions replay the recorded outcome. Returns `None` when
+/// the envelope must be dropped without a reply ([`Served::Suppressed`]).
+pub fn serve_deduped(
+    node: &StorageNode,
+    dedup: &ServerDedup,
+    env: RequestEnvelope,
+) -> Option<ReplyEnvelope> {
+    serve_deduped_traced(node, dedup, env).0
+}
+
+/// [`serve_deduped`] also reporting how the envelope was classified.
+pub fn serve_deduped_traced(
+    node: &StorageNode,
+    dedup: &ServerDedup,
+    env: RequestEnvelope,
+) -> (Option<ReplyEnvelope>, ServedKind) {
+    let RequestEnvelope {
+        id,
+        client,
+        seq,
+        request,
+    } = env;
+    if request.is_idempotent() {
+        let result = dispatch(node, request);
+        return (Some(ReplyEnvelope { id, result }), ServedKind::Idempotent);
+    }
+    match dedup.begin(client, seq) {
+        Served::Replayed(result) => (Some(ReplyEnvelope { id, result }), ServedKind::Replayed),
+        Served::Suppressed => (None, ServedKind::Suppressed),
+        Served::Execute => {
+            let result = dispatch(node, request);
+            dedup.complete(client, seq, &result);
+            (Some(ReplyEnvelope { id, result }), ServedKind::Executed)
+        }
     }
 }
 
@@ -432,14 +653,19 @@ impl NodeServerHandle {
     pub fn spawn(node: Arc<StorageNode>, dispatch_threads: usize) -> Self {
         assert!(dispatch_threads > 0, "a server needs at least one thread");
         let (req_tx, req_rx) = unbounded::<WireMsg>();
+        // One dedup window shared by the whole pool: duplicates racing on
+        // different dispatch threads serialize on its lock, never on the
+        // node.
+        let dedup = Arc::new(ServerDedup::new());
         let workers = (0..dispatch_threads)
             .map(|i| {
                 let node = node.clone();
+                let dedup = dedup.clone();
                 let req_rx = req_rx.clone();
                 let req_tx = req_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("storage-rpc-{}-{i}", node.id()))
-                    .spawn(move || server_loop(&node, &req_rx, &req_tx))
+                    .spawn(move || server_loop(&node, &dedup, &req_rx, &req_tx))
                     .expect("spawning storage rpc server thread")
             })
             .collect();
@@ -487,10 +713,15 @@ impl Drop for NodeServerHandle {
     }
 }
 
-fn server_loop(node: &StorageNode, req_rx: &Receiver<WireMsg>, req_tx: &Sender<WireMsg>) {
+fn server_loop(
+    node: &StorageNode,
+    dedup: &ServerDedup,
+    req_rx: &Receiver<WireMsg>,
+    req_tx: &Sender<WireMsg>,
+) {
     loop {
         match req_rx.recv() {
-            Ok(WireMsg::Request(w)) => serve_one(node, w),
+            Ok(WireMsg::Request(w)) => serve_one(node, dedup, w),
             Ok(WireMsg::Shutdown) => {
                 // Drain: answer everything already in the queue, then pass
                 // the token(s) on and exit. Requests submitted after the
@@ -501,7 +732,7 @@ fn server_loop(node: &StorageNode, req_rx: &Receiver<WireMsg>, req_tx: &Sender<W
                 let mut tokens = 1usize;
                 while let Ok(m) = req_rx.try_recv() {
                     match m {
-                        WireMsg::Request(w) => serve_one(node, w),
+                        WireMsg::Request(w) => serve_one(node, dedup, w),
                         WireMsg::Shutdown => tokens += 1,
                     }
                 }
@@ -515,14 +746,12 @@ fn server_loop(node: &StorageNode, req_rx: &Receiver<WireMsg>, req_tx: &Sender<W
     }
 }
 
-fn serve_one(node: &StorageNode, w: WireRequest) {
-    let result = dispatch(node, w.env.request);
+fn serve_one(node: &StorageNode, dedup: &ServerDedup, w: WireRequest) {
     // A send failure means the requesting client is gone; the work is
     // already done (storage ops are not transactional), so just drop it.
-    let _ = w.reply_tx.send(ReplyEnvelope {
-        id: w.env.id,
-        result,
-    });
+    if let Some(reply) = serve_deduped(node, dedup, w.env) {
+        let _ = w.reply_tx.send(reply);
+    }
 }
 
 /// A client-held handle for one in-flight request.
@@ -566,6 +795,49 @@ enum SlotState {
 /// How long one pump slice lasts while a submit waits for writer credit.
 const CREDIT_PUMP_SLICE: Duration = Duration::from_micros(200);
 
+/// Mints process-unique client identities for [`NodeConnection`]s — the
+/// namespace of server-side dedup windows.
+static NEXT_CLIENT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Bounded-retry policy for timed-out requests.
+///
+/// A timed-out request's outcome is unknown; blind resubmission as a *new*
+/// request could double-insert or lose removed chunks. The retry machinery
+/// instead retransmits the **same sequence number** ([`NodeConnection::resubmit`]),
+/// which the server's dedup window ([`ServerDedup`]) resolves to at most
+/// one execution — the retransmission either executes (original was lost)
+/// or replays the recorded outcome (reply was lost). The default policy is
+/// one attempt, i.e. retries off, preserving fail-fast semantics for
+/// callers that handle timeouts themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first; `1` disables
+    /// retries.
+    pub attempts: u32,
+    /// Backoff slept before the first retransmission, doubling per retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 1,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy making `attempts` total attempts with the default backoff.
+    /// `attempts` is clamped to at least 1.
+    pub fn with_attempts(attempts: u32) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            ..Self::default()
+        }
+    }
+}
+
 /// The correlation layer over one [`Transport`], built on a **slab** of
 /// reusable token slots instead of per-request map entries: a steady
 /// request stream allocates nothing after warm-up, and matching a reply
@@ -590,6 +862,14 @@ pub struct NodeConnection {
     /// Total requests ever sent — the envelope counter the coalescing
     /// benchmarks and tests read.
     requests_sent: u64,
+    /// Process-unique identity carried in every envelope: the namespace
+    /// of the server's dedup window.
+    client_id: u64,
+    /// Next request sequence number. Allocated once per logical request
+    /// and reused by every retransmission of it.
+    next_seq: u64,
+    /// Timed-out request retry policy (off by default).
+    retry: RetryPolicy,
 }
 
 impl NodeConnection {
@@ -617,6 +897,9 @@ impl NodeConnection {
             credit,
             credit_timeout: DEFAULT_REQUEST_TIMEOUT,
             requests_sent: 0,
+            client_id: NEXT_CLIENT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            next_seq: 0,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -687,10 +970,68 @@ impl NodeConnection {
         Ok(())
     }
 
+    /// The retry policy applied by [`NodeConnection::call`] and
+    /// [`NodeConnection::wait_retrying`].
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the timed-out request retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
     /// Sends `request` without waiting, returning its completion token.
     /// Blocks first if the writer credit is exhausted (see
     /// [`NodeConnection::with_credit`]).
     pub fn submit(&mut self, request: StorageRequest) -> Result<CompletionToken, StorageError> {
+        self.submit_tracked(request).map(|(t, _)| t)
+    }
+
+    /// [`NodeConnection::submit`] also returning the request's sequence
+    /// number — what a caller needs to later [`NodeConnection::resubmit`]
+    /// the same logical request after a timeout.
+    pub fn submit_tracked(
+        &mut self,
+        request: StorageRequest,
+    ) -> Result<(CompletionToken, u64), StorageError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_attempt(request, seq).map(|t| (t, seq))
+    }
+
+    /// Retransmits a logical request under its original sequence number,
+    /// minting a fresh completion token (and correlation id). The server's
+    /// dedup window guarantees at most one execution across the original
+    /// and every retransmission of a non-idempotent request — which is the
+    /// only thing that makes retrying a timed-out insert or remove safe.
+    ///
+    /// The original token must be abandoned (by a timed-out
+    /// [`NodeConnection::wait`] or an explicit [`NodeConnection::cancel`])
+    /// before resubmitting, or the slot accounting double-counts the
+    /// request.
+    pub fn resubmit(
+        &mut self,
+        request: StorageRequest,
+        seq: u64,
+    ) -> Result<CompletionToken, StorageError> {
+        self.send_attempt(request, seq)
+    }
+
+    /// Gives up on an in-flight request: frees its slot (bumping the
+    /// generation so a late reply dies on the mismatch) and returns its
+    /// writer credit. The request's outcome at the server stays unknown.
+    pub fn cancel(&mut self, token: CompletionToken) {
+        self.abandon(token.id);
+    }
+
+    /// One wire attempt of a logical request: allocates a slot, stamps the
+    /// envelope with `(client, seq)`, and sends.
+    fn send_attempt(
+        &mut self,
+        request: StorageRequest,
+        seq: u64,
+    ) -> Result<CompletionToken, StorageError> {
         self.acquire_credit()?;
         let idx = match self.free.pop() {
             Some(i) => i,
@@ -706,7 +1047,13 @@ impl NodeConnection {
         slot.generation = slot.generation.wrapping_add(1);
         let id = u64::from(idx) | (u64::from(slot.generation) << 32);
         slot.state = SlotState::Pending;
-        match self.transport.send(RequestEnvelope { id, request }) {
+        let env = RequestEnvelope {
+            id,
+            client: self.client_id,
+            seq,
+            request,
+        };
+        match self.transport.send(env) {
             Ok(()) => {
                 self.unredeemed += 1;
                 self.on_wire += 1;
@@ -839,14 +1186,50 @@ impl NodeConnection {
         }
     }
 
-    /// Synchronous convenience: submit + wait.
+    /// [`NodeConnection::wait`] with bounded retry: a timed-out attempt is
+    /// retransmitted under its original `seq` (up to the connection's
+    /// [`RetryPolicy`], backing off between attempts), so the server-side
+    /// dedup window resolves the retries to at most one execution. `token`
+    /// must be the in-flight attempt of `(request, seq)` as returned by
+    /// [`NodeConnection::submit_tracked`] or [`NodeConnection::resubmit`].
+    ///
+    /// Retries go to the **same node** by construction — rerouting a
+    /// timed-out non-idempotent request to a different node would escape
+    /// its dedup window and risk double execution.
+    pub fn wait_retrying(
+        &mut self,
+        token: CompletionToken,
+        seq: u64,
+        request: &StorageRequest,
+        timeout: Duration,
+    ) -> Result<StorageResponse, StorageError> {
+        let mut token = token;
+        let mut attempt = 1u32;
+        let mut backoff = self.retry.backoff;
+        loop {
+            match self.wait(token, timeout) {
+                Err(StorageError::Timeout(_)) if attempt < self.retry.attempts => {
+                    attempt += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                    token = self.resubmit(request.clone(), seq)?;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// Synchronous convenience: submit + wait, with the connection's
+    /// retry policy applied to timeouts.
     pub fn call(
         &mut self,
         request: StorageRequest,
         timeout: Duration,
     ) -> Result<StorageResponse, StorageError> {
-        let token = self.submit(request)?;
-        self.wait(token, timeout)
+        let (token, seq) = self.submit_tracked(request.clone())?;
+        self.wait_retrying(token, seq, &request, timeout)
     }
 }
 
@@ -863,6 +1246,7 @@ impl NodeConnection {
 /// architectural seam stays, the context switches go.
 pub struct InlineTransport {
     node: Arc<StorageNode>,
+    dedup: ServerDedup,
     replies: std::collections::VecDeque<ReplyEnvelope>,
 }
 
@@ -871,6 +1255,7 @@ impl InlineTransport {
     pub fn new(node: Arc<StorageNode>) -> Self {
         Self {
             node,
+            dedup: ServerDedup::new(),
             replies: std::collections::VecDeque::new(),
         }
     }
@@ -882,8 +1267,11 @@ impl Transport for InlineTransport {
     }
 
     fn send(&mut self, env: RequestEnvelope) -> Result<(), StorageError> {
-        let result = dispatch(&self.node, env.request);
-        self.replies.push_back(ReplyEnvelope { id: env.id, result });
+        // Same server semantics as the threaded pool, dedup included, so
+        // the inline path stays protocol-identical.
+        if let Some(reply) = serve_deduped(&self.node, &self.dedup, env) {
+            self.replies.push_back(reply);
+        }
         Ok(())
     }
 
@@ -962,6 +1350,7 @@ pub struct StorageRpc {
     cluster: Arc<StorageCluster>,
     servers: Vec<NodeServerHandle>,
     timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl StorageRpc {
@@ -988,7 +1377,14 @@ impl StorageRpc {
             cluster,
             servers,
             timeout,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Sets the retry policy every subsequently minted port applies to
+    /// timed-out requests (see [`RetryPolicy`]; default: retries off).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The cluster being served.
@@ -1008,7 +1404,9 @@ impl StorageRpc {
             .iter()
             .map(|s| NodeConnection::new(Box::new(s.connect())))
             .collect();
-        RpcPort::from_connections(self.cluster.clone(), conns, self.timeout)
+        let mut port = RpcPort::from_connections(self.cluster.clone(), conns, self.timeout);
+        port.set_retry_policy(self.retry);
+        port
     }
 
     /// Shuts every node server down (draining in-flight requests).
@@ -1128,6 +1526,14 @@ impl RpcPort {
         }
     }
 
+    /// Sets the timed-out request retry policy of every connection of
+    /// this port (see [`RetryPolicy`]; default: retries off).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        for conn in &mut self.conns {
+            conn.set_retry_policy(retry);
+        }
+    }
+
     /// Data-plane statistics (envelope counts, staged chunks, flushes).
     pub fn stats(&self) -> PortStats {
         self.stats
@@ -1196,20 +1602,43 @@ impl RpcPort {
         self.insert_run(primary_idx, bag, ChunkRun::from_slice(chunks))
     }
 
-    /// Sends one `InsertBatch` envelope (counted) without waiting.
+    /// Sends one `InsertBatch` envelope (counted) without waiting,
+    /// returning the attempt's token and the request's sequence number
+    /// (for retry-safe retransmission under the dedup window).
     fn submit_insert(
         &mut self,
         idx: usize,
         bag: BagId,
         origin: u32,
         run: ChunkRun,
-    ) -> Result<CompletionToken, StorageError> {
+    ) -> Result<(CompletionToken, u64), StorageError> {
         self.stats.insert_envelopes += 1;
-        self.conns[idx].submit(StorageRequest::InsertBatch {
+        self.conns[idx].submit_tracked(StorageRequest::InsertBatch {
             bag,
             origin,
             chunks: run,
         })
+    }
+
+    /// Waits for one insert attempt, retrying timeouts under the
+    /// connection's policy. The retransmit buffer is the run itself —
+    /// every retry clones one refcount.
+    fn wait_insert(
+        &mut self,
+        idx: usize,
+        bag: BagId,
+        origin: u32,
+        run: &ChunkRun,
+        token: CompletionToken,
+        seq: u64,
+    ) -> Result<StorageResponse, StorageError> {
+        let request = StorageRequest::InsertBatch {
+            bag,
+            origin,
+            chunks: run.clone(),
+        };
+        let timeout = self.timeout;
+        self.conns[idx].wait_retrying(token, seq, &request, timeout)
     }
 
     /// The replica fan-out of one run addressed to primary `primary_idx`:
@@ -1235,7 +1664,8 @@ impl RpcPort {
         let mut hard_err = None;
         // Phase 1: all backups, overlapped — submit everything, then
         // collect every ack.
-        let backup_tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (1..r)
+        #[allow(clippy::type_complexity)]
+        let backup_tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (1..r)
             .map(|k| {
                 let idx = (primary + k) % m;
                 let token = self.submit_insert(idx, bag, origin, run.clone());
@@ -1243,7 +1673,8 @@ impl RpcPort {
             })
             .collect();
         for (idx, token) in backup_tokens {
-            let outcome = token.and_then(|t| self.conns[idx].wait(t, self.timeout));
+            let outcome =
+                token.and_then(|(t, seq)| self.wait_insert(idx, bag, origin, &run, t, seq));
             match outcome {
                 Ok(_) => landed += 1,
                 Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
@@ -1252,10 +1683,9 @@ impl RpcPort {
         }
         // Phase 2: the primary, only after every backup ack is in.
         if hard_err.is_none() {
-            let timeout = self.timeout;
             match self
-                .submit_insert(primary, bag, origin, run)
-                .and_then(|t| self.conns[primary].wait(t, timeout))
+                .submit_insert(primary, bag, origin, run.clone())
+                .and_then(|(t, seq)| self.wait_insert(primary, bag, origin, &run, t, seq))
             {
                 Ok(_) => landed += 1,
                 Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
@@ -1338,11 +1768,12 @@ impl RpcPort {
             return Ok(());
         }
         // Replication 1: full overlap. Submit everything, then collect.
+        #[allow(clippy::type_complexity)]
         let tokens: Vec<(
             usize,
             BagId,
             ChunkRun,
-            Result<CompletionToken, StorageError>,
+            Result<(CompletionToken, u64), StorageError>,
         )> = runs
             .into_iter()
             .map(|(target, bag, run)| {
@@ -1353,7 +1784,9 @@ impl RpcPort {
         let mut refused: Vec<(usize, BagId, ChunkRun)> = Vec::new();
         let mut hard_err = None;
         for (target, bag, run, token) in tokens {
-            match token.and_then(|t| self.conns[target].wait(t, self.timeout)) {
+            match token
+                .and_then(|(t, seq)| self.wait_insert(target, bag, target as u32, &run, t, seq))
+            {
                 Ok(_) => {}
                 Err(e) if Self::replica_unreachable(&e) => refused.push((target, bag, run)),
                 Err(e) => hard_err = Some(e),
@@ -1435,21 +1868,21 @@ impl RpcPort {
             // lagging pointer; unreachable replicas are skipped exactly as
             // in the direct path.
             let n = batch.chunks.len();
-            let tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (0..r)
+            let request = StorageRequest::MirrorRemoveN { bag, origin, n };
+            #[allow(clippy::type_complexity)]
+            let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (0..r)
                 .filter_map(|k| {
                     let idx = (primary + k) % m;
                     (idx != served_by).then(|| {
-                        let t = self.conns[idx].submit(StorageRequest::MirrorRemoveN {
-                            bag,
-                            origin,
-                            n,
-                        });
+                        let t = self.conns[idx].submit_tracked(request.clone());
                         (idx, t)
                     })
                 })
                 .collect();
+            let timeout = self.timeout;
             for (idx, token) in tokens {
-                let _ = token.and_then(|t| self.conns[idx].wait(t, self.timeout));
+                let _ = token
+                    .and_then(|(t, seq)| self.conns[idx].wait_retrying(t, seq, &request, timeout));
             }
         }
         batch.eof = batch.exhausted && sealed;
@@ -1472,18 +1905,24 @@ impl RpcPort {
     pub fn sample_bag(&mut self, bag: BagId) -> Result<BagSample, StorageError> {
         self.flush()?;
         self.cluster.check_bag(bag)?;
-        let tokens: Vec<(usize, Result<CompletionToken, StorageError>)> = (0..self.conns.len())
-            .map(|idx| {
-                let t = self.conns[idx].submit(StorageRequest::Sample { bag });
-                (idx, t)
-            })
-            .collect();
+        let request = StorageRequest::Sample { bag };
+        #[allow(clippy::type_complexity)]
+        let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> =
+            (0..self.conns.len())
+                .map(|idx| {
+                    let t = self.conns[idx].submit_tracked(request.clone());
+                    (idx, t)
+                })
+                .collect();
         let mut agg = BagSample {
             sealed: true,
             ..BagSample::default()
         };
+        let timeout = self.timeout;
         for (idx, token) in tokens {
-            match token.and_then(|t| self.conns[idx].wait(t, self.timeout)) {
+            match token
+                .and_then(|(t, seq)| self.conns[idx].wait_retrying(t, seq, &request, timeout))
+            {
                 Ok(StorageResponse::Sampled(s)) => agg.merge(&s),
                 Ok(other) => return Err(protocol_violation(self.conns[idx].node(), &other)),
                 Err(StorageError::NodeDown(_)) => {}
@@ -1797,5 +2236,186 @@ mod tests {
         let s = port.sample_bag(bag).unwrap();
         assert_eq!(s.total_chunks, 3);
         assert!(!s.sealed);
+    }
+
+    #[test]
+    fn duplicated_insert_envelope_is_suppressed() {
+        let node = StorageNode::new(StorageNodeId(0));
+        let dedup = ServerDedup::new();
+        let bag = BagId(1);
+        let env = RequestEnvelope {
+            id: 77,
+            client: 5,
+            seq: 0,
+            request: StorageRequest::InsertBatch {
+                bag,
+                origin: 0,
+                chunks: vec![chunk(1), chunk(2)].into(),
+            },
+        };
+        // First delivery executes.
+        let r1 = serve_deduped(&node, &dedup, env.clone()).unwrap();
+        assert_eq!(r1.result, Ok(StorageResponse::Inserted));
+        // An exact duplicate of the same envelope replays, never
+        // re-executes: the node still holds exactly two chunks.
+        let r2 = serve_deduped(&node, &dedup, env.clone()).unwrap();
+        assert_eq!(r2.result, Ok(StorageResponse::Inserted));
+        // A retransmission (same seq, fresh correlation id) likewise.
+        let retry = RequestEnvelope { id: 99, ..env };
+        let r3 = serve_deduped(&node, &dedup, retry).unwrap();
+        assert_eq!(r3.id, 99);
+        assert_eq!(r3.result, Ok(StorageResponse::Inserted));
+        assert_eq!(
+            node.sample(bag).unwrap().total_chunks,
+            2,
+            "no double insert"
+        );
+    }
+
+    #[test]
+    fn dedup_replays_remove_results_and_errors() {
+        let node = StorageNode::new(StorageNodeId(0));
+        let dedup = ServerDedup::new();
+        let bag = BagId(2);
+        dispatch(
+            &node,
+            StorageRequest::InsertBatch {
+                bag,
+                origin: 0,
+                chunks: vec![chunk(9)].into(),
+            },
+        )
+        .unwrap();
+        let env = RequestEnvelope {
+            id: 1,
+            client: 8,
+            seq: 0,
+            request: StorageRequest::RemoveBatch {
+                bag,
+                origin: 0,
+                max_n: 4,
+            },
+        };
+        let first = serve_deduped(&node, &dedup, env.clone()).unwrap();
+        // A lost-reply retransmission recovers the *same* chunks instead
+        // of consuming (and losing) a fresh batch.
+        let replay = serve_deduped(&node, &dedup, RequestEnvelope { id: 2, ..env }).unwrap();
+        assert_eq!(first.result, replay.result);
+        // Errors are cached too: the first outcome is the outcome, even
+        // if the node recovers before the retransmission arrives.
+        node.fail();
+        let bad = RequestEnvelope {
+            id: 3,
+            client: 8,
+            seq: 1,
+            request: StorageRequest::RemoveBatch {
+                bag,
+                origin: 0,
+                max_n: 1,
+            },
+        };
+        let e1 = serve_deduped(&node, &dedup, bad.clone()).unwrap();
+        node.recover();
+        let e2 = serve_deduped(&node, &dedup, RequestEnvelope { id: 4, ..bad }).unwrap();
+        assert!(e1.result.is_err());
+        assert_eq!(e1.result, e2.result);
+    }
+
+    #[test]
+    fn dedup_suppresses_duplicate_racing_a_running_execution() {
+        let dedup = ServerDedup::new();
+        assert_eq!(dedup.begin(1, 0), Served::Execute);
+        // The duplicate arrives while the original still runs on another
+        // dispatch thread: dropped without a reply.
+        assert_eq!(dedup.begin(1, 0), Served::Suppressed);
+        dedup.complete(1, 0, &Ok(StorageResponse::Inserted));
+        assert!(matches!(dedup.begin(1, 0), Served::Replayed(_)));
+        // A different client's seq 0 is a different request.
+        assert_eq!(dedup.begin(2, 0), Served::Execute);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_completed_entries() {
+        let dedup = ServerDedup::new();
+        for seq in 0..(super::DEDUP_WINDOW as u64 + 8) {
+            assert_eq!(dedup.begin(3, seq), Served::Execute);
+            dedup.complete(3, seq, &Ok(StorageResponse::Done));
+        }
+        // Seq 0 fell out of the window: a (very) late duplicate would
+        // re-execute, which the bounded window accepts.
+        assert_eq!(dedup.begin(3, 0), Served::Execute);
+        // Recent entries still replay.
+        assert!(matches!(
+            dedup.begin(3, super::DEDUP_WINDOW as u64 + 7),
+            Served::Replayed(_)
+        ));
+    }
+
+    #[test]
+    fn retry_resubmits_same_seq_with_fresh_correlation_id() {
+        let (transport, mut server) = loopback(StorageNodeId(2));
+        let mut conn = NodeConnection::new(Box::new(transport));
+        conn.set_retry_policy(RetryPolicy {
+            attempts: 2,
+            backoff: Duration::ZERO,
+        });
+        let server_thread = std::thread::spawn(move || {
+            // Swallow the first attempt, answer the second.
+            let first = server.recv(Duration::from_secs(2)).unwrap();
+            let second = server.recv(Duration::from_secs(2)).unwrap();
+            assert_eq!(first.seq, second.seq, "retry reuses the sequence number");
+            assert_eq!(first.client, second.client);
+            assert_ne!(first.id, second.id, "each attempt gets a fresh id");
+            assert!(server.reply(second.id, Ok(StorageResponse::Pong)));
+        });
+        let got = conn.call(StorageRequest::Ping, Duration::from_millis(50));
+        assert_eq!(got, Ok(StorageResponse::Pong));
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn retry_disabled_by_default_preserves_fail_fast_timeouts() {
+        let (transport, _server) = loopback(StorageNodeId(6));
+        let mut conn = NodeConnection::new(Box::new(transport));
+        let start = Instant::now();
+        let got = conn.call(StorageRequest::Ping, Duration::from_millis(20));
+        assert_eq!(got, Err(StorageError::Timeout(StorageNodeId(6))));
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "no hidden retries by default"
+        );
+    }
+
+    #[test]
+    fn idempotency_classification_covers_the_request_set() {
+        let bag = BagId(0);
+        assert!(!StorageRequest::InsertBatch {
+            bag,
+            origin: 0,
+            chunks: vec![].into()
+        }
+        .is_idempotent());
+        assert!(!StorageRequest::RemoveBatch {
+            bag,
+            origin: 0,
+            max_n: 1
+        }
+        .is_idempotent());
+        assert!(!StorageRequest::MirrorRemoveN {
+            bag,
+            origin: 0,
+            n: 1
+        }
+        .is_idempotent());
+        assert!(!StorageRequest::Rewind { bag }.is_idempotent());
+        assert!(!StorageRequest::Discard { bag }.is_idempotent());
+        assert!(!StorageRequest::Collect { bag }.is_idempotent());
+        assert!(StorageRequest::Sample { bag }.is_idempotent());
+        assert!(StorageRequest::ReadAt { bag, index: 0 }.is_idempotent());
+        assert!(StorageRequest::Snapshot { bag }.is_idempotent());
+        assert!(StorageRequest::SnapshotFrom { bag, origin: 0 }.is_idempotent());
+        assert!(StorageRequest::Seal { bag }.is_idempotent());
+        assert!(StorageRequest::IsDrained.is_idempotent());
+        assert!(StorageRequest::Ping.is_idempotent());
     }
 }
