@@ -10,8 +10,7 @@ use hurricane_format::{decode_all, encode_all};
 use hurricane_storage::bag::{BagClient, BatchRemoveResult, RemoveResult};
 use hurricane_storage::placement::CyclicPlacement;
 use hurricane_storage::prefetch::Prefetcher;
-use hurricane_storage::rpc::StorageRpc;
-use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_storage::{ClusterConfig, StorageCluster, StorageEndpoint};
 use hurricane_workloads::clicklog::{ClickLogGen, ClickLogSpec};
 use hurricane_workloads::rmat::{RmatGen, RmatSpec};
 use hurricane_workloads::ZipfSampler;
@@ -579,7 +578,8 @@ fn bench_contended(c: &mut Criterion) {
                 |cluster| {
                     let bag = cluster.create_bag();
                     run_clients(clients, |t| {
-                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 7 + t)
+                        let mut cl = StorageEndpoint::inline(cluster.clone())
+                            .client(bag, 7 + t)
                             .with_coalescing(COALESCE_WINDOW);
                         let chunks: Vec<_> =
                             (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
@@ -598,7 +598,7 @@ fn bench_contended(c: &mut Criterion) {
                 |cluster| {
                     let bag = cluster.create_bag();
                     run_clients(clients, |t| {
-                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 7 + t);
+                        let mut cl = StorageEndpoint::inline(cluster.clone()).client(bag, 7 + t);
                         let chunks: Vec<_> =
                             (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
                         for batch in chunks.chunks(BATCH) {
@@ -613,14 +613,14 @@ fn bench_contended(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
-                    let rpc = StorageRpc::serve(cluster.clone());
-                    (cluster, rpc)
+                    let endpoint = StorageEndpoint::channel(cluster.clone());
+                    let _ = endpoint.port();
+                    (cluster, endpoint)
                 },
-                |(cluster, rpc)| {
+                |(cluster, endpoint)| {
                     let bag = cluster.create_bag();
                     run_clients(clients, |t| {
-                        let mut cl =
-                            BagClient::connect(&rpc, bag, 7 + t).with_coalescing(COALESCE_WINDOW);
+                        let mut cl = endpoint.client(bag, 7 + t).with_coalescing(COALESCE_WINDOW);
                         let chunks: Vec<_> =
                             (0..OPS_PER_CLIENT).map(|_| contended_chunk()).collect();
                         for batch in chunks.chunks(BATCH) {
@@ -717,7 +717,7 @@ fn bench_contended(c: &mut Criterion) {
                 },
                 |(cluster, bag)| {
                     run_clients(clients, |t| {
-                        let mut cl = BagClient::connect_inline(cluster.clone(), bag, 11 + t);
+                        let mut cl = StorageEndpoint::inline(cluster.clone()).client(bag, 11 + t);
                         let mut left = OPS_PER_CLIENT as usize;
                         while left > 0 {
                             match cl.try_remove_batch(left.min(BATCH)).unwrap() {
@@ -734,17 +734,18 @@ fn bench_contended(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
-                    let rpc = StorageRpc::serve(cluster.clone());
+                    let endpoint = StorageEndpoint::channel(cluster.clone());
+                    let _ = endpoint.port();
                     let bag = cluster.create_bag();
                     let mut cl = BagClient::new(cluster.clone(), bag, 3);
                     let chunks: Vec<_> = (0..total_ops).map(|_| contended_chunk()).collect();
                     cl.insert_batch(&chunks).unwrap();
                     cluster.seal_bag(bag).unwrap();
-                    (rpc, bag)
+                    (endpoint, bag)
                 },
-                |(rpc, bag)| {
+                |(endpoint, bag)| {
                     run_clients(clients, |t| {
-                        let mut cl = BagClient::connect(&rpc, bag, 11 + t);
+                        let mut cl = endpoint.client(bag, 11 + t);
                         let mut left = OPS_PER_CLIENT as usize;
                         while left > 0 {
                             match cl.try_remove_batch(left.min(BATCH)).unwrap() {
@@ -795,16 +796,17 @@ fn bench_prefetch(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
-                let rpc = StorageRpc::serve(cluster.clone());
+                let endpoint = StorageEndpoint::channel(cluster.clone());
+                let _ = endpoint.port();
                 let bag = cluster.create_bag();
                 let mut cl = BagClient::new(cluster.clone(), bag, 5);
                 let chunks: Vec<_> = (0..CHUNKS).map(|_| contended_chunk()).collect();
                 cl.insert_batch(&chunks).unwrap();
                 cluster.seal_bag(bag).unwrap();
-                (rpc, bag)
+                (endpoint, bag)
             },
-            |(rpc, bag)| {
-                let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 10);
+            |(endpoint, bag)| {
+                let mut pf = Prefetcher::spawn(endpoint.client(bag, 6), 10);
                 let mut n = 0u64;
                 while pf.recv().unwrap().is_some() {
                     n += 1;
@@ -830,12 +832,13 @@ fn bench_flow_control(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let cluster = StorageCluster::new(CONTENDED_NODES, ClusterConfig::default());
-                    let rpc = StorageRpc::serve(cluster.clone());
-                    (cluster, rpc)
+                    let endpoint = StorageEndpoint::channel(cluster.clone());
+                    let _ = endpoint.port();
+                    (cluster, endpoint)
                 },
-                |(cluster, rpc)| {
+                |(cluster, endpoint)| {
                     let bag = cluster.create_bag();
-                    let mut cl = BagClient::connect(&rpc, bag, 5);
+                    let mut cl = endpoint.client(bag, 5);
                     cl.set_writer_credit(credit);
                     let chunks: Vec<_> = (0..CHUNKS).map(|_| contended_chunk()).collect();
                     for batch in chunks.chunks(BATCH) {

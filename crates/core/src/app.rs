@@ -43,7 +43,7 @@ use crate::task::{BagWriter, ControlMsg, KillSwitch};
 use crossbeam::channel::{unbounded, Sender};
 use hurricane_common::BagId;
 use hurricane_format::{decode_all, Chunk, Record};
-use hurricane_storage::{rpc::StorageRpc, StorageCluster};
+use hurricane_storage::{StorageCluster, StorageEndpoint};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -193,23 +193,22 @@ impl HurricaneApp {
         let registry = Arc::new(RunningRegistry::new());
         let app_done = Arc::new(AtomicBool::new(false));
         let (control_tx, control_rx) = unbounded();
-        // When enabled, stand up the storage RPC boundary: per-node server
-        // loops that workers and the master address through messages.
-        let rpc = self.config.storage_rpc.then(|| {
-            let mut rpc = StorageRpc::serve_with(
-                self.cluster.clone(),
-                self.config.rpc_dispatch_threads.max(1),
-                self.config.rpc_request_timeout,
-            );
-            rpc.set_retry_policy(hurricane_storage::RetryPolicy::with_attempts(
-                self.config.rpc_retry_attempts,
-            ));
-            Arc::new(rpc)
+        // The storage endpoint every worker and the master mint their bag
+        // clients from: the channel RPC plane (per-node server loops)
+        // when enabled, the direct in-process plane otherwise.
+        let endpoint = Arc::new(if self.config.storage_rpc {
+            StorageEndpoint::channel(self.cluster.clone())
+                .with_dispatch_threads(self.config.rpc_dispatch_threads.max(1))
+                .with_request_timeout(self.config.rpc_request_timeout)
+                .with_retry_attempts(self.config.rpc_retry_attempts)
+                .with_writer_credit(self.config.rpc_writer_credit.max(1))
+        } else {
+            StorageEndpoint::direct(self.cluster.clone())
         });
         let mdeps = ManagerDeps {
             graph: self.graph.clone(),
             cluster: self.cluster.clone(),
-            rpc: rpc.clone(),
+            endpoint: endpoint.clone(),
             config: self.config.clone(),
             kill: kill.clone(),
             registry: registry.clone(),
@@ -224,7 +223,7 @@ impl HurricaneApp {
         let master_deps = MasterDeps {
             graph: self.graph.clone(),
             cluster: self.cluster.clone(),
-            rpc: rpc.clone(),
+            endpoint: endpoint.clone(),
             config: self.config.clone(),
             kill: kill.clone(),
             registry: registry.clone(),
@@ -242,7 +241,7 @@ impl HurricaneApp {
             managers,
             master: Some(master_thread),
             master_deps,
-            rpc,
+            endpoint,
             control_tx,
             app_done,
             start: Instant::now(),
@@ -278,9 +277,10 @@ pub struct RunningApp {
     managers: Vec<ComputeNodeHandle>,
     master: Option<JoinHandle<Result<MasterOutcome, EngineError>>>,
     master_deps: MasterDeps,
-    /// Keeps the RPC server loops alive for the run's duration; shut down
-    /// (draining in-flight requests) once everything has joined.
-    rpc: Option<Arc<StorageRpc>>,
+    /// Keeps the storage endpoint (and, on the channel plane, its RPC
+    /// server loops) alive for the run's duration; shut down (draining
+    /// in-flight requests) once everything has joined.
+    endpoint: Arc<StorageEndpoint>,
     control_tx: Sender<ControlMsg>,
     app_done: Arc<AtomicBool>,
     start: Instant,
@@ -355,9 +355,7 @@ impl RunningApp {
         for m in self.managers.drain(..) {
             m.join();
         }
-        if let Some(rpc) = self.rpc.take() {
-            rpc.shutdown();
-        }
+        self.endpoint.shutdown();
         match outcome? {
             MasterOutcome::Completed(report) => Ok(AppReport::from_master(
                 report,

@@ -17,7 +17,7 @@ use crate::merges::ConcatMerge;
 use crate::task::{BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, TaskCtx};
 use crossbeam::channel::Sender;
 use hurricane_common::BagId;
-use hurricane_storage::{BagClient, StorageCluster, StorageRpc, WorkBag};
+use hurricane_storage::{BagClient, StorageCluster, StorageEndpoint, WorkBag};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,10 +120,10 @@ pub struct ManagerDeps {
     pub graph: Arc<AppGraph>,
     /// The storage cluster.
     pub cluster: Arc<StorageCluster>,
-    /// The storage RPC boundary, when the deployment routes the data
-    /// plane through it (`HurricaneConfig::storage_rpc`). `None` keeps
-    /// the direct in-process path.
-    pub rpc: Option<Arc<StorageRpc>>,
+    /// The storage endpoint bag clients are minted from: the channel RPC
+    /// plane when the deployment routes the data plane through messages
+    /// (`HurricaneConfig::storage_rpc`), the direct plane otherwise.
+    pub endpoint: Arc<StorageEndpoint>,
     /// Runtime configuration.
     pub config: Arc<HurricaneConfig>,
     /// Shared cancellation state.
@@ -178,15 +178,9 @@ impl ComputeNodeHandle {
 impl ManagerDeps {
     /// Opens a bag client for `bag` over the deployment's storage path:
     /// RPC messages when the boundary is enabled, direct calls otherwise.
+    /// The endpoint carries the knobs (writer credit, timeout, retry).
     pub(crate) fn bag_client(&self, bag: BagId) -> BagClient {
-        match &self.rpc {
-            Some(rpc) => {
-                let mut client = BagClient::connect(rpc, bag, self.seeds.next());
-                client.set_writer_credit(self.config.rpc_writer_credit.max(1));
-                client
-            }
-            None => BagClient::new(self.cluster.clone(), bag, self.seeds.next()),
-        }
+        self.endpoint.client(bag, self.seeds.next())
     }
 
     /// A bag client for a task-output writer: like

@@ -22,7 +22,7 @@ use crate::manager::{RunningRegistry, SeedGen, WorkBagIds};
 use crate::task::{ControlMsg, KillSwitch};
 use crossbeam::channel::Receiver;
 use hurricane_common::{BagId, TaskId, TaskInstanceId};
-use hurricane_storage::{BagClient, StorageCluster, StorageRpc, WorkBag};
+use hurricane_storage::{StorageCluster, StorageEndpoint, WorkBag};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -63,9 +63,9 @@ pub struct MasterDeps {
     pub graph: Arc<AppGraph>,
     /// The storage cluster.
     pub cluster: Arc<StorageCluster>,
-    /// The storage RPC boundary when the deployment routes the data plane
-    /// through it; `None` keeps direct in-process calls.
-    pub rpc: Option<Arc<StorageRpc>>,
+    /// The storage endpoint bag clients are minted from (channel RPC
+    /// plane or direct, per `HurricaneConfig::storage_rpc`).
+    pub endpoint: Arc<StorageEndpoint>,
     /// Runtime configuration.
     pub config: Arc<HurricaneConfig>,
     /// Shared cancellation state.
@@ -113,11 +113,7 @@ impl MasterDeps {
     /// Opens a typed work bag over the deployment's storage path (RPC
     /// messages when the boundary is enabled, direct calls otherwise).
     fn workbag<T: hurricane_format::Record>(&self, bag: BagId) -> WorkBag<T> {
-        let client = match &self.rpc {
-            Some(rpc) => BagClient::connect(rpc, bag, self.seeds.next()),
-            None => BagClient::new(self.cluster.clone(), bag, self.seeds.next()),
-        };
-        WorkBag::with_client(client)
+        WorkBag::with_client(self.endpoint.client(bag, self.seeds.next()))
     }
 }
 

@@ -170,8 +170,8 @@ impl BagReader {
         Self::open_client(BagClient::new(cluster, bag, seed), batch_factor, cancel)
     }
 
-    /// Opens a reader over an existing bag client. With a client connected
-    /// over the RPC boundary ([`BagClient::connect`]), the prefetcher
+    /// Opens a reader over an existing bag client. With a client minted
+    /// over the RPC boundary (`StorageEndpoint::client`), the prefetcher
     /// keeps `batch_factor` requests genuinely in flight against distinct
     /// storage nodes.
     pub fn open_client(

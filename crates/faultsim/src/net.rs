@@ -42,16 +42,17 @@
 //! intact (the durable-disk analogy the recovery story depends on).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use hurricane_common::{DetRng, StorageNodeId};
 use hurricane_storage::cluster::StorageCluster;
 use hurricane_storage::error::StorageError;
+use hurricane_storage::membership::{Connect, Membership};
 use hurricane_storage::node::StorageNode;
 use hurricane_storage::rpc::{
-    serve_deduped_traced, NodeConnection, ReplyEnvelope, RequestEnvelope, RpcPort, ServedKind,
-    ServerDedup, Transport,
+    serve_deduped_traced, ReplyEnvelope, RequestEnvelope, RpcPort, ServedKind, ServerDedup,
+    Transport,
 };
 use parking_lot::Mutex;
 
@@ -113,6 +114,15 @@ pub enum FaultAction {
     Fail(usize),
     /// Undoes [`FaultAction::Fail`] ([`StorageNode::recover`]).
     Recover(usize),
+    /// Elastic growth (paper §3.4): a fresh node joins the cluster and
+    /// the membership view mid-run. Clients pick it up on their next
+    /// membership refresh; placement immediately includes it in new
+    /// cycles.
+    AddNode,
+    /// Elastic shrink, paper-style "leave": the node starts *draining* —
+    /// it refuses new inserts (placement skips it) but keeps serving its
+    /// remaining chunks until empty. The slot is never reused.
+    DrainNode(usize),
 }
 
 /// One observable simulation event, recorded in virtual-time order.
@@ -259,6 +269,12 @@ enum Event {
 struct SimInner {
     cfg: SimConfig,
     cluster: Arc<StorageCluster>,
+    /// The live node view ports are minted from; grows on
+    /// [`FaultAction::AddNode`]. Connectors hold a `Weak` back-reference,
+    /// so the membership living here creates no `Arc` cycle.
+    membership: Membership,
+    /// Back-reference handed to connectors minted for joined nodes.
+    self_weak: Weak<Mutex<SimInner>>,
     nodes: Vec<Arc<StorageNode>>,
     /// Per-node dedup windows — durable state, surviving crash/restart.
     dedups: Vec<ServerDedup>,
@@ -439,6 +455,8 @@ impl SimInner {
             FaultAction::Restart(n) => FaultAction::Restart(canonical(n)),
             FaultAction::Fail(n) => FaultAction::Fail(canonical(n)),
             FaultAction::Recover(n) => FaultAction::Recover(canonical(n)),
+            FaultAction::AddNode => FaultAction::AddNode,
+            FaultAction::DrainNode(n) => FaultAction::DrainNode(canonical(n)),
         };
         self.trace.push(TraceEvent::Fault {
             at_us: self.now_us,
@@ -451,7 +469,25 @@ impl SimInner {
             FaultAction::Restart(n) => self.crashed[n] = false,
             FaultAction::Fail(n) => self.nodes[n].fail(),
             FaultAction::Recover(n) => self.nodes[n].recover(),
+            FaultAction::AddNode => self.add_node(),
+            FaultAction::DrainNode(n) => self.nodes[n].start_draining(),
         }
+    }
+
+    /// Grows the cluster, the simulation's per-node state, and the
+    /// membership view by one node — the AddNode fault. Ports observe the
+    /// epoch bump on their next membership refresh.
+    fn add_node(&mut self) {
+        let idx = self.cluster.add_node();
+        debug_assert_eq!(idx, self.nodes.len(), "sim state misaligned");
+        self.nodes.push(self.cluster.node(idx));
+        self.dedups.push(ServerDedup::new());
+        self.partitioned.push(false);
+        self.crashed.push(false);
+        self.membership.join(Arc::new(SimConnector {
+            inner: self.self_weak.clone(),
+            node: StorageNodeId(idx as u32),
+        }));
     }
 }
 
@@ -468,10 +504,13 @@ impl SimNet {
         let m = cluster.num_nodes();
         let nodes: Vec<_> = (0..m).map(|i| cluster.node(i)).collect();
         let dedups = (0..m).map(|_| ServerDedup::new()).collect();
-        Self {
-            inner: Arc::new(Mutex::new(SimInner {
+        let membership = Membership::new();
+        let inner = Arc::new_cyclic(|weak: &Weak<Mutex<SimInner>>| {
+            Mutex::new(SimInner {
                 cfg,
                 cluster,
+                membership: membership.clone(),
+                self_weak: weak.clone(),
                 nodes,
                 dedups,
                 now_us: 0,
@@ -482,8 +521,15 @@ impl SimNet {
                 partitioned: vec![false; m],
                 crashed: vec![false; m],
                 trace: Vec::new(),
-            })),
+            })
+        });
+        for i in 0..m {
+            membership.join(Arc::new(SimConnector {
+                inner: Arc::downgrade(&inner),
+                node: StorageNodeId(i as u32),
+            }));
         }
+        Self { inner }
     }
 
     /// Mints one raw endpoint connected to node `node_idx`.
@@ -493,24 +539,38 @@ impl SimNet {
         let endpoint = inner.inboxes.len();
         inner.inboxes.push(VecDeque::new());
         SimTransport {
-            net: self.clone(),
+            inner: self.inner.clone(),
             endpoint,
             node,
         }
     }
 
+    /// The live membership view over the simulated wire — one
+    /// [`SimConnector`] per node, growing on [`FaultAction::AddNode`].
+    /// This is what [`hurricane_storage::StorageEndpoint::custom`] takes.
+    pub fn membership(&self) -> Membership {
+        self.inner.lock().membership.clone()
+    }
+
+    /// The configured request timeout for ports over this network.
+    pub fn timeout(&self) -> Duration {
+        self.inner.lock().cfg.timeout
+    }
+
     /// Mints an [`RpcPort`] with one fresh endpoint per storage node —
     /// the full data-plane stack (coalescer, replica fan-out, failover)
-    /// over the simulated wire.
+    /// over the simulated wire. The port is membership-backed: after an
+    /// [`FaultAction::AddNode`], a refresh extends it to the new node.
     pub fn port(&self) -> RpcPort {
-        let (m, cluster, timeout) = {
+        let (cluster, membership, timeout) = {
             let inner = self.inner.lock();
-            (inner.nodes.len(), inner.cluster.clone(), inner.cfg.timeout)
+            (
+                inner.cluster.clone(),
+                inner.membership.clone(),
+                inner.cfg.timeout,
+            )
         };
-        let conns = (0..m)
-            .map(|i| NodeConnection::new(Box::new(self.transport(i))))
-            .collect();
-        RpcPort::from_connections(cluster, conns, timeout)
+        RpcPort::from_membership(cluster, membership, timeout)
     }
 
     /// Applies a fault right now.
@@ -568,9 +628,47 @@ impl SimNet {
 /// local failure mode — loss shows up as a timeout, exactly like UDP);
 /// receives drive the virtual clock.
 pub struct SimTransport {
-    net: SimNet,
+    inner: Arc<Mutex<SimInner>>,
     endpoint: usize,
     node: StorageNodeId,
+}
+
+/// A [`Connect`] that mints [`SimTransport`] endpoints for one node —
+/// the membership entry for a simulated node. Holds the network weakly:
+/// once the [`SimNet`] is gone the connector reports
+/// [`StorageError::Disconnected`], and the membership living inside the
+/// network never forms a reference cycle.
+pub struct SimConnector {
+    inner: Weak<Mutex<SimInner>>,
+    node: StorageNodeId,
+}
+
+impl Connect for SimConnector {
+    fn connect(&self) -> Result<Box<dyn Transport>, StorageError> {
+        let inner = self
+            .inner
+            .upgrade()
+            .ok_or(StorageError::Disconnected(self.node))?;
+        let endpoint = {
+            let mut g = inner.lock();
+            let e = g.inboxes.len();
+            g.inboxes.push(VecDeque::new());
+            e
+        };
+        Ok(Box::new(SimTransport {
+            inner,
+            endpoint,
+            node: self.node,
+        }))
+    }
+}
+
+impl std::fmt::Debug for SimConnector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConnector")
+            .field("node", &self.node)
+            .finish()
+    }
 }
 
 impl Transport for SimTransport {
@@ -579,7 +677,7 @@ impl Transport for SimTransport {
     }
 
     fn send(&mut self, env: RequestEnvelope) -> Result<(), StorageError> {
-        let mut inner = self.net.inner.lock();
+        let mut inner = self.inner.lock();
         let cfg = inner.cfg;
         let node = self.node.0;
         let now = inner.now_us;
@@ -630,7 +728,7 @@ impl Transport for SimTransport {
     }
 
     fn try_recv(&mut self) -> Option<ReplyEnvelope> {
-        let mut inner = self.net.inner.lock();
+        let mut inner = self.inner.lock();
         let now = inner.now_us;
         inner.run_until(now);
         inner.inboxes[self.endpoint].pop_front()
@@ -638,7 +736,7 @@ impl Transport for SimTransport {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<ReplyEnvelope> {
         let deadline = {
-            let mut inner = self.net.inner.lock();
+            let mut inner = self.inner.lock();
             if let Some(r) = inner.inboxes[self.endpoint].pop_front() {
                 return Some(r);
             }
@@ -647,7 +745,7 @@ impl Transport for SimTransport {
         };
         loop {
             {
-                let mut inner = self.net.inner.lock();
+                let mut inner = self.inner.lock();
                 // Run everything due inside the budget; stop as soon as a
                 // reply lands in our inbox.
                 loop {
@@ -678,7 +776,7 @@ impl Transport for SimTransport {
 mod tests {
     use super::*;
     use hurricane_storage::cluster::ClusterConfig;
-    use hurricane_storage::rpc::StorageRequest;
+    use hurricane_storage::rpc::{NodeConnection, StorageRequest};
     use hurricane_storage::StorageResponse;
 
     fn net(seed: u64) -> (Arc<StorageCluster>, SimNet) {

@@ -9,6 +9,7 @@ use hurricane_common::BagId;
 use hurricane_format::Chunk;
 use hurricane_storage::bag::{BagClient, BatchRemoveResult};
 use hurricane_storage::cluster::{ClusterConfig, StorageCluster};
+use hurricane_storage::endpoint::StorageEndpoint;
 use hurricane_storage::error::StorageError;
 use hurricane_storage::rpc::{RetryPolicy, RpcPort};
 
@@ -46,9 +47,23 @@ impl FaultSim {
         port
     }
 
-    /// A bag client over a fresh simulated port.
+    /// A bag client over a fresh simulated port, minted through a
+    /// [`StorageEndpoint`] on the custom plane — the same endpoint API
+    /// real deployments use, with the simulated membership plugged in.
     pub fn client(&self, seed: u64, retry_attempts: u32) -> BagClient {
-        BagClient::with_rpc_port(self.port_with_retry(retry_attempts), self.bag, seed)
+        self.endpoint(retry_attempts).client(self.bag, seed)
+    }
+
+    /// A [`StorageEndpoint`] over the simulated network: custom plane,
+    /// the net's membership and timeout, and a fast retry backoff so
+    /// timed-out virtual waits don't stack real sleeps.
+    pub fn endpoint(&self, retry_attempts: u32) -> StorageEndpoint {
+        StorageEndpoint::custom(self.cluster.clone(), self.net.membership())
+            .with_request_timeout(self.net.timeout())
+            .with_retry_policy(RetryPolicy {
+                attempts: retry_attempts.max(1),
+                backoff: Duration::from_micros(100),
+            })
     }
 
     /// Seals the bag through the cluster authority (control plane — not

@@ -12,13 +12,15 @@ use proptest::prelude::*;
 /// `(at_us, action kind, node)` tuples decoded into a fault schedule.
 fn apply_schedule(sim: &FaultSim, schedule: &[(u64, usize, usize)]) {
     for &(at_us, kind, node) in schedule {
-        let action = match kind % 6 {
+        let action = match kind % 8 {
             0 => FaultAction::Partition(node),
             1 => FaultAction::Heal(node),
             2 => FaultAction::Crash(node),
             3 => FaultAction::Restart(node),
             4 => FaultAction::Fail(node),
-            _ => FaultAction::Recover(node),
+            5 => FaultAction::Recover(node),
+            6 => FaultAction::AddNode,
+            _ => FaultAction::DrainNode(node),
         };
         sim.net.schedule(at_us, action);
     }
@@ -37,7 +39,7 @@ proptest! {
         drop_pm in 0u32..200,
         dup_pm in 0u32..200,
         schedule in prop::collection::vec(
-            (0u64..40_000, 0usize..6, 0usize..3),
+            (0u64..40_000, 0usize..8, 0usize..3),
             0..6,
         ),
     ) {
@@ -114,7 +116,7 @@ proptest! {
         drop_pm in 0u32..150,
         dup_pm in 0u32..150,
         schedule in prop::collection::vec(
-            (0u64..20_000, 0usize..6, 0usize..3),
+            (0u64..20_000, 0usize..8, 0usize..3),
             0..4,
         ),
     ) {

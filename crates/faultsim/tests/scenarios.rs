@@ -11,6 +11,7 @@ use hurricane_faultsim::net::{FaultAction, SimConfig, SimNet, TraceEvent};
 use hurricane_faultsim::scenario::{
     assert_exactly_once, chunk_of, drain_all, scenario_seed, sweep_seeds, value_of, FaultSim,
 };
+use hurricane_storage::bag::BatchRemoveResult;
 use hurricane_storage::prefetch::Prefetcher;
 use hurricane_storage::rpc::{NodeConnection, ServedKind, StorageRequest};
 use hurricane_storage::StorageResponse;
@@ -246,6 +247,143 @@ fn late_reply_cannot_reach_a_reused_slot() {
     assert_eq!(delivered, 2, "test setup no longer delivers a late reply");
 }
 
+/// Elasticity under the endpoint API (paper §3.4): a node joins
+/// mid-insert ([`FaultAction::AddNode`]), an original node leaves by
+/// draining ([`FaultAction::DrainNode`]), and the combined run still
+/// delivers every value exactly once — with the joined node provably
+/// carrying data and the draining node provably refusing it.
+#[test]
+fn membership_churn_add_and_drain_preserve_exactly_once() {
+    let seed = scenario_seed(0xADD0);
+    const BEFORE: u64 = 60;
+    const AFTER: u64 = 120;
+    const TOTAL: u64 = AFTER + 30;
+    let cfg = SimConfig::reliable(seed);
+    let sim = FaultSim::new(2, 1, cfg);
+
+    let mut writer = sim.client(seed, 2);
+    for v in 0..BEFORE {
+        writer.insert(chunk_of(v)).expect("insert before join");
+    }
+
+    // A third node joins; the writer observes the epoch bump on refresh
+    // (prefetching readers refresh automatically each iteration).
+    sim.net.apply(FaultAction::AddNode);
+    writer.refresh_membership();
+    assert_eq!(
+        sim.cluster.node(2).sample(sim.bag).unwrap().total_chunks,
+        0,
+        "joined node started non-empty"
+    );
+    for v in BEFORE..AFTER {
+        writer.insert(chunk_of(v)).expect("insert after join");
+    }
+    let joined = sim.cluster.node(2).sample(sim.bag).unwrap().total_chunks;
+    assert!(
+        joined >= (AFTER - BEFORE) / 6,
+        "joined node received no cyclic share: {joined} chunks"
+    );
+
+    // Node 0 leaves paper-style: it drains. New inserts reroute around
+    // it without erroring...
+    let frozen = sim.cluster.node(0).sample(sim.bag).unwrap().total_chunks;
+    sim.net.apply(FaultAction::DrainNode(0));
+    for v in AFTER..TOTAL {
+        writer.insert(chunk_of(v)).expect("insert during drain");
+    }
+    assert_eq!(
+        sim.cluster.node(0).sample(sim.bag).unwrap().total_chunks,
+        frozen,
+        "draining node accepted an insert"
+    );
+
+    // ...while its stored chunks still serve, so a full drain sees
+    // everything exactly once and empties the leaving node.
+    sim.seal();
+    let mut reader = sim.client(seed ^ 1, 5);
+    let drained = drain_all(&mut reader).expect("drain");
+    let attempted: Vec<u64> = (0..TOTAL).collect();
+    assert_exactly_once(&attempted, &attempted, &drained);
+    assert_eq!(drained.len() as u64, TOTAL);
+    assert!(
+        sim.cluster.node(0).is_drained().unwrap(),
+        "leaving node not drained to empty"
+    );
+}
+
+/// Pin for the identity-based pointer-mirroring protocol: replica logs
+/// that *diverged* during a partition (lost acks leave a value on the
+/// backup but not the primary, shifting every later log index) must not
+/// confuse consumed-pointer mirroring. Half the bag is consumed — each
+/// remove mirrors the consumed chunk *identities*, not a count — then
+/// a node fails and the drain completes through failover replicas with
+/// no chunk served twice and no acknowledged chunk lost.
+#[test]
+fn mirror_identity_survives_divergent_replica_logs() {
+    let seed = scenario_seed(0x3144);
+    const N: u64 = 120;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.timeout = Duration::from_millis(5);
+    let sim = FaultSim::new(3, 2, cfg);
+
+    // Phase 1: insert through a partition window. For chunks whose
+    // *primary* is the partitioned node, the backup write can land and
+    // ack while the primary write is lost — the insert times out
+    // (unacked) but one replica keeps the value: divergent logs.
+    sim.net.schedule(1_000, FaultAction::Partition(1));
+    let mut writer = sim.client(seed, 2);
+    let mut attempted = Vec::new();
+    let mut acked = Vec::new();
+    for v in 0..N / 2 {
+        attempted.push(v);
+        if writer.insert(chunk_of(v)).is_ok() {
+            acked.push(v);
+        }
+    }
+    let intercepted = sim
+        .net
+        .trace()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::DropUnreachable { node: 1, .. }
+                    | TraceEvent::ReplyDropUnreachable { node: 1, .. }
+            )
+        })
+        .count();
+    assert!(intercepted > 0, "partition window missed the insert burst");
+
+    // Phase 2: heal and stack ordinary inserts on the divergent prefix.
+    sim.net.heal_all();
+    for v in N / 2..N {
+        attempted.push(v);
+        if writer.insert(chunk_of(v)).is_ok() {
+            acked.push(v);
+        }
+    }
+
+    // Phase 3: consume half the bag. Every remove mirrors the consumed
+    // identities to the surviving replicas.
+    sim.seal();
+    let mut reader = sim.client(seed ^ 1, 3);
+    let mut drained = Vec::new();
+    while drained.len() < (N as usize) / 2 {
+        match reader.try_remove_batch(4).expect("remove") {
+            BatchRemoveResult::Chunks(chunks) => drained.extend(chunks.iter().map(value_of)),
+            BatchRemoveResult::Pending => {}
+            BatchRemoveResult::Drained => break,
+        }
+    }
+
+    // Phase 4: fail a node; failover serves its share from backups whose
+    // read pointers advanced by identity. A count-based mirror would
+    // re-serve (or skip) chunks around every divergence point.
+    sim.net.apply(FaultAction::Fail(0));
+    drained.extend(drain_all(&mut reader).expect("drain through failover"));
+    assert_exactly_once(&attempted, &acked, &drained);
+}
+
 /// CI sweep: N seeds (FAULTSIM_SWEEP, default 4) of a randomized
 /// drop/dup/crash/partition run, each printing its seed before running
 /// so a failing log names the exact repro.
@@ -270,13 +408,15 @@ fn run_random_fault_run(seed: u64) {
     for _ in 0..4 {
         let at = rng.gen_range_in(500, 30_000);
         let node = rng.gen_range(3) as usize;
-        let action = match rng.gen_range(6) {
+        let action = match rng.gen_range(8) {
             0 => FaultAction::Partition(node),
             1 => FaultAction::Heal(node),
             2 => FaultAction::Crash(node),
             3 => FaultAction::Restart(node),
             4 => FaultAction::Fail(node),
-            _ => FaultAction::Recover(node),
+            5 => FaultAction::Recover(node),
+            6 => FaultAction::AddNode,
+            _ => FaultAction::DrainNode(node),
         };
         sim.net.schedule(at, action);
     }

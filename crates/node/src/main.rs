@@ -1,0 +1,129 @@
+//! `hurricane-node` — a standalone storage node process.
+//!
+//! Serves one [`StorageNode`] over the TCP RPC plane (`WIRE.md`). Two
+//! ways to start:
+//!
+//! * **Static member**: `hurricane-node --listen 127.0.0.1:4100 --id 2`
+//!   serves node 2; the driver lists this address at the matching
+//!   position of [`StorageEndpoint::tcp`]'s address list.
+//! * **Elastic join**: `hurricane-node --listen 127.0.0.1:0 --join
+//!   127.0.0.1:4000` binds the data listener first, announces its bound
+//!   address to the driver's join listener
+//!   ([`StorageEndpoint::serve_joins`]), and serves under the node id
+//!   the driver assigns. Live clients pick the node up on their next
+//!   membership refresh.
+//!
+//! Once serving, the process prints one machine-readable line to stdout:
+//!
+//! ```text
+//! LISTENING <data-addr> NODE <id>
+//! ```
+//!
+//! and then runs until killed. Storage is in-memory (the paper's nodes
+//! are, too — bags live for one job); a killed node's acked data
+//! survives via replication, not disk.
+//!
+//! [`StorageNode`]: hurricane_storage::StorageNode
+//! [`StorageEndpoint::tcp`]: hurricane_storage::StorageEndpoint::tcp
+//! [`StorageEndpoint::serve_joins`]: hurricane_storage::StorageEndpoint::serve_joins
+
+use hurricane_common::StorageNodeId;
+use hurricane_storage::{join_cluster, StorageNode, TcpNodeServer};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: hurricane-node [--listen ADDR] (--id N | --join DRIVER_ADDR)
+
+  --listen ADDR   data-plane listen address (default 127.0.0.1:0)
+  --id N          serve as statically-configured node N
+  --join ADDR     dial the driver's join listener at ADDR, announce the
+                  bound data address, and serve under the assigned id
+";
+
+struct Args {
+    listen: String,
+    id: Option<u32>,
+    join: Option<String>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        id: None,
+        join: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--id" => {
+                let v = value("--id")?;
+                args.id = Some(v.parse().map_err(|_| format!("bad --id {v:?}"))?);
+            }
+            "--join" => args.join = Some(value("--join")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match (&args.id, &args.join) {
+        (Some(_), Some(_)) => Err("--id and --join are mutually exclusive".into()),
+        (None, None) => Err("one of --id or --join is required".into()),
+        _ => Ok(args),
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    // Bind before anything else: the address we announce (join flow) or
+    // that the operator configured (static flow) is reserved from here on.
+    let listener =
+        TcpListener::bind(&args.listen).map_err(|e| format!("bind {}: {e}", args.listen))?;
+    let data_addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+
+    let id = match (&args.id, &args.join) {
+        (Some(id), None) => StorageNodeId(*id),
+        (None, Some(driver)) => join_cluster(driver, &data_addr.to_string())
+            .map_err(|e| format!("join via {driver}: {e}"))?,
+        _ => unreachable!("validated by parse_args"),
+    };
+
+    let node = Arc::new(StorageNode::new(id));
+    let server =
+        TcpNodeServer::serve_on(node, listener).map_err(|e| format!("serve {data_addr}: {e}"))?;
+
+    // The one line drivers and test harnesses scrape; flushed so a piped
+    // stdout delivers it immediately.
+    println!("LISTENING {} NODE {}", server.local_addr(), id.0);
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed: the accept loop and service threads do the
+    // work; this thread only keeps the server handle alive.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("hurricane-node: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("hurricane-node: {e}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The multi-process cluster smoke test (mirrored by the CI
+//! `cluster-smoke` job): three `hurricane-node` processes plus a driver
+//! on localhost run a ClickLog insert/drain job over real TCP, one node
+//! is SIGKILLed mid-job (replica failover across process boundaries), a
+//! fourth node joins mid-job through the driver's join listener and
+//! receives placements, and the drained result is exactly-once with
+//! byte-perfect payloads.
+
+use hurricane_common::StorageNodeId;
+use hurricane_format::Chunk;
+use hurricane_storage::bag::BatchRemoveResult;
+use hurricane_storage::rpc::{RequestEnvelope, RetryPolicy, StorageRequest, StorageResponse};
+use hurricane_storage::{ClusterConfig, StorageEndpoint, TcpTransport, Transport};
+use hurricane_workloads::clicklog::{region_of, ClickLogGen, ClickLogSpec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills every spawned node process on drop, so a failing assertion
+/// doesn't strand orphans holding the test harness's output pipes open.
+struct Reaper(Vec<Option<Child>>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in self.0.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawns one `hurricane-node` with `args` and scrapes the
+/// `LISTENING <addr> NODE <id>` line it prints once serving.
+fn spawn_node(args: &[&str]) -> (Child, String, u32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hurricane-node"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn hurricane-node");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTENING line");
+    let mut words = line.split_whitespace();
+    assert_eq!(
+        words.next(),
+        Some("LISTENING"),
+        "unexpected banner: {line:?}"
+    );
+    let addr = words.next().expect("data addr").to_string();
+    assert_eq!(words.next(), Some("NODE"), "unexpected banner: {line:?}");
+    let id: u32 = words.next().expect("node id").parse().expect("numeric id");
+    (child, addr, id)
+}
+
+/// One test chunk: `[seq: u64 le][n: u32 le][ip: u32 le]*n`. The seq is
+/// the exactly-once identity; the ips are the ClickLog payload.
+fn chunk_of(seq: u64, ips: &[u32]) -> Chunk {
+    let mut bytes = Vec::with_capacity(12 + ips.len() * 4);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(ips.len() as u32).to_le_bytes());
+    for ip in ips {
+        bytes.extend_from_slice(&ip.to_le_bytes());
+    }
+    Chunk::from_vec(bytes)
+}
+
+fn decode_chunk(c: &Chunk) -> (u64, Vec<u32>) {
+    let b = c.bytes();
+    let seq = u64::from_le_bytes(b[..8].try_into().unwrap());
+    let n = u32::from_le_bytes(b[8..12].try_into().unwrap()) as usize;
+    let ips = (0..n)
+        .map(|i| u32::from_le_bytes(b[12 + i * 4..16 + i * 4].try_into().unwrap()))
+        .collect();
+    (seq, ips)
+}
+
+/// Counts distinct ips per region — the ClickLog answer (paper §5.1).
+fn region_counts(batches: &BTreeMap<u64, Vec<u32>>, spec: &ClickLogSpec) -> BTreeMap<u32, usize> {
+    let mut per_region: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for ips in batches.values() {
+        for &ip in ips {
+            per_region
+                .entry(region_of(ip, spec.num_ips, spec.regions))
+                .or_default()
+                .insert(ip);
+        }
+    }
+    per_region.into_iter().map(|(r, s)| (r, s.len())).collect()
+}
+
+#[test]
+fn three_process_clicklog_survives_kill_and_join() {
+    // --- boot: three static nodes + the TCP endpoint over them --------
+    let mut children = Reaper(Vec::new());
+    let mut addrs = Vec::new();
+    for i in 0..3 {
+        let id = i.to_string();
+        let (child, addr, got) = spawn_node(&["--listen", "127.0.0.1:0", "--id", &id]);
+        assert_eq!(got, i);
+        children.0.push(Some(child));
+        addrs.push(addr);
+    }
+
+    let endpoint = StorageEndpoint::tcp(addrs.clone(), ClusterConfig { replication: 2 })
+        .with_request_timeout(Duration::from_secs(2))
+        .with_retry_policy(RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(10),
+        });
+    let bag = endpoint.cluster().create_bag();
+    let mut writer = endpoint.client(bag, 1);
+
+    // --- the ClickLog input, chunked 50 records at a time -------------
+    let spec = ClickLogSpec {
+        num_ips: 4096,
+        regions: 16,
+        skew: 1.0,
+        records: 3_000,
+        seed: 0x51_0C,
+    };
+    let ips: Vec<u32> = ClickLogGen::new(spec.clone()).collect();
+    let batches: Vec<(u64, &[u32])> = ips
+        .chunks(50)
+        .enumerate()
+        .map(|(i, b)| (i as u64, b))
+        .collect();
+    let third = batches.len() / 3;
+
+    let mut attempted = BTreeSet::new();
+    let mut acked = BTreeSet::new();
+    let mut insert = |writer: &mut hurricane_storage::BagClient, span: &[(u64, &[u32])]| {
+        for &(seq, ips) in span {
+            attempted.insert(seq);
+            if writer.insert(chunk_of(seq, ips)).is_ok() {
+                acked.insert(seq);
+            }
+        }
+    };
+
+    // Phase 1: healthy cluster.
+    insert(&mut writer, &batches[..third]);
+
+    // Phase 2: SIGKILL node 1 mid-job. Replication 2 means every acked
+    // chunk has a live replica; inserts reroute around the dead process.
+    let mut victim = children.0[1].take().unwrap();
+    victim.kill().expect("SIGKILL node 1");
+    victim.wait().expect("reap node 1");
+    insert(&mut writer, &batches[third..2 * third]);
+
+    // Phase 3: a fourth process joins through the driver's join
+    // listener, mid-job, and starts taking placements.
+    let join_addr = endpoint.serve_joins("127.0.0.1:0").expect("join listener");
+    let (child3, addr3, id3) =
+        spawn_node(&["--listen", "127.0.0.1:0", "--join", &join_addr.to_string()]);
+    children.0.push(Some(child3));
+    assert_eq!(id3, 3, "driver assigned the next node id");
+    assert_eq!(endpoint.cluster().num_nodes(), 4, "join grew the cluster");
+    writer.refresh_membership();
+    insert(&mut writer, &batches[2 * third..]);
+
+    // The joined process really received placements: ask it directly
+    // over its own socket.
+    let mut probe = TcpTransport::dial(&addr3, Some(StorageNodeId(3))).expect("dial joined node");
+    probe
+        .send(RequestEnvelope {
+            id: 1,
+            client: 999,
+            seq: 1,
+            request: StorageRequest::Sample { bag },
+        })
+        .expect("probe send");
+    let reply = probe
+        .recv_timeout(Duration::from_secs(5))
+        .expect("probe reply");
+    match reply.result {
+        Ok(StorageResponse::Sampled(s)) => {
+            assert!(s.total_chunks > 0, "joined node never received a placement")
+        }
+        other => panic!("unexpected probe reply: {other:?}"),
+    }
+
+    // --- drain and judge ----------------------------------------------
+    endpoint.cluster().seal_bag(bag).expect("seal");
+    let mut reader = endpoint.client(bag, 2);
+    let mut drained: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    let mut pending_budget = 10_000u32;
+    loop {
+        match reader.try_remove_batch(8).expect("remove") {
+            BatchRemoveResult::Chunks(chunks) => {
+                pending_budget = 10_000;
+                for c in &chunks {
+                    let (seq, ips) = decode_chunk(c);
+                    assert!(
+                        drained.insert(seq, ips).is_none(),
+                        "chunk {seq} drained twice"
+                    );
+                }
+            }
+            BatchRemoveResult::Pending => {
+                pending_budget -= 1;
+                assert!(pending_budget > 0, "sealed bag stayed pending: data lost?");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            BatchRemoveResult::Drained => break,
+        }
+    }
+
+    // Exactly-once: every acked chunk survived the kill, nothing
+    // materialized that was never sent, nothing came out twice (the
+    // BTreeMap insert above), and payloads crossed the wire intact.
+    for seq in &acked {
+        assert!(drained.contains_key(seq), "acked chunk {seq} was lost");
+    }
+    for (seq, got) in &drained {
+        assert!(attempted.contains(seq), "chunk {seq} never inserted");
+        let want = &batches[*seq as usize];
+        assert_eq!(got, want.1, "chunk {seq} payload corrupted in flight");
+    }
+
+    // And the job's actual answer: distinct ips per region over the
+    // drained records matches the generator's ground truth for the same
+    // chunk set.
+    let expected: BTreeMap<u64, Vec<u32>> = drained
+        .keys()
+        .map(|&seq| (seq, batches[seq as usize].1.to_vec()))
+        .collect();
+    assert_eq!(
+        region_counts(&drained, &spec),
+        region_counts(&expected, &spec),
+        "ClickLog region histogram diverged"
+    );
+
+    endpoint.shutdown();
+    drop(children);
+}

@@ -37,12 +37,21 @@ impl StoragePort {
     }
 
     /// Number of storage nodes addressable through this port. A direct
-    /// port tracks cluster growth; an RPC port's connection set is fixed
-    /// when the port is minted.
+    /// port tracks cluster growth; an RPC port tracks its connection set,
+    /// which grows at [`StoragePort::refresh`] when a membership is
+    /// attached.
     pub(crate) fn num_nodes(&self) -> usize {
         match self {
             StoragePort::Direct(c) => c.num_nodes(),
             StoragePort::Rpc(p) => p.num_nodes(),
+        }
+    }
+
+    /// Syncs an RPC port's connections with its membership view (no-op
+    /// for direct ports, which read the live cluster already).
+    pub(crate) fn refresh(&mut self) {
+        if let StoragePort::Rpc(p) = self {
+            p.refresh_membership();
         }
     }
 
@@ -136,12 +145,30 @@ impl BagClient {
     /// Creates a client for `bag` that talks to storage over the RPC
     /// boundary: every data-plane operation becomes correlated messages to
     /// the per-node server loops of `rpc`.
+    ///
+    /// Migration: build a channel-plane endpoint once and mint clients
+    /// from it — `StorageEndpoint::channel(cluster).client(bag, seed)`.
+    /// The endpoint owns the servers, so there is no separate
+    /// [`StorageRpc`] value to keep alive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StorageEndpoint::channel(cluster).client(bag, seed)"
+    )]
     pub fn connect(rpc: &StorageRpc, bag: BagId, seed: u64) -> Self {
         Self::with_port(StoragePort::Rpc(rpc.port()), bag, seed)
     }
 
     /// Creates a client over an explicit [`RpcPort`] — the seam for
-    /// injecting custom transports (tests, future network sockets).
+    /// injecting custom transports.
+    ///
+    /// Migration: put the transports in a [`crate::Membership`] (see
+    /// [`crate::membership::OnceConnect`] for hand-built connections) and
+    /// use `StorageEndpoint::custom(cluster, membership).client(bag,
+    /// seed)` — clients built that way also track membership growth.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StorageEndpoint::custom(cluster, membership).client(bag, seed)"
+    )]
     pub fn with_rpc_port(port: RpcPort, bag: BagId, seed: u64) -> Self {
         Self::with_port(StoragePort::Rpc(port), bag, seed)
     }
@@ -149,6 +176,12 @@ impl BagClient {
     /// Creates a client speaking the RPC message protocol with inline
     /// dispatch ([`crate::rpc::InlineTransport`]): the boundary without
     /// the thread hops, for colocated compute and storage.
+    ///
+    /// Migration: `StorageEndpoint::inline(cluster).client(bag, seed)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StorageEndpoint::inline(cluster).client(bag, seed)"
+    )]
     pub fn connect_inline(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
         Self::with_port(StoragePort::Rpc(RpcPort::inline(cluster)), bag, seed)
     }
@@ -178,9 +211,11 @@ impl BagClient {
 
     /// Picks up storage nodes added since this client was created
     /// (paper §3.4: the master informs compute nodes about new nodes).
-    /// An RPC client's connection set is fixed at connect time, so its
-    /// membership only grows when a fresh client is connected.
+    /// Over an RPC port this first syncs the connection set with the
+    /// attached membership view, then grows the placement cycles to
+    /// cover the new nodes.
     pub fn refresh_membership(&mut self) {
+        self.port.refresh();
         let m = self.port.num_nodes();
         if m > self.insert_cursor.len() {
             self.insert_cursor.grow(m, &mut self.rng);
@@ -690,6 +725,23 @@ mod tests {
         assert!(
             cluster.node(2).sample(bag).unwrap().total_chunks >= 9,
             "new node should receive its cyclic share"
+        );
+    }
+
+    #[test]
+    fn rpc_membership_refresh_reaches_new_node() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let ep = crate::endpoint::StorageEndpoint::channel(cluster.clone());
+        let mut client = ep.client(bag, 10);
+        ep.add_node();
+        client.refresh_membership();
+        for i in 0..30 {
+            client.insert(chunk(i)).unwrap();
+        }
+        assert!(
+            cluster.node(2).sample(bag).unwrap().total_chunks >= 9,
+            "joined node should receive its cyclic share over RPC"
         );
     }
 

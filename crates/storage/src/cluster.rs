@@ -15,9 +15,19 @@
 //! one chunk. The paper's system has the same window; its applications
 //! tolerate it because compute-node recovery rewinds and restarts tasks
 //! whose workers crashed mid-flight.
+//!
+//! Mirrors carry chunk *identities*, not counts: every insert run is
+//! minted a unique id ([`crate::node::next_run_id`]) before the replica
+//! fan-out, and a serving replica reports which `(run, position)` tags it
+//! consumed ([`crate::node::TagSegment`]). A backup whose log diverged
+//! from the serving replica's — a partial replicated insert landed at one
+//! but not the other — consumes exactly the served chunks and keeps the
+//! marooned ones live, instead of blindly skipping `n` entries past data
+//! the serving replica never saw (the double-serve hazard the fault
+//! simulator used to document as modeled-away).
 
 use crate::error::StorageError;
-use crate::node::{BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
+use crate::node::{next_run_id, BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
 use hurricane_common::{BagId, StorageNodeId};
 use hurricane_format::Chunk;
 use parking_lot::RwLock;
@@ -283,22 +293,24 @@ impl StorageCluster {
 
     /// Batched [`StorageCluster::insert`]: writes every chunk of `chunks`
     /// to primary `primary_idx` with one storage-node call per replica —
-    /// replication is mirrored per batch, not per chunk.
+    /// replication is mirrored per batch, not per chunk. The whole batch
+    /// is one insert run sharing one [`next_run_id`] across replicas, so
+    /// pointer mirrors can name its chunks by identity.
     ///
-    /// Replicated writes take two precautions so count-based pointer
-    /// mirroring stays correct:
+    /// Replicated writes take two precautions:
     ///
     /// * **Backups before primary.** A chunk only becomes removable once
     ///   it lands at the primary; writing backups first means any remove
     ///   that wins the race finds the chunk already present at every
-    ///   backup, so the mirrored pointer advance can never hit an
-    ///   empty stream and silently under-advance (which would make a
-    ///   later failover re-serve delivered chunks).
+    ///   backup, so a failover after the primary's death can always
+    ///   serve what the primary served from its own log.
     /// * **Per-(bag, origin) append ordering.** Concurrent writers to the
     ///   same primary serialize their replica fan-out on a tiny ordering
-    ///   lock so every replica's origin stream holds the chunks in the
-    ///   same order — the property count-based mirroring relies on. With
-    ///   replication = 1 neither cost is paid.
+    ///   lock so every replica's origin stream holds the runs in the
+    ///   same order. Identity-tagged mirroring no longer *requires* this
+    ///   for correctness, but converged logs keep the mirror scan O(batch)
+    ///   and failover positions exact. With replication = 1 neither cost
+    ///   is paid.
     pub fn insert_batch(
         &self,
         primary_idx: usize,
@@ -314,12 +326,27 @@ impl StorageCluster {
         let nodes = self.nodes.read();
         let m = nodes.len();
         let origin = (primary_idx % m) as u32;
+        let run = next_run_id();
         if self.config.replication > 1 {
             let lock = self.order_lock(bag, origin);
             let _held = lock.lock();
-            Self::insert_batch_inner(&nodes, self.replicas(primary_idx, m), bag, chunks, origin)
+            Self::insert_batch_inner(
+                &nodes,
+                self.replicas(primary_idx, m),
+                bag,
+                chunks,
+                origin,
+                run,
+            )
         } else {
-            Self::insert_batch_inner(&nodes, self.replicas(primary_idx, m), bag, chunks, origin)
+            Self::insert_batch_inner(
+                &nodes,
+                self.replicas(primary_idx, m),
+                bag,
+                chunks,
+                origin,
+                run,
+            )
         }
     }
 
@@ -329,12 +356,13 @@ impl StorageCluster {
         bag: BagId,
         chunks: &[Chunk],
         origin: u32,
+        run: u64,
     ) -> Result<(), StorageError> {
         let mut landed = 0usize;
         let mut last_err = None;
         // Reverse order: backups first, primary last (see insert_batch).
         for idx in replicas.rev() {
-            match nodes[idx].insert_from_batch(bag, chunks, origin) {
+            match nodes[idx].insert_run(bag, chunks, origin, run) {
                 Ok(()) => landed += 1,
                 Err(e @ (StorageError::NodeDown(_) | StorageError::NodeDraining(_))) => {
                     last_err = Some(e);
@@ -355,38 +383,13 @@ impl StorageCluster {
     /// (failover); successful removes are mirrored to the remaining live
     /// replicas so their pointers track the serving node.
     pub fn remove(&self, primary_idx: usize, bag: BagId) -> Result<NodeRemove, StorageError> {
-        let sealed = self.bag_state(bag)?;
-        let nodes = self.nodes.read();
-        let m = nodes.len();
-        let origin = (primary_idx % m) as u32;
-        let mut serving = None;
-        for idx in self.replicas(primary_idx, m) {
-            match nodes[idx].remove_from(bag, origin) {
-                Ok(outcome) => {
-                    serving = Some((idx, outcome));
-                    break;
-                }
-                Err(StorageError::NodeDown(_)) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        let Some((served_by, outcome)) = serving else {
-            return Err(StorageError::AllReplicasDown(bag));
-        };
-        if matches!(outcome, NodeRemove::Chunk(_)) {
-            for idx in self.replicas(primary_idx, m) {
-                if idx != served_by {
-                    let _ = nodes[idx].mirror_remove(bag, origin);
-                }
-            }
-        }
-        // The cluster-level sealed flag decides Eof vs Empty: a node that
-        // missed the seal broadcast (e.g. it was down) must not make a
-        // drained bag look still-pending.
-        Ok(match outcome {
-            NodeRemove::Empty if sealed => NodeRemove::Eof,
-            NodeRemove::Eof if !sealed => NodeRemove::Empty,
-            other => other,
+        // Single-chunk removes ride the batch path so the mirror carries
+        // the served chunk's identity tag.
+        let batch = self.remove_batch(primary_idx, bag, 1)?;
+        Ok(match batch.chunks.into_iter().next() {
+            Some(c) => NodeRemove::Chunk(c),
+            None if batch.eof => NodeRemove::Eof,
+            None => NodeRemove::Empty,
         })
     }
 
@@ -420,7 +423,7 @@ impl StorageCluster {
         if !outcome.chunks.is_empty() {
             for idx in self.replicas(primary_idx, m) {
                 if idx != served_by {
-                    let _ = nodes[idx].mirror_remove_n(bag, origin, outcome.chunks.len());
+                    let _ = nodes[idx].mirror_consumed(bag, origin, &outcome.tags);
                 }
             }
         }

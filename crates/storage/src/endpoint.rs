@@ -1,0 +1,462 @@
+//! One unified way to reach storage: the [`StorageEndpoint`] builder.
+//!
+//! Hurricane grew four ways to open a [`BagClient`] — direct cluster
+//! calls, inline RPC dispatch, channel servers, and hand-built ports —
+//! each with its own constructor and its own knob plumbing. A
+//! `StorageEndpoint` replaces all of them: pick a *plane*, set the
+//! shared knobs once, and mint as many clients and ports as needed.
+//!
+//! | constructor | data path | use |
+//! |---|---|---|
+//! | [`StorageEndpoint::direct`] | in-process method calls | tests, benches, single-process runs |
+//! | [`StorageEndpoint::inline`] | RPC messages, same-thread dispatch | protocol testing without thread hops |
+//! | [`StorageEndpoint::channel`] | RPC over in-process channel servers | multi-threaded single-process runs |
+//! | [`StorageEndpoint::tcp`] | RPC over sockets to `hurricane-node` processes | real clusters |
+//! | [`StorageEndpoint::custom`] | RPC over caller-supplied connectors | fault simulation, harnesses |
+//!
+//! Every non-direct plane is membership-backed: clients and prefetchers
+//! observe [`Membership`] epoch bumps and extend themselves to nodes
+//! that join mid-job (`tcp` via [`JoinServer`], `channel` via
+//! [`StorageEndpoint::sync`] after [`StorageCluster::add_node`]).
+//!
+//! Knobs are consuming builder methods; set them before sharing the
+//! endpoint:
+//!
+//! ```
+//! use hurricane_storage::{ClusterConfig, StorageCluster, StorageEndpoint};
+//! use std::time::Duration;
+//!
+//! let cluster = StorageCluster::new(4, ClusterConfig::default());
+//! let bag = cluster.create_bag();
+//! let endpoint = StorageEndpoint::channel(cluster)
+//!     .with_request_timeout(Duration::from_secs(5))
+//!     .with_retry_attempts(3);
+//! let mut client = endpoint.client(bag, 7);
+//! client.insert(hurricane_format::Chunk::from_vec(vec![1, 2, 3])).unwrap();
+//! endpoint.shutdown();
+//! ```
+
+use crate::bag::{BagClient, StoragePort};
+use crate::cluster::{ClusterConfig, StorageCluster};
+use crate::membership::Membership;
+use crate::rpc::{
+    RetryPolicy, RpcPort, StorageRpc, DEFAULT_DISPATCH_THREADS, DEFAULT_REQUEST_TIMEOUT,
+};
+use crate::tcp::{JoinServer, TcpConnector};
+use hurricane_common::{BagId, StorageNodeId};
+use parking_lot::Mutex;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which data plane an endpoint reaches storage over.
+enum Plane {
+    /// Direct in-process method calls on the cluster.
+    Direct(Arc<StorageCluster>),
+    /// RPC envelopes dispatched inline on the caller's thread.
+    Inline(Arc<StorageCluster>),
+    /// RPC over in-process channel servers; the [`StorageRpc`] is built
+    /// lazily so builder knobs set after the constructor still apply.
+    Channel {
+        cluster: Arc<StorageCluster>,
+        rpc: Mutex<Option<Arc<StorageRpc>>>,
+    },
+    /// RPC over a live membership of caller-reachable nodes: TCP members
+    /// ([`TcpConnector`]) or custom connectors (fault simulation).
+    Mesh {
+        cluster: Arc<StorageCluster>,
+        membership: Membership,
+        join: Mutex<Option<JoinServer>>,
+    },
+}
+
+/// The one way to reach bag storage: a plane plus shared client knobs.
+/// See the [module docs](self) for the plane table.
+pub struct StorageEndpoint {
+    plane: Plane,
+    timeout: Duration,
+    retry: RetryPolicy,
+    writer_credit: Option<usize>,
+    coalesce_chunks: usize,
+    dispatch_threads: usize,
+}
+
+impl StorageEndpoint {
+    fn with_plane(plane: Plane) -> Self {
+        Self {
+            plane,
+            timeout: DEFAULT_REQUEST_TIMEOUT,
+            retry: RetryPolicy::default(),
+            writer_credit: None,
+            coalesce_chunks: 0,
+            dispatch_threads: DEFAULT_DISPATCH_THREADS,
+        }
+    }
+
+    /// Direct in-process calls on `cluster` — no RPC boundary.
+    pub fn direct(cluster: Arc<StorageCluster>) -> Self {
+        Self::with_plane(Plane::Direct(cluster))
+    }
+
+    /// The RPC message protocol with inline dispatch: envelopes are
+    /// built and served on the caller's thread. The full protocol
+    /// without the thread hops, for colocated compute and storage.
+    pub fn inline(cluster: Arc<StorageCluster>) -> Self {
+        Self::with_plane(Plane::Inline(cluster))
+    }
+
+    /// RPC over in-process channel servers: per-node dispatch pools,
+    /// real concurrency, no sockets. The servers start on first use and
+    /// honor [`StorageEndpoint::with_dispatch_threads`] /
+    /// [`StorageEndpoint::with_request_timeout`].
+    pub fn channel(cluster: Arc<StorageCluster>) -> Self {
+        Self::with_plane(Plane::Channel {
+            cluster,
+            rpc: Mutex::new(None),
+        })
+    }
+
+    /// RPC over TCP to `hurricane-node` processes at `addrs` (one data
+    /// address per node, in node-id order).
+    ///
+    /// The local cluster holds *metadata authority* — bag registry, seal
+    /// state, placement and replication math — while every data-plane
+    /// operation goes over the sockets; node `i`'s local shadow never
+    /// stores chunks. Call [`StorageEndpoint::serve_joins`] to let more
+    /// nodes join mid-job.
+    pub fn tcp<I, S>(addrs: I, config: ClusterConfig) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let membership = Membership::new();
+        let mut n = 0;
+        for (i, addr) in addrs.into_iter().enumerate() {
+            membership.join(Arc::new(TcpConnector {
+                node: StorageNodeId(i as u32),
+                addr: addr.into(),
+            }));
+            n = i + 1;
+        }
+        let cluster = StorageCluster::new(n, config);
+        Self::with_plane(Plane::Mesh {
+            cluster,
+            membership,
+            join: Mutex::new(None),
+        })
+    }
+
+    /// RPC over caller-supplied connectors: `membership` must hold one
+    /// [`crate::Connect`] per cluster node, index-aligned. The seam for
+    /// fault-injection harnesses and hand-built transports
+    /// ([`crate::membership::OnceConnect`]).
+    pub fn custom(cluster: Arc<StorageCluster>, membership: Membership) -> Self {
+        Self::with_plane(Plane::Mesh {
+            cluster,
+            membership,
+            join: Mutex::new(None),
+        })
+    }
+
+    // -- knobs ------------------------------------------------------------
+
+    /// Per-request reply timeout (default 10 s).
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Full retry policy for timed-out requests (default: fail fast).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Retry budget with the default backoff; `attempts` counts total
+    /// tries (1 = fail fast).
+    pub fn with_retry_attempts(self, attempts: u32) -> Self {
+        let retry = RetryPolicy::with_attempts(attempts);
+        self.with_retry_policy(retry)
+    }
+
+    /// Per-connection writer credit: how many requests one connection
+    /// keeps in flight before the writer blocks.
+    pub fn with_writer_credit(mut self, credit: usize) -> Self {
+        self.writer_credit = Some(credit.max(1));
+        self
+    }
+
+    /// Insert-coalescing window in chunks for minted clients (0 = off):
+    /// staged inserts flush as batched envelopes.
+    pub fn with_coalescing(mut self, chunks: usize) -> Self {
+        self.coalesce_chunks = chunks;
+        self
+    }
+
+    /// Per-node server dispatch pool size (`channel` plane only).
+    pub fn with_dispatch_threads(mut self, threads: usize) -> Self {
+        self.dispatch_threads = threads.max(1);
+        self
+    }
+
+    // -- accessors --------------------------------------------------------
+
+    /// The cluster holding this endpoint's metadata authority.
+    pub fn cluster(&self) -> &Arc<StorageCluster> {
+        match &self.plane {
+            Plane::Direct(c) | Plane::Inline(c) => c,
+            Plane::Channel { cluster, .. } | Plane::Mesh { cluster, .. } => cluster,
+        }
+    }
+
+    /// The live membership view, if this plane has one (`channel`,
+    /// `tcp`, `custom`). Direct and inline planes read the cluster
+    /// itself and need no membership.
+    pub fn membership(&self) -> Option<Membership> {
+        match &self.plane {
+            Plane::Direct(_) | Plane::Inline(_) => None,
+            Plane::Channel { .. } => Some(self.channel_rpc().membership().clone()),
+            Plane::Mesh { membership, .. } => Some(membership.clone()),
+        }
+    }
+
+    /// The lazily started channel-plane [`StorageRpc`]. Panics on other
+    /// planes (callers reaching for the rpc know they built `channel`).
+    fn channel_rpc(&self) -> Arc<StorageRpc> {
+        let Plane::Channel { cluster, rpc } = &self.plane else {
+            panic!("not a channel endpoint");
+        };
+        rpc.lock()
+            .get_or_insert_with(|| {
+                Arc::new(StorageRpc::serve_with(
+                    cluster.clone(),
+                    self.dispatch_threads,
+                    self.timeout,
+                ))
+            })
+            .clone()
+    }
+
+    /// Opens a fresh data-plane port, or `None` on the direct plane
+    /// (which has no RPC port by construction).
+    pub fn port(&self) -> Option<RpcPort> {
+        let mut port = match &self.plane {
+            Plane::Direct(_) => return None,
+            Plane::Inline(cluster) => RpcPort::inline(cluster.clone()),
+            Plane::Channel { .. } => self.channel_rpc().port(),
+            Plane::Mesh {
+                cluster,
+                membership,
+                ..
+            } => RpcPort::from_membership(cluster.clone(), membership.clone(), self.timeout),
+        };
+        port.set_retry_policy(self.retry);
+        if let Some(credit) = self.writer_credit {
+            port.set_writer_credit(credit);
+        }
+        Some(port)
+    }
+
+    /// Opens a bag client for `bag`. Give each client a distinct `seed`
+    /// so placement cycles decorrelate across workers.
+    pub fn client(&self, bag: BagId, seed: u64) -> BagClient {
+        let port = match self.port() {
+            None => StoragePort::Direct(self.cluster().clone()),
+            Some(port) => StoragePort::Rpc(port),
+        };
+        let client = BagClient::with_port(port, bag, seed);
+        if self.coalesce_chunks > 0 {
+            client.with_coalescing(self.coalesce_chunks)
+        } else {
+            client
+        }
+    }
+
+    // -- membership control ----------------------------------------------
+
+    /// Publishes cluster nodes added since the last sync to the RPC
+    /// plane. Required on the `channel` plane after
+    /// [`StorageCluster::add_node`]; a no-op elsewhere (`tcp` joins
+    /// arrive through the join server, direct/inline read the live
+    /// cluster).
+    pub fn sync(&self) {
+        if let Plane::Channel { rpc, .. } = &self.plane {
+            if let Some(rpc) = rpc.lock().as_ref() {
+                rpc.sync();
+            }
+        }
+    }
+
+    /// Adds a storage node and publishes it to the RPC plane. Returns
+    /// the new node's index. Existing clients pick it up on their next
+    /// membership refresh. Not for the `tcp` plane, where nodes join
+    /// themselves via [`StorageEndpoint::serve_joins`].
+    pub fn add_node(&self) -> usize {
+        let idx = self.cluster().add_node();
+        self.sync();
+        idx
+    }
+
+    /// Starts the join listener on `listen` (`tcp` plane): starting
+    /// `hurricane-node --join` processes announce themselves here and
+    /// enter the membership live. Returns the bound address.
+    ///
+    /// # Errors
+    ///
+    /// On non-`tcp`/`custom` planes, or when the listener cannot bind.
+    pub fn serve_joins(&self, listen: &str) -> io::Result<SocketAddr> {
+        let Plane::Mesh {
+            cluster,
+            membership,
+            join,
+        } = &self.plane
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "join server requires a tcp/custom endpoint",
+            ));
+        };
+        let server = JoinServer::bind(cluster.clone(), membership.clone(), listen)?;
+        let addr = server.local_addr();
+        *join.lock() = Some(server);
+        Ok(addr)
+    }
+
+    /// Tears the endpoint down: stops channel servers and the join
+    /// listener. Remote `hurricane-node` processes are *not* stopped —
+    /// they serve other drivers' connections independently.
+    pub fn shutdown(&self) {
+        match &self.plane {
+            Plane::Channel { rpc, .. } => {
+                if let Some(rpc) = rpc.lock().as_ref() {
+                    rpc.shutdown();
+                }
+            }
+            Plane::Mesh { join, .. } => {
+                if let Some(server) = join.lock().take() {
+                    server.shutdown();
+                }
+            }
+            Plane::Direct(_) | Plane::Inline(_) => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for StorageEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match &self.plane {
+            Plane::Direct(_) => "direct",
+            Plane::Inline(_) => "inline",
+            Plane::Channel { .. } => "channel",
+            Plane::Mesh { .. } => "mesh",
+        };
+        f.debug_struct("StorageEndpoint")
+            .field("mode", &mode)
+            .field("nodes", &self.cluster().num_nodes())
+            .field("timeout", &self.timeout)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hurricane_format::Chunk;
+
+    fn chunk(v: u64) -> Chunk {
+        Chunk::from_vec(v.to_le_bytes().to_vec())
+    }
+
+    fn roundtrip(endpoint: &StorageEndpoint, n: u64) {
+        let bag = endpoint.cluster().create_bag();
+        let mut client = endpoint.client(bag, 7);
+        for v in 0..n {
+            client.insert(chunk(v)).unwrap();
+        }
+        endpoint.cluster().seal_bag(bag).unwrap();
+        let mut got = 0;
+        while client.remove_blocking().unwrap().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, n);
+    }
+
+    #[test]
+    fn every_in_process_plane_roundtrips() {
+        for make in [
+            StorageEndpoint::direct as fn(Arc<StorageCluster>) -> StorageEndpoint,
+            StorageEndpoint::inline,
+            StorageEndpoint::channel,
+        ] {
+            let cluster = StorageCluster::new(3, ClusterConfig::default());
+            let endpoint = make(cluster).with_retry_attempts(2);
+            roundtrip(&endpoint, 40);
+            endpoint.shutdown();
+        }
+    }
+
+    #[test]
+    fn direct_plane_has_no_port() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        assert!(StorageEndpoint::direct(cluster.clone()).port().is_none());
+        assert!(StorageEndpoint::inline(cluster).port().is_some());
+    }
+
+    #[test]
+    fn channel_add_node_is_visible_to_refreshed_clients() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let endpoint = StorageEndpoint::channel(cluster.clone());
+        let mut client = endpoint.client(bag, 3);
+        let idx = endpoint.add_node();
+        client.refresh_membership();
+        for v in 0..30 {
+            client.insert(chunk(v)).unwrap();
+        }
+        assert!(
+            cluster.node(idx).sample(bag).unwrap().total_chunks >= 9,
+            "added node must receive its cyclic share"
+        );
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn tcp_endpoint_reaches_real_sockets() {
+        use crate::node::StorageNode;
+        use crate::tcp::TcpNodeServer;
+
+        let servers: Vec<TcpNodeServer> = (0..2)
+            .map(|i| {
+                TcpNodeServer::bind(Arc::new(StorageNode::new(StorageNodeId(i))), "127.0.0.1:0")
+                    .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let endpoint = StorageEndpoint::tcp(addrs, ClusterConfig::default())
+            .with_request_timeout(Duration::from_secs(5));
+        roundtrip(&endpoint, 24);
+        // The local shadow nodes never stored a byte: the data went over
+        // the wire.
+        let bag = endpoint.cluster().create_bag();
+        let mut client = endpoint.client(bag, 9);
+        client.insert(chunk(99)).unwrap();
+        for i in 0..2 {
+            assert_eq!(
+                endpoint.cluster().node(i).sample(bag).unwrap().total_chunks,
+                0
+            );
+        }
+        endpoint.shutdown();
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn serve_joins_rejects_in_process_planes() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let endpoint = StorageEndpoint::direct(cluster);
+        assert!(endpoint.serve_joins("127.0.0.1:0").is_err());
+    }
+}

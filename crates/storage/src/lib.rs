@@ -37,19 +37,26 @@
 pub mod bag;
 pub mod batch;
 pub mod cluster;
+pub mod endpoint;
 pub mod error;
+pub mod membership;
 pub mod node;
 pub mod placement;
 pub mod prefetch;
 pub mod rpc;
+pub mod tcp;
+pub mod wire;
 pub mod workbag;
 
 pub use bag::{BagClient, BatchRemoveResult, RemoveResult};
 pub use cluster::{ClusterConfig, StorageCluster};
+pub use endpoint::StorageEndpoint;
 pub use error::StorageError;
-pub use node::{BagSample, NodeRemoveBatch, StorageNode};
+pub use membership::{Connect, Member, Membership, OnceConnect};
+pub use node::{next_run_id, BagSample, NodeRemoveBatch, StorageNode, TagSegment};
 pub use rpc::{
     ChunkRun, PortStats, ReplyEnvelope, RequestEnvelope, RetryPolicy, RpcPort, ServedKind,
     ServerDedup, StorageRequest, StorageResponse, StorageRpc, Transport,
 };
+pub use tcp::{join_cluster, JoinServer, TcpConnector, TcpNodeServer, TcpTransport};
 pub use workbag::WorkBag;

@@ -97,6 +97,10 @@ pub enum NodeRemove {
 pub struct NodeRemoveBatch {
     /// Chunks removed, in pointer order. May be empty.
     pub chunks: Vec<Chunk>,
+    /// Identity of the removed chunks (run-contiguous ranges, in serve
+    /// order). Mirrors forward these so backups consume exactly the
+    /// served chunks — see [`TagSegment`].
+    pub tags: Vec<TagSegment>,
     /// True when the stream had no further chunk at batch end (the batch
     /// came back short). False when the batch filled `max_n`.
     pub exhausted: bool,
@@ -104,14 +108,70 @@ pub struct NodeRemoveBatch {
     pub eof: bool,
 }
 
+/// Identity of a contiguous range of chunks from one insert run: chunks
+/// `start .. start + len` of run `run`.
+///
+/// Every insert run (one batched append fanned out to a replica group)
+/// is minted a process-globally unique id by [`next_run_id`], carried by
+/// all replicas of that run. A chunk's identity within its origin stream
+/// is `(run, k)` — its run id plus its position within the run. Pointer
+/// mirroring names the *identities* a serving replica consumed rather
+/// than a count, so replicas whose logs diverged after a partial
+/// replicated insert (one replica missed a run the other recorded) can
+/// never skip past a chunk the serving replica did not actually serve —
+/// the double-serve hazard of the old count-based protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSegment {
+    /// Insert-run id ([`next_run_id`]).
+    pub run: u64,
+    /// First in-run position covered.
+    pub start: u32,
+    /// Number of consecutive positions covered.
+    pub len: u32,
+}
+
+/// Mints a process-globally unique insert-run id (never 0).
+///
+/// Writers mint one id per logical insert run *before* the replica
+/// fan-out, so every replica stores the run's chunks under identical
+/// `(run, k)` tags. Retransmissions of the same request reuse the id —
+/// a retransmitted run is the same logical run.
+///
+/// Run ids are unique within one writer process. The cluster model has a
+/// single driver process minting all inserts (cluster metadata is
+/// likewise process-local); a multi-driver deployment would need a
+/// writer-id prefix here.
+pub fn next_run_id() -> u64 {
+    static NEXT_RUN: AtomicU64 = AtomicU64::new(1);
+    NEXT_RUN.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One replicated chunk stream within a bag file: the chunks addressed
-/// to one *origin* (primary node), with its own read pointer and a
+/// to one *origin* (primary node), each carrying its `(run, k)` identity
+/// tag, with a consumption bitmap, a consumed-prefix pointer, and a
 /// running count of unread bytes (keeping [`StorageNode::sample`] O(1)).
+///
+/// Consumption is *hole-tolerant*: a mirror of a remove served by
+/// another replica marks the served chunks' tags consumed wherever they
+/// sit in this log, which may leave unconsumed chunks *before* consumed
+/// ones when replica logs diverged (a partial replicated insert landed
+/// here but not at the serving replica). Serving skips consumed entries,
+/// so the marooned chunks are still served exactly once on failover.
 #[derive(Debug, Default)]
 struct Stream {
     chunks: Vec<Chunk>,
+    /// `(run, k)` identity per entry, parallel to `chunks`.
+    tags: Vec<(u64, u32)>,
+    /// Per-entry consumption marks, parallel to `chunks`. Set by a local
+    /// serve or by a mirror naming the entry's tag; never cleared except
+    /// by rewind/discard.
+    consumed: Vec<bool>,
+    /// Index of the first entry that may still be unconsumed (everything
+    /// before it is consumed). Lazily advanced over the consumed prefix.
     next: usize,
-    /// Sum of `chunks[next..]` lengths, maintained on every append,
+    /// Entries not yet consumed, anywhere in the log (O(1) drain check).
+    live: usize,
+    /// Sum of unconsumed chunk lengths, maintained on every append,
     /// remove, mirror, and rewind.
     remaining_bytes: u64,
     /// Sum of all chunk lengths ever appended to this stream. Kept per
@@ -121,31 +181,69 @@ struct Stream {
 }
 
 impl Stream {
-    fn push(&mut self, chunk: Chunk) {
+    fn push(&mut self, chunk: Chunk, run: u64, k: u32) {
         self.remaining_bytes += chunk.len() as u64;
         self.total_bytes += chunk.len() as u64;
         self.chunks.push(chunk);
+        self.tags.push((run, k));
+        self.consumed.push(false);
+        self.live += 1;
     }
 
-    /// Advances the pointer, returning the consumed chunk.
-    fn take_next(&mut self) -> Option<Chunk> {
-        let chunk = self.chunks.get(self.next)?.clone();
-        self.next += 1;
-        self.remaining_bytes -= chunk.len() as u64;
-        Some(chunk)
-    }
-
-    /// Advances the pointer without returning data (mirror of a remove
-    /// served by another replica).
-    fn skip_next(&mut self) {
-        if let Some(chunk) = self.chunks.get(self.next) {
-            self.remaining_bytes -= chunk.len() as u64;
+    /// Skips the consumed prefix, then consumes and returns the first
+    /// live entry along with its identity tag.
+    fn take_next(&mut self) -> Option<(Chunk, (u64, u32))> {
+        while self.next < self.chunks.len() && self.consumed[self.next] {
             self.next += 1;
         }
+        if self.next >= self.chunks.len() {
+            return None;
+        }
+        let i = self.next;
+        self.consumed[i] = true;
+        self.live -= 1;
+        self.next = i + 1;
+        let chunk = self.chunks[i].clone();
+        self.remaining_bytes -= chunk.len() as u64;
+        Some((chunk, self.tags[i]))
+    }
+
+    /// Marks the chunks identified by `segs` consumed (the mirror of a
+    /// remove served by another replica). Entries already consumed are
+    /// left alone, so reapplying a mirror is idempotent; tags this log
+    /// never recorded (it missed that insert run) are no-ops. Returns
+    /// the newly consumed entry count and their byte total.
+    fn consume_tags(&mut self, segs: &[TagSegment]) -> (u64, u64) {
+        let want: u64 = segs.iter().map(|s| u64::from(s.len)).sum();
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        let mut i = self.next;
+        while i < self.chunks.len() && n < want {
+            if !self.consumed[i] {
+                let (run, k) = self.tags[i];
+                if segs
+                    .iter()
+                    .any(|s| s.run == run && k >= s.start && k - s.start < s.len)
+                {
+                    self.consumed[i] = true;
+                    self.live -= 1;
+                    bytes += self.chunks[i].len() as u64;
+                    n += 1;
+                }
+            }
+            i += 1;
+        }
+        while self.next < self.chunks.len() && self.consumed[self.next] {
+            self.next += 1;
+        }
+        self.remaining_bytes -= bytes;
+        (n, bytes)
     }
 
     fn rewind(&mut self) {
         self.next = 0;
+        self.consumed.iter_mut().for_each(|c| *c = false);
+        self.live = self.chunks.len();
         self.remaining_bytes = self.total_bytes;
     }
 }
@@ -287,7 +385,7 @@ impl StorageNode {
         let bags: Vec<Arc<BagFile>> = self.bags.read().values().cloned().collect();
         Ok(bags.iter().all(|b| {
             let inner = b.inner.lock();
-            inner.collected || inner.streams.values().all(|s| s.next >= s.chunks.len())
+            inner.collected || inner.streams.values().all(|s| s.live == 0)
         }))
     }
 
@@ -327,12 +425,29 @@ impl StorageNode {
         self.insert_from_batch(bag, chunks, self.id.0)
     }
 
-    /// Batched [`StorageNode::insert_from`].
+    /// Batched [`StorageNode::insert_from`]. Mints a fresh run id for the
+    /// appended chunks; replicated writers use
+    /// [`StorageNode::insert_run`] instead so all replicas of one run
+    /// share its id.
     pub fn insert_from_batch(
         &self,
         bag: BagId,
         chunks: &[Chunk],
         origin: u32,
+    ) -> Result<(), StorageError> {
+        self.insert_run(bag, chunks, origin, next_run_id())
+    }
+
+    /// Appends one insert run under its writer-minted id (see
+    /// [`next_run_id`]): chunk `k` of the run is stored with identity
+    /// tag `(run, k)`, identical at every replica the run is fanned out
+    /// to — the identity pointer mirroring consumes by.
+    pub fn insert_run(
+        &self,
+        bag: BagId,
+        chunks: &[Chunk],
+        origin: u32,
+        run: u64,
     ) -> Result<(), StorageError> {
         self.check_up()?;
         if self.is_draining() {
@@ -351,9 +466,9 @@ impl StorageNode {
         }
         let mut bytes = 0u64;
         let stream = inner.streams.entry(origin).or_default();
-        for chunk in chunks {
+        for (k, chunk) in chunks.iter().enumerate() {
             bytes += chunk.len() as u64;
-            stream.push(chunk.clone());
+            stream.push(chunk.clone(), run, k as u32);
         }
         if origin == self.id.0 {
             let cells = &file.cells;
@@ -391,7 +506,7 @@ impl StorageNode {
         let sealed = inner.sealed;
         let stream = inner.streams.entry(origin).or_default();
         match stream.take_next() {
-            Some(chunk) => {
+            Some((chunk, _tag)) => {
                 if origin == self.id.0 {
                     file.cells.removed_chunks.fetch_add(1, Ordering::Relaxed);
                     file.cells
@@ -440,12 +555,21 @@ impl StorageNode {
         let sealed = inner.sealed;
         let stream = inner.streams.entry(origin).or_default();
         let mut chunks = Vec::new();
+        let mut tags: Vec<TagSegment> = Vec::new();
         let mut bytes = 0u64;
         while chunks.len() < max_n {
             match stream.take_next() {
-                Some(chunk) => {
+                Some((chunk, (run, k))) => {
                     bytes += chunk.len() as u64;
                     chunks.push(chunk);
+                    match tags.last_mut() {
+                        Some(seg) if seg.run == run && seg.start + seg.len == k => seg.len += 1,
+                        _ => tags.push(TagSegment {
+                            run,
+                            start: k,
+                            len: 1,
+                        }),
+                    }
                 }
                 None => break,
             }
@@ -469,38 +593,39 @@ impl StorageNode {
         }
         Ok(NodeRemoveBatch {
             chunks,
+            tags,
             exhausted,
             eof: exhausted && sealed,
         })
     }
 
-    /// Advances origin-stream `origin`'s read pointer without returning
-    /// data. Used to mirror a serving replica's remove onto the others so
-    /// a failover resumes near the right position (paper §4.4: "Each bag
-    /// ... is replicated along with bag state, such as the current file
-    /// pointer").
-    pub fn mirror_remove(&self, bag: BagId, origin: u32) -> Result<(), StorageError> {
-        self.mirror_remove_n(bag, origin, 1)
-    }
-
-    /// Batched [`StorageNode::mirror_remove`]: advances the pointer by up
-    /// to `n` positions under one lock acquisition.
-    pub fn mirror_remove_n(&self, bag: BagId, origin: u32, n: usize) -> Result<(), StorageError> {
+    /// Marks the chunks identified by `tags` consumed in origin-stream
+    /// `origin` without returning data. Used to mirror a serving
+    /// replica's remove onto the others so a failover resumes from the
+    /// right position (paper §4.4: "Each bag ... is replicated along with
+    /// bag state, such as the current file pointer").
+    ///
+    /// Consuming by *identity* rather than count makes the mirror safe
+    /// against divergent replica logs: tags this log never recorded are
+    /// ignored, chunks this log holds that the serving replica missed
+    /// stay live, and reapplying the same mirror (a retransmission) is
+    /// idempotent.
+    pub fn mirror_consumed(
+        &self,
+        bag: BagId,
+        origin: u32,
+        tags: &[TagSegment],
+    ) -> Result<(), StorageError> {
         self.check_up()?;
         let file = self.bag_file(bag);
         let mut inner = file.inner.lock();
         let stream = inner.streams.entry(origin).or_default();
-        let (next_before, bytes_before) = (stream.next, stream.remaining_bytes);
-        for _ in 0..n {
-            stream.skip_next();
-        }
+        let (n, bytes) = stream.consume_tags(tags);
         if origin == self.id.0 {
-            file.cells
-                .removed_chunks
-                .fetch_add((stream.next - next_before) as u64, Ordering::Relaxed);
+            file.cells.removed_chunks.fetch_add(n, Ordering::Relaxed);
             file.cells
                 .remaining_bytes
-                .fetch_sub(bytes_before - stream.remaining_bytes, Ordering::Relaxed);
+                .fetch_sub(bytes, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -806,12 +931,21 @@ mod tests {
     }
 
     #[test]
-    fn mirror_remove_advances_pointer() {
+    fn mirror_consumed_skips_served_chunks() {
         let n = node();
         let bag = BagId(9);
-        n.insert(bag, chunk(b"a")).unwrap();
-        n.insert(bag, chunk(b"b")).unwrap();
-        n.mirror_remove(bag, 0).unwrap();
+        n.insert_run(bag, &[chunk(b"a"), chunk(b"b")], 0, 700)
+            .unwrap();
+        n.mirror_consumed(
+            bag,
+            0,
+            &[TagSegment {
+                run: 700,
+                start: 0,
+                len: 1,
+            }],
+        )
+        .unwrap();
         assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"b")));
     }
 
@@ -908,15 +1042,113 @@ mod tests {
     }
 
     #[test]
-    fn mirror_remove_n_advances_in_bulk() {
+    fn mirror_consumed_advances_in_bulk() {
         let n = node();
         let bag = BagId(17);
-        for i in 0..5u8 {
-            n.insert(bag, chunk(&[i])).unwrap();
-        }
-        n.mirror_remove_n(bag, 0, 3).unwrap();
+        let chunks: Vec<Chunk> = (0..5u8).map(|i| chunk(&[i])).collect();
+        n.insert_run(bag, &chunks, 0, 900).unwrap();
+        n.mirror_consumed(
+            bag,
+            0,
+            &[TagSegment {
+                run: 900,
+                start: 0,
+                len: 3,
+            }],
+        )
+        .unwrap();
         assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(&[3])));
         assert_eq!(n.sample(bag).unwrap().removed_chunks, 4);
+    }
+
+    #[test]
+    fn mirror_consumed_is_idempotent() {
+        let n = node();
+        let bag = BagId(18);
+        let chunks: Vec<Chunk> = (0..4u8).map(|i| chunk(&[i])).collect();
+        n.insert_run(bag, &chunks, 0, 901).unwrap();
+        let seg = TagSegment {
+            run: 901,
+            start: 0,
+            len: 2,
+        };
+        n.mirror_consumed(bag, 0, &[seg]).unwrap();
+        n.mirror_consumed(bag, 0, &[seg]).unwrap(); // Retransmission.
+        assert_eq!(n.sample(bag).unwrap().removed_chunks, 2);
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(&[2])));
+    }
+
+    #[test]
+    fn mirror_consumed_tolerates_divergent_logs() {
+        // A backup recorded run 10 (a partial replicated insert the
+        // primary missed) *before* run 11. The primary serves run 11's
+        // chunks; mirroring that consumption must leave run 10's chunk
+        // live here — the old count-based skip would have consumed it.
+        let n = node();
+        let bag = BagId(19);
+        n.insert_run(bag, &[chunk(b"X")], 0, 10).unwrap();
+        n.insert_run(bag, &[chunk(b"y"), chunk(b"z")], 0, 11)
+            .unwrap();
+        n.mirror_consumed(
+            bag,
+            0,
+            &[TagSegment {
+                run: 11,
+                start: 0,
+                len: 2,
+            }],
+        )
+        .unwrap();
+        // Failover serves exactly the marooned chunk, once.
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"X")));
+        n.seal(bag).unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Eof);
+    }
+
+    #[test]
+    fn mirror_consumed_ignores_unknown_tags() {
+        // Tags for a run this log never recorded (it missed the insert)
+        // are a no-op; the chunks it does hold stay live.
+        let n = node();
+        let bag = BagId(20);
+        n.insert_run(bag, &[chunk(b"a")], 0, 30).unwrap();
+        n.mirror_consumed(
+            bag,
+            0,
+            &[TagSegment {
+                run: 31,
+                start: 0,
+                len: 5,
+            }],
+        )
+        .unwrap();
+        assert_eq!(n.remove(bag).unwrap(), NodeRemove::Chunk(chunk(b"a")));
+    }
+
+    #[test]
+    fn remove_batch_reports_run_tags() {
+        let n = node();
+        let bag = BagId(21);
+        n.insert_run(bag, &[chunk(b"a"), chunk(b"b")], 0, 40)
+            .unwrap();
+        n.insert_run(bag, &[chunk(b"c")], 0, 41).unwrap();
+        let got = n.remove_batch(bag, 10).unwrap();
+        assert_eq!(got.chunks.len(), 3);
+        assert_eq!(
+            got.tags,
+            vec![
+                TagSegment {
+                    run: 40,
+                    start: 0,
+                    len: 2
+                },
+                TagSegment {
+                    run: 41,
+                    start: 0,
+                    len: 1
+                },
+            ]
+        );
     }
 
     #[test]

@@ -166,6 +166,8 @@ fn direct_fetch(
 ) {
     let mut backoff_us = 10u64;
     while !shutdown.load(Ordering::Acquire) {
+        // Grow the placement cycles over nodes added mid-stream.
+        client.refresh_membership();
         match client.try_remove_batch(batch_factor) {
             Ok(BatchRemoveResult::Chunks(chunks)) => {
                 backoff_us = 10;
@@ -243,8 +245,8 @@ fn pipelined_fetch(
     ended: &AtomicBool,
 ) {
     let bag = client.bag;
-    let m = client.remove_cursor.len();
-    let target = b.min(m).max(1);
+    let mut m = client.remove_cursor.len();
+    let mut target = b.min(m).max(1);
     // At most one outstanding request per node (the paper spreads the `b`
     // requests over distinct nodes); `tokens[i]` is node i's in-flight
     // request plus the cluster sealed flag captured *at submit time* —
@@ -258,6 +260,22 @@ fn pipelined_fetch(
     let mut empty_streak = 0usize;
     let mut backoff_us = 10u64;
 
+    macro_rules! refresh_membership {
+        () => {{
+            // Pick up nodes that joined mid-stream (epoch check: one
+            // atomic load when nothing changed). New nodes start Unknown,
+            // so the top-up probes them like any other node.
+            client.refresh_membership();
+            let grown = client.remove_cursor.len();
+            if grown > m {
+                tokens.resize(grown, None);
+                last.resize(grown, NodeLast::Unknown);
+                m = grown;
+                target = b.min(m).max(1);
+            }
+        }};
+    }
+
     macro_rules! fail {
         ($e:expr) => {{
             let _ = tx.send(Err($e));
@@ -270,6 +288,7 @@ fn pipelined_fetch(
         if shutdown.load(Ordering::Acquire) {
             return;
         }
+        refresh_membership!();
         let StoragePort::Rpc(port) = &mut client.port else {
             unreachable!("pipelined_fetch requires an RPC port");
         };
@@ -381,7 +400,7 @@ fn pipelined_fetch(
                         if port.cluster().replication() > 1 {
                             // Keep the backup pointers in step (the raw
                             // node request bypasses the cluster's mirror).
-                            mirror(port, node, bag, batch.chunks.len());
+                            mirror(port, node, bag, &batch.tags);
                         }
                         // The whole drained reply crosses the consumer
                         // boundary once.
@@ -484,16 +503,26 @@ fn pipelined_fetch(
     }
 }
 
-/// Advances the backup pointers after the pipeline consumed `n` chunks
-/// from `primary`'s own stream: all mirrors submitted first, acks
-/// collected afterwards (one overlapped round trip, not `r − 1`).
-/// Unreachable replicas are skipped exactly as in the direct path.
-fn mirror(port: &mut crate::rpc::RpcPort, primary: usize, bag: hurricane_common::BagId, n: usize) {
+/// Marks the chunks the pipeline just consumed from `primary`'s own
+/// stream consumed on the backups too, by identity tag: all mirrors
+/// submitted first, acks collected afterwards (one overlapped round
+/// trip, not `r − 1`). Unreachable replicas are skipped exactly as in
+/// the direct path.
+fn mirror(
+    port: &mut crate::rpc::RpcPort,
+    primary: usize,
+    bag: hurricane_common::BagId,
+    tags: &[crate::node::TagSegment],
+) {
     let m = port.conns.len();
     let r = port.cluster().replication();
     let origin = primary as u32;
     let timeout = port.timeout;
-    let request = StorageRequest::MirrorRemoveN { bag, origin, n };
+    let request = StorageRequest::MirrorConsumed {
+        bag,
+        origin,
+        tags: tags.to_vec(),
+    };
     #[allow(clippy::type_complexity)]
     let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (1..r)
         .map(|k| {
@@ -511,7 +540,7 @@ fn mirror(port: &mut crate::rpc::RpcPort, primary: usize, bag: hurricane_common:
 mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, StorageCluster};
-    use crate::rpc::StorageRpc;
+    use crate::endpoint::StorageEndpoint;
 
     fn chunk(v: u64) -> Chunk {
         Chunk::from_vec(v.to_le_bytes().to_vec())
@@ -537,13 +566,13 @@ mod tests {
     #[test]
     fn pipelined_prefetcher_drains_bag() {
         let cluster = StorageCluster::new(4, ClusterConfig::default());
-        let rpc = StorageRpc::serve(cluster.clone());
+        let ep = StorageEndpoint::channel(cluster.clone());
         let bag = cluster.create_bag();
-        let mut producer = BagClient::connect(&rpc, bag, 1);
+        let mut producer = ep.client(bag, 1);
         let chunks: Vec<Chunk> = (0..100).map(chunk).collect();
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
-        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 8);
+        let mut pf = Prefetcher::spawn(ep.client(bag, 2), 8);
         let mut n = 0;
         while let Some(_c) = pf.recv().unwrap() {
             n += 1;
@@ -554,9 +583,9 @@ mod tests {
     #[test]
     fn pipelined_prefetcher_sees_concurrent_producer() {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
-        let rpc = StorageRpc::serve(cluster.clone());
+        let ep = StorageEndpoint::channel(cluster.clone());
         let bag = cluster.create_bag();
-        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 3), 4);
+        let mut pf = Prefetcher::spawn(ep.client(bag, 3), 4);
         let cluster2 = cluster.clone();
         let producer = std::thread::spawn(move || {
             let mut p = BagClient::new(cluster2.clone(), bag, 4);
@@ -576,14 +605,14 @@ mod tests {
     #[test]
     fn pipelined_prefetcher_with_replication_mirrors() {
         let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
-        let rpc = StorageRpc::serve(cluster.clone());
+        let ep = StorageEndpoint::channel(cluster.clone());
         let bag = cluster.create_bag();
-        let mut producer = BagClient::connect(&rpc, bag, 5);
+        let mut producer = ep.client(bag, 5);
         let chunks: Vec<Chunk> = (0..60).map(chunk).collect();
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
         {
-            let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 4);
+            let mut pf = Prefetcher::spawn(ep.client(bag, 6), 4);
             let mut n = 0;
             while let Some(_c) = pf.recv().unwrap() {
                 n += 1;
@@ -598,6 +627,31 @@ mod tests {
         cluster.node(0).fail();
         let rest = cluster.remove_batch(0, bag, 100).unwrap();
         assert!(rest.chunks.is_empty() && rest.eof, "no chunk served twice");
+    }
+
+    #[test]
+    fn pipelined_prefetcher_picks_up_joined_node() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let ep = StorageEndpoint::channel(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut pf = Prefetcher::spawn(ep.client(bag, 3), 4);
+        // A node joins while the prefetcher is already streaming; the
+        // producer (fresh client) spreads chunks over all three nodes.
+        let idx = ep.add_node();
+        let mut producer = ep.client(bag, 4);
+        let before = cluster.node(idx).sample(bag).unwrap().total_chunks;
+        assert_eq!(before, 0);
+        for i in 0..60 {
+            producer.insert(chunk(i)).unwrap();
+        }
+        cluster.seal_bag(bag).unwrap();
+        let mut n = 0;
+        while let Some(_c) = pf.recv().unwrap() {
+            n += 1;
+        }
+        // All 60 delivered — including the joined node's share, which the
+        // prefetcher can only reach by refreshing its membership.
+        assert_eq!(n, 60);
     }
 
     #[test]
@@ -638,13 +692,13 @@ mod tests {
     #[test]
     fn dropping_pipelined_prefetcher_mid_stream_does_not_hang() {
         let cluster = StorageCluster::new(4, ClusterConfig::default());
-        let rpc = StorageRpc::serve(cluster.clone());
+        let ep = StorageEndpoint::channel(cluster.clone());
         let bag = cluster.create_bag();
-        let mut producer = BagClient::connect(&rpc, bag, 5);
+        let mut producer = ep.client(bag, 5);
         let chunks: Vec<Chunk> = (0..1000).map(chunk).collect();
         producer.insert_batch(&chunks).unwrap();
         cluster.seal_bag(bag).unwrap();
-        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 6), 3);
+        let mut pf = Prefetcher::spawn(ep.client(bag, 6), 3);
         let _first = pf.recv().unwrap();
         drop(pf);
     }
@@ -716,13 +770,13 @@ mod tests {
     #[test]
     fn pipelined_error_propagates_on_all_down() {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
-        let rpc = StorageRpc::serve(cluster.clone());
+        let ep = StorageEndpoint::channel(cluster.clone());
         let bag = cluster.create_bag();
-        let mut producer = BagClient::connect(&rpc, bag, 12);
+        let mut producer = ep.client(bag, 12);
         producer.insert(chunk(1)).unwrap();
         cluster.node(0).fail();
         cluster.node(1).fail();
-        let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 13), 4);
+        let mut pf = Prefetcher::spawn(ep.client(bag, 13), 4);
         assert!(matches!(
             pf.recv(),
             Err(StorageError::AllReplicasDown(_) | StorageError::NodeDown(_))

@@ -47,19 +47,22 @@
 //!   cluster metadata handle; implements the cluster-level data plane
 //!   (replica fan-out with backups-first ordering, failover, pointer
 //!   mirroring) on top of submit/wait. [`crate::BagClient`] routes through
-//!   it when constructed with [`crate::BagClient::connect`].
+//!   it when minted from a non-direct [`crate::StorageEndpoint`].
 //! * [`StorageRpc`] — serves every node of a cluster and mints ports.
 //!
 //! # Replication over RPC
 //!
-//! The port preserves the two invariants count-based pointer mirroring
-//! depends on (see [`crate::StorageCluster::insert_batch`]): backups are
-//! written — concurrently, overlapping their acks — and *acknowledged*
-//! before the primary write is issued, and concurrent writers to one
-//! (bag, origin) stream serialize their fan-out on the cluster's
-//! append-ordering lock. Replica sets of size `r` therefore pay one
-//! round-trip of latency for the backups (not `r − 1`) plus one for the
-//! primary.
+//! Replicated inserts preserve the backups-first invariant (see
+//! [`crate::StorageCluster::insert_batch`]): backups are written —
+//! concurrently, overlapping their acks — and *acknowledged* before the
+//! primary write is issued, so anything a reader could have been served
+//! from the primary already exists on every backup. Every fan-out shares
+//! one writer-minted **run id** ([`crate::next_run_id`]), giving each
+//! chunk the same `(run, k)` identity at every replica; pointer mirrors
+//! then consume by identity ([`StorageRequest::MirrorConsumed`]), which
+//! stays exactly-once even when replica logs diverged after a partial
+//! insert. Replica sets of size `r` pay one round-trip of latency for
+//! the backups (not `r − 1`) plus one for the primary.
 //!
 //! # The amortized data plane
 //!
@@ -108,7 +111,7 @@
 
 use crate::cluster::StorageCluster;
 use crate::error::StorageError;
-use crate::node::{BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
+use crate::node::{next_run_id, BagSample, NodeRemove, NodeRemoveBatch, StorageNode, TagSegment};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hurricane_common::{BagId, StorageNodeId};
 use hurricane_format::Chunk;
@@ -186,12 +189,16 @@ impl std::ops::Deref for ChunkRun {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageRequest {
     /// Append `chunks` to `bag` under origin stream `origin`
-    /// ([`StorageNode::insert_from_batch`]).
+    /// ([`StorageNode::insert_run`]).
     InsertBatch {
         /// Target bag.
         bag: BagId,
         /// Primary index the chunks are addressed to.
         origin: u32,
+        /// Writer-minted run id ([`next_run_id`]), identical across the
+        /// replica fan-out of this run: chunk `k` lands with identity
+        /// tag `(run, k)` at every replica.
+        run: u64,
         /// Chunks to append, in order (shared retransmit buffer).
         chunks: ChunkRun,
     },
@@ -205,15 +212,18 @@ pub enum StorageRequest {
         /// Maximum chunks to remove.
         max_n: usize,
     },
-    /// Advance origin stream `origin`'s pointer by `n` without returning
-    /// data ([`StorageNode::mirror_remove_n`]).
-    MirrorRemoveN {
+    /// Mark the identified chunks of origin stream `origin` consumed
+    /// without returning data ([`StorageNode::mirror_consumed`]) — the
+    /// pointer mirror a serving replica's remove fans out to the rest of
+    /// the replica set.
+    MirrorConsumed {
         /// Target bag.
         bag: BagId,
         /// Origin stream to advance.
         origin: u32,
-        /// Positions to advance.
-        n: usize,
+        /// Identities of the served chunks, as reported by the serving
+        /// replica's [`NodeRemoveBatch::tags`].
+        tags: Vec<TagSegment>,
     },
     /// Sample `bag`'s state at this node ([`StorageNode::sample`]).
     Sample {
@@ -260,6 +270,10 @@ pub enum StorageRequest {
         /// Target bag.
         bag: BagId,
     },
+    /// Start draining this node ([`StorageNode::start_draining`]): it
+    /// refuses further inserts but keeps serving removes until empty —
+    /// the membership protocol's "leave" message (paper §3.4).
+    Drain,
     /// Ask whether every bag here is fully drained
     /// ([`StorageNode::is_drained`]).
     IsDrained,
@@ -279,11 +293,14 @@ impl StorageRequest {
     /// but not commutative with interleaved removes (a delayed duplicate
     /// `Rewind` arriving after fresh removes would resurrect consumed
     /// chunks), so they are classified non-idempotent and deduplicated.
+    /// `MirrorConsumed` is likewise identity-idempotent with itself but a
+    /// delayed duplicate arriving after a `Rewind` would re-consume the
+    /// resurrected chunks, so it stays deduplicated too.
     pub fn is_idempotent(&self) -> bool {
         match self {
             StorageRequest::InsertBatch { .. }
             | StorageRequest::RemoveBatch { .. }
-            | StorageRequest::MirrorRemoveN { .. }
+            | StorageRequest::MirrorConsumed { .. }
             | StorageRequest::Rewind { .. }
             | StorageRequest::Discard { .. }
             | StorageRequest::Collect { .. } => false,
@@ -292,6 +309,7 @@ impl StorageRequest {
             | StorageRequest::Snapshot { .. }
             | StorageRequest::SnapshotFrom { .. }
             | StorageRequest::Seal { .. }
+            | StorageRequest::Drain
             | StorageRequest::IsDrained
             | StorageRequest::Ping => true,
         }
@@ -305,7 +323,7 @@ pub enum StorageResponse {
     Inserted,
     /// Answers [`StorageRequest::RemoveBatch`].
     Removed(NodeRemoveBatch),
-    /// Acknowledges [`StorageRequest::MirrorRemoveN`].
+    /// Acknowledges [`StorageRequest::MirrorConsumed`].
     Mirrored,
     /// Answers [`StorageRequest::Sample`].
     Sampled(BagSample),
@@ -359,15 +377,16 @@ pub fn dispatch(
         StorageRequest::InsertBatch {
             bag,
             origin,
+            run,
             chunks,
         } => node
-            .insert_from_batch(bag, &chunks, origin)
+            .insert_run(bag, &chunks, origin, run)
             .map(|()| StorageResponse::Inserted),
         StorageRequest::RemoveBatch { bag, origin, max_n } => node
             .remove_from_batch(bag, origin, max_n)
             .map(StorageResponse::Removed),
-        StorageRequest::MirrorRemoveN { bag, origin, n } => node
-            .mirror_remove_n(bag, origin, n)
+        StorageRequest::MirrorConsumed { bag, origin, tags } => node
+            .mirror_consumed(bag, origin, &tags)
             .map(|()| StorageResponse::Mirrored),
         StorageRequest::Sample { bag } => node.sample(bag).map(StorageResponse::Sampled),
         StorageRequest::ReadAt { bag, index } => {
@@ -381,6 +400,10 @@ pub fn dispatch(
         StorageRequest::Rewind { bag } => node.rewind(bag).map(|()| StorageResponse::Done),
         StorageRequest::Discard { bag } => node.discard(bag).map(|()| StorageResponse::Done),
         StorageRequest::Collect { bag } => node.collect(bag).map(|()| StorageResponse::Done),
+        StorageRequest::Drain => {
+            node.start_draining();
+            Ok(StorageResponse::Done)
+        }
         StorageRequest::IsDrained => node.is_drained().map(StorageResponse::Drained),
         StorageRequest::Ping => Ok(StorageResponse::Pong),
     }
@@ -1286,6 +1309,36 @@ impl Transport for InlineTransport {
     }
 }
 
+/// The placeholder connection for a membership member whose dial failed:
+/// behaves exactly like a connection whose peer died mid-conversation —
+/// every send reports [`StorageError::Disconnected`], so replica
+/// failover and insert rerouting route around the slot while `conns[i]`
+/// ↔ member `i` alignment is preserved. Replaced with a live connection
+/// when a later epoch-moving refresh re-dials the member successfully.
+struct DeadTransport {
+    node: StorageNodeId,
+}
+
+impl Transport for DeadTransport {
+    fn node(&self) -> StorageNodeId {
+        self.node
+    }
+
+    fn send(&mut self, _env: RequestEnvelope) -> Result<(), StorageError> {
+        Err(StorageError::Disconnected(self.node))
+    }
+
+    fn try_recv(&mut self) -> Option<ReplyEnvelope> {
+        None
+    }
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> Option<ReplyEnvelope> {
+        // Nothing was ever sent, so nothing will ever arrive — don't
+        // block a caller draining pre-timeout replies.
+        None
+    }
+}
+
 /// A test / tooling server end created by [`loopback`]: receives the raw
 /// envelopes a [`ChannelTransport`] sends and lets the caller reply in any
 /// order — the seam for exercising correlation, timeouts, and slow
@@ -1343,22 +1396,43 @@ pub fn loopback(node: StorageNodeId) -> (ChannelTransport, LoopbackServer) {
     )
 }
 
-/// The served cluster: one [`NodeServerHandle`] per storage node, plus the
+/// A [`crate::membership::Connect`] that dials an in-process
+/// [`NodeServerHandle`]: connecting is a clone of the server's request
+/// lane plus a private reply lane.
+struct ChannelConnector {
+    server: Arc<NodeServerHandle>,
+}
+
+impl crate::membership::Connect for ChannelConnector {
+    fn connect(&self) -> Result<Box<dyn Transport>, StorageError> {
+        Ok(Box::new(self.server.connect()))
+    }
+}
+
+/// The served cluster: one [`NodeServerHandle`] per storage node,
+/// registered in an epoch-versioned [`crate::Membership`], plus the
 /// shared metadata handle. Mint per-owner [`RpcPort`]s with
 /// [`StorageRpc::port`].
+///
+/// The node set is **live**, not snapshotted: after
+/// [`StorageCluster::add_node`], call [`StorageRpc::sync`] to serve the
+/// new node and publish it in the membership — every existing port picks
+/// it up at its next [`RpcPort::refresh_membership`] (clients and the
+/// prefetcher refresh automatically), and newly minted ports see it
+/// immediately.
 pub struct StorageRpc {
     cluster: Arc<StorageCluster>,
-    servers: Vec<NodeServerHandle>,
+    /// Server handles, kept for draining shutdown; `servers[i]` serves
+    /// cluster node `i` and is also reachable through `membership`.
+    servers: Mutex<Vec<Arc<NodeServerHandle>>>,
+    membership: crate::membership::Membership,
+    dispatch_threads: usize,
     timeout: Duration,
     retry: RetryPolicy,
 }
 
 impl StorageRpc {
     /// Serves every node of `cluster` with default pool size and timeout.
-    ///
-    /// The node set is snapshotted here: nodes added to the cluster later
-    /// are reachable through the direct API but not through this RPC
-    /// instance (a follow-on; see ROADMAP).
     pub fn serve(cluster: Arc<StorageCluster>) -> Self {
         Self::serve_with(cluster, DEFAULT_DISPATCH_THREADS, DEFAULT_REQUEST_TIMEOUT)
     }
@@ -1370,14 +1444,31 @@ impl StorageRpc {
         dispatch_threads: usize,
         timeout: Duration,
     ) -> Self {
-        let servers = (0..cluster.num_nodes())
-            .map(|i| NodeServerHandle::spawn(cluster.node(i), dispatch_threads))
-            .collect();
-        Self {
+        let rpc = Self {
             cluster,
-            servers,
+            servers: Mutex::new(Vec::new()),
+            membership: crate::membership::Membership::new(),
+            dispatch_threads,
             timeout,
             retry: RetryPolicy::default(),
+        };
+        rpc.sync();
+        rpc
+    }
+
+    /// Serves every cluster node not yet served and publishes it in the
+    /// membership — the call that makes [`StorageCluster::add_node`]
+    /// visible to the RPC plane. Idempotent; cheap when nothing changed.
+    pub fn sync(&self) {
+        let mut servers = self.servers.lock();
+        for i in servers.len()..self.cluster.num_nodes() {
+            let handle = Arc::new(NodeServerHandle::spawn(
+                self.cluster.node(i),
+                self.dispatch_threads,
+            ));
+            servers.push(handle.clone());
+            self.membership
+                .join(Arc::new(ChannelConnector { server: handle }));
         }
     }
 
@@ -1392,26 +1483,29 @@ impl StorageRpc {
         &self.cluster
     }
 
-    /// Number of served nodes.
-    pub fn num_nodes(&self) -> usize {
-        self.servers.len()
+    /// The live membership view ports refresh against.
+    pub fn membership(&self) -> &crate::membership::Membership {
+        &self.membership
     }
 
-    /// Opens a fresh port: one new connection to every served node.
+    /// Number of served nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.servers.lock().len()
+    }
+
+    /// Opens a fresh port: one new connection to every served node, with
+    /// the live membership attached so the port can grow with the
+    /// cluster.
     pub fn port(&self) -> RpcPort {
-        let conns = self
-            .servers
-            .iter()
-            .map(|s| NodeConnection::new(Box::new(s.connect())))
-            .collect();
-        let mut port = RpcPort::from_connections(self.cluster.clone(), conns, self.timeout);
+        let mut port =
+            RpcPort::from_membership(self.cluster.clone(), self.membership.clone(), self.timeout);
         port.set_retry_policy(self.retry);
         port
     }
 
     /// Shuts every node server down (draining in-flight requests).
     pub fn shutdown(&self) {
-        for s in &self.servers {
+        for s in self.servers.lock().iter() {
             s.shutdown();
         }
     }
@@ -1439,6 +1533,22 @@ pub struct RpcPort {
     cluster: Arc<StorageCluster>,
     pub(crate) conns: Vec<NodeConnection>,
     pub(crate) timeout: Duration,
+    /// The live node view this port refreshes against, when elastic
+    /// (minted by [`StorageRpc::port`] or built over a membership);
+    /// `None` for fixed-connection ports.
+    membership: Option<crate::membership::Membership>,
+    /// The membership epoch the connection set was last synced to.
+    epoch_seen: u64,
+    /// Indices whose member could not be dialed at the last sync; they
+    /// hold dead placeholder connections (so `conns[i]` ↔ member `i`
+    /// stays aligned and failover routes around them) and are re-dialed
+    /// whenever the membership epoch moves.
+    unreachable: Vec<usize>,
+    /// Writer credit applied to connections opened by a refresh (set_*
+    /// calls keep it in sync with the live connections).
+    credit: usize,
+    /// Retry policy applied to connections opened by a refresh.
+    retry: RetryPolicy,
     /// Coalesce window in chunks; `0` flushes every `insert_buckets` call
     /// (call-synchronous semantics, the default).
     coalesce_chunks: usize,
@@ -1485,11 +1595,92 @@ impl RpcPort {
             cluster,
             conns,
             timeout,
+            membership: None,
+            epoch_seen: 0,
+            unreachable: Vec::new(),
+            credit: DEFAULT_WRITER_CREDIT,
+            retry: RetryPolicy::default(),
             coalesce_chunks: 0,
             staged,
             staged_len: 0,
             stats: PortStats::default(),
         }
+    }
+
+    /// Builds a port over a live [`crate::Membership`]: one connection is
+    /// dialed per current member, and [`RpcPort::refresh_membership`]
+    /// extends the set when the membership grows. A member whose dial
+    /// fails gets a dead placeholder connection — index alignment with
+    /// the view is preserved, every operation on it reports
+    /// [`StorageError::Disconnected`] (so replica failover and insert
+    /// rerouting route around it), and it is re-dialed at the next
+    /// epoch-moving refresh.
+    pub fn from_membership(
+        cluster: Arc<StorageCluster>,
+        membership: crate::membership::Membership,
+        timeout: Duration,
+    ) -> Self {
+        let mut port = Self::from_connections(cluster, Vec::new(), timeout);
+        port.membership = Some(membership);
+        port.refresh_membership();
+        port
+    }
+
+    /// Syncs the connection set with the attached membership: dials every
+    /// member joined since the last sync, applying the port's credit,
+    /// timeout, and retry settings to the new connections. Returns whether
+    /// the port grew. A no-op (one atomic load) when the epoch has not
+    /// moved, so callers poll it freely; fixed-connection ports always
+    /// return false.
+    pub fn refresh_membership(&mut self) -> bool {
+        let Some(membership) = self.membership.clone() else {
+            return false;
+        };
+        let epoch = membership.epoch();
+        if epoch == self.epoch_seen {
+            return false;
+        }
+        let members = membership.members();
+        // The epoch moved, so the view changed: re-dial members that were
+        // unreachable at an earlier sync (e.g. a process restarted behind
+        // the same membership slot).
+        let credit = self.credit;
+        let timeout = self.timeout;
+        let retry = self.retry;
+        let conns = &mut self.conns;
+        self.unreachable.retain(|&idx| {
+            let Ok(transport) = members[idx].connector.connect() else {
+                return true;
+            };
+            let mut conn = NodeConnection::with_credit(transport, credit);
+            conn.set_credit_timeout(timeout);
+            conn.set_retry_policy(retry);
+            conns[idx] = conn;
+            false
+        });
+        let mut grown = false;
+        for (idx, member) in members.iter().enumerate().skip(self.conns.len()) {
+            let mut conn = match member.connector.connect() {
+                Ok(transport) => NodeConnection::with_credit(transport, self.credit),
+                Err(_) => {
+                    // Keep `conns[i]` ↔ member `i` alignment with a dead
+                    // placeholder; failover treats it exactly like a node
+                    // that died mid-conversation.
+                    self.unreachable.push(idx);
+                    NodeConnection::with_credit(
+                        Box::new(DeadTransport { node: member.node }),
+                        self.credit,
+                    )
+                }
+            };
+            conn.set_credit_timeout(self.timeout);
+            conn.set_retry_policy(self.retry);
+            self.conns.push(conn);
+            self.staged.push(Vec::new());
+            grown = true;
+        }
+        self.epoch_seen = epoch;
+        grown
     }
 
     /// The cluster whose metadata governs this port.
@@ -1519,16 +1710,20 @@ impl RpcPort {
         self.coalesce_chunks
     }
 
-    /// Sets the writer credit of every connection of this port.
+    /// Sets the writer credit of every connection of this port (current
+    /// and future: refresh-opened connections inherit it).
     pub fn set_writer_credit(&mut self, credit: usize) {
+        self.credit = credit;
         for conn in &mut self.conns {
             conn.set_credit(credit);
         }
     }
 
     /// Sets the timed-out request retry policy of every connection of
-    /// this port (see [`RetryPolicy`]; default: retries off).
+    /// this port, current and future (see [`RetryPolicy`]; default:
+    /// retries off).
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
         for conn in &mut self.conns {
             conn.set_retry_policy(retry);
         }
@@ -1610,12 +1805,14 @@ impl RpcPort {
         idx: usize,
         bag: BagId,
         origin: u32,
+        run_id: u64,
         run: ChunkRun,
     ) -> Result<(CompletionToken, u64), StorageError> {
         self.stats.insert_envelopes += 1;
         self.conns[idx].submit_tracked(StorageRequest::InsertBatch {
             bag,
             origin,
+            run: run_id,
             chunks: run,
         })
     }
@@ -1623,11 +1820,13 @@ impl RpcPort {
     /// Waits for one insert attempt, retrying timeouts under the
     /// connection's policy. The retransmit buffer is the run itself —
     /// every retry clones one refcount.
+    #[allow(clippy::too_many_arguments)]
     fn wait_insert(
         &mut self,
         idx: usize,
         bag: BagId,
         origin: u32,
+        run_id: u64,
         run: &ChunkRun,
         token: CompletionToken,
         seq: u64,
@@ -1635,6 +1834,7 @@ impl RpcPort {
         let request = StorageRequest::InsertBatch {
             bag,
             origin,
+            run: run_id,
             chunks: run.clone(),
         };
         let timeout = self.timeout;
@@ -1644,8 +1844,10 @@ impl RpcPort {
     /// The replica fan-out of one run addressed to primary `primary_idx`:
     /// backups overlapped and acknowledged first, then the primary. The
     /// run is the shared retransmit buffer — every envelope clones one
-    /// refcount. Bag-state checks are the caller's job (entry points and
-    /// the coalescer check at staging time).
+    /// refcount — and every replica receives the same freshly minted run
+    /// id, so the chunks carry identical `(run, k)` identity tags at
+    /// every replica. Bag-state checks are the caller's job (entry points
+    /// and the coalescer check at staging time).
     fn insert_run(
         &mut self,
         primary_idx: usize,
@@ -1656,6 +1858,7 @@ impl RpcPort {
         let primary = primary_idx % m;
         let origin = primary as u32;
         let r = self.cluster.replication();
+        let run_id = next_run_id();
         let order_lock = (r > 1).then(|| self.cluster.order_lock(bag, origin));
         let _held = order_lock.as_ref().map(|l| l.lock());
 
@@ -1668,13 +1871,13 @@ impl RpcPort {
         let backup_tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (1..r)
             .map(|k| {
                 let idx = (primary + k) % m;
-                let token = self.submit_insert(idx, bag, origin, run.clone());
+                let token = self.submit_insert(idx, bag, origin, run_id, run.clone());
                 (idx, token)
             })
             .collect();
         for (idx, token) in backup_tokens {
             let outcome =
-                token.and_then(|(t, seq)| self.wait_insert(idx, bag, origin, &run, t, seq));
+                token.and_then(|(t, seq)| self.wait_insert(idx, bag, origin, run_id, &run, t, seq));
             match outcome {
                 Ok(_) => landed += 1,
                 Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
@@ -1684,8 +1887,8 @@ impl RpcPort {
         // Phase 2: the primary, only after every backup ack is in.
         if hard_err.is_none() {
             match self
-                .submit_insert(primary, bag, origin, run.clone())
-                .and_then(|(t, seq)| self.wait_insert(primary, bag, origin, &run, t, seq))
+                .submit_insert(primary, bag, origin, run_id, run.clone())
+                .and_then(|(t, seq)| self.wait_insert(primary, bag, origin, run_id, &run, t, seq))
             {
                 Ok(_) => landed += 1,
                 Err(e) if Self::replica_unreachable(&e) => soft_err = Some(e),
@@ -1772,21 +1975,23 @@ impl RpcPort {
         let tokens: Vec<(
             usize,
             BagId,
+            u64,
             ChunkRun,
             Result<(CompletionToken, u64), StorageError>,
         )> = runs
             .into_iter()
             .map(|(target, bag, run)| {
-                let token = self.submit_insert(target, bag, target as u32, run.clone());
-                (target, bag, run, token)
+                let run_id = next_run_id();
+                let token = self.submit_insert(target, bag, target as u32, run_id, run.clone());
+                (target, bag, run_id, run, token)
             })
             .collect();
         let mut refused: Vec<(usize, BagId, ChunkRun)> = Vec::new();
         let mut hard_err = None;
-        for (target, bag, run, token) in tokens {
-            match token
-                .and_then(|(t, seq)| self.wait_insert(target, bag, target as u32, &run, t, seq))
-            {
+        for (target, bag, run_id, run, token) in tokens {
+            match token.and_then(|(t, seq)| {
+                self.wait_insert(target, bag, target as u32, run_id, &run, t, seq)
+            }) {
                 Ok(_) => {}
                 Err(e) if Self::replica_unreachable(&e) => refused.push((target, bag, run)),
                 Err(e) => hard_err = Some(e),
@@ -1863,12 +2068,15 @@ impl RpcPort {
             return Err(soft_err.unwrap_or(StorageError::AllReplicasDown(bag)));
         };
         if !batch.chunks.is_empty() && r > 1 {
-            // Mirror the pointer advance onto the other replicas. Acks are
-            // awaited (cheap) so a subsequent failover cannot observe a
-            // lagging pointer; unreachable replicas are skipped exactly as
-            // in the direct path.
-            let n = batch.chunks.len();
-            let request = StorageRequest::MirrorRemoveN { bag, origin, n };
+            // Mirror the served chunks' identities onto the other
+            // replicas. Acks are awaited (cheap) so a subsequent failover
+            // cannot observe a lagging pointer; unreachable replicas are
+            // skipped exactly as in the direct path.
+            let request = StorageRequest::MirrorConsumed {
+                bag,
+                origin,
+                tags: batch.tags.clone(),
+            };
             #[allow(clippy::type_complexity)]
             let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (0..r)
                 .filter_map(|k| {
@@ -1974,6 +2182,7 @@ mod tests {
             StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
+                run: next_run_id(),
                 chunks: vec![chunk(1), chunk(2)].into(),
             },
         )
@@ -2020,6 +2229,7 @@ mod tests {
             .submit(StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
+                run: next_run_id(),
                 chunks: vec![chunk(7)].into(),
             })
             .unwrap();
@@ -2108,6 +2318,121 @@ mod tests {
         cluster.seal_bag(bag).unwrap();
         let rest = port.remove_batch(0, bag, 10).unwrap();
         assert!(rest.chunks.is_empty() && rest.eof);
+    }
+
+    #[test]
+    fn port_grows_with_membership() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        let bag = cluster.create_bag();
+        let mut port = rpc.port();
+        assert_eq!(port.num_nodes(), 2);
+        assert!(!port.refresh_membership(), "no change, no growth");
+        // A node joins mid-job: served and published by sync, picked up
+        // by the existing port at its next refresh.
+        let idx = cluster.add_node();
+        rpc.sync();
+        assert!(port.refresh_membership());
+        assert_eq!(port.num_nodes(), 3);
+        port.insert_batch(idx, bag, &[chunk(9)]).unwrap();
+        assert_eq!(cluster.node(idx).sample(bag).unwrap().total_chunks, 1);
+        let got = port.remove_batch(idx, bag, 4).unwrap();
+        assert_eq!(got.chunks, vec![chunk(9)]);
+    }
+
+    #[test]
+    fn undialable_member_gets_placeholder_and_redials_on_epoch_move() {
+        use crate::membership::{Connect, Membership};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Refuses dials until `up` flips, then connects inline.
+        struct Flaky {
+            node: Arc<StorageNode>,
+            up: AtomicBool,
+        }
+        impl std::fmt::Debug for Flaky {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct("Flaky")
+                    .field("node", &self.node.id())
+                    .finish()
+            }
+        }
+        impl Connect for Flaky {
+            fn connect(&self) -> Result<Box<dyn Transport>, StorageError> {
+                if self.up.load(Ordering::Acquire) {
+                    Ok(Box::new(InlineTransport::new(self.node.clone())))
+                } else {
+                    Err(StorageError::Disconnected(self.node.id()))
+                }
+            }
+        }
+
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let membership = Membership::new();
+        membership.join(Arc::new(Flaky {
+            node: cluster.node(0),
+            up: AtomicBool::new(true),
+        }));
+        let flaky = Arc::new(Flaky {
+            node: cluster.node(1),
+            up: AtomicBool::new(false),
+        });
+        membership.join(flaky.clone());
+
+        // The dead member does not truncate the connection set: the port
+        // covers the full view, with a placeholder that fails over.
+        let mut port =
+            RpcPort::from_membership(cluster.clone(), membership.clone(), Duration::from_secs(5));
+        assert_eq!(port.num_nodes(), 2);
+        assert_eq!(
+            port.insert_batch(1, bag, &[chunk(7)]).unwrap_err(),
+            StorageError::Disconnected(StorageNodeId(1))
+        );
+        port.insert_batch(0, bag, &[chunk(7)]).unwrap();
+
+        // Node 1 comes up and the view changes (a third member joins):
+        // the refresh re-dials the placeholder slot.
+        flaky.up.store(true, Ordering::Release);
+        let idx = cluster.add_node();
+        membership.join(Arc::new(Flaky {
+            node: cluster.node(idx),
+            up: AtomicBool::new(true),
+        }));
+        assert!(port.refresh_membership());
+        assert_eq!(port.num_nodes(), 3);
+        port.insert_batch(1, bag, &[chunk(8)]).unwrap();
+        assert_eq!(cluster.node(1).sample(bag).unwrap().total_chunks, 1);
+    }
+
+    #[test]
+    fn fresh_port_sees_synced_nodes_immediately() {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let rpc = StorageRpc::serve(cluster.clone());
+        cluster.add_node();
+        rpc.sync();
+        assert_eq!(rpc.num_nodes(), 2);
+        assert_eq!(rpc.port().num_nodes(), 2);
+    }
+
+    #[test]
+    fn drain_request_starts_node_draining() {
+        let node = StorageNode::new(StorageNodeId(0));
+        assert_eq!(
+            dispatch(&node, StorageRequest::Drain).unwrap(),
+            StorageResponse::Done
+        );
+        let e = dispatch(
+            &node,
+            StorageRequest::InsertBatch {
+                bag: BagId(1),
+                origin: 0,
+                run: next_run_id(),
+                chunks: vec![chunk(1)].into(),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e, StorageError::NodeDraining(StorageNodeId(0)));
     }
 
     #[test]
@@ -2250,6 +2575,7 @@ mod tests {
             request: StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
+                run: next_run_id(),
                 chunks: vec![chunk(1), chunk(2)].into(),
             },
         };
@@ -2282,6 +2608,7 @@ mod tests {
             StorageRequest::InsertBatch {
                 bag,
                 origin: 0,
+                run: next_run_id(),
                 chunks: vec![chunk(9)].into(),
             },
         )
@@ -2392,6 +2719,7 @@ mod tests {
         assert!(!StorageRequest::InsertBatch {
             bag,
             origin: 0,
+            run: 1,
             chunks: vec![].into()
         }
         .is_idempotent());
@@ -2401,10 +2729,14 @@ mod tests {
             max_n: 1
         }
         .is_idempotent());
-        assert!(!StorageRequest::MirrorRemoveN {
+        assert!(!StorageRequest::MirrorConsumed {
             bag,
             origin: 0,
-            n: 1
+            tags: vec![TagSegment {
+                run: 1,
+                start: 0,
+                len: 1
+            }]
         }
         .is_idempotent());
         assert!(!StorageRequest::Rewind { bag }.is_idempotent());
@@ -2415,6 +2747,7 @@ mod tests {
         assert!(StorageRequest::Snapshot { bag }.is_idempotent());
         assert!(StorageRequest::SnapshotFrom { bag, origin: 0 }.is_idempotent());
         assert!(StorageRequest::Seal { bag }.is_idempotent());
+        assert!(StorageRequest::Drain.is_idempotent());
         assert!(StorageRequest::IsDrained.is_idempotent());
         assert!(StorageRequest::Ping.is_idempotent());
     }

@@ -31,8 +31,9 @@ impl<T: Record> WorkBag<T> {
         Self::with_client(BagClient::new(cluster, bag, seed))
     }
 
-    /// Wraps an existing bag client (e.g. one connected over the RPC
-    /// boundary via [`BagClient::connect`]) as a typed work bag.
+    /// Wraps an existing bag client (e.g. one minted over the RPC
+    /// boundary via [`crate::StorageEndpoint::client`]) as a typed work
+    /// bag.
     pub fn with_client(client: BagClient) -> Self {
         Self {
             client,

@@ -6,7 +6,7 @@ use hurricane_common::DetRng;
 use hurricane_format::Chunk;
 use hurricane_storage::bag::{BagClient, RemoveResult};
 use hurricane_storage::batch;
-use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_storage::{ClusterConfig, StorageCluster, StorageEndpoint};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -144,7 +144,8 @@ proptest! {
     ) {
         let cluster = StorageCluster::new(nodes, ClusterConfig::default());
         let bag = cluster.create_bag();
-        let mut client = BagClient::connect_inline(cluster.clone(), bag, seed)
+        let mut client = StorageEndpoint::inline(cluster.clone())
+            .client(bag, seed)
             .with_coalescing(window);
         let failed = fail_at < batch_sizes.len();
         let fail_node = fail_node % nodes;

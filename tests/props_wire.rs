@@ -1,0 +1,250 @@
+//! Property tests for the storage RPC wire format: envelope round-trips
+//! through framing under arbitrary socket fragmentation, and rejection
+//! (never a panic, never a bogus decode) of truncated or oversized
+//! frames.
+
+use hurricane_common::{BagId, StorageNodeId};
+use hurricane_format::{Chunk, CodecError};
+use hurricane_storage::wire::{self, FrameBuffer, MAX_FRAME_LEN};
+use hurricane_storage::{
+    BagSample, ChunkRun, NodeRemoveBatch, ReplyEnvelope, RequestEnvelope, StorageError,
+    StorageRequest, StorageResponse, TagSegment,
+};
+use proptest::prelude::*;
+
+/// Raw material for one arbitrary request: a discriminant plus every
+/// field any variant might need (the shim has no `prop_oneof`, so
+/// variants are folded from a tag).
+type RawRequest = ((u8, u64, u32, u64, u64), Vec<Vec<u8>>, Vec<(u64, u32, u32)>);
+
+fn raw_request() -> impl Strategy<Value = RawRequest> {
+    (
+        (
+            0u8..14,
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            0u64..1_000_000,
+        ),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..5),
+        prop::collection::vec((any::<u64>(), any::<u32>(), 0u32..1_000_000), 0..5),
+    )
+}
+
+fn build_request(raw: RawRequest) -> StorageRequest {
+    let ((tag, bag, origin, run, n), blobs, raw_tags) = raw;
+    let bag = BagId(bag);
+    let chunks: Vec<Chunk> = blobs.into_iter().map(Chunk::from_vec).collect();
+    let tags: Vec<TagSegment> = raw_tags
+        .into_iter()
+        .map(|(run, start, len)| TagSegment { run, start, len })
+        .collect();
+    match tag {
+        0 => StorageRequest::InsertBatch {
+            bag,
+            origin,
+            run,
+            chunks: ChunkRun::new(chunks),
+        },
+        1 => StorageRequest::RemoveBatch {
+            bag,
+            origin,
+            max_n: n as usize,
+        },
+        2 => StorageRequest::MirrorConsumed { bag, origin, tags },
+        3 => StorageRequest::Sample { bag },
+        4 => StorageRequest::ReadAt {
+            bag,
+            index: n as usize,
+        },
+        5 => StorageRequest::Snapshot { bag },
+        6 => StorageRequest::SnapshotFrom { bag, origin },
+        7 => StorageRequest::Seal { bag },
+        8 => StorageRequest::Rewind { bag },
+        9 => StorageRequest::Discard { bag },
+        10 => StorageRequest::Collect { bag },
+        11 => StorageRequest::Drain,
+        12 => StorageRequest::IsDrained,
+        _ => StorageRequest::Ping,
+    }
+}
+
+/// Raw material for one arbitrary reply result.
+type RawReply = (
+    u8,
+    u64,
+    u32,
+    Vec<Vec<u8>>,
+    Vec<(u64, u32, u32)>,
+    (bool, bool),
+);
+
+fn raw_reply() -> impl Strategy<Value = RawReply> {
+    (
+        0u8..13,
+        any::<u64>(),
+        any::<u32>(),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..5),
+        prop::collection::vec((any::<u64>(), any::<u32>(), 0u32..1_000_000), 0..4),
+        (any::<bool>(), any::<bool>()),
+    )
+}
+
+fn build_reply_result(raw: RawReply) -> Result<StorageResponse, StorageError> {
+    let (tag, big, small, blobs, raw_tags, (flag_a, flag_b)) = raw;
+    let chunks: Vec<Chunk> = blobs.into_iter().map(Chunk::from_vec).collect();
+    let tags: Vec<TagSegment> = raw_tags
+        .into_iter()
+        .map(|(run, start, len)| TagSegment { run, start, len })
+        .collect();
+    match tag {
+        0 => Ok(StorageResponse::Inserted),
+        1 => Ok(StorageResponse::Removed(NodeRemoveBatch {
+            chunks,
+            tags,
+            exhausted: flag_a,
+            eof: flag_a && flag_b,
+        })),
+        2 => Ok(StorageResponse::Mirrored),
+        3 => Ok(StorageResponse::Sampled(BagSample {
+            total_chunks: big,
+            removed_chunks: big / 2,
+            remaining_chunks: big - big / 2,
+            remaining_bytes: big.wrapping_mul(3),
+            total_bytes: big.wrapping_mul(7),
+            sealed: flag_a,
+        })),
+        4 => Ok(StorageResponse::ChunkAt(chunks.into_iter().next())),
+        5 => Ok(StorageResponse::Chunks(chunks)),
+        6 => Ok(StorageResponse::Done),
+        7 => Ok(StorageResponse::Drained(flag_b)),
+        8 => Ok(StorageResponse::Pong),
+        9 => Err(StorageError::NodeDown(StorageNodeId(small))),
+        10 => Err(StorageError::BagSealed(BagId(big))),
+        11 => Err(StorageError::Timeout(StorageNodeId(small))),
+        _ => Err(StorageError::Codec(CodecError::InvalidTag(tag))),
+    }
+}
+
+/// Delivers `stream` to `fb` in fragments whose sizes cycle through
+/// `cuts`, collecting every completed frame. Errors fail the test.
+fn deliver(
+    fb: &mut FrameBuffer,
+    stream: &[u8],
+    cuts: &[usize],
+) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < stream.len() {
+        let step = if cuts.is_empty() {
+            stream.len()
+        } else {
+            (cuts[i % cuts.len()] % 97) + 1
+        };
+        i += 1;
+        let end = (pos + step).min(stream.len());
+        fb.push(&stream[pos..end]);
+        pos = end;
+        while let Some(frame) = fb.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any request envelope survives encode → frame → arbitrarily
+    /// fragmented delivery → decode, byte-exact.
+    #[test]
+    fn request_roundtrips_through_fragmented_frames(
+        raw in raw_request(),
+        id in any::<u64>(),
+        client in any::<u64>(),
+        seq in any::<u64>(),
+        cuts in prop::collection::vec(0usize..10_000, 0..8),
+    ) {
+        let env = RequestEnvelope { id, client, seq, request: build_request(raw) };
+        let mut payload = Vec::new();
+        wire::encode_request(&env, &mut payload);
+        let mut stream = Vec::new();
+        wire::frame(&payload, &mut stream);
+
+        let mut fb = FrameBuffer::new();
+        let frames = deliver(&mut fb, &stream, &cuts).unwrap();
+        prop_assert_eq!(frames.len(), 1);
+        let mut slice = frames[0].as_slice();
+        let back = wire::decode_request(&mut slice).unwrap();
+        prop_assert!(slice.is_empty(), "decode must consume the whole frame");
+        prop_assert_eq!(back, env);
+    }
+
+    /// A stream of several framed envelopes — requests and replies mixed
+    /// by direction never are, but frames are direction-agnostic —
+    /// reassembles in order however the reads split or coalesce.
+    #[test]
+    fn coalesced_streams_preserve_frame_order(
+        raws in prop::collection::vec(raw_reply(), 1..6),
+        cuts in prop::collection::vec(0usize..10_000, 0..6),
+    ) {
+        let envs: Vec<ReplyEnvelope> = raws
+            .into_iter()
+            .enumerate()
+            .map(|(i, raw)| ReplyEnvelope { id: i as u64, result: build_reply_result(raw) })
+            .collect();
+        let mut stream = Vec::new();
+        let mut payload = Vec::new();
+        for env in &envs {
+            payload.clear();
+            wire::encode_reply(env, &mut payload);
+            wire::frame(&payload, &mut stream);
+        }
+
+        let mut fb = FrameBuffer::new();
+        let frames = deliver(&mut fb, &stream, &cuts).unwrap();
+        prop_assert_eq!(frames.len(), envs.len());
+        for (frame, want) in frames.iter().zip(&envs) {
+            let mut slice = frame.as_slice();
+            let back = wire::decode_reply(&mut slice).unwrap();
+            prop_assert!(slice.is_empty());
+            prop_assert_eq!(&back, want);
+        }
+        prop_assert_eq!(fb.pending(), 0, "no stray bytes after the last frame");
+    }
+
+    /// Every strict prefix of an encoded envelope fails to decode — and
+    /// never panics. (Totality over adversarial truncation.)
+    #[test]
+    fn truncated_payloads_are_rejected(
+        raw in raw_request(),
+        cut_seed in any::<u64>(),
+    ) {
+        let env = RequestEnvelope { id: 1, client: 2, seq: 3, request: build_request(raw) };
+        let mut payload = Vec::new();
+        wire::encode_request(&env, &mut payload);
+        let cut = (cut_seed as usize) % payload.len().max(1);
+        let mut slice = &payload[..cut];
+        prop_assert!(wire::decode_request(&mut slice).is_err());
+    }
+
+    /// Arbitrary junk fed to the frame buffer either yields frames or a
+    /// codec error; it never panics, and a declared length above
+    /// `MAX_FRAME_LEN` is always fatal.
+    #[test]
+    fn frame_buffer_is_total_over_junk(
+        junk in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(0usize..10_000, 0..6),
+    ) {
+        let mut fb = FrameBuffer::new();
+        let _ = deliver(&mut fb, &junk, &cuts); // Must not panic.
+
+        let mut fb = FrameBuffer::new();
+        let mut oversized = Vec::new();
+        hurricane_format::varint::encode(MAX_FRAME_LEN as u64 + 1, &mut oversized);
+        oversized.extend_from_slice(&junk);
+        fb.push(&oversized);
+        prop_assert_eq!(fb.next_frame(), Err(CodecError::LengthOverflow));
+    }
+}

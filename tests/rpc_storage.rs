@@ -9,9 +9,11 @@ use hurricane_storage::bag::BagClient;
 use hurricane_storage::prefetch::Prefetcher;
 use hurricane_storage::rpc::{
     dispatch, loopback, LoopbackServer, NodeConnection, NodeServerHandle, RpcPort, StorageRequest,
-    StorageResponse, StorageRpc,
+    StorageResponse,
 };
-use hurricane_storage::{ClusterConfig, StorageCluster, StorageError};
+use hurricane_storage::{
+    ClusterConfig, Membership, OnceConnect, StorageCluster, StorageEndpoint, StorageError,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -89,6 +91,7 @@ fn server_shutdown_drains_in_flight_requests() {
             conn.submit(StorageRequest::InsertBatch {
                 bag,
                 origin: 2,
+                run: hurricane_storage::next_run_id(),
                 chunks: vec![chunk(i)].into(),
             })
             .unwrap()
@@ -127,15 +130,16 @@ fn prefetcher_keeps_b_requests_in_flight() {
     loader.insert_batch(&chunks).unwrap();
     cluster.seal_bag(bag).unwrap();
 
-    let mut conns = Vec::new();
+    let membership = Membership::new();
     let mut servers: Vec<LoopbackServer> = Vec::new();
     for i in 0..NODES {
         let (transport, server) = loopback(StorageNodeId(i as u32));
-        conns.push(NodeConnection::new(Box::new(transport)));
+        membership.join(OnceConnect::new(Box::new(transport)));
         servers.push(server);
     }
-    let port = RpcPort::from_connections(cluster.clone(), conns, Duration::from_secs(10));
-    let mut pf = Prefetcher::spawn(BagClient::with_rpc_port(port, bag, 2), B);
+    let endpoint = StorageEndpoint::custom(cluster.clone(), membership)
+        .with_request_timeout(Duration::from_secs(10));
+    let mut pf = Prefetcher::spawn(endpoint.client(bag, 2), B);
 
     // With no server answering, the pipeline must stall at exactly its
     // outstanding budget: B requests queued across B distinct nodes.
@@ -186,14 +190,14 @@ fn prefetcher_keeps_b_requests_in_flight() {
 #[test]
 fn prefetcher_surfaces_disconnect_not_silent_eof() {
     let cluster = StorageCluster::new(2, ClusterConfig::default());
-    let rpc = StorageRpc::serve(cluster.clone());
+    let endpoint = StorageEndpoint::channel(cluster.clone());
     let bag = cluster.create_bag();
-    let mut producer = BagClient::connect(&rpc, bag, 1);
+    let mut producer = endpoint.client(bag, 1);
     for i in 0..10u64 {
         producer.insert(chunk(i)).unwrap();
     }
     // NOT sealed: after consuming everything the prefetcher keeps polling.
-    let mut pf = Prefetcher::spawn(BagClient::connect(&rpc, bag, 2), 4);
+    let mut pf = Prefetcher::spawn(endpoint.client(bag, 2), 4);
     for _ in 0..10 {
         assert!(pf.recv().unwrap().is_some());
     }
@@ -201,7 +205,7 @@ fn prefetcher_surfaces_disconnect_not_silent_eof() {
     // connection classifies like an unreachable node, so with every
     // server gone the pipeline surfaces all-replicas-down — an explicit
     // error either way, never a silent end-of-bag.
-    rpc.shutdown();
+    endpoint.shutdown();
     match pf.recv() {
         Err(
             StorageError::Disconnected(_)
@@ -222,13 +226,14 @@ fn one_dead_server_reroutes_like_a_down_node() {
     let servers: Vec<_> = (0..3)
         .map(|i| NodeServerHandle::spawn(cluster.node(i), 1))
         .collect();
-    let conns = servers
-        .iter()
-        .map(|s| NodeConnection::new(Box::new(s.connect())))
-        .collect();
-    let port = RpcPort::from_connections(cluster.clone(), conns, Duration::from_secs(5));
+    let membership = Membership::new();
+    for s in &servers {
+        membership.join(OnceConnect::new(Box::new(s.connect())));
+    }
+    let endpoint = StorageEndpoint::custom(cluster.clone(), membership)
+        .with_request_timeout(Duration::from_secs(5));
     let bag = cluster.create_bag();
-    let mut client = BagClient::with_rpc_port(port, bag, 9);
+    let mut client = endpoint.client(bag, 9);
     servers[1].shutdown();
     let chunks: Vec<Chunk> = (0..30u64).map(chunk).collect();
     client.insert_batch(&chunks).unwrap();
@@ -252,15 +257,15 @@ fn one_dead_server_reroutes_like_a_down_node() {
 #[test]
 fn rpc_clients_share_exactly_once_with_replication() {
     let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
-    let rpc = Arc::new(StorageRpc::serve(cluster.clone()));
+    let endpoint = Arc::new(StorageEndpoint::channel(cluster.clone()));
     let bag = cluster.create_bag();
     let total = 3_000u64;
 
     let producers: Vec<_> = (0..3u64)
         .map(|t| {
-            let rpc = rpc.clone();
+            let endpoint = endpoint.clone();
             std::thread::spawn(move || {
-                let mut client = BagClient::connect(&rpc, bag, 100 + t);
+                let mut client = endpoint.client(bag, 100 + t);
                 let ids = (t * 1000)..((t + 1) * 1000);
                 let chunks: Vec<Chunk> = ids.map(chunk).collect();
                 for batch in chunks.chunks(16) {
@@ -271,10 +276,10 @@ fn rpc_clients_share_exactly_once_with_replication() {
         .collect();
     let consumers: Vec<_> = (0..2u64)
         .map(|t| {
-            let rpc = rpc.clone();
+            let endpoint = endpoint.clone();
             std::thread::spawn(move || {
                 let mut got = Vec::new();
-                let mut client = BagClient::connect(&rpc, bag, 200 + t);
+                let mut client = endpoint.client(bag, 200 + t);
                 loop {
                     use hurricane_storage::BatchRemoveResult;
                     match client.try_remove_batch(32).unwrap() {
@@ -313,8 +318,9 @@ fn coalescer_reduces_insert_envelope_count() {
     let cluster = StorageCluster::new(8, ClusterConfig::default());
     let chunks: Vec<Chunk> = (0..256u64).map(chunk).collect();
 
+    let inline = StorageEndpoint::inline(cluster.clone());
     let eager_bag = cluster.create_bag();
-    let mut eager = BagClient::connect_inline(cluster.clone(), eager_bag, 7);
+    let mut eager = inline.client(eager_bag, 7);
     for batch in chunks.chunks(64) {
         eager.insert_batch(batch).unwrap();
     }
@@ -323,7 +329,7 @@ fn coalescer_reduces_insert_envelope_count() {
     assert_eq!(eager_stats.flushes, 4);
 
     let bag = cluster.create_bag();
-    let mut coalesced = BagClient::connect_inline(cluster.clone(), bag, 7).with_coalescing(256);
+    let mut coalesced = inline.client(bag, 7).with_coalescing(256);
     for batch in chunks.chunks(64) {
         coalesced.insert_batch(batch).unwrap();
     }
@@ -377,7 +383,9 @@ fn writer_credit_bounds_the_lane_on_a_stalled_node() {
 fn coalesced_flush_reroutes_around_mid_stream_failure() {
     let cluster = StorageCluster::new(4, ClusterConfig::default());
     let bag = cluster.create_bag();
-    let mut client = BagClient::connect_inline(cluster.clone(), bag, 11).with_coalescing(10_000);
+    let mut client = StorageEndpoint::inline(cluster.clone())
+        .client(bag, 11)
+        .with_coalescing(10_000);
     let first: Vec<Chunk> = (0..40u64).map(chunk).collect();
     client.insert_batch(&first).unwrap();
     // Node 2 dies while the window is still staged.

@@ -11,8 +11,7 @@
 
 use hurricane_format::Chunk;
 use hurricane_storage::bag::{BagClient, BatchRemoveResult};
-use hurricane_storage::rpc::StorageRpc;
-use hurricane_storage::{ClusterConfig, StorageCluster};
+use hurricane_storage::{ClusterConfig, StorageCluster, StorageEndpoint};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -161,10 +160,8 @@ fn concurrent_insert_remove_over_rpc_is_exactly_once() {
     // through the RPC boundary: correlated messages to per-node server
     // pools, concurrent clients each on their own connections.
     let cluster = StorageCluster::new(NODES, ClusterConfig::default());
-    let rpc = StorageRpc::serve(cluster.clone());
-    stress_with(cluster, move |bag, seed| {
-        BagClient::connect(&rpc, bag, seed)
-    });
+    let endpoint = StorageEndpoint::channel(cluster.clone());
+    stress_with(cluster, move |bag, seed| endpoint.client(bag, seed));
 }
 
 #[test]
@@ -173,10 +170,8 @@ fn concurrent_insert_remove_over_rpc_with_replication() {
     // RPC-mirrored pointer advances must preserve exactly-once delivery
     // and exact sample totals.
     let cluster = StorageCluster::new(NODES, ClusterConfig { replication: 2 });
-    let rpc = StorageRpc::serve(cluster.clone());
-    stress_with(cluster, move |bag, seed| {
-        BagClient::connect(&rpc, bag, seed)
-    });
+    let endpoint = StorageEndpoint::channel(cluster.clone());
+    stress_with(cluster, move |bag, seed| endpoint.client(bag, seed));
 }
 
 #[test]

@@ -7,18 +7,24 @@ the committed baseline in `BENCH_storage.json` (`bench_smoke_baseline`
 section) and fails on a throughput regression beyond the tolerance in the
 gated suites.
 
-Machine-aware: the baseline records the cpu count it was measured on.
-When the runner's cpu count differs (e.g. a 1-cpu container baseline
-checked on the 8-core CI runner), the comparison is reported but does not
-fail the build — cross-machine throughput deltas are not regressions.
-The first artifact measured on the CI runner's shape should be graduated
-into `bench_smoke_baseline` to arm the gate there (see the section's
-`note`).
+Machine-aware: the baseline holds one entry per machine *shape* (cpu
+count) under `shapes`. The gate enforces against the shape matching the
+runner's cpu count; when that shape is absent the diff against the
+nearest shape is informational — unless `--strict`, which turns a
+missing runner shape into a failure (the binding mode CI runs in, so the
+gate can never silently disarm itself on a new runner class).
 
-Exit codes: 0 ok / informational, 1 regression beyond tolerance.
+Graduation: `--graduate OUT` writes a copy of the baseline file with the
+fresh run's numbers installed under the runner's shape. CI uploads that
+file as an artifact; committing it as `BENCH_storage.json` arms the gate
+for that runner shape. Numbers are only ever *measured* into the
+baseline this way, never hand-edited.
+
+Exit codes: 0 ok / informational, 1 regression / missing shape (strict).
 """
 
 import argparse
+import datetime
 import json
 import os
 import sys
@@ -38,6 +44,41 @@ def load_fresh(path):
     return fresh
 
 
+def load_shapes(base):
+    """Returns {cpus: {"date", "elems_per_sec"}} from the baseline section.
+
+    Accepts both the `shapes` layout and the legacy single-shape layout
+    (`cpus` + `elems_per_sec` at the section's top level).
+    """
+    if "shapes" in base:
+        return {int(k): v for k, v in base["shapes"].items()}
+    if "elems_per_sec" in base:
+        return {
+            int(base.get("cpus", 0)): {
+                "date": base.get("date"),
+                "elems_per_sec": base["elems_per_sec"],
+            }
+        }
+    return {}
+
+
+def graduate(committed, base, fresh, cpus, out_path):
+    """Writes the baseline file with `fresh` installed as shape `cpus`."""
+    shapes = {str(k): v for k, v in load_shapes(base).items()}
+    shapes[str(cpus)] = {
+        "date": datetime.date.today().isoformat(),
+        "elems_per_sec": {k: fresh[k] for k in sorted(fresh)},
+    }
+    section = {k: v for k, v in base.items() if k not in ("cpus", "date", "elems_per_sec")}
+    section["shapes"] = shapes
+    committed = dict(committed)
+    committed["bench_smoke_baseline"] = section
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(committed, f, indent=2)
+        f.write("\n")
+    print(f"graduated {len(fresh)} measurements as shape cpus={cpus} -> {out_path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True, help="fresh BENCH_JSON (jsonl)")
@@ -50,6 +91,17 @@ def main():
         default=os.cpu_count(),
         help="runner cpu count (default: os.cpu_count())",
     )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when the baseline has no shape for the runner's cpu count",
+    )
+    ap.add_argument(
+        "--graduate",
+        metavar="OUT",
+        help="also write the baseline with the fresh numbers installed under "
+        "the runner's shape (for committing after review)",
+    )
     args = ap.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -61,15 +113,29 @@ def main():
 
     tolerance = float(base.get("tolerance_pct", 15)) / 100.0
     prefixes = tuple(base.get("suites_prefix", ["contended_"]))
-    baseline_cpus = int(base.get("cpus", 0))
-    enforce = baseline_cpus == args.cpus
+    shapes = load_shapes(base)
     fresh = load_fresh(args.fresh)
+
+    if args.graduate:
+        graduate(committed, base, fresh, args.cpus, args.graduate)
+
+    if not shapes:
+        print("bench_smoke_baseline has no shapes; nothing to gate")
+        return 1 if args.strict else 0
+
+    enforce = args.cpus in shapes
+    if enforce:
+        shape_cpus = args.cpus
+    else:
+        # Nearest committed shape, for an informational diff only.
+        shape_cpus = min(shapes, key=lambda c: abs(c - args.cpus))
+    shape = shapes[shape_cpus]
 
     regressions = []
     missing = []
     checked = 0
     checked_per_prefix = {p: 0 for p in prefixes}
-    for name, want in sorted(base.get("elems_per_sec", {}).items()):
+    for name, want in sorted(shape.get("elems_per_sec", {}).items()):
         matched = [p for p in prefixes if name.startswith(p)]
         if not matched:
             continue
@@ -91,20 +157,34 @@ def main():
     per_suite = ", ".join(f"{p}*: {n}" for p, n in checked_per_prefix.items())
     print(
         f"checked {checked} gated benches ({per_suite}), tolerance "
-        f"{tolerance:.0%}, baseline cpus={baseline_cpus}, runner cpus={args.cpus}"
+        f"{tolerance:.0%}, baseline shape cpus={shape_cpus}, runner "
+        f"cpus={args.cpus}"
     )
     # A suites_prefix that matches zero baseline entries gates nothing —
     # usually a typo or a rename that forgot the baseline. Fail loudly
     # rather than letting the gate silently disarm itself.
     dead = [p for p, n in checked_per_prefix.items() if n == 0
-            and not any(name.startswith(p) for name in base.get("elems_per_sec", {}))]
+            and not any(name.startswith(p) for name in shape.get("elems_per_sec", {}))]
     if dead:
         print(
             f"FAIL: suites_prefix {dead} match no baseline benchmark — "
             "add their elems_per_sec entries or fix the prefix"
         )
         return 1
-    if missing and enforce:
+    if not enforce:
+        if args.strict:
+            print(
+                f"FAIL: no baseline shape for runner cpus={args.cpus} "
+                "(--strict) — commit the graduated baseline artifact of a "
+                "run from this runner class to arm the gate"
+            )
+            return 1
+        print(
+            f"no baseline shape for runner cpus={args.cpus}; diff above is "
+            "informational — graduate a runner-shaped baseline to arm the gate"
+        )
+        return 0
+    if missing:
         # A renamed suite or a broken BENCH_JSON must not silently disarm
         # the gate: every gated baseline name has to show up fresh.
         print(
@@ -112,15 +192,9 @@ def main():
             "run — update bench_smoke_baseline if the suite was renamed"
         )
         return 1
-    if regressions and enforce:
+    if regressions:
         print(f"FAIL: {len(regressions)} regression(s) beyond tolerance")
         return 1
-    if regressions or missing:
-        print(
-            "issues observed but baseline machine shape differs from the "
-            "runner's — informational only; graduate a runner-shaped baseline "
-            "into bench_smoke_baseline to arm the gate"
-        )
     return 0
 
 
