@@ -43,7 +43,7 @@ use crate::task::{BagWriter, ControlMsg, KillSwitch};
 use crossbeam::channel::{unbounded, Sender};
 use hurricane_common::BagId;
 use hurricane_format::{decode_all, Chunk, Record};
-use hurricane_storage::{StorageCluster, StorageEndpoint};
+use hurricane_storage::{ClusterConfig, StorageCluster, StorageEndpoint};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,6 +119,33 @@ impl HurricaneApp {
             workbags,
             seeds,
         })
+    }
+
+    /// As [`HurricaneApp::deploy`], but builds the storage cluster from
+    /// the config itself: `storage_nodes` in-memory nodes by default,
+    /// durable nodes journaling under
+    /// [`HurricaneConfig::data_dir`](crate::HurricaneConfig) (with the
+    /// configured spill threshold) when it is set.
+    ///
+    /// # Panics
+    ///
+    /// When `data_dir` is set but the segment store cannot be created
+    /// there — a deployment that asked for durability and cannot have it
+    /// must not start.
+    pub fn deploy_with_storage(
+        graph: AppGraph,
+        storage_nodes: usize,
+        storage: ClusterConfig,
+        config: HurricaneConfig,
+    ) -> Result<Self, EngineError> {
+        let cluster = match config
+            .durability()
+            .expect("create segment store under data_dir")
+        {
+            None => StorageCluster::new(storage_nodes, storage),
+            Some(d) => StorageCluster::new_durable(storage_nodes, storage, d),
+        };
+        Self::deploy(graph, cluster, config)
     }
 
     /// The physical bag backing a graph bag.

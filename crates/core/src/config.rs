@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Tunables for a Hurricane deployment.
@@ -74,6 +75,17 @@ pub struct HurricaneConfig {
     /// server-side dedup window resolves to at most one execution (see
     /// `hurricane_storage::rpc::RetryPolicy`).
     pub rpc_retry_attempts: u32,
+    /// Root directory for durable segment logs (`SEGMENT.md`). `None`
+    /// (the default) keeps storage nodes purely in-memory; when set,
+    /// every storage node journals its bag contents into
+    /// `<data_dir>/node-<i>/` and recovers them by log scan on startup.
+    pub data_dir: Option<PathBuf>,
+    /// Resident-memory budget per durable storage node, in bytes. When
+    /// the bytes held in memory exceed this threshold, cold bags are
+    /// spilled back to their segment logs and re-read on demand. Only
+    /// meaningful when `data_dir` is set; the default (`u64::MAX`)
+    /// keeps everything resident.
+    pub spill_threshold_bytes: u64,
     /// Deterministic seed for placement permutations and tie-breaking.
     pub seed: u64,
 }
@@ -101,6 +113,8 @@ impl Default for HurricaneConfig {
             rpc_writer_credit: hurricane_storage::rpc::DEFAULT_WRITER_CREDIT,
             rpc_request_timeout: hurricane_storage::rpc::DEFAULT_REQUEST_TIMEOUT,
             rpc_retry_attempts: 1,
+            data_dir: None,
+            spill_threshold_bytes: u64::MAX,
             seed: 0xD1CE,
         }
     }
@@ -125,6 +139,26 @@ impl HurricaneConfig {
     pub fn with_storage_rpc(mut self) -> Self {
         self.storage_rpc = true;
         self
+    }
+
+    /// Returns a copy with durable segment logs rooted at `dir`.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// The storage durability settings implied by this config: `None`
+    /// when [`data_dir`](Self::data_dir) is unset, otherwise a
+    /// [`DurabilityConfig`](hurricane_storage::DurabilityConfig) whose
+    /// segment store is rooted at the directory (created if absent).
+    pub fn durability(&self) -> std::io::Result<Option<hurricane_storage::DurabilityConfig>> {
+        let Some(dir) = &self.data_dir else {
+            return Ok(None);
+        };
+        Ok(Some(hurricane_storage::DurabilityConfig {
+            store: hurricane_storage::SegmentStore::disk(dir)?,
+            spill_threshold_bytes: self.spill_threshold_bytes,
+        }))
     }
 
     /// The insert-coalescing window task writers actually use: `0` when
@@ -172,5 +206,18 @@ mod tests {
     fn without_cloning_flips_flag() {
         let c = HurricaneConfig::default().without_cloning();
         assert!(!c.cloning_enabled);
+    }
+
+    #[test]
+    fn durability_follows_data_dir() {
+        let c = HurricaneConfig::default();
+        assert!(c.data_dir.is_none());
+        assert!(c.durability().unwrap().is_none());
+
+        let dir = std::env::temp_dir().join(format!("hurricane-cfg-test-{}", std::process::id()));
+        let c = c.with_data_dir(&dir);
+        let d = c.durability().unwrap().expect("durability config");
+        assert_eq!(d.spill_threshold_bytes, u64::MAX);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -113,6 +113,72 @@ fn sum_with_merge_is_exact_over_storage_rpc() {
 }
 
 #[test]
+fn durable_spilling_storage_completes_a_full_run() {
+    // The whole pipeline on disk-backed storage nodes (`SEGMENT.md`)
+    // with a resident budget far below the data volume: the job must
+    // stay exact while every node's in-memory footprint remains bounded
+    // by the spill threshold (plus one insert batch of slack — spilling
+    // runs after each batch lands).
+    let dir =
+        std::env::temp_dir().join(format!("hurricane-runtime-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    const THRESHOLD: u64 = 32 * 1024;
+    let config = HurricaneConfig {
+        spill_threshold_bytes: THRESHOLD,
+        ..test_config()
+    }
+    .with_data_dir(&dir);
+    let slack = (config.chunk_size * config.batch_factor) as u64;
+
+    let mut g = GraphBuilder::new();
+    let input = g.source("values");
+    let summed = g.bag("summed");
+    g.task_with_merge(
+        "sum",
+        &[input],
+        &[summed],
+        |ctx: &mut TaskCtx| {
+            let mut total = 0u64;
+            while let Some(recs) = ctx.next_records::<u64>(0)? {
+                total += recs.iter().sum::<u64>();
+            }
+            ctx.write_record(0, &total)?;
+            Ok(())
+        },
+        ReduceMerge::new(|a: u64, b: u64| a + b),
+    );
+    let mut app =
+        HurricaneApp::deploy_with_storage(g.build().unwrap(), 4, ClusterConfig::default(), config)
+            .unwrap();
+
+    let n = 40_000u64; // 320 KB of records, 10x the resident budget.
+    app.fill_source(input, 0..n).unwrap();
+    let cluster = app.cluster().clone();
+    for i in 0..cluster.num_nodes() {
+        let node = cluster.node(i);
+        assert!(node.is_durable(), "config.data_dir ignored");
+        assert!(
+            node.resident_bytes() <= THRESHOLD + slack,
+            "node {i} resident {} exceeds budget after fill",
+            node.resident_bytes()
+        );
+    }
+
+    let report = app.run().unwrap();
+    let out: Vec<u64> = app.read_records(summed).unwrap();
+    assert_eq!(out, vec![n * (n - 1) / 2], "spilled run lost exactness");
+    assert!(report.merges_run >= 1);
+    for i in 0..cluster.num_nodes() {
+        assert!(
+            cluster.node(i).resident_bytes() <= THRESHOLD + slack,
+            "node {i} resident {} exceeds budget after run",
+            cluster.node(i).resident_bytes()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn rpc_run_survives_compute_node_failure() {
     // Fault recovery (cancel, rewind, restart at a bumped generation)
     // exercised end to end with every bag access flowing over RPC.

@@ -38,8 +38,15 @@
 //! both directions, requests and replies alike. [`FaultAction::Fail`] is
 //! different in kind: the node stays reachable but answers every request
 //! with `NodeDown`, the protocol-visible failure that triggers client
-//! rerouting. Crash/restart keeps node data and the server's dedup window
-//! intact (the durable-disk analogy the recovery story depends on).
+//! rerouting. A crash wipes the node's *memory*
+//! ([`StorageNode::crash_lose_memory`]); its segment logs live on the
+//! cluster's shared in-memory virtual disk
+//! ([`hurricane_storage::SegmentStore::mem`]) and survive, and a restart
+//! recovers all bag state from them by log scan — the same code path a
+//! real `hurricane-node` takes restarting from its `--data-dir`. The
+//! server-side dedup window lives beside the logs in the simulation's
+//! shared state and is modeled durable too (see `SEGMENT.md` for the
+//! caveat).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
@@ -104,10 +111,14 @@ pub enum FaultAction {
     /// Removes the node's partition.
     Heal(usize),
     /// SIGKILL-equivalent: like a partition at the transport level, but
-    /// semantically the process is gone — anything in flight vanishes.
-    /// Node data and the dedup window survive on disk.
+    /// semantically the process is gone — anything in flight vanishes
+    /// and the node's in-memory bag state is wiped
+    /// ([`StorageNode::crash_lose_memory`]). Its segment logs (and the
+    /// dedup window) survive on the virtual disk.
     Crash(usize),
-    /// Brings a crashed node back with its durable state intact.
+    /// Brings a crashed node back, recovering every bag — chunks,
+    /// consumed pointers, seal state — from its segment logs by log scan
+    /// ([`StorageNode::restart_recover`]).
     Restart(usize),
     /// Protocol-visible failure ([`StorageNode::fail`]): the node stays
     /// reachable and answers `NodeDown`, the error clients reroute on.
@@ -465,8 +476,16 @@ impl SimInner {
         match action {
             FaultAction::Partition(n) => self.partitioned[n] = true,
             FaultAction::Heal(n) => self.partitioned[n] = false,
-            FaultAction::Crash(n) => self.crashed[n] = true,
-            FaultAction::Restart(n) => self.crashed[n] = false,
+            FaultAction::Crash(n) => {
+                self.crashed[n] = true;
+                self.nodes[n].crash_lose_memory();
+            }
+            FaultAction::Restart(n) => {
+                self.nodes[n]
+                    .restart_recover()
+                    .expect("recover node from virtual disk");
+                self.crashed[n] = false;
+            }
             FaultAction::Fail(n) => self.nodes[n].fail(),
             FaultAction::Recover(n) => self.nodes[n].recover(),
             FaultAction::AddNode => self.add_node(),
@@ -589,16 +608,22 @@ impl SimNet {
         }
     }
 
-    /// Restores a fully healthy, reliable network: clears partitions and
-    /// crashes, recovers failed nodes, cancels scheduled faults, and
-    /// zeroes the wire drop/duplicate rates. Used by scenarios to close
-    /// the fault window before asserting end-state invariants.
+    /// Restores a fully healthy, reliable network: clears partitions,
+    /// restarts crashed nodes (recovering them from their segment logs),
+    /// recovers failed nodes, cancels scheduled faults, and zeroes the
+    /// wire drop/duplicate rates. Used by scenarios to close the fault
+    /// window before asserting end-state invariants.
     pub fn heal_all(&self) {
         let mut inner = self.inner.lock();
         inner.queue.retain(|_, ev| !matches!(ev, Event::Fault(_)));
         for i in 0..inner.nodes.len() {
             inner.partitioned[i] = false;
-            inner.crashed[i] = false;
+            if inner.crashed[i] {
+                inner.nodes[i]
+                    .restart_recover()
+                    .expect("recover node from virtual disk");
+                inner.crashed[i] = false;
+            }
             inner.nodes[i].recover();
         }
         inner.cfg.drop_per_mille = 0;

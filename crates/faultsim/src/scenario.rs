@@ -8,10 +8,11 @@ use std::time::Duration;
 use hurricane_common::BagId;
 use hurricane_format::Chunk;
 use hurricane_storage::bag::{BagClient, BatchRemoveResult};
-use hurricane_storage::cluster::{ClusterConfig, StorageCluster};
+use hurricane_storage::cluster::{ClusterConfig, DurabilityConfig, StorageCluster};
 use hurricane_storage::endpoint::StorageEndpoint;
 use hurricane_storage::error::StorageError;
 use hurricane_storage::rpc::{RetryPolicy, RpcPort};
+use hurricane_storage::segment::SegmentStore;
 
 use crate::net::{SimConfig, SimNet};
 
@@ -28,8 +29,21 @@ pub struct FaultSim {
 impl FaultSim {
     /// Builds an `m`-node cluster with the given replication factor over
     /// a fresh simulated network.
+    ///
+    /// Every node is durable over an in-memory virtual disk
+    /// ([`SegmentStore::mem`]): a [`crate::net::FaultAction::Crash`]
+    /// wipes the node's memory but the segment logs survive, and
+    /// [`crate::net::FaultAction::Restart`] recovers from them exactly
+    /// like a real process restarting from its `--data-dir`.
     pub fn new(m: usize, replication: usize, cfg: SimConfig) -> Self {
-        let cluster = StorageCluster::new(m, ClusterConfig { replication });
+        let cluster = StorageCluster::new_durable(
+            m,
+            ClusterConfig { replication },
+            DurabilityConfig {
+                store: SegmentStore::mem(),
+                spill_threshold_bytes: u64::MAX,
+            },
+        );
         let bag = cluster.create_bag();
         let net = SimNet::new(cluster.clone(), cfg);
         Self { cluster, net, bag }

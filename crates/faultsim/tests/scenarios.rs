@@ -384,6 +384,71 @@ fn mirror_identity_survives_divergent_replica_logs() {
     assert_exactly_once(&attempted, &acked, &drained);
 }
 
+/// CI sweep: a crash landing *between* a backup's ack and the primary's
+/// — the insert times out unacked while the only live copy sits in the
+/// crashed node's segment logs — must never lose an acknowledged value
+/// nor duplicate any value across restart recovery. The crash instant
+/// and victim vary per seed; the window outlasts the retry budget, so
+/// some inserts genuinely fail with their surviving copy marooned on a
+/// node that has to recover it from its logs (and a replica whose
+/// recovered log is shorter than its peer's must not mask that copy at
+/// drain time).
+#[test]
+fn restart_recovers_unacked_inserts() {
+    for seed in sweep_seeds(0x57A7_0000) {
+        eprintln!("faultsim: seed = {seed} (override with FAULTSIM_SEED)");
+        run_restart_recovery_run(seed);
+    }
+}
+
+fn run_restart_recovery_run(seed: u64) {
+    const N: u64 = 120;
+    let mut cfg = SimConfig::reliable(seed);
+    cfg.timeout = Duration::from_millis(5);
+    let sim = FaultSim::new(3, 2, cfg);
+
+    // The crash opens mid-burst and the restart lands beyond the retry
+    // budget (2 × 5 ms), so inserts racing the window can ack on the
+    // backup yet time out overall.
+    let mut rng = DetRng::new(seed).fork(0x57);
+    let victim = rng.gen_range(3) as usize;
+    let at = rng.gen_range_in(500, 5_000);
+    sim.net.schedule(at, FaultAction::Crash(victim));
+    sim.net.schedule(at + 30_000, FaultAction::Restart(victim));
+
+    let mut writer = sim.client(seed, 2);
+    let mut attempted = Vec::new();
+    let mut acked = Vec::new();
+    for v in 0..N {
+        attempted.push(v);
+        if writer.insert(chunk_of(v)).is_ok() {
+            acked.push(v);
+        }
+    }
+
+    // heal_all restarts any still-crashed node through log-scan recovery.
+    sim.net.heal_all();
+
+    // Recovery must not manufacture copies: nothing may be stored more
+    // than `replication` times, however the retries interleaved with the
+    // crash.
+    let stored = sim.stored_values();
+    stored.windows(3).for_each(|w| {
+        assert_ne!(
+            w[0], w[2],
+            "value {} stored {}+ times after recovery (seed {seed})",
+            w[0], 3
+        );
+    });
+
+    // And the drain sees every acknowledged value exactly once — even
+    // ones whose only pre-restart copy lived on the crashed node.
+    sim.seal();
+    let mut reader = sim.client(seed ^ 7, 3);
+    let drained = drain_all(&mut reader).expect("drain after restart");
+    assert_exactly_once(&attempted, &acked, &drained);
+}
+
 /// CI sweep: N seeds (FAULTSIM_SWEEP, default 4) of a randomized
 /// drop/dup/crash/partition run, each printing its seed before running
 /// so a failing log names the exact repro.

@@ -1,10 +1,13 @@
 //! The multi-process cluster smoke test (mirrored by the CI
-//! `cluster-smoke` job): three `hurricane-node` processes plus a driver
-//! on localhost run a ClickLog insert/drain job over real TCP, one node
-//! is SIGKILLed mid-job (replica failover across process boundaries), a
-//! fourth node joins mid-job through the driver's join listener and
-//! receives placements, and the drained result is exactly-once with
-//! byte-perfect payloads.
+//! `cluster-smoke` job): three durable `hurricane-node` processes plus a
+//! driver on localhost run a ClickLog insert/drain job over real TCP,
+//! one node is SIGKILLed mid-job (replica failover across process
+//! boundaries), a fourth node joins mid-job through the driver's join
+//! listener and receives placements, the killed node is restarted from
+//! its `--data-dir` and serves its recovered placements into the drain,
+//! and the drained result is exactly-once with byte-perfect payloads.
+//! A second test covers the graceful path: SIGTERM flushes the segment
+//! logs, exits 0, and a restart recovers every chunk.
 
 use hurricane_common::StorageNodeId;
 use hurricane_format::Chunk;
@@ -33,6 +36,18 @@ impl Drop for Reaper {
 /// Spawns one `hurricane-node` with `args` and scrapes the
 /// `LISTENING <addr> NODE <id>` line it prints once serving.
 fn spawn_node(args: &[&str]) -> (Child, String, u32) {
+    // A restart reclaiming a just-killed node's address can briefly lose
+    // the bind race against the kernel reaping the old sockets.
+    for _ in 0..20 {
+        match try_spawn_node(args) {
+            Some(spawned) => return spawned,
+            None => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+    panic!("hurricane-node {args:?} failed to start");
+}
+
+fn try_spawn_node(args: &[&str]) -> Option<(Child, String, u32)> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_hurricane-node"))
         .args(args)
         .stdout(Stdio::piped())
@@ -45,15 +60,44 @@ fn spawn_node(args: &[&str]) -> (Child, String, u32) {
         .read_line(&mut line)
         .expect("read LISTENING line");
     let mut words = line.split_whitespace();
-    assert_eq!(
-        words.next(),
-        Some("LISTENING"),
-        "unexpected banner: {line:?}"
-    );
+    if words.next() != Some("LISTENING") {
+        let _ = child.kill();
+        let _ = child.wait();
+        return None;
+    }
     let addr = words.next().expect("data addr").to_string();
     assert_eq!(words.next(), Some("NODE"), "unexpected banner: {line:?}");
     let id: u32 = words.next().expect("node id").parse().expect("numeric id");
-    (child, addr, id)
+    Some((child, addr, id))
+}
+
+/// A fresh per-test data dir for one node, as a CLI-ready string.
+fn temp_data_dir(name: &str) -> String {
+    let path =
+        std::env::temp_dir().join(format!("hurricane-smoke-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&path).ok();
+    path.to_str().expect("utf-8 temp path").to_string()
+}
+
+/// Asks a node directly over its own socket how many chunks of `bag` it
+/// holds — proof of placements landing (or having been recovered) there.
+fn probe_chunks(addr: &str, node: u32, bag: hurricane_common::BagId) -> u64 {
+    let mut probe = TcpTransport::dial(addr, Some(StorageNodeId(node))).expect("dial probe");
+    probe
+        .send(RequestEnvelope {
+            id: 1,
+            client: 990 + node as u64,
+            seq: 1,
+            request: StorageRequest::Sample { bag },
+        })
+        .expect("probe send");
+    let reply = probe
+        .recv_timeout(Duration::from_secs(5))
+        .expect("probe reply");
+    match reply.result {
+        Ok(StorageResponse::Sampled(s)) => s.total_chunks,
+        other => panic!("unexpected probe reply: {other:?}"),
+    }
 }
 
 /// One test chunk: `[seq: u64 le][n: u32 le][ip: u32 le]*n`. The seq is
@@ -93,13 +137,21 @@ fn region_counts(batches: &BTreeMap<u64, Vec<u32>>, spec: &ClickLogSpec) -> BTre
 }
 
 #[test]
-fn three_process_clicklog_survives_kill_and_join() {
-    // --- boot: three static nodes + the TCP endpoint over them --------
+fn three_process_clicklog_survives_kill_restart_and_join() {
+    // --- boot: three durable static nodes + the TCP endpoint ----------
     let mut children = Reaper(Vec::new());
     let mut addrs = Vec::new();
-    for i in 0..3 {
+    let dirs: Vec<String> = (0..3).map(|i| temp_data_dir(&format!("node{i}"))).collect();
+    for i in 0..3u32 {
         let id = i.to_string();
-        let (child, addr, got) = spawn_node(&["--listen", "127.0.0.1:0", "--id", &id]);
+        let (child, addr, got) = spawn_node(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--id",
+            &id,
+            "--data-dir",
+            &dirs[i as usize],
+        ]);
         assert_eq!(got, i);
         children.0.push(Some(child));
         addrs.push(addr);
@@ -164,26 +216,33 @@ fn three_process_clicklog_survives_kill_and_join() {
 
     // The joined process really received placements: ask it directly
     // over its own socket.
-    let mut probe = TcpTransport::dial(&addr3, Some(StorageNodeId(3))).expect("dial joined node");
-    probe
-        .send(RequestEnvelope {
-            id: 1,
-            client: 999,
-            seq: 1,
-            request: StorageRequest::Sample { bag },
-        })
-        .expect("probe send");
-    let reply = probe
-        .recv_timeout(Duration::from_secs(5))
-        .expect("probe reply");
-    match reply.result {
-        Ok(StorageResponse::Sampled(s)) => {
-            assert!(s.total_chunks > 0, "joined node never received a placement")
-        }
-        other => panic!("unexpected probe reply: {other:?}"),
-    }
+    assert!(
+        probe_chunks(&addr3, 3, bag) > 0,
+        "joined node never received a placement"
+    );
+
+    // Phase 4: restart the killed node from its --data-dir at its
+    // original (advertised) address. `StorageNode::durable` replays the
+    // segment logs before serving, so every placement it acked before
+    // the SIGKILL is back — recovered from disk, not from replicas.
+    let (child1, addr1, got) =
+        spawn_node(&["--listen", &addrs[1], "--id", "1", "--data-dir", &dirs[1]]);
+    children.0.push(Some(child1));
+    assert_eq!(got, 1);
+    assert_eq!(
+        addr1, addrs[1],
+        "restart must reclaim the advertised address"
+    );
+    assert!(
+        probe_chunks(&addr1, 1, bag) > 0,
+        "restarted node recovered no placements from its data dir"
+    );
 
     // --- drain and judge ----------------------------------------------
+    // A fresh reader dials every member anew, so the drain routes
+    // through the restarted process too: its recovered chunks must
+    // serve, and a replica whose log ran ahead during the outage must
+    // not be masked by the restarted primary's shorter one.
     endpoint.cluster().seal_bag(bag).expect("seal");
     let mut reader = endpoint.client(bag, 2);
     let mut drained: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
@@ -236,4 +295,51 @@ fn three_process_clicklog_survives_kill_and_join() {
 
     endpoint.shutdown();
     drop(children);
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn sigterm_flushes_segment_logs_and_restart_recovers() {
+    let dir = temp_data_dir("sigterm");
+    let (child, addr, _) =
+        spawn_node(&["--listen", "127.0.0.1:0", "--id", "0", "--data-dir", &dir]);
+    let mut children = Reaper(vec![Some(child)]);
+
+    let endpoint = StorageEndpoint::tcp([addr], ClusterConfig::default())
+        .with_request_timeout(Duration::from_secs(2));
+    let bag = endpoint.cluster().create_bag();
+    let mut writer = endpoint.client(bag, 1);
+    const N: u64 = 20;
+    for seq in 0..N {
+        writer
+            .insert(chunk_of(seq, &[seq as u32]))
+            .expect("insert to single durable node");
+    }
+    endpoint.shutdown();
+
+    // Graceful shutdown: SIGTERM makes the node flush and fsync its open
+    // segment logs and exit 0 (a SIGKILL would skip both).
+    let mut child = children.0[0].take().unwrap();
+    let sent = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(sent.success(), "kill -TERM failed");
+    let exit = child.wait().expect("reap node");
+    assert!(exit.success(), "SIGTERM exit was {exit:?}, want 0");
+
+    // Restart from the same data dir: every insert is back.
+    let (child2, addr2, _) =
+        spawn_node(&["--listen", "127.0.0.1:0", "--id", "0", "--data-dir", &dir]);
+    children.0.push(Some(child2));
+    assert_eq!(
+        probe_chunks(&addr2, 0, bag),
+        N,
+        "restart after graceful shutdown lost chunks"
+    );
+
+    drop(children);
+    std::fs::remove_dir_all(&dir).ok();
 }

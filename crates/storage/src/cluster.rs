@@ -28,6 +28,7 @@
 
 use crate::error::StorageError;
 use crate::node::{next_run_id, BagSample, NodeRemove, NodeRemoveBatch, StorageNode};
+use crate::segment::SegmentStore;
 use hurricane_common::{BagId, StorageNodeId};
 use hurricane_format::Chunk;
 use parking_lot::RwLock;
@@ -51,6 +52,22 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Durable-storage settings for a cluster (`SEGMENT.md`): the segment
+/// store nodes journal to, and the per-node resident-memory budget.
+/// Every node journals into its own `node-<i>` namespace of the shared
+/// store, so one data directory (or one in-memory virtual disk, for the
+/// fault simulator) holds the whole cluster's durable state.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The shared segment-store root: a disk directory
+    /// ([`SegmentStore::disk`]) or an in-memory virtual disk
+    /// ([`SegmentStore::mem`]).
+    pub store: SegmentStore,
+    /// Per-node resident chunk-byte budget; `u64::MAX` keeps everything
+    /// in memory. See [`StorageNode::durable`].
+    pub spill_threshold_bytes: u64,
+}
+
 #[derive(Debug, Default)]
 struct BagMeta {
     sealed: bool,
@@ -70,6 +87,10 @@ type OrderLocks = HashMap<(BagId, u32), Arc<parking_lot::Mutex<()>>>;
 pub struct StorageCluster {
     nodes: RwLock<Vec<Arc<StorageNode>>>,
     config: ClusterConfig,
+    /// Durable-storage settings; `None` keeps every node memory-only.
+    /// Kept so nodes added later ([`StorageCluster::add_node`]) journal
+    /// to the same store as the founding members.
+    durability: Option<DurabilityConfig>,
     bags: RwLock<HashMap<BagId, BagMeta>>,
     next_bag: AtomicU64,
     /// Per-(bag, origin) append-ordering locks, used only when
@@ -87,21 +108,56 @@ impl StorageCluster {
     ///
     /// Panics if `m == 0` or if the replication factor exceeds `m`.
     pub fn new(m: usize, config: ClusterConfig) -> Arc<Self> {
+        Self::build(m, config, None)
+    }
+
+    /// Creates a cluster of `m` *durable* storage nodes journaling into
+    /// `durability.store`, each recovering whatever its `node-<i>`
+    /// namespace already holds — a restart from an existing data
+    /// directory resumes with all bag contents and consumed-pointer
+    /// state intact.
+    ///
+    /// # Panics
+    ///
+    /// As [`StorageCluster::new`]; additionally panics if the segment
+    /// store cannot be opened or recovered from.
+    pub fn new_durable(m: usize, config: ClusterConfig, durability: DurabilityConfig) -> Arc<Self> {
+        Self::build(m, config, Some(durability))
+    }
+
+    fn build(m: usize, config: ClusterConfig, durability: Option<DurabilityConfig>) -> Arc<Self> {
         assert!(m > 0, "a cluster needs at least one storage node");
         assert!(
             config.replication >= 1 && config.replication <= m,
             "replication factor must be in 1..=m"
         );
         let nodes = (0..m)
-            .map(|i| Arc::new(StorageNode::new(StorageNodeId(i as u32))))
+            .map(|i| Self::build_node(i as u32, durability.as_ref()))
             .collect();
         Arc::new(Self {
             nodes: RwLock::new(nodes),
             config,
+            durability,
             bags: RwLock::new(HashMap::new()),
             next_bag: AtomicU64::new(0),
             repl_order: RwLock::new(HashMap::new()),
         })
+    }
+
+    fn build_node(id: u32, durability: Option<&DurabilityConfig>) -> Arc<StorageNode> {
+        match durability {
+            Some(d) => {
+                let store = d
+                    .store
+                    .subdir(&format!("node-{id}"))
+                    .expect("create node segment-store namespace");
+                Arc::new(
+                    StorageNode::durable(StorageNodeId(id), store, d.spill_threshold_bytes)
+                        .expect("recover storage node from segment store"),
+                )
+            }
+            None => Arc::new(StorageNode::new(StorageNodeId(id))),
+        }
     }
 
     /// Number of storage nodes (including down / draining ones).
@@ -129,8 +185,8 @@ impl StorageCluster {
     /// immediately.
     pub fn add_node(&self) -> usize {
         let mut nodes = self.nodes.write();
-        let id = StorageNodeId(nodes.len() as u32);
-        nodes.push(Arc::new(StorageNode::new(id)));
+        let id = nodes.len() as u32;
+        nodes.push(Self::build_node(id, self.durability.as_ref()));
         nodes.len() - 1
     }
 
@@ -407,8 +463,23 @@ impl StorageCluster {
         let m = nodes.len();
         let origin = (primary_idx % m) as u32;
         let mut serving = None;
+        let mut first_empty: Option<NodeRemoveBatch> = None;
+        let mut probed_empty: Vec<usize> = Vec::new();
         for idx in self.replicas(primary_idx, m) {
             match nodes[idx].remove_from_batch(bag, origin, max_n) {
+                // An empty serve is not authoritative: replica logs can
+                // diverge — this replica restarted and recovered a log
+                // missing runs that landed only at a backup while it was
+                // down. Keep probing; the group is exhausted only when
+                // every reachable replica comes back empty, otherwise
+                // acked chunks marooned at a backup would be masked by
+                // a premature end-of-bag.
+                Ok(outcome) if outcome.chunks.is_empty() => {
+                    probed_empty.push(idx);
+                    if first_empty.is_none() {
+                        first_empty = Some(outcome);
+                    }
+                }
                 Ok(outcome) => {
                     serving = Some((idx, outcome));
                     break;
@@ -418,11 +489,32 @@ impl StorageCluster {
             }
         }
         let Some((served_by, mut outcome)) = serving else {
-            return Err(StorageError::AllReplicasDown(bag));
+            let Some(mut outcome) = first_empty else {
+                return Err(StorageError::AllReplicasDown(bag));
+            };
+            outcome.eof = outcome.exhausted && sealed;
+            return Ok(outcome);
         };
+        // Reconcile a fallback serve: a replica probed empty above may
+        // have concurrently served the very same chunks to another
+        // reader whose mirror hadn't landed at `served_by` yet. Claim
+        // the served identities at each such replica and drop whatever
+        // it reports already consumed — those chunks belong to the
+        // other reader. An unreachable replica claims nothing (its
+        // consumed state can't race anyone while it's down).
+        for &idx in &probed_empty {
+            if outcome.chunks.is_empty() {
+                break;
+            }
+            if let Ok(already) = nodes[idx].claim_consumed(bag, origin, &outcome.tags) {
+                outcome.drop_already_consumed(&already);
+            }
+        }
         if !outcome.chunks.is_empty() {
             for idx in self.replicas(primary_idx, m) {
-                if idx != served_by {
+                // Replicas probed empty were just claimed — the claim
+                // is the mirror.
+                if idx != served_by && !probed_empty.contains(&idx) {
                     let _ = nodes[idx].mirror_consumed(bag, origin, &outcome.tags);
                 }
             }
@@ -780,6 +872,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_replica_does_not_mask_chunks_at_backup() {
+        // Divergent logs: a value lands only at the backup (the primary
+        // was down during the insert), then the primary comes back with
+        // a log that never saw it. The group-level remove must keep
+        // probing past the primary's empty serve and deliver the
+        // marooned chunk instead of declaring a premature end-of-bag.
+        let cluster = StorageCluster::new(3, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.node(0).fail();
+        cluster.insert(0, bag, chunk(b"marooned")).unwrap(); // backup 1 only
+        cluster.node(0).recover();
+        cluster.seal_bag(bag).unwrap();
+        let got = cluster.remove_batch(0, bag, 8).unwrap();
+        assert_eq!(got.chunks, vec![chunk(b"marooned")]);
+        let end = cluster.remove_batch(0, bag, 8).unwrap();
+        assert!(end.chunks.is_empty() && end.eof);
+    }
+
+    #[test]
+    fn durable_cluster_recovers_node_from_shared_store() {
+        let store = SegmentStore::mem();
+        let cluster = StorageCluster::new_durable(
+            2,
+            ClusterConfig::default(),
+            DurabilityConfig {
+                store,
+                spill_threshold_bytes: u64::MAX,
+            },
+        );
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.node(0).crash_lose_memory();
+        cluster.node(0).restart_recover().unwrap();
+        assert_eq!(
+            cluster.remove(0, bag).unwrap(),
+            NodeRemove::Chunk(chunk(b"x"))
+        );
+        // Nodes added later join the same store.
+        let idx = cluster.add_node();
+        assert!(cluster.node(idx).is_durable());
+    }
+
+    #[test]
     fn remove_batch_eof_follows_cluster_seal() {
         let cluster = StorageCluster::new(2, ClusterConfig::default());
         let bag = cluster.create_bag();
@@ -788,6 +923,64 @@ mod tests {
         cluster.seal_bag(bag).unwrap();
         let got = cluster.remove_batch(0, bag, 4).unwrap();
         assert!(got.eof, "sealed and empty: end of bag");
+    }
+
+    #[test]
+    fn fallback_probe_claims_instead_of_double_serving() {
+        // Reader A served the bag's chunks at the primary, but its
+        // mirror to the backup is still in flight when reader B's probe
+        // runs: the primary answers empty while the backup would serve
+        // the same chunks again. B's claim at the primary must reveal
+        // the concurrent serve so B drops them.
+        let cluster = StorageCluster::new(2, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        cluster.insert(0, bag, chunk(b"x")).unwrap();
+        cluster.insert(0, bag, chunk(b"y")).unwrap();
+        // Reader A, mid-flight: consumed at the primary, mirror pending.
+        let served = cluster.node(0).remove_batch(bag, 8).unwrap();
+        assert_eq!(served.chunks.len(), 2);
+        // Reader B via the cluster: primary empty, backup serves, claim
+        // reports both chunks already delivered.
+        let got = cluster.remove_batch(0, bag, 8).unwrap();
+        assert!(
+            got.chunks.is_empty(),
+            "claim must drop concurrently served chunks, got {:?}",
+            got.chunks
+        );
+        // The backup's pointer advanced with the claim-drop: the group
+        // is drained for good.
+        cluster.seal_bag(bag).unwrap();
+        let end = cluster.remove_batch(0, bag, 8).unwrap();
+        assert!(end.chunks.is_empty() && end.eof);
+    }
+
+    #[test]
+    fn fallback_probe_serves_chunks_the_empty_replica_never_held() {
+        // The dual of the claim test: a run that landed only at the
+        // backup (the primary missed the insert — a divergent log).
+        // The primary's claim knows nothing of the identity, so the
+        // probe delivers the marooned chunk exactly once; a replicated
+        // insert of the same identity arriving at the primary later
+        // lands already consumed.
+        let cluster = StorageCluster::new(2, ClusterConfig { replication: 2 });
+        let bag = cluster.create_bag();
+        let run = next_run_id();
+        cluster
+            .node(1)
+            .insert_run(bag, &[chunk(b"marooned")], 0, run)
+            .unwrap();
+        let got = cluster.remove_batch(0, bag, 8).unwrap();
+        assert_eq!(got.chunks, vec![chunk(b"marooned")]);
+        // The in-flight replicated copy lands at the primary after the
+        // serve: the claim pre-consumed its identity, so it can never
+        // be served a second time.
+        cluster
+            .node(0)
+            .insert_run(bag, &[chunk(b"marooned")], 0, run)
+            .unwrap();
+        cluster.seal_bag(bag).unwrap();
+        let end = cluster.remove_batch(0, bag, 8).unwrap();
+        assert!(end.chunks.is_empty() && end.eof, "got {:?}", end.chunks);
     }
 
     #[test]

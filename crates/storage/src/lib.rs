@@ -31,6 +31,12 @@
 //! * [`bag`] — `BagClient`, the per-worker handle combining placement with
 //!   cluster access over either the direct or the RPC port; [`prefetch`]
 //!   adds the b-outstanding-requests pipeline.
+//! * [`segment`] — the durable storage plane (`SEGMENT.md`): append-only
+//!   CRC-framed segment logs per `(bag, origin)` stream, on disk or on
+//!   the fault simulator's in-memory virtual disk. Durable nodes
+//!   ([`StorageNode::durable`]) journal every append, pointer advance,
+//!   and lifecycle event, recover all of it by log scan on restart, and
+//!   spill cold chunks back to the log under a resident-memory budget.
 //! * [`workbag`] — typed bags of task descriptors used for decentralized
 //!   scheduling (ready / running / done, paper §4.1).
 
@@ -44,12 +50,13 @@ pub mod node;
 pub mod placement;
 pub mod prefetch;
 pub mod rpc;
+pub mod segment;
 pub mod tcp;
 pub mod wire;
 pub mod workbag;
 
 pub use bag::{BagClient, BatchRemoveResult, RemoveResult};
-pub use cluster::{ClusterConfig, StorageCluster};
+pub use cluster::{ClusterConfig, DurabilityConfig, StorageCluster};
 pub use endpoint::StorageEndpoint;
 pub use error::StorageError;
 pub use membership::{Connect, Member, Membership, OnceConnect};
@@ -58,5 +65,6 @@ pub use rpc::{
     ChunkRun, PortStats, ReplyEnvelope, RequestEnvelope, RetryPolicy, RpcPort, ServedKind,
     ServerDedup, StorageRequest, StorageResponse, StorageRpc, Transport,
 };
+pub use segment::{SegmentLog, SegmentStore};
 pub use tcp::{join_cluster, JoinServer, TcpConnector, TcpNodeServer, TcpTransport};
 pub use workbag::WorkBag;

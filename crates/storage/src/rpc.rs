@@ -279,6 +279,19 @@ pub enum StorageRequest {
     IsDrained,
     /// Liveness probe; answered with [`StorageResponse::Pong`].
     Ping,
+    /// Mark identities consumed and learn which already were
+    /// ([`StorageNode::claim_consumed`]): the reconciliation step a
+    /// reader runs against replicas that answered empty before another
+    /// replica served it chunks, so a concurrent serve of the same
+    /// chunks elsewhere is detected instead of double-delivered.
+    ClaimConsumed {
+        /// Target bag.
+        bag: BagId,
+        /// Origin stream the claimed chunks belong to.
+        origin: u32,
+        /// Identity of the chunks about to be delivered.
+        tags: Vec<TagSegment>,
+    },
 }
 
 impl StorageRequest {
@@ -301,6 +314,7 @@ impl StorageRequest {
             StorageRequest::InsertBatch { .. }
             | StorageRequest::RemoveBatch { .. }
             | StorageRequest::MirrorConsumed { .. }
+            | StorageRequest::ClaimConsumed { .. }
             | StorageRequest::Rewind { .. }
             | StorageRequest::Discard { .. }
             | StorageRequest::Collect { .. } => false,
@@ -337,6 +351,9 @@ pub enum StorageResponse {
     Drained(bool),
     /// Answers [`StorageRequest::Ping`].
     Pong,
+    /// Answers [`StorageRequest::ClaimConsumed`]: the sub-segments of
+    /// the claimed tags that were already consumed at the node.
+    Claimed(Vec<TagSegment>),
 }
 
 /// A request tagged with its client-assigned correlation id.
@@ -406,6 +423,9 @@ pub fn dispatch(
         }
         StorageRequest::IsDrained => node.is_drained().map(StorageResponse::Drained),
         StorageRequest::Ping => Ok(StorageResponse::Pong),
+        StorageRequest::ClaimConsumed { bag, origin, tags } => node
+            .claim_consumed(bag, origin, &tags)
+            .map(StorageResponse::Claimed),
     }
 }
 
@@ -2051,10 +2071,23 @@ impl RpcPort {
         let origin = primary as u32;
         let r = self.cluster.replication();
         let mut serving = None;
+        let mut first_empty: Option<NodeRemoveBatch> = None;
+        let mut probed_empty: Vec<usize> = Vec::new();
         let mut soft_err = None;
         for k in 0..r {
             let idx = (primary + k) % m;
             match self.call(idx, StorageRequest::RemoveBatch { bag, origin, max_n }) {
+                // As in the direct path: an empty serve is not
+                // authoritative, because a restarted replica may have
+                // recovered a log missing runs that landed only at a
+                // backup while it was down. Probe the whole replica set
+                // before reporting the group exhausted.
+                Ok(StorageResponse::Removed(batch)) if batch.chunks.is_empty() => {
+                    probed_empty.push(idx);
+                    if first_empty.is_none() {
+                        first_empty = Some(batch);
+                    }
+                }
                 Ok(StorageResponse::Removed(batch)) => {
                     serving = Some((idx, batch));
                     break;
@@ -2065,13 +2098,41 @@ impl RpcPort {
             }
         }
         let Some((served_by, mut batch)) = serving else {
-            return Err(soft_err.unwrap_or(StorageError::AllReplicasDown(bag)));
+            let Some(mut batch) = first_empty else {
+                return Err(soft_err.unwrap_or(StorageError::AllReplicasDown(bag)));
+            };
+            batch.eof = batch.exhausted && sealed;
+            return Ok(batch);
         };
+        // Reconcile the fallback serve: a replica that answered empty
+        // above may have concurrently served these very chunks to
+        // another reader whose mirror hadn't reached `served_by` yet.
+        // Claim the served identities at each such replica and drop
+        // whatever it reports already consumed — those chunks belong
+        // to the other reader. An unreachable replica claims nothing
+        // (its consumed state can't race anyone while it's down).
+        for &idx in &probed_empty {
+            if batch.chunks.is_empty() {
+                break;
+            }
+            let request = StorageRequest::ClaimConsumed {
+                bag,
+                origin,
+                tags: batch.tags.clone(),
+            };
+            match self.call(idx, request) {
+                Ok(StorageResponse::Claimed(already)) => batch.drop_already_consumed(&already),
+                Ok(other) => return Err(protocol_violation(self.conns[idx].node(), &other)),
+                Err(e) if Self::replica_unreachable(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
         if !batch.chunks.is_empty() && r > 1 {
             // Mirror the served chunks' identities onto the other
             // replicas. Acks are awaited (cheap) so a subsequent failover
             // cannot observe a lagging pointer; unreachable replicas are
-            // skipped exactly as in the direct path.
+            // skipped exactly as in the direct path. Replicas probed
+            // empty were just claimed — the claim is the mirror.
             let request = StorageRequest::MirrorConsumed {
                 bag,
                 origin,
@@ -2081,7 +2142,7 @@ impl RpcPort {
             let tokens: Vec<(usize, Result<(CompletionToken, u64), StorageError>)> = (0..r)
                 .filter_map(|k| {
                     let idx = (primary + k) % m;
-                    (idx != served_by).then(|| {
+                    (idx != served_by && !probed_empty.contains(&idx)).then(|| {
                         let t = self.conns[idx].submit_tracked(request.clone());
                         (idx, t)
                     })

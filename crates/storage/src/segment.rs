@@ -1,0 +1,743 @@
+//! Durable segment logs: the on-disk form of a bag (`SEGMENT.md`).
+//!
+//! Each `(bag, origin)` chunk stream of a [`crate::StorageNode`] is
+//! backed by one append-only *segment log*; bag-level lifecycle events
+//! (seal / discard / collect) go to a per-bag *meta log*. Every record
+//! is a length-prefixed frame reusing the wire codec's varints
+//! (`WIRE.md`) with a CRC32 trailer, so a restart can rebuild bags,
+//! running counters, and consumed-pointer state by scanning the logs —
+//! and a torn tail (the process died mid-append) is detected and
+//! truncated rather than misparsed.
+//!
+//! Frame layout (all integers little-endian; varints are LEB128):
+//!
+//! ```text
+//! frame   := varint(len(body)) body crc32(body)   -- crc is 4 bytes LE
+//! body    := DATA | CONSUME | REWIND              -- segment logs
+//!          | SEAL | DISCARD | COLLECT             -- meta logs
+//! DATA    := 0x01 varint(run) varint(k) payload   -- one chunk, tagged
+//! CONSUME := 0x02 varint(n) { varint(run) varint(start) varint(len) }*n
+//! REWIND  := 0x03
+//! SEAL    := 0x01     DISCARD := 0x02     COLLECT := 0x03
+//! ```
+//!
+//! `DATA` frames double as the spill index: a node over its resident
+//! budget drops the in-memory copy and keeps only `(offset, frame_len)`,
+//! re-reading the frame on demand — the frame locations recorded at
+//! append time give fixed-stride-free random access without a separate
+//! index file.
+//!
+//! The medium is abstracted by [`SegmentStore`]: a directory on disk
+//! (`hurricane-node --data-dir`) or a process-shared in-memory map
+//! ([`SegmentStore::mem`]) that the fault simulator uses as a *virtual
+//! disk* — crash/restart scenarios then exercise the real recovery scan
+//! with zero real I/O.
+//!
+//! Durability is fail-stop: appends go through the OS page cache (which
+//! survives SIGKILL; fsync happens on graceful shutdown via
+//! [`crate::StorageNode::sync_all`]), and an append or spilled-read I/O
+//! error is a local fatal error — the node panics rather than serving
+//! state it can no longer journal.
+
+use crate::node::TagSegment;
+use hurricane_common::BagId;
+use hurricane_format::varint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Record tag: one chunk with its `(run, k)` identity.
+pub const REC_DATA: u8 = 0x01;
+/// Record tag: consumed-pointer advance (a local serve or a mirror).
+pub const REC_CONSUME: u8 = 0x02;
+/// Record tag: read pointer reset.
+pub const REC_REWIND: u8 = 0x03;
+/// Meta-log record tag: the bag was sealed.
+pub const META_SEAL: u8 = 0x01;
+/// Meta-log record tag: the bag was discarded (data logs truncated,
+/// seal cleared, bag reopened for inserts).
+pub const META_DISCARD: u8 = 0x02;
+/// Meta-log record tag: the bag was garbage-collected.
+pub const META_COLLECT: u8 = 0x03;
+
+/// Upper bound on one frame's body, mirroring the wire codec's
+/// [`crate::wire::MAX_FRAME_LEN`]: a scanned length prefix above this is
+/// treated as a torn tail, not an allocation request.
+pub const MAX_BODY_LEN: usize = 80 * 1024 * 1024;
+
+// -- CRC32 (IEEE 802.3, the zlib polynomial), table-driven ----------------
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes` — the per-frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// -- frame codec ----------------------------------------------------------
+
+/// Appends one framed record (`varint(len) ++ body ++ crc32(body)`) to
+/// `out`.
+pub fn encode_frame(body: &[u8], out: &mut Vec<u8>) {
+    varint::encode(body.len() as u64, out);
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+}
+
+/// One encoded `DATA` frame: chunk `payload` tagged `(run, k)`.
+pub fn data_frame(run: u64, k: u32, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + 2 * varint::MAX_VARINT_LEN + payload.len());
+    body.push(REC_DATA);
+    varint::encode(run, &mut body);
+    varint::encode(u64::from(k), &mut body);
+    body.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(body.len() + varint::MAX_VARINT_LEN + 4);
+    encode_frame(&body, &mut out);
+    out
+}
+
+/// One encoded `CONSUME` frame naming the consumed chunk identities.
+pub fn consume_frame(tags: &[TagSegment]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(2 + tags.len() * 3 * varint::MAX_VARINT_LEN);
+    body.push(REC_CONSUME);
+    varint::encode(tags.len() as u64, &mut body);
+    for t in tags {
+        varint::encode(t.run, &mut body);
+        varint::encode(u64::from(t.start), &mut body);
+        varint::encode(u64::from(t.len), &mut body);
+    }
+    let mut out = Vec::new();
+    encode_frame(&body, &mut out);
+    out
+}
+
+/// One encoded `REWIND` frame.
+pub fn rewind_frame() -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(&[REC_REWIND], &mut out);
+    out
+}
+
+/// One encoded meta-log frame (`META_SEAL` / `META_DISCARD` /
+/// `META_COLLECT`).
+pub fn meta_frame(tag: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(&[tag], &mut out);
+    out
+}
+
+/// A decoded segment-log record, payload left in place (the scan hands
+/// back lengths, not copies — recovered chunks start spilled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// One chunk: identity tag plus payload length (the payload itself
+    /// stays in the log until read on demand).
+    Data {
+        /// Insert-run id.
+        run: u64,
+        /// Position within the run.
+        k: u32,
+        /// Chunk payload length in bytes.
+        payload_len: u32,
+    },
+    /// Consumed-pointer advance: the identities a serve consumed.
+    Consume(Vec<TagSegment>),
+    /// Read-pointer reset.
+    Rewind,
+}
+
+/// One frame recovered by [`scan`]: its location (the spill index) plus
+/// the decoded record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedFrame {
+    /// Byte offset of the frame's start (the length prefix) in the log.
+    pub offset: u64,
+    /// Total encoded frame length (prefix + body + CRC).
+    pub frame_len: u32,
+    /// The decoded record.
+    pub record: Record,
+}
+
+fn decode_record(body: &[u8]) -> Option<Record> {
+    let (&tag, mut rest) = body.split_first()?;
+    match tag {
+        REC_DATA => {
+            let run = varint::decode(&mut rest).ok()?;
+            let k = u32::try_from(varint::decode(&mut rest).ok()?).ok()?;
+            Some(Record::Data {
+                run,
+                k,
+                payload_len: u32::try_from(rest.len()).ok()?,
+            })
+        }
+        REC_CONSUME => {
+            let n = varint::decode(&mut rest).ok()?;
+            // Hostile-length guard, as in the wire codec: each tag costs
+            // at least 3 bytes, so a huge count in a short body is torn.
+            if n > (rest.len() / 3) as u64 {
+                return None;
+            }
+            let mut tags = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let run = varint::decode(&mut rest).ok()?;
+                let start = u32::try_from(varint::decode(&mut rest).ok()?).ok()?;
+                let len = u32::try_from(varint::decode(&mut rest).ok()?).ok()?;
+                tags.push(TagSegment { run, start, len });
+            }
+            rest.is_empty().then_some(Record::Consume(tags))
+        }
+        REC_REWIND => rest.is_empty().then_some(Record::Rewind),
+        _ => None,
+    }
+}
+
+/// Decodes one `DATA` frame read back from a log (a spilled-chunk read):
+/// verifies the CRC and returns `(run, k, payload)`. `None` means the
+/// bytes do not hold an intact `DATA` frame.
+pub fn decode_data_frame(frame: &[u8]) -> Option<(u64, u32, &[u8])> {
+    let mut input = frame;
+    let body_len = usize::try_from(varint::decode(&mut input).ok()?).ok()?;
+    if input.len() < body_len + 4 {
+        return None;
+    }
+    let body = &input[..body_len];
+    let crc = u32::from_le_bytes(input[body_len..body_len + 4].try_into().ok()?);
+    if crc != crc32(body) {
+        return None;
+    }
+    let (&tag, mut rest) = body.split_first()?;
+    if tag != REC_DATA {
+        return None;
+    }
+    let run = varint::decode(&mut rest).ok()?;
+    let k = u32::try_from(varint::decode(&mut rest).ok()?).ok()?;
+    Some((run, k, rest))
+}
+
+/// Walks one frame at `offset`: returns the body's byte range and the
+/// total frame length when the frame is intact (CRC included), `None`
+/// when the bytes there are a torn tail.
+fn frame_at(data: &[u8], offset: usize) -> Option<(std::ops::Range<usize>, usize)> {
+    let mut input = &data[offset..];
+    let before = input.len();
+    let body_len = usize::try_from(varint::decode(&mut input).ok()?).ok()?;
+    if body_len > MAX_BODY_LEN || input.len() < body_len + 4 {
+        return None;
+    }
+    let prefix_len = before - input.len();
+    let body_start = offset + prefix_len;
+    let body = &data[body_start..body_start + body_len];
+    let crc_bytes = &data[body_start + body_len..body_start + body_len + 4];
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    (crc == crc32(body)).then_some((body_start..body_start + body_len, prefix_len + body_len + 4))
+}
+
+/// Scans a segment (data) log from the start, returning every intact
+/// frame and the byte length of the valid prefix. The first ill-formed
+/// frame — a truncated or absurd length prefix, a short body, a CRC
+/// mismatch, or an unknown record — ends the scan: everything from that
+/// offset on is a torn tail the opener must truncate away.
+pub fn scan(data: &[u8]) -> (Vec<ScannedFrame>, u64) {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let Some((body, frame_len)) = frame_at(data, offset) else {
+            break;
+        };
+        let Some(record) = decode_record(&data[body]) else {
+            break;
+        };
+        frames.push(ScannedFrame {
+            offset: offset as u64,
+            frame_len: frame_len as u32,
+            record,
+        });
+        offset += frame_len;
+    }
+    (frames, offset as u64)
+}
+
+/// Scans a meta log: returns the lifecycle event tags ([`META_SEAL`] /
+/// [`META_DISCARD`] / [`META_COLLECT`]) in append order plus the valid
+/// prefix length, with the same torn-tail contract as [`scan`].
+pub fn scan_meta(data: &[u8]) -> (Vec<u8>, u64) {
+    let mut events = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let Some((body, frame_len)) = frame_at(data, offset) else {
+            break;
+        };
+        let body = &data[body];
+        match body {
+            [tag @ (META_SEAL | META_DISCARD | META_COLLECT)] => events.push(*tag),
+            _ => break,
+        }
+        offset += frame_len;
+    }
+    (events, offset as u64)
+}
+
+// -- log naming -----------------------------------------------------------
+
+/// Store-relative name of `bag`'s segment log for origin stream
+/// `origin`.
+pub fn data_log_name(bag: BagId, origin: u32) -> String {
+    format!("bag-{}/seg-{origin}.log", bag.0)
+}
+
+/// Store-relative name of `bag`'s meta log.
+pub fn meta_log_name(bag: BagId) -> String {
+    format!("bag-{}/meta.log", bag.0)
+}
+
+/// What a store-relative log name identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogKind {
+    /// A per-origin segment log.
+    Data(u32),
+    /// The bag's meta log.
+    Meta,
+}
+
+/// Parses a name produced by [`data_log_name`] / [`meta_log_name`].
+/// Unrecognized names (editor droppings, future formats) return `None`
+/// and are skipped by the recovery scan.
+pub fn parse_log_name(name: &str) -> Option<(BagId, LogKind)> {
+    let (dir, file) = name.split_once('/')?;
+    let bag = BagId(dir.strip_prefix("bag-")?.parse().ok()?);
+    if file == "meta.log" {
+        return Some((bag, LogKind::Meta));
+    }
+    let origin = file
+        .strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()?;
+    Some((bag, LogKind::Data(origin)))
+}
+
+// -- the store ------------------------------------------------------------
+
+/// The shared in-memory medium behind [`SegmentStore::mem`]: a map of
+/// store-relative names to byte buffers. The fault simulator holds one
+/// per cluster as its virtual disk — node memory is wiped on a crash
+/// while the `MemDisk` (held by the simulation, i.e. "the platter")
+/// survives for the restart's recovery scan.
+#[derive(Default)]
+pub struct MemDisk {
+    files: Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>,
+}
+
+#[derive(Clone)]
+enum Medium {
+    Disk(PathBuf),
+    Mem(Arc<MemDisk>, String),
+}
+
+/// A durable medium for segment logs: a directory on disk, or a shared
+/// in-memory map (the fault simulator's virtual disk). Cloning shares
+/// the medium.
+#[derive(Clone)]
+pub struct SegmentStore {
+    medium: Medium,
+}
+
+impl SegmentStore {
+    /// A store rooted at directory `root`, created if missing.
+    pub fn disk(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self {
+            medium: Medium::Disk(root),
+        })
+    }
+
+    /// A fresh in-memory store (see [`MemDisk`]).
+    pub fn mem() -> Self {
+        Self {
+            medium: Medium::Mem(Arc::new(MemDisk::default()), String::new()),
+        }
+    }
+
+    /// A namespaced view inside this store (e.g. `node-3`): same medium,
+    /// names prefixed. Disk stores create the subdirectory.
+    pub fn subdir(&self, name: &str) -> io::Result<Self> {
+        let medium = match &self.medium {
+            Medium::Disk(root) => {
+                let dir = root.join(name);
+                fs::create_dir_all(&dir)?;
+                Medium::Disk(dir)
+            }
+            Medium::Mem(disk, prefix) => Medium::Mem(disk.clone(), format!("{prefix}{name}/")),
+        };
+        Ok(Self { medium })
+    }
+
+    /// Opens (creating if absent) the log at store-relative `name`.
+    /// Appends resume at the current end; torn-tail truncation is the
+    /// recovery scan's job ([`crate::StorageNode::restart_recover`]),
+    /// not the opener's.
+    pub fn open_log(&self, name: &str) -> io::Result<SegmentLog> {
+        match &self.medium {
+            Medium::Disk(root) => {
+                let path = root.join(name);
+                if let Some(parent) = path.parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(&path)?;
+                let len = file.metadata()?.len();
+                Ok(SegmentLog {
+                    inner: Arc::new(LogInner::Disk {
+                        file,
+                        append: Mutex::new(len),
+                    }),
+                })
+            }
+            Medium::Mem(disk, prefix) => {
+                let key = format!("{prefix}{name}");
+                let data = disk.files.lock().entry(key).or_default().clone();
+                Ok(SegmentLog {
+                    inner: Arc::new(LogInner::Mem { data }),
+                })
+            }
+        }
+    }
+
+    /// Store-relative names of every existing log, for the recovery
+    /// scan. Order is unspecified.
+    pub fn list_logs(&self) -> io::Result<Vec<String>> {
+        match &self.medium {
+            Medium::Disk(root) => {
+                let mut out = Vec::new();
+                for entry in fs::read_dir(root)? {
+                    let entry = entry?;
+                    if !entry.file_type()?.is_dir() {
+                        continue;
+                    }
+                    let dir_name = entry.file_name().to_string_lossy().into_owned();
+                    for file in fs::read_dir(entry.path())? {
+                        let file = file?;
+                        if file.file_type()?.is_file() {
+                            let file_name = file.file_name().to_string_lossy().into_owned();
+                            out.push(format!("{dir_name}/{file_name}"));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Medium::Mem(disk, prefix) => Ok(disk
+                .files
+                .lock()
+                .keys()
+                .filter_map(|k| k.strip_prefix(prefix.as_str()))
+                .map(str::to_owned)
+                .collect()),
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.medium {
+            Medium::Disk(root) => f.debug_tuple("SegmentStore::Disk").field(root).finish(),
+            Medium::Mem(_, prefix) => f.debug_tuple("SegmentStore::Mem").field(prefix).finish(),
+        }
+    }
+}
+
+enum LogInner {
+    Disk {
+        file: File,
+        /// Append cursor; holding it serializes appends while positioned
+        /// reads (`FileExt::read_at`) proceed lock-free.
+        append: Mutex<u64>,
+    },
+    Mem {
+        data: Arc<Mutex<Vec<u8>>>,
+    },
+}
+
+/// One append-only log inside a [`SegmentStore`]. Cloning shares the
+/// underlying file. Appends are serialized; positioned reads are
+/// concurrent with appends (frames are immutable once written).
+#[derive(Clone)]
+pub struct SegmentLog {
+    inner: Arc<LogInner>,
+}
+
+impl SegmentLog {
+    /// Appends an encoded frame, returning the offset it starts at.
+    pub fn append(&self, frame: &[u8]) -> io::Result<u64> {
+        match &*self.inner {
+            LogInner::Disk { file, append } => {
+                let mut end = append.lock();
+                let offset = *end;
+                file.write_all_at(frame, offset)?;
+                *end = offset + frame.len() as u64;
+                Ok(offset)
+            }
+            LogInner::Mem { data } => {
+                let mut data = data.lock();
+                let offset = data.len() as u64;
+                data.extend_from_slice(frame);
+                Ok(offset)
+            }
+        }
+    }
+
+    /// Reads exactly `len` bytes starting at `offset` (a spilled-frame
+    /// read against the locations [`scan`] / [`Self::append`] reported).
+    pub fn read(&self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        match &*self.inner {
+            LogInner::Disk { file, .. } => file.read_exact_at(&mut buf, offset)?,
+            LogInner::Mem { data } => {
+                let data = data.lock();
+                let start = usize::try_from(offset)
+                    .ok()
+                    .filter(|&s| s + len <= data.len())
+                    .ok_or(io::ErrorKind::UnexpectedEof)?;
+                buf.copy_from_slice(&data[start..start + len]);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        match &*self.inner {
+            LogInner::Disk { append, .. } => *append.lock(),
+            LogInner::Mem { data } => data.lock().len() as u64,
+        }
+    }
+
+    /// Whether the log holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full log contents (the recovery scan's input).
+    pub fn read_all(&self) -> io::Result<Vec<u8>> {
+        match &*self.inner {
+            LogInner::Disk { file, append } => {
+                let len = *append.lock();
+                let mut buf = vec![0u8; usize::try_from(len).expect("log fits in memory")];
+                file.read_exact_at(&mut buf, 0)?;
+                Ok(buf)
+            }
+            LogInner::Mem { data } => Ok(data.lock().clone()),
+        }
+    }
+
+    /// Truncates the log to `len` bytes (torn-tail removal on recovery;
+    /// `0` on discard/collect).
+    pub fn truncate(&self, len: u64) -> io::Result<()> {
+        match &*self.inner {
+            LogInner::Disk { file, append } => {
+                let mut end = append.lock();
+                file.set_len(len)?;
+                *end = len;
+                Ok(())
+            }
+            LogInner::Mem { data } => {
+                let mut data = data.lock();
+                let len = usize::try_from(len).unwrap_or(data.len());
+                data.truncate(len);
+                Ok(())
+            }
+        }
+    }
+
+    /// Flushes the log to stable storage (fsync; no-op for memory).
+    pub fn sync(&self) -> io::Result<()> {
+        match &*self.inner {
+            LogInner::Disk { file, .. } => file.sync_all(),
+            LogInner::Mem { .. } => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for SegmentLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentLog")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn data_frame_round_trips() {
+        let frame = data_frame(7, 3, b"payload");
+        let (run, k, payload) = decode_data_frame(&frame).expect("intact frame");
+        assert_eq!((run, k, payload), (7, 3, &b"payload"[..]));
+        let (frames, valid) = scan(&frame);
+        assert_eq!(valid, frame.len() as u64);
+        assert_eq!(
+            frames[0].record,
+            Record::Data {
+                run: 7,
+                k: 3,
+                payload_len: 7
+            }
+        );
+    }
+
+    #[test]
+    fn scan_recovers_sequence_and_locations() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&data_frame(1, 0, b"aa"));
+        let second_at = log.len() as u64;
+        log.extend_from_slice(&consume_frame(&[TagSegment {
+            run: 1,
+            start: 0,
+            len: 1,
+        }]));
+        log.extend_from_slice(&rewind_frame());
+        let (frames, valid) = scan(&log);
+        assert_eq!(valid, log.len() as u64);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[1].offset, second_at);
+        assert_eq!(
+            frames[1].record,
+            Record::Consume(vec![TagSegment {
+                run: 1,
+                start: 0,
+                len: 1
+            }])
+        );
+        assert_eq!(frames[2].record, Record::Rewind);
+        // The recorded location re-reads the first chunk.
+        let first = &log[..frames[0].frame_len as usize];
+        assert_eq!(decode_data_frame(first).unwrap().2, b"aa");
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_frame_boundary() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&data_frame(1, 0, b"intact"));
+        let boundary = log.len() as u64;
+        log.extend_from_slice(&data_frame(1, 1, b"torn"));
+        log.truncate(log.len() - 3); // lose part of the CRC
+        let (frames, valid) = scan(&log);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(valid, boundary);
+    }
+
+    #[test]
+    fn corrupt_byte_fails_crc() {
+        let mut frame = data_frame(9, 0, b"bits");
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x40;
+        assert!(decode_data_frame(&frame).is_none());
+        assert_eq!(scan(&frame).0.len(), 0);
+    }
+
+    #[test]
+    fn meta_log_round_trips_with_torn_tail() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&meta_frame(META_SEAL));
+        log.extend_from_slice(&meta_frame(META_DISCARD));
+        log.extend_from_slice(&meta_frame(META_COLLECT));
+        let full = log.len() as u64;
+        log.push(0x06); // torn: a length prefix with no body
+        let (events, valid) = scan_meta(&log);
+        assert_eq!(events, vec![META_SEAL, META_DISCARD, META_COLLECT]);
+        assert_eq!(valid, full);
+    }
+
+    #[test]
+    fn log_names_round_trip() {
+        let bag = BagId(12);
+        assert_eq!(
+            parse_log_name(&data_log_name(bag, 3)),
+            Some((bag, LogKind::Data(3)))
+        );
+        assert_eq!(
+            parse_log_name(&meta_log_name(bag)),
+            Some((bag, LogKind::Meta))
+        );
+        assert_eq!(parse_log_name("bag-1/garbage.tmp"), None);
+        assert_eq!(parse_log_name("lost+found"), None);
+    }
+
+    #[test]
+    fn mem_store_appends_survive_handle_drop() {
+        let store = SegmentStore::mem();
+        let node = store.subdir("node-0").unwrap();
+        {
+            let log = node.open_log("bag-0/seg-0.log").unwrap();
+            log.append(&data_frame(1, 0, b"x")).unwrap();
+        }
+        // A fresh handle (the restart) sees the bytes.
+        let log = node.open_log("bag-0/seg-0.log").unwrap();
+        let (frames, _) = scan(&log.read_all().unwrap());
+        assert_eq!(frames.len(), 1);
+        assert_eq!(node.list_logs().unwrap(), vec!["bag-0/seg-0.log"]);
+    }
+
+    #[test]
+    fn disk_store_round_trips() {
+        let root =
+            std::env::temp_dir().join(format!("hurricane-segment-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let store = SegmentStore::disk(&root).unwrap();
+        let log = store.open_log("bag-4/seg-1.log").unwrap();
+        let at = log.append(&data_frame(2, 0, b"disk")).unwrap();
+        assert_eq!(at, 0);
+        let frame = log.read(0, log.len() as usize).unwrap();
+        assert_eq!(decode_data_frame(&frame).unwrap().2, b"disk");
+        assert_eq!(store.list_logs().unwrap(), vec!["bag-4/seg-1.log"]);
+        // Reopen resumes at the end.
+        let again = store.open_log("bag-4/seg-1.log").unwrap();
+        let at2 = again.append(&data_frame(2, 1, b"more")).unwrap();
+        assert_eq!(at2, frame.len() as u64);
+        let (frames, valid) = scan(&again.read_all().unwrap());
+        assert_eq!(frames.len(), 2);
+        assert_eq!(valid, again.len());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -46,7 +46,9 @@ pub const DATA_MAGIC: [u8; 4] = *b"HURW";
 /// First bytes of every join connection, node → driver.
 pub const JOIN_MAGIC: [u8; 4] = *b"HURJ";
 /// Wire protocol version; bumped on any layout change (see `WIRE.md`).
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added `resident_bytes` to the `Sampled` payload and the
+/// `ClaimConsumed` request / `Claimed` response pair.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Read-side buffer size for socket reads.
 const READ_BUF: usize = 64 * 1024;

@@ -180,6 +180,7 @@ fn put_sample(s: &BagSample, out: &mut Vec<u8>) {
     put_u64(s.remaining_chunks, out);
     put_u64(s.remaining_bytes, out);
     put_u64(s.total_bytes, out);
+    put_u64(s.resident_bytes, out);
     put_bool(s.sealed, out);
 }
 
@@ -190,6 +191,7 @@ fn get_sample(input: &mut &[u8]) -> Result<BagSample, CodecError> {
         remaining_chunks: get_u64(input)?,
         remaining_bytes: get_u64(input)?,
         total_bytes: get_u64(input)?,
+        resident_bytes: get_u64(input)?,
         sealed: get_bool(input)?,
     })
 }
@@ -228,6 +230,7 @@ const REQ_COLLECT: u8 = 10;
 const REQ_DRAIN: u8 = 11;
 const REQ_IS_DRAINED: u8 = 12;
 const REQ_PING: u8 = 13;
+const REQ_CLAIM_CONSUMED: u8 = 14;
 
 fn put_request_body(req: &StorageRequest, out: &mut Vec<u8>) {
     match req {
@@ -292,6 +295,12 @@ fn put_request_body(req: &StorageRequest, out: &mut Vec<u8>) {
         StorageRequest::Drain => out.push(REQ_DRAIN),
         StorageRequest::IsDrained => out.push(REQ_IS_DRAINED),
         StorageRequest::Ping => out.push(REQ_PING),
+        StorageRequest::ClaimConsumed { bag, origin, tags } => {
+            out.push(REQ_CLAIM_CONSUMED);
+            put_bag(*bag, out);
+            put_u32(*origin, out);
+            put_tags(tags, out);
+        }
     }
 }
 
@@ -342,6 +351,11 @@ fn get_request_body(input: &mut &[u8]) -> Result<StorageRequest, CodecError> {
         REQ_DRAIN => StorageRequest::Drain,
         REQ_IS_DRAINED => StorageRequest::IsDrained,
         REQ_PING => StorageRequest::Ping,
+        REQ_CLAIM_CONSUMED => StorageRequest::ClaimConsumed {
+            bag: get_bag(input)?,
+            origin: get_u32(input)?,
+            tags: get_tags(input)?,
+        },
         t => return Err(CodecError::InvalidTag(t)),
     })
 }
@@ -359,6 +373,7 @@ const RESP_CHUNKS: u8 = 5;
 const RESP_DONE: u8 = 6;
 const RESP_DRAINED: u8 = 7;
 const RESP_PONG: u8 = 8;
+const RESP_CLAIMED: u8 = 9;
 
 fn put_response(resp: &StorageResponse, out: &mut Vec<u8>) {
     match resp {
@@ -392,6 +407,10 @@ fn put_response(resp: &StorageResponse, out: &mut Vec<u8>) {
             put_bool(*flag, out);
         }
         StorageResponse::Pong => out.push(RESP_PONG),
+        StorageResponse::Claimed(tags) => {
+            out.push(RESP_CLAIMED);
+            put_tags(tags, out);
+        }
     }
 }
 
@@ -410,6 +429,7 @@ fn get_response(input: &mut &[u8]) -> Result<StorageResponse, CodecError> {
         RESP_DONE => StorageResponse::Done,
         RESP_DRAINED => StorageResponse::Drained(get_bool(input)?),
         RESP_PONG => StorageResponse::Pong,
+        RESP_CLAIMED => StorageResponse::Claimed(get_tags(input)?),
         t => return Err(CodecError::InvalidTag(t)),
     })
 }

@@ -20,7 +20,7 @@ type RawRequest = ((u8, u64, u32, u64, u64), Vec<Vec<u8>>, Vec<(u64, u32, u32)>)
 fn raw_request() -> impl Strategy<Value = RawRequest> {
     (
         (
-            0u8..14,
+            0u8..15,
             any::<u64>(),
             any::<u32>(),
             any::<u64>(),
@@ -65,6 +65,7 @@ fn build_request(raw: RawRequest) -> StorageRequest {
         10 => StorageRequest::Collect { bag },
         11 => StorageRequest::Drain,
         12 => StorageRequest::IsDrained,
+        13 => StorageRequest::ClaimConsumed { bag, origin, tags },
         _ => StorageRequest::Ping,
     }
 }
@@ -81,7 +82,7 @@ type RawReply = (
 
 fn raw_reply() -> impl Strategy<Value = RawReply> {
     (
-        0u8..13,
+        0u8..14,
         any::<u64>(),
         any::<u32>(),
         prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..5),
@@ -112,6 +113,7 @@ fn build_reply_result(raw: RawReply) -> Result<StorageResponse, StorageError> {
             remaining_chunks: big - big / 2,
             remaining_bytes: big.wrapping_mul(3),
             total_bytes: big.wrapping_mul(7),
+            resident_bytes: big.wrapping_mul(5),
             sealed: flag_a,
         })),
         4 => Ok(StorageResponse::ChunkAt(chunks.into_iter().next())),
@@ -119,9 +121,10 @@ fn build_reply_result(raw: RawReply) -> Result<StorageResponse, StorageError> {
         6 => Ok(StorageResponse::Done),
         7 => Ok(StorageResponse::Drained(flag_b)),
         8 => Ok(StorageResponse::Pong),
-        9 => Err(StorageError::NodeDown(StorageNodeId(small))),
-        10 => Err(StorageError::BagSealed(BagId(big))),
-        11 => Err(StorageError::Timeout(StorageNodeId(small))),
+        9 => Ok(StorageResponse::Claimed(tags)),
+        10 => Err(StorageError::NodeDown(StorageNodeId(small))),
+        11 => Err(StorageError::BagSealed(BagId(big))),
+        12 => Err(StorageError::Timeout(StorageNodeId(small))),
         _ => Err(StorageError::Codec(CodecError::InvalidTag(tag))),
     }
 }
