@@ -100,21 +100,17 @@ impl BitSet {
     /// ORs a borrowed word-sequence view into an owned accumulator — the
     /// Phase 2 merge fold for `hurricane_core::merges::ReduceMerge::
     /// folding`: the partial bitset is read straight out of the chunk
-    /// (fixed-stride trusted loads), never materialized as an owned
-    /// `Vec`.
+    /// through the word-OR kernel (`hurricane_format::kernels`), never
+    /// materialized as an owned `Vec`.
     pub fn or_fixed_words_into(acc: &mut Vec<FixedU64>, words: SeqView<'_, FixedU64>) {
-        if words.len() > acc.len() {
-            acc.resize(words.len(), FixedU64(0));
-        }
-        for (slot, w) in acc.iter_mut().zip(words.iter()) {
-            slot.0 |= w.0;
-        }
+        words.or_into(acc);
     }
 
     /// Counts the set bits of a borrowed fixed-word view — Phase 3's
-    /// per-record fold, reading eight-byte little-endian words in place.
+    /// per-record fold, running the popcount kernel over the eight-byte
+    /// little-endian words in place.
     pub fn count_fixed_words(words: SeqView<'_, FixedU64>) -> u64 {
-        words.iter().map(|w| w.0.count_ones() as u64).sum()
+        words.popcount()
     }
 }
 

@@ -119,15 +119,20 @@ impl HashJoinJob {
                         table.entry(k).or_default().push(payload);
                     }
                     // Probe side: exactly-once chunks shared across clones.
-                    // Every chunk is a flat array of 12-byte tuples, so
-                    // the probe loop runs over a fixed-stride slice —
-                    // trusted constant-width loads, no validating decode
-                    // pass — and matches encode straight into the output
-                    // writer's chunk buffer.
+                    // Every chunk is a flat array of 12-byte tuples. The
+                    // key column is gathered out of the interleaved run
+                    // into a dense vector first (the strided-gather
+                    // kernel; the buffer is reused across chunks), so the
+                    // table-probe loop scans contiguous keys and decodes
+                    // a tuple's payload only on a match.
+                    let mut keys: Vec<u32> = Vec::new();
                     while let Some(chunk) = ctx.next_chunk(1)? {
                         let tuples = stride_records::<FixedTuple>(&chunk)?;
-                        for (FixedU32(k), FixedU64(s_payload)) in tuples {
+                        keys.clear();
+                        tuples.gather_prefix_u32_into(&mut keys);
+                        for (i, &k) in keys.iter().enumerate() {
                             if let Some(rs) = table.get(&k) {
+                                let (_, FixedU64(s_payload)) = tuples.get(i);
                                 for &r_payload in rs {
                                     ctx.write_record(0, &(k, r_payload, s_payload))?;
                                 }

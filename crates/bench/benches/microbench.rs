@@ -434,6 +434,145 @@ fn bench_merge_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The SWAR trusted varint decoder against the per-byte scalar loop it
+/// replaced, over dense `Vec<u64>` word sequences — the shape every
+/// `SeqView::iter` trusted re-read walks.
+fn bench_decode_swar(c: &mut Criterion) {
+    use hurricane_common::SplitMix64;
+    use hurricane_format::varint;
+
+    /// The pre-SWAR `decode_trusted`: one dependent shift-or per byte.
+    /// Vendored verbatim as the before-number.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`varint::decode_trusted`].
+    unsafe fn decode_trusted_scalar(input: &mut &[u8]) -> u64 {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        let mut i = 0usize;
+        loop {
+            let byte = *input.get_unchecked(i);
+            value |= ((byte & 0x7f) as u64) << shift;
+            i += 1;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        *input = input.get_unchecked(i..);
+        value
+    }
+
+    const WORDS: u64 = 40_000;
+    // Dense word run: pseudorandom full-entropy words right-shifted by a
+    // data-dependent amount, so encoded lengths span 1..=10 bytes with
+    // no pattern a branch predictor can learn — the scalar loop pays a
+    // mispredict per varint while SWAR's length math is branch-free.
+    let words: Vec<u64> = (0..WORDS)
+        .map(|i| {
+            let w = SplitMix64::mix(i);
+            w >> (SplitMix64::mix(i ^ 0x5ca1ab1e) % 64)
+        })
+        .collect();
+    let mut buf = Vec::new();
+    for &w in &words {
+        varint::encode(w, &mut buf);
+    }
+    let expect: u64 = words.iter().fold(0, |a, &w| a.wrapping_add(w));
+
+    let mut g = c.benchmark_group("decode_swar");
+    g.throughput(Throughput::Elements(WORDS));
+    g.bench_function("trusted_scalar_40k", |b| {
+        b.iter(|| {
+            let mut at = buf.as_slice();
+            let mut sum = 0u64;
+            for _ in 0..WORDS {
+                // SAFETY: `at` is positioned at a varint this process
+                // encoded (and the first iteration's full-buffer decode
+                // validates transitively).
+                sum = sum.wrapping_add(unsafe { decode_trusted_scalar(&mut at) });
+            }
+            assert_eq!(sum, expect);
+            sum
+        })
+    });
+    g.bench_function("trusted_swar_40k", |b| {
+        b.iter(|| {
+            let mut at = buf.as_slice();
+            let mut sum = 0u64;
+            for _ in 0..WORDS {
+                // SAFETY: as above — bytes come from our own encoder.
+                sum = sum.wrapping_add(unsafe { varint::decode_trusted(&mut at) });
+            }
+            assert_eq!(sum, expect);
+            sum
+        })
+    });
+    g.finish();
+}
+
+/// One merge phase's independent output indices dispatched through
+/// `merges::merge_outputs` at parallelism 1 (the sequential baseline)
+/// vs the worker pool — keyed merges over skewed partials, the
+/// tentpole's wall-clock claim.
+fn bench_merge_parallel(c: &mut Criterion) {
+    use hurricane_common::SplitMix64;
+    use hurricane_core::merges::{merge_outputs, KeyedMerge};
+    use hurricane_core::task::{BagReader, BagWriter};
+
+    const OUTPUTS: usize = 8;
+    const INSTANCES: usize = 2;
+    const RECS_PER_PARTIAL: u64 = 4_000;
+    const KEYS: u64 = 512;
+    const MERGE_CHUNK: usize = 64 * 1024;
+
+    /// An `INSTANCES x OUTPUTS` grid of sealed keyed partials plus one
+    /// writer per output — everything `run_merge` hands the dispatcher.
+    #[allow(clippy::type_complexity)]
+    fn grid_setup() -> Vec<(usize, Vec<BagReader>, BagWriter)> {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        (0..OUTPUTS)
+            .map(|out_idx| {
+                let readers: Vec<BagReader> = (0..INSTANCES)
+                    .map(|inst| {
+                        let bag = cluster.create_bag();
+                        let seed = (out_idx * INSTANCES + inst) as u64;
+                        let mut w = BagWriter::open(cluster.clone(), bag, seed, MERGE_CHUNK);
+                        for i in 0..RECS_PER_PARTIAL {
+                            let key = SplitMix64::mix(seed * 1_000_003 + i) % KEYS;
+                            w.write_record(&(key, 1u64)).unwrap();
+                        }
+                        w.flush().unwrap();
+                        cluster.seal_bag(bag).unwrap();
+                        BagReader::open(cluster.clone(), bag, 100 + seed, 4, None)
+                    })
+                    .collect();
+                let out_bag = cluster.create_bag();
+                let out = BagWriter::open(cluster.clone(), out_bag, 999, MERGE_CHUNK);
+                (out_idx, readers, out)
+            })
+            .collect()
+    }
+
+    let mut g = c.benchmark_group("merge_parallel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(
+        OUTPUTS as u64 * INSTANCES as u64 * RECS_PER_PARTIAL,
+    ));
+    let merge = KeyedMerge::<u64, u64, _>::new(|a, b| a + b);
+    for par in [1usize, 4] {
+        g.bench_function(format!("keyed_8_outputs/par{par}"), |b| {
+            b.iter_batched(
+                grid_setup,
+                |jobs| merge_outputs(&merge, par, jobs).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_bags(c: &mut Criterion) {
     let mut g = c.benchmark_group("bags");
     g.throughput(Throughput::Elements(1000));
@@ -993,6 +1132,8 @@ criterion_group!(
     bench_codec,
     bench_compute_path,
     bench_merge_path,
+    bench_decode_swar,
+    bench_merge_parallel,
     bench_bags,
     bench_contended,
     bench_prefetch,

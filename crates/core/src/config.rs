@@ -86,6 +86,13 @@ pub struct HurricaneConfig {
     /// meaningful when `data_dir` is set; the default (`u64::MAX`)
     /// keeps everything resident.
     pub spill_threshold_bytes: u64,
+    /// Worker threads a merge task may spread its output indices across
+    /// (see `merges::merge_outputs`). Outputs of one merge are
+    /// independent, so they scale embarrassingly; `1` runs them
+    /// sequentially on the calling worker (the pre-parallel behavior),
+    /// and the default uses every available core. Output *content* is
+    /// identical at any setting — only wall-clock changes.
+    pub merge_parallelism: usize,
     /// Deterministic seed for placement permutations and tie-breaking.
     pub seed: u64,
 }
@@ -115,6 +122,9 @@ impl Default for HurricaneConfig {
             rpc_retry_attempts: 1,
             data_dir: None,
             spill_threshold_bytes: u64::MAX,
+            merge_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             seed: 0xD1CE,
         }
     }

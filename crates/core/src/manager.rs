@@ -13,7 +13,7 @@ use crate::config::HurricaneConfig;
 use crate::descriptor::{Descriptor, DoneRecord, RunningRecord, KIND_MERGE, KIND_TASK};
 use crate::error::EngineError;
 use crate::graph::AppGraph;
-use crate::merges::ConcatMerge;
+use crate::merges::{self, ConcatMerge};
 use crate::task::{BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, TaskCtx};
 use crossbeam::channel::Sender;
 use hurricane_common::BagId;
@@ -377,25 +377,33 @@ fn run_merge(
             .clone()
             .unwrap_or(Arc::new(ConcatMerge))
     };
-    for (out_idx, &out_bag) in desc.outputs.iter().enumerate() {
-        let mut partials: Vec<BagReader> = (0..instances)
-            .map(|i| {
-                BagReader::open_client(
-                    deps.bag_client(BagId(desc.inputs[i * stride + out_idx])),
-                    deps.config.batch_factor,
-                    Some(probe.clone()),
-                )
-            })
-            .collect();
-        let mut out = BagWriter::open_batched_client(
-            deps.writer_client(BagId(out_bag)),
-            deps.config.chunk_size,
-            deps.config.batch_factor,
-        );
-        merge.merge(out_idx, &mut partials, &mut out)?;
-        out.flush()?;
-    }
-    Ok(())
+    // Open every output's readers and writer here, in output order, so
+    // client minting stays deterministic (seed draws, port allocation)
+    // regardless of how the jobs are later scheduled; the workers only
+    // ever touch their own job's handles.
+    let jobs: Vec<(usize, Vec<BagReader>, BagWriter)> = desc
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(out_idx, &out_bag)| {
+            let partials: Vec<BagReader> = (0..instances)
+                .map(|i| {
+                    BagReader::open_client(
+                        deps.bag_client(BagId(desc.inputs[i * stride + out_idx])),
+                        deps.config.batch_factor,
+                        Some(probe.clone()),
+                    )
+                })
+                .collect();
+            let out = BagWriter::open_batched_client(
+                deps.writer_client(BagId(out_bag)),
+                deps.config.chunk_size,
+                deps.config.batch_factor,
+            );
+            (out_idx, partials, out)
+        })
+        .collect();
+    merges::merge_outputs(&*merge, deps.config.merge_parallelism, jobs)
 }
 
 #[cfg(test)]

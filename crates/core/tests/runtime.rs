@@ -277,6 +277,52 @@ fn compute_node_failure_recovers_exactly() {
 }
 
 #[test]
+fn parallel_merge_outputs_survive_compute_node_failure() {
+    // A four-output task whose merge phase dispatches output indices
+    // across a worker pool (merge_parallelism > 1), with a compute node
+    // killed mid-run: per-output totals must still be exact.
+    let cluster = StorageCluster::new(4, ClusterConfig::default());
+    let config = HurricaneConfig {
+        merge_parallelism: 4,
+        ..test_config()
+    };
+    let mut g = GraphBuilder::new();
+    let input = g.source("values");
+    let outs: Vec<_> = (0..4).map(|i| g.bag(format!("residue.{i}"))).collect();
+    g.task_with_merge(
+        "scatter-sum",
+        &[input],
+        &outs,
+        move |ctx: &mut TaskCtx| {
+            let mut totals = [0u64; 4];
+            while let Some(recs) = ctx.next_records::<u64>(0)? {
+                busy_work(200);
+                for v in recs {
+                    totals[(v % 4) as usize] += v;
+                }
+            }
+            for (j, t) in totals.iter().enumerate() {
+                ctx.write_record(j, t)?;
+            }
+            Ok(())
+        },
+        ReduceMerge::new(|a: u64, b: u64| a + b),
+    );
+    let app = HurricaneApp::deploy(g.build().unwrap(), cluster, config).unwrap();
+    let n = 20_000u64;
+    app.fill_source(input, 0..n).unwrap();
+    let running = app.start().unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    running.kill_compute_node(2);
+    running.wait().unwrap();
+    for (j, &out_bag) in outs.iter().enumerate() {
+        let got: Vec<u64> = app.read_records(out_bag).unwrap();
+        let expect: u64 = (0..n).filter(|v| v % 4 == j as u64).sum();
+        assert_eq!(got, vec![expect], "output {j} total");
+    }
+}
+
+#[test]
 fn node_failure_then_restart_rejoins() {
     let cluster = StorageCluster::new(4, ClusterConfig::default());
     let (app, input, summed) = sum_pipeline(cluster, test_config(), 200);

@@ -1,0 +1,540 @@
+//! Batch kernels over flat little-endian byte runs.
+//!
+//! The fixed-stride layout ([`crate::FixedStride`]) exists so that hot
+//! loops can treat chunk payloads as flat arrays; these kernels are the
+//! loops. Each one takes raw encoded bytes (a [`crate::SeqView`] payload
+//! or a [`crate::StrideSlice`] byte run) and folds them whole: word-wise
+//! OR, popcount, widening sums, an equality filter, and a strided column
+//! gather.
+//!
+//! # The `simd` feature
+//!
+//! Every kernel has a scalar implementation that is always compiled and
+//! is the default build. With the `simd` cargo feature enabled on
+//! x86_64, each call dispatches at runtime: AVX2 when the CPU reports it
+//! (`is_x86_feature_detected!`, cached by `std`), else SSE2 — the
+//! x86_64 baseline, so it needs no detection. Stable `core::arch`
+//! intrinsics only; no nightly `std::simd`. On other architectures the
+//! feature compiles but dispatches to the scalar loops.
+//!
+//! Results are bit-identical across all paths (the operations are
+//! word-wise OR, popcount, and *wrapping* integer addition — all exactly
+//! associative), which `tests/props_format.rs` pins by property test.
+
+/// ORs the little-endian `u64` words of `src` into `acc[..src.len()/8]`.
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of 8 or decodes to more
+/// words than `acc` holds.
+pub fn or_le64(acc: &mut [u64], src: &[u8]) {
+    let n = checked_words(src, 8);
+    assert!(n <= acc.len(), "OR source ({n} words) exceeds accumulator");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected; slice bounds hold.
+            unsafe { x86::or_le64_avx2(&mut acc[..n], src) };
+        } else {
+            // SAFETY: SSE2 is the x86_64 baseline; slice bounds hold.
+            unsafe { x86::or_le64_sse2(&mut acc[..n], src) };
+        }
+        return;
+    }
+    #[allow(unreachable_code)]
+    or_le64_scalar(&mut acc[..n], src)
+}
+
+/// Counts the set bits across the little-endian `u64` words of `src`.
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of 8.
+pub fn popcount_le64(src: &[u8]) -> u64 {
+    checked_words(src, 8);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            return unsafe { x86::popcount_avx2(src) };
+        }
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: POPCNT was just detected.
+            return unsafe { x86::popcount_popcnt(src) };
+        }
+    }
+    popcount_scalar(src)
+}
+
+/// Wrapping sum of the little-endian `u64` words of `src`.
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of 8.
+pub fn sum_le64(src: &[u8]) -> u64 {
+    checked_words(src, 8);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            return unsafe { x86::sum_le64_avx2(src) };
+        }
+        // SAFETY: SSE2 is the x86_64 baseline.
+        return unsafe { x86::sum_le64_sse2(src) };
+    }
+    #[allow(unreachable_code)]
+    sum_le64_scalar(src)
+}
+
+/// Wrapping sum of the little-endian `u32` words of `src`, each widened
+/// to `u64` before adding (so up to 2^32 words cannot overflow).
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of 4.
+pub fn sum_le32(src: &[u8]) -> u64 {
+    checked_words(src, 4);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            return unsafe { x86::sum_le32_avx2(src) };
+        }
+        // SAFETY: SSE2 is the x86_64 baseline.
+        return unsafe { x86::sum_le32_sse2(src) };
+    }
+    #[allow(unreachable_code)]
+    sum_le32_scalar(src)
+}
+
+/// Counts the little-endian `u32` words of `src` equal to `needle` —
+/// the filter kernel (a selective scan's predicate evaluated 4–8 lanes
+/// at a time).
+///
+/// # Panics
+///
+/// Panics when `src.len()` is not a multiple of 4.
+pub fn count_eq_le32(src: &[u8], needle: u32) -> usize {
+    checked_words(src, 4);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            return unsafe { x86::count_eq_le32_avx2(src, needle) };
+        }
+        // SAFETY: SSE2 is the x86_64 baseline.
+        return unsafe { x86::count_eq_le32_sse2(src, needle) };
+    }
+    #[allow(unreachable_code)]
+    count_eq_le32_scalar(src, needle)
+}
+
+/// Gathers the leading little-endian `u32` of every `stride`-byte record
+/// in `src`, appending `src.len() / stride` values to `out` — the column
+/// extraction that turns an interleaved fixed-stride run into a dense
+/// key vector (e.g. the probe keys of a join's 12-byte tuples).
+///
+/// # Panics
+///
+/// Panics when `stride < 4` or `src.len()` is not a multiple of
+/// `stride`.
+pub fn gather_stride_u32(src: &[u8], stride: usize, out: &mut Vec<u32>) {
+    assert!(stride >= 4, "stride {stride} cannot hold a u32 prefix");
+    let n = checked_words(src, stride);
+    out.reserve(n);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        // The AVX2 gather indexes with i32 byte offsets; any realistic
+        // chunk fits, but fall back rather than truncate if not.
+        if src.len() <= i32::MAX as usize && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected; offsets stay in bounds
+            // because every record holds at least 4 bytes.
+            unsafe { x86::gather_stride_u32_avx2(src, stride, out) };
+            return;
+        }
+    }
+    gather_stride_u32_scalar(src, stride, out)
+}
+
+/// Asserts `src` divides into `width`-byte words and returns the count.
+fn checked_words(src: &[u8], width: usize) -> usize {
+    assert!(
+        src.len().is_multiple_of(width),
+        "kernel input of {} bytes is not a whole number of {width}-byte words",
+        src.len()
+    );
+    src.len() / width
+}
+
+// ---------------------------------------------------------------------
+// Scalar implementations — always compiled: they are the non-x86 and
+// feature-off builds, and the references the SIMD paths are tested
+// against.
+// ---------------------------------------------------------------------
+
+fn or_le64_scalar(acc: &mut [u64], src: &[u8]) {
+    for (slot, w) in acc.iter_mut().zip(src.chunks_exact(8)) {
+        *slot |= u64::from_le_bytes(w.try_into().expect("chunks_exact yields 8 bytes"));
+    }
+}
+
+fn popcount_scalar(src: &[u8]) -> u64 {
+    src.chunks_exact(8)
+        .map(|w| {
+            u64::from_le_bytes(w.try_into().expect("chunks_exact yields 8 bytes")).count_ones()
+                as u64
+        })
+        .sum()
+}
+
+fn sum_le64_scalar(src: &[u8]) -> u64 {
+    src.chunks_exact(8).fold(0u64, |acc, w| {
+        acc.wrapping_add(u64::from_le_bytes(
+            w.try_into().expect("chunks_exact yields 8 bytes"),
+        ))
+    })
+}
+
+fn sum_le32_scalar(src: &[u8]) -> u64 {
+    src.chunks_exact(4).fold(0u64, |acc, w| {
+        acc.wrapping_add(
+            u32::from_le_bytes(w.try_into().expect("chunks_exact yields 4 bytes")) as u64,
+        )
+    })
+}
+
+fn count_eq_le32_scalar(src: &[u8], needle: u32) -> usize {
+    src.chunks_exact(4)
+        .filter(|w| {
+            u32::from_le_bytes((*w).try_into().expect("chunks_exact yields 4 bytes")) == needle
+        })
+        .count()
+}
+
+fn gather_stride_u32_scalar(src: &[u8], stride: usize, out: &mut Vec<u32>) {
+    out.extend(
+        src.chunks_exact(stride).map(|rec| {
+            u32::from_le_bytes(rec[..4].try_into().expect("stride is at least 4 bytes"))
+        }),
+    );
+}
+
+// ---------------------------------------------------------------------
+// x86_64 SIMD implementations (feature `simd`): stable core::arch
+// intrinsics. SSE2 functions carry no target_feature attribute needing
+// detection beyond the x86_64 baseline; AVX2 (and POPCNT) functions are
+// `#[target_feature]`-gated and only called after runtime detection.
+// ---------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `src.len() == acc.len() * 8`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn or_le64_avx2(acc: &mut [u64], src: &[u8]) {
+        let n = acc.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = acc.as_mut_ptr().add(i) as *mut __m256i;
+            let s = src.as_ptr().add(i * 8) as *const __m256i;
+            _mm256_storeu_si256(
+                a,
+                _mm256_or_si256(_mm256_loadu_si256(a), _mm256_loadu_si256(s)),
+            );
+            i += 4;
+        }
+        super::or_le64_scalar(&mut acc[i..], &src[i * 8..]);
+    }
+
+    /// # Safety
+    ///
+    /// `src.len() == acc.len() * 8` (SSE2 is the x86_64 baseline).
+    pub unsafe fn or_le64_sse2(acc: &mut [u64], src: &[u8]) {
+        let n = acc.len();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let a = acc.as_mut_ptr().add(i) as *mut __m128i;
+            let s = src.as_ptr().add(i * 8) as *const __m128i;
+            _mm_storeu_si128(a, _mm_or_si128(_mm_loadu_si128(a), _mm_loadu_si128(s)));
+            i += 2;
+        }
+        super::or_le64_scalar(&mut acc[i..], &src[i * 8..]);
+    }
+
+    /// Harley-Seal-style AVX2 popcount: per-byte counts via a nibble
+    /// lookup (`pshufb`), horizontally reduced with `psadbw`.
+    ///
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `src.len()` is a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn popcount_avx2(src: &[u8]) -> u64 {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut total = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= src.len() {
+            let v = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            total = _mm256_add_epi64(total, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+            i += 32;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, total);
+        lanes.iter().sum::<u64>() + super::popcount_scalar(&src[i..])
+    }
+
+    /// # Safety
+    ///
+    /// Caller detected POPCNT; `src.len()` is a multiple of 8.
+    #[target_feature(enable = "popcnt")]
+    pub unsafe fn popcount_popcnt(src: &[u8]) -> u64 {
+        // With the popcnt target feature, count_ones is one instruction.
+        super::popcount_scalar(src)
+    }
+
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `src.len()` is a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum_le64_avx2(src: &[u8]) -> u64 {
+        let mut total = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= src.len() {
+            let v = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            total = _mm256_add_epi64(total, v);
+            i += 32;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, total);
+        lanes
+            .iter()
+            .fold(super::sum_le64_scalar(&src[i..]), |a, &l| a.wrapping_add(l))
+    }
+
+    /// # Safety
+    ///
+    /// `src.len()` is a multiple of 8 (SSE2 is the x86_64 baseline).
+    pub unsafe fn sum_le64_sse2(src: &[u8]) -> u64 {
+        let mut total = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= src.len() {
+            let v = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            total = _mm_add_epi64(total, v);
+            i += 16;
+        }
+        let mut lanes = [0u64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, total);
+        lanes
+            .iter()
+            .fold(super::sum_le64_scalar(&src[i..]), |a, &l| a.wrapping_add(l))
+    }
+
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `src.len()` is a multiple of 4.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum_le32_avx2(src: &[u8]) -> u64 {
+        let mut total = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= src.len() {
+            // Widen four u32 lanes to u64 before adding: exact sums.
+            let v = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            total = _mm256_add_epi64(total, _mm256_cvtepu32_epi64(v));
+            i += 16;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, total);
+        lanes
+            .iter()
+            .fold(super::sum_le32_scalar(&src[i..]), |a, &l| a.wrapping_add(l))
+    }
+
+    /// # Safety
+    ///
+    /// `src.len()` is a multiple of 4 (SSE2 is the x86_64 baseline).
+    pub unsafe fn sum_le32_sse2(src: &[u8]) -> u64 {
+        let zero = _mm_setzero_si128();
+        let mut total = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= src.len() {
+            let v = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            // Interleave with zero to widen each u32 half to u64 lanes.
+            total = _mm_add_epi64(total, _mm_unpacklo_epi32(v, zero));
+            total = _mm_add_epi64(total, _mm_unpackhi_epi32(v, zero));
+            i += 16;
+        }
+        let mut lanes = [0u64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, total);
+        lanes
+            .iter()
+            .fold(super::sum_le32_scalar(&src[i..]), |a, &l| a.wrapping_add(l))
+    }
+
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `src.len()` is a multiple of 4.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_eq_le32_avx2(src: &[u8], needle: u32) -> usize {
+        let pat = _mm256_set1_epi32(needle as i32);
+        let mut hits = 0usize;
+        let mut i = 0usize;
+        while i + 32 <= src.len() {
+            let v = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let eq = _mm256_cmpeq_epi32(v, pat);
+            hits += _mm256_movemask_ps(_mm256_castsi256_ps(eq)).count_ones() as usize;
+            i += 32;
+        }
+        hits + super::count_eq_le32_scalar(&src[i..], needle)
+    }
+
+    /// # Safety
+    ///
+    /// `src.len()` is a multiple of 4 (SSE2 is the x86_64 baseline).
+    pub unsafe fn count_eq_le32_sse2(src: &[u8], needle: u32) -> usize {
+        let pat = _mm_set1_epi32(needle as i32);
+        let mut hits = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= src.len() {
+            let v = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+            let eq = _mm_cmpeq_epi32(v, pat);
+            hits += _mm_movemask_ps(_mm_castsi128_ps(eq)).count_ones() as usize;
+            i += 16;
+        }
+        hits + super::count_eq_le32_scalar(&src[i..], needle)
+    }
+
+    /// # Safety
+    ///
+    /// Caller detected AVX2; `stride >= 4`, `src.len()` is a multiple of
+    /// `stride` and at most `i32::MAX`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_stride_u32_avx2(src: &[u8], stride: usize, out: &mut Vec<u32>) {
+        let n = src.len() / stride;
+        // Eight per-lane byte offsets 0, s, 2s, …, 7s (scale 1): each
+        // lane reads the 4-byte prefix of one record.
+        let offs = _mm256_setr_epi32(
+            0,
+            stride as i32,
+            (2 * stride) as i32,
+            (3 * stride) as i32,
+            (4 * stride) as i32,
+            (5 * stride) as i32,
+            (6 * stride) as i32,
+            (7 * stride) as i32,
+        );
+        let mut i = 0usize;
+        let mut lanes = [0u32; 8];
+        while i + 8 <= n {
+            let base = src.as_ptr().add(i * stride) as *const i32;
+            let v = _mm256_i32gather_epi32::<1>(base, offs);
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+            out.extend_from_slice(&lanes);
+            i += 8;
+        }
+        super::gather_stride_u32_scalar(&src[i * stride..], stride, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<u8> {
+        (0..n as u64)
+            .flat_map(|i| hurricane_mix(i).to_le_bytes().into_iter())
+            .collect()
+    }
+
+    fn hurricane_mix(mut x: u64) -> u64 {
+        // SplitMix64 finalizer, inlined to keep this crate dependency-free.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    #[test]
+    fn or_matches_scalar_reference() {
+        // Lengths straddle every vector width boundary (0, partial
+        // vector, whole vectors plus tail).
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let src = words(n);
+            let mut acc: Vec<u64> = (0..n as u64).map(|i| hurricane_mix(i ^ 0xA5A5)).collect();
+            let mut want = acc.clone();
+            or_le64_scalar(&mut want, &src);
+            or_le64(&mut acc, &src);
+            assert_eq!(acc, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn or_accepts_shorter_source() {
+        let src = words(3);
+        let mut acc = vec![!0u64; 5];
+        or_le64(&mut acc, &src);
+        assert_eq!(&acc[3..], &[!0, !0], "words past the source untouched");
+    }
+
+    #[test]
+    fn popcount_and_sums_match_scalar_reference() {
+        for n in [0usize, 1, 2, 3, 4, 5, 8, 15, 33, 64, 127] {
+            let src = words(n);
+            assert_eq!(popcount_le64(&src), popcount_scalar(&src), "n = {n}");
+            assert_eq!(sum_le64(&src), sum_le64_scalar(&src), "n = {n}");
+            assert_eq!(sum_le32(&src), sum_le32_scalar(&src), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn count_eq_finds_planted_needles() {
+        let mut src = words(50);
+        let needle = 0xDEAD_BEEFu32;
+        for at in [0usize, 13, 49, 70, 99] {
+            src[at * 4..at * 4 + 4].copy_from_slice(&needle.to_le_bytes());
+        }
+        // `words` values are pseudorandom, so accidental hits are
+        // vanishingly unlikely; assert against the scalar reference.
+        assert_eq!(
+            count_eq_le32(&src, needle),
+            count_eq_le32_scalar(&src, needle)
+        );
+        assert_eq!(count_eq_le32(&src, needle), 5);
+    }
+
+    #[test]
+    fn gather_extracts_stride_prefixes() {
+        for (stride, n) in [(4usize, 9usize), (12, 20), (17, 5), (8, 0)] {
+            let src: Vec<u8> = (0..stride * n)
+                .map(|i| hurricane_mix(i as u64) as u8)
+                .collect();
+            let mut got = vec![0xFFFF_FFFFu32]; // pre-existing content kept
+            let mut want = got.clone();
+            gather_stride_u32_scalar(&src, stride, &mut want);
+            gather_stride_u32(&src, stride, &mut got);
+            assert_eq!(got, want, "stride {stride}, n {n}");
+            assert_eq!(got.len(), n + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn ragged_input_panics() {
+        popcount_le64(&[0u8; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds accumulator")]
+    fn oversized_or_source_panics() {
+        or_le64(&mut [0u64; 1], &[0u8; 16]);
+    }
+}

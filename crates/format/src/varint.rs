@@ -3,8 +3,37 @@
 //! Used for string/blob/vector length prefixes so that short records stay
 //! short. Encoding is the standard unsigned LEB128: seven payload bits per
 //! byte, continuation bit in the MSB.
+//!
+//! # SWAR trusted decode
+//!
+//! [`decode_trusted`] is not a per-byte loop: it loads eight bytes at
+//! once, finds the terminator (first byte with a clear MSB) in the loaded
+//! word via `!word & 0x8080…`, and compacts all seven-bit payload lanes
+//! into the result with three masked shift-merge steps — one load and a
+//! handful of ALU ops instead of up to eight dependent byte iterations.
+//! Encodings of nine or ten bytes take the same SWAR word for their low
+//! 56 payload bits and finish the remaining one or two bytes scalar.
+//!
+//! Two invariants govern the fast path:
+//!
+//! * **Trusted-bytes contract** — the input must begin with a varint a
+//!   validating decode ([`decode`] or the view-plane equivalent) already
+//!   accepted at this exact position. Every bounds/overflow check the
+//!   fast path omits is a check that first pass performed. The 8-byte
+//!   load can therefore assume a terminator exists in bounds.
+//! * **Tail-guard rule** — an 8-byte load is only issued when the slice
+//!   holds at least eight bytes. Within eight bytes of the slice end the
+//!   decoder falls back to the scalar per-byte loop, so the SWAR path
+//!   never reads past the validated slice (not even speculatively —
+//!   reads beyond the slice would be UB regardless of the values read).
 
 use crate::codec::CodecError;
+
+/// All continuation bits of an 8-byte word (bit 7 of every byte).
+const CONT_BITS: u64 = 0x8080_8080_8080_8080;
+
+/// All payload bits of an 8-byte word (low seven bits of every byte).
+const PAYLOAD_BITS: u64 = 0x7f7f_7f7f_7f7f_7f7f;
 
 /// Maximum encoded size of a `u64` varint (10 bytes).
 pub const MAX_VARINT_LEN: usize = 10;
@@ -52,6 +81,61 @@ pub unsafe fn decode_trusted(input: &mut &[u8]) -> u64 {
         *input = input.get_unchecked(1..);
         return b0 as u64;
     }
+    if input.len() >= 8 {
+        // SWAR fast path (see the module docs): one load covers every
+        // encoding of up to eight bytes. The tail guard above keeps the
+        // load inside the slice.
+        let word = u64::from_le_bytes(input.get_unchecked(..8).try_into().unwrap_unchecked());
+        let term = !word & CONT_BITS;
+        let payload = word & PAYLOAD_BITS;
+        if term != 0 {
+            // Terminator inside the loaded word: the encoding spans
+            // `n` bytes (2..=8 — a 1-byte encoding returned above).
+            let n = (term.trailing_zeros() >> 3) as usize + 1;
+            *input = input.get_unchecked(n..);
+            return compact7(payload & (u64::MAX >> (64 - 8 * n)));
+        }
+        // All eight loaded bytes carry continuation bits: a 9- or
+        // 10-byte encoding (the validating pass bounded it at
+        // MAX_VARINT_LEN). SWAR supplies the low 56 payload bits; the
+        // final one or two bytes finish scalar.
+        let mut value = compact7(payload);
+        let mut shift = 56u32;
+        let mut i = 8usize;
+        loop {
+            let byte = *input.get_unchecked(i);
+            value |= ((byte & 0x7f) as u64) << shift;
+            i += 1;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        *input = input.get_unchecked(i..);
+        return value;
+    }
+    decode_trusted_scalar(input, b0)
+}
+
+/// Compacts the eight 7-bit payload lanes of `x` (one per byte,
+/// continuation bits already cleared) into the low 56 bits: three
+/// masked shift-merge steps take 8×7-bit lanes to 4×14, 2×28, 1×56.
+#[inline]
+const fn compact7(x: u64) -> u64 {
+    let x = (x & 0x007f_007f_007f_007f) | ((x & 0x7f00_7f00_7f00_7f00) >> 1);
+    let x = (x & 0x0000_3fff_0000_3fff) | ((x & 0x3fff_0000_3fff_0000) >> 2);
+    (x & 0x0000_0000_0fff_ffff) | ((x & 0x0fff_ffff_0000_0000) >> 4)
+}
+
+/// The per-byte trusted loop: the tail-guard fallback for varints that
+/// start within eight bytes of the slice end. `b0` is the (continuation)
+/// first byte the caller already read.
+///
+/// # Safety
+///
+/// Same contract as [`decode_trusted`].
+#[inline]
+unsafe fn decode_trusted_scalar(input: &mut &[u8], b0: u8) -> u64 {
     let mut value = (b0 & 0x7f) as u64;
     let mut shift = 7u32;
     let mut i = 1usize;
@@ -177,6 +261,70 @@ mod tests {
         // A 10th byte with payload > 1 overflows 64 bits.
         let mut overflow: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
         assert_eq!(decode(&mut overflow), Err(CodecError::InvalidVarint));
+    }
+
+    /// A value whose canonical encoding is exactly `len` bytes.
+    fn value_of_encoded_len(len: usize) -> u64 {
+        match len {
+            1 => 0x5a,
+            10 => u64::MAX,
+            _ => 1u64 << (7 * (len - 1)),
+        }
+    }
+
+    #[test]
+    fn swar_covers_every_length_and_tail_distance() {
+        // Every encoded length exercises both the SWAR path (plenty of
+        // slack after the varint) and the tail-guard scalar path (the
+        // varint ends within eight bytes of the slice end).
+        for len in 1..=MAX_VARINT_LEN {
+            let v = value_of_encoded_len(len);
+            let mut buf = Vec::new();
+            encode(v, &mut buf);
+            assert_eq!(buf.len(), len);
+            for pad in 0..=16usize {
+                let mut padded = buf.clone();
+                padded.extend(std::iter::repeat_n(0xEEu8, pad));
+                let mut checked = padded.as_slice();
+                let want = decode(&mut checked).unwrap();
+                let mut trusted = padded.as_slice();
+                // SAFETY: `decode` just accepted these bytes.
+                let got = unsafe { decode_trusted(&mut trusted) };
+                assert_eq!(got, want, "len {len}, pad {pad}");
+                assert_eq!(trusted.len(), checked.len(), "len {len}, pad {pad}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_handles_non_canonical_encodings() {
+        // The validating decoder accepts overlong-but-in-range encodings
+        // (e.g. 1 encoded with redundant continuation bytes); the trusted
+        // decoder must agree on them byte for byte.
+        let cases: &[&[u8]] = &[
+            &[0x81, 0x00],                                           // 1 in 2 bytes
+            &[0xff, 0x80, 0x80, 0x00],                               // 0x7f in 4 bytes
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x00],                   // 0 in 6 bytes
+            &[0x85, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00], // 5 in 9 bytes
+        ];
+        for bytes in cases {
+            let mut checked = *bytes;
+            let want = decode(&mut checked).unwrap();
+            let mut trusted = *bytes;
+            // SAFETY: `decode` just accepted these bytes.
+            let got = unsafe { decode_trusted(&mut trusted) };
+            assert_eq!(got, want, "bytes {bytes:?}");
+            assert_eq!(trusted.len(), checked.len(), "bytes {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn compact7_packs_payload_lanes() {
+        assert_eq!(compact7(0), 0);
+        assert_eq!(compact7(0x7f), 0x7f);
+        // Lane i contributes its 7 bits at bit 7*i.
+        assert_eq!(compact7(0x0100), 1 << 7);
+        assert_eq!(compact7(0x7f7f_7f7f_7f7f_7f7f), (1u64 << 56) - 1);
     }
 
     #[test]

@@ -100,8 +100,15 @@
 //! ```
 
 use crate::codec::{take, unzigzag, Blob, CodecError, FixedU32, FixedU64, Record};
-use crate::varint;
+use crate::{kernels, varint};
 use core::marker::PhantomData;
+
+/// Views a `FixedU64` run as plain words for the in-place kernels.
+fn fixed_words_mut(acc: &mut [FixedU64]) -> &mut [u64] {
+    // SAFETY: `FixedU64` is `#[repr(transparent)]` over `u64`, so the
+    // slices have identical layout.
+    unsafe { core::slice::from_raw_parts_mut(acc.as_mut_ptr().cast::<u64>(), acc.len()) }
+}
 
 /// Advances `input` past its first `n` bytes without a bounds check.
 ///
@@ -467,6 +474,44 @@ impl<'a, T: FixedStride> SeqView<'a, T> {
     }
 }
 
+impl SeqView<'_, FixedU64> {
+    /// ORs this word sequence into `acc` (growing it to cover every
+    /// word) via the batch kernels ([`crate::kernels::or_le64`]): the
+    /// bitset-merge fold, run 2–4 words per instruction under the
+    /// `simd` feature.
+    pub fn or_into(&self, acc: &mut Vec<FixedU64>) {
+        if self.len > acc.len() {
+            acc.resize(self.len, FixedU64(0));
+        }
+        kernels::or_le64(fixed_words_mut(acc), self.bytes);
+    }
+
+    /// Counts the set bits across all words
+    /// ([`crate::kernels::popcount_le64`]).
+    pub fn popcount(&self) -> u64 {
+        kernels::popcount_le64(self.bytes)
+    }
+
+    /// Wrapping sum of all words ([`crate::kernels::sum_le64`]).
+    pub fn wrapping_sum(&self) -> u64 {
+        kernels::sum_le64(self.bytes)
+    }
+}
+
+impl SeqView<'_, FixedU32> {
+    /// Sum of all words, each widened to `u64` before adding
+    /// ([`crate::kernels::sum_le32`]).
+    pub fn wrapping_sum(&self) -> u64 {
+        kernels::sum_le32(self.bytes)
+    }
+
+    /// Counts the words equal to `needle` — the filter kernel
+    /// ([`crate::kernels::count_eq_le32`]).
+    pub fn count_eq(&self, needle: FixedU32) -> usize {
+        kernels::count_eq_le32(self.bytes, needle.0)
+    }
+}
+
 impl<'a, T: RecordView> IntoIterator for SeqView<'a, T> {
     type Item = T::View<'a>;
     type IntoIter = SeqIter<'a, T>;
@@ -706,6 +751,46 @@ impl<'a, T: FixedStride> StrideSlice<'a, T> {
             remaining: self.len,
             _marker: PhantomData,
         }
+    }
+
+    /// Gathers the leading little-endian `u32` of every record into
+    /// `out` ([`crate::kernels::gather_stride_u32`]) — the column
+    /// extraction for key-first fixed tuples, e.g. densifying a join's
+    /// probe keys out of interleaved 12-byte records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `T::STRIDE < 4` (the record cannot start with a
+    /// 4-byte key).
+    pub fn gather_prefix_u32_into(&self, out: &mut Vec<u32>) {
+        kernels::gather_stride_u32(self.bytes, T::STRIDE, out);
+    }
+}
+
+impl StrideSlice<'_, FixedU64> {
+    /// Counts the set bits across all records
+    /// ([`crate::kernels::popcount_le64`]).
+    pub fn popcount(&self) -> u64 {
+        kernels::popcount_le64(self.bytes)
+    }
+
+    /// Wrapping sum of all records ([`crate::kernels::sum_le64`]).
+    pub fn wrapping_sum(&self) -> u64 {
+        kernels::sum_le64(self.bytes)
+    }
+}
+
+impl StrideSlice<'_, FixedU32> {
+    /// Sum of all records, each widened to `u64` before adding
+    /// ([`crate::kernels::sum_le32`]).
+    pub fn wrapping_sum(&self) -> u64 {
+        kernels::sum_le32(self.bytes)
+    }
+
+    /// Counts the records equal to `needle` — the filter kernel
+    /// ([`crate::kernels::count_eq_le32`]).
+    pub fn count_eq(&self, needle: FixedU32) -> usize {
+        kernels::count_eq_le32(self.bytes, needle.0)
     }
 }
 
@@ -959,6 +1044,69 @@ mod tests {
         assert!(StrideSlice::<Rec>::new(&buf[..buf.len() - 1]).is_err());
         // Empty is fine.
         assert!(StrideSlice::<Rec>::new(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn seq_view_kernels_match_iteration() {
+        let words: Vec<FixedU64> = (0..37u64)
+            .map(|i| FixedU64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let mut buf = Vec::new();
+        words.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+        assert_eq!(
+            seq.popcount(),
+            words.iter().map(|w| w.0.count_ones() as u64).sum::<u64>()
+        );
+        assert_eq!(
+            seq.wrapping_sum(),
+            words.iter().fold(0u64, |a, w| a.wrapping_add(w.0))
+        );
+        let mut acc = vec![FixedU64(0xF0F0); 10];
+        seq.or_into(&mut acc);
+        assert_eq!(acc.len(), 37, "accumulator grows to the view");
+        for (i, slot) in acc.iter().enumerate() {
+            let seed = if i < 10 { 0xF0F0 } else { 0 };
+            assert_eq!(slot.0, seed | words[i].0);
+        }
+
+        let keys: Vec<FixedU32> = (0..23u32).map(|i| FixedU32(i % 5)).collect();
+        let mut buf = Vec::new();
+        keys.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU32>::decode_view(&mut slice).unwrap();
+        assert_eq!(seq.wrapping_sum(), keys.iter().map(|k| k.0 as u64).sum());
+        assert_eq!(seq.count_eq(FixedU32(3)), 4);
+        assert_eq!(seq.count_eq(FixedU32(99)), 0);
+    }
+
+    #[test]
+    fn stride_slice_kernels_and_gather() {
+        type Rec = (FixedU32, FixedU64);
+        let mut buf = Vec::new();
+        for i in 0..21u32 {
+            (FixedU32(i * 3), FixedU64(1u64 << (i % 64))).encode(&mut buf);
+        }
+        let s = StrideSlice::<Rec>::new(&buf).unwrap();
+        let mut keys = Vec::new();
+        s.gather_prefix_u32_into(&mut keys);
+        assert_eq!(keys, (0..21u32).map(|i| i * 3).collect::<Vec<_>>());
+
+        let words: Vec<u8> = (0..16u64).flat_map(|i| i.to_le_bytes()).collect();
+        let w = StrideSlice::<FixedU64>::new(&words).unwrap();
+        assert_eq!(w.wrapping_sum(), (0..16u64).sum::<u64>());
+        assert_eq!(
+            w.popcount(),
+            (0..16u64).map(|i| i.count_ones() as u64).sum::<u64>()
+        );
+        let keys: Vec<u8> = [7u32, 8, 7, 9]
+            .iter()
+            .flat_map(|k| k.to_le_bytes())
+            .collect();
+        let k = StrideSlice::<FixedU32>::new(&keys).unwrap();
+        assert_eq!(k.count_eq(FixedU32(7)), 2);
+        assert_eq!(k.wrapping_sum(), 31);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::cluster::StorageCluster;
 use crate::error::StorageError;
 use crate::node::{BagSample, NodeRemove, NodeRemoveBatch};
 use crate::placement::CyclicPlacement;
-use crate::rpc::{RpcPort, StorageRpc};
+use crate::rpc::RpcPort;
 use hurricane_common::{BagId, DetRng};
 use hurricane_format::Chunk;
 use std::sync::Arc;
@@ -140,50 +140,6 @@ impl BagClient {
     /// `seed` so that placement cycles decorrelate across workers.
     pub fn new(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
         Self::with_port(StoragePort::Direct(cluster), bag, seed)
-    }
-
-    /// Creates a client for `bag` that talks to storage over the RPC
-    /// boundary: every data-plane operation becomes correlated messages to
-    /// the per-node server loops of `rpc`.
-    ///
-    /// Migration: build a channel-plane endpoint once and mint clients
-    /// from it — `StorageEndpoint::channel(cluster).client(bag, seed)`.
-    /// The endpoint owns the servers, so there is no separate
-    /// [`StorageRpc`] value to keep alive.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use StorageEndpoint::channel(cluster).client(bag, seed)"
-    )]
-    pub fn connect(rpc: &StorageRpc, bag: BagId, seed: u64) -> Self {
-        Self::with_port(StoragePort::Rpc(rpc.port()), bag, seed)
-    }
-
-    /// Creates a client over an explicit [`RpcPort`] — the seam for
-    /// injecting custom transports.
-    ///
-    /// Migration: put the transports in a [`crate::Membership`] (see
-    /// [`crate::membership::OnceConnect`] for hand-built connections) and
-    /// use `StorageEndpoint::custom(cluster, membership).client(bag,
-    /// seed)` — clients built that way also track membership growth.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use StorageEndpoint::custom(cluster, membership).client(bag, seed)"
-    )]
-    pub fn with_rpc_port(port: RpcPort, bag: BagId, seed: u64) -> Self {
-        Self::with_port(StoragePort::Rpc(port), bag, seed)
-    }
-
-    /// Creates a client speaking the RPC message protocol with inline
-    /// dispatch ([`crate::rpc::InlineTransport`]): the boundary without
-    /// the thread hops, for colocated compute and storage.
-    ///
-    /// Migration: `StorageEndpoint::inline(cluster).client(bag, seed)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use StorageEndpoint::inline(cluster).client(bag, seed)"
-    )]
-    pub fn connect_inline(cluster: Arc<StorageCluster>, bag: BagId, seed: u64) -> Self {
-        Self::with_port(StoragePort::Rpc(RpcPort::inline(cluster)), bag, seed)
     }
 
     pub(crate) fn with_port(port: StoragePort, bag: BagId, seed: u64) -> Self {

@@ -233,4 +233,90 @@ proptest! {
         }
         prop_assert_eq!(restored, records);
     }
+
+    /// The SWAR trusted varint decoder agrees with the validating scalar
+    /// decoder on every encoded length (1..=10 bytes) at every distance
+    /// from the end of the slice — covering the 8-byte fast path, the
+    /// >8-byte hybrid path, and the near-the-tail scalar fallback.
+    #[test]
+    fn swar_decode_agrees_with_scalar(
+        len in 1usize..11,
+        pad in 0usize..17,
+        seed in any::<u64>(),
+    ) {
+        // A value whose canonical encoding is exactly `len` bytes.
+        let low = if len == 1 { 0 } else { 1u64 << (7 * (len - 1)) };
+        let high = if len >= 10 { u64::MAX } else { (1u64 << (7 * len)) - 1 };
+        let value = low + seed % (high - low + 1);
+
+        let mut buf = Vec::new();
+        hurricane_format::varint::encode(value, &mut buf);
+        prop_assert_eq!(buf.len(), len);
+        buf.extend(std::iter::repeat_n(0xEEu8, pad));
+
+        let mut validating = buf.as_slice();
+        prop_assert_eq!(
+            hurricane_format::varint::decode(&mut validating).unwrap(),
+            value
+        );
+        let mut trusted = buf.as_slice();
+        // SAFETY: the validating decode just accepted this position.
+        let got = unsafe { hurricane_format::varint::decode_trusted(&mut trusted) };
+        prop_assert_eq!(got, value);
+        prop_assert_eq!(trusted.len(), validating.len(), "consumed length differs");
+    }
+
+    /// The batch kernels agree with plain iteration over arbitrary
+    /// `FixedU64`/`FixedU32` runs, at every length (vector-width
+    /// boundaries and stragglers included). Run with and without
+    /// `--features simd`, this pins the SIMD paths to the scalar results
+    /// bit-for-bit.
+    #[test]
+    fn simd_kernels_agree_with_scalar(
+        words in prop::collection::vec(any::<u64>(), 0..70),
+        keys in prop::collection::vec(any::<u32>(), 0..70),
+        acc_seed in prop::collection::vec(any::<u64>(), 0..70),
+        needle_idx in 0usize..70,
+    ) {
+        let fixed: Vec<FixedU64> = words.iter().copied().map(FixedU64).collect();
+        let mut buf = Vec::new();
+        fixed.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU64>::decode_view(&mut slice).unwrap();
+
+        prop_assert_eq!(
+            seq.popcount(),
+            words.iter().map(|w| w.count_ones() as u64).sum::<u64>()
+        );
+        prop_assert_eq!(
+            seq.wrapping_sum(),
+            words.iter().fold(0u64, |a, w| a.wrapping_add(*w))
+        );
+        let mut acc: Vec<FixedU64> = acc_seed.iter().copied().map(FixedU64).collect();
+        let mut expect: Vec<u64> = acc_seed.clone();
+        if expect.len() < words.len() {
+            expect.resize(words.len(), 0);
+        }
+        for (slot, w) in expect.iter_mut().zip(words.iter()) {
+            *slot |= w;
+        }
+        seq.or_into(&mut acc);
+        prop_assert_eq!(acc.into_iter().map(|w| w.0).collect::<Vec<_>>(), expect);
+
+        let fixed: Vec<FixedU32> = keys.iter().copied().map(FixedU32).collect();
+        let mut buf = Vec::new();
+        fixed.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let seq = Vec::<FixedU32>::decode_view(&mut slice).unwrap();
+        prop_assert_eq!(
+            seq.wrapping_sum(),
+            keys.iter().map(|&k| k as u64).sum::<u64>()
+        );
+        // Probe with a needle usually present, sometimes absent.
+        let needle = keys.get(needle_idx).copied().unwrap_or(7);
+        prop_assert_eq!(
+            seq.count_eq(FixedU32(needle)),
+            keys.iter().filter(|&&k| k == needle).count()
+        );
+    }
 }
