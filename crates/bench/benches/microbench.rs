@@ -573,6 +573,113 @@ fn bench_merge_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_merge_spill(c: &mut Criterion) {
+    use hurricane_common::{BagId, SplitMix64};
+    use hurricane_core::merges::{merge_outputs, merge_outputs_bounded, KeyedMerge};
+    use hurricane_core::task::{BagReader, BagWriter, SpillSink};
+    use hurricane_core::EngineError;
+
+    const INSTANCES: usize = 2;
+    const RECS_PER_PARTIAL: u64 = 8_000;
+    const KEYS: u64 = 2_048;
+    const MERGE_CHUNK: usize = 16 * 1024;
+
+    /// The manager's scratch-run protocol in miniature: runs are bags
+    /// pinned to one node, written and read at batch factor 1 so they
+    /// hold their sorted order, collected once folded.
+    struct BenchSink {
+        cluster: Arc<StorageCluster>,
+        seed: u64,
+    }
+
+    impl SpillSink for BenchSink {
+        fn create_run(&mut self) -> Result<BagWriter, EngineError> {
+            let bag = self.cluster.create_bag();
+            self.seed += 1;
+            let client = BagClient::new(self.cluster.clone(), bag, self.seed).with_pinned_node(0);
+            Ok(BagWriter::open_batched_client(client, MERGE_CHUNK, 1))
+        }
+
+        fn open_run(&mut self, bag: BagId) -> Result<BagReader, EngineError> {
+            self.cluster.seal_bag(bag)?;
+            self.seed += 1;
+            Ok(BagReader::open(
+                self.cluster.clone(),
+                bag,
+                self.seed,
+                1,
+                None,
+            ))
+        }
+
+        fn release_run(&mut self, bag: BagId) -> Result<(), EngineError> {
+            self.cluster.collect_bag(bag)?;
+            Ok(())
+        }
+    }
+
+    /// One keyed-merge job (2 sealed partials, 2 048 distinct keys) plus
+    /// the cluster its scratch runs spill into.
+    #[allow(clippy::type_complexity)]
+    fn job_setup() -> (Arc<StorageCluster>, Vec<(usize, Vec<BagReader>, BagWriter)>) {
+        let cluster = StorageCluster::new(1, ClusterConfig::default());
+        let readers: Vec<BagReader> = (0..INSTANCES)
+            .map(|inst| {
+                let bag = cluster.create_bag();
+                let seed = inst as u64;
+                let mut w = BagWriter::open(cluster.clone(), bag, seed, MERGE_CHUNK);
+                let mut recs: Vec<(u64, u64)> = (0..RECS_PER_PARTIAL)
+                    .map(|i| (SplitMix64::mix(seed * 1_000_003 + i) % KEYS, 1u64))
+                    .collect();
+                recs.sort_unstable();
+                for rec in &recs {
+                    w.write_record(rec).unwrap();
+                }
+                w.flush().unwrap();
+                cluster.seal_bag(bag).unwrap();
+                BagReader::open(cluster.clone(), bag, 100 + seed, 4, None)
+            })
+            .collect();
+        let out_bag = cluster.create_bag();
+        let out = BagWriter::open(cluster.clone(), out_bag, 999, MERGE_CHUNK);
+        (cluster, vec![(0usize, readers, out)])
+    }
+
+    // The spill-vs-resident overhead, honestly: identical inputs and
+    // outputs, only the accumulator budget varies. `resident` never
+    // spills (the unbounded entry point); the budgets force one or more
+    // drain/re-fold rounds through scratch bags on the storage tier.
+    let mut g = c.benchmark_group("merge_spill");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTANCES as u64 * RECS_PER_PARTIAL));
+    let merge = KeyedMerge::<u64, u64, _>::new(|a, b| a + b);
+    g.bench_function("keyed_2k_keys/resident", |b| {
+        b.iter_batched(
+            job_setup,
+            |(_cluster, jobs)| merge_outputs(&merge, 1, jobs).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    for budget in [64 * 1024u64, 4 * 1024] {
+        g.bench_function(format!("keyed_2k_keys/budget{}k", budget / 1024), |b| {
+            b.iter_batched(
+                job_setup,
+                |(cluster, jobs)| {
+                    let make_sink = || -> Box<dyn SpillSink> {
+                        Box::new(BenchSink {
+                            cluster: cluster.clone(),
+                            seed: 9000,
+                        })
+                    };
+                    merge_outputs_bounded(&merge, 1, jobs, budget, &make_sink).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_bags(c: &mut Criterion) {
     let mut g = c.benchmark_group("bags");
     g.throughput(Throughput::Elements(1000));
@@ -1134,6 +1241,7 @@ criterion_group!(
     bench_merge_path,
     bench_decode_swar,
     bench_merge_parallel,
+    bench_merge_spill,
     bench_bags,
     bench_contended,
     bench_prefetch,

@@ -4,6 +4,14 @@
 //! This is the non-simulated counterpart of Figure 12: same workload and
 //! skew knob, executed on threads, demonstrating that cloning — not the
 //! simulator — closes the skew gap.
+//!
+//! `--merge-memory-budget BYTES` caps each merge output's accumulator
+//! table (`HurricaneConfig::merge_memory_budget`): past the budget the
+//! keyed merge drains into sorted scratch runs on the storage tier and
+//! re-folds them, so the comparison can be re-run with spilling merges
+//! (output is byte-identical at any setting; only memory/IO trade off).
+//! `HURRICANE_MERGE_MEMORY_BUDGET` / `HURRICANE_SPILL_THRESHOLD_BYTES`
+//! apply too (`HurricaneConfig::with_env_overrides`); the flag wins.
 
 use hurricane_apps::clicklog::ClickLogJob;
 use hurricane_baseline::{mapreduce, split_input};
@@ -16,7 +24,7 @@ const RECORDS: u64 = 400_000;
 const REGIONS: usize = 8;
 const NUM_IPS: usize = 1 << 16;
 
-fn config(cloning: bool) -> HurricaneConfig {
+fn config(cloning: bool, merge_memory_budget: u64) -> HurricaneConfig {
     HurricaneConfig {
         compute_nodes: 4,
         worker_slots: 2,
@@ -26,10 +34,43 @@ fn config(cloning: bool) -> HurricaneConfig {
         cloning_enabled: cloning,
         ..Default::default()
     }
+    .with_env_overrides()
+    .with_merge_memory_budget(merge_memory_budget)
+}
+
+fn parse_budget(mut argv: std::env::Args) -> Result<u64, String> {
+    let _ = argv.next(); // program name
+    let mut budget = HurricaneConfig::default()
+        .with_env_overrides()
+        .merge_memory_budget;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--merge-memory-budget" => {
+                let v = argv
+                    .next()
+                    .ok_or("--merge-memory-budget needs a value (bytes)")?;
+                budget = v
+                    .parse()
+                    .map_err(|_| format!("bad --merge-memory-budget {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(budget)
 }
 
 fn main() {
+    let budget = match parse_budget(std::env::args()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("real_engine: {e}\nusage: real_engine [--merge-memory-budget BYTES]");
+            std::process::exit(2);
+        }
+    };
     println!("Real-engine ClickLog: {RECORDS} records, {REGIONS} regions, 4 nodes x 2 slots");
+    if budget != u64::MAX {
+        println!("merge memory budget: {budget} bytes (keyed merges spill past this)");
+    }
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>8}",
         "skew", "hurricane", "hurricane-nc", "static", "clones"
@@ -52,7 +93,7 @@ fn main() {
         let t = Instant::now();
         let cluster = StorageCluster::new(4, ClusterConfig::default());
         let (counts, report) = job
-            .run(cluster, config(true), input.iter().copied())
+            .run(cluster, config(true, budget), input.iter().copied())
             .unwrap();
         let hurricane = t.elapsed();
         assert_eq!(counts, reference, "hurricane result mismatch");
@@ -60,7 +101,7 @@ fn main() {
         let t = Instant::now();
         let cluster = StorageCluster::new(4, ClusterConfig::default());
         let (counts, _) = job
-            .run(cluster, config(false), input.iter().copied())
+            .run(cluster, config(false, budget), input.iter().copied())
             .unwrap();
         let nc = t.elapsed();
         assert_eq!(counts, reference, "hurricane-nc result mismatch");

@@ -86,6 +86,14 @@ pub struct HurricaneConfig {
     /// meaningful when `data_dir` is set; the default (`u64::MAX`)
     /// keeps everything resident.
     pub spill_threshold_bytes: u64,
+    /// Memory budget, in bytes, for one merge output's accumulator state
+    /// (the keyed-merge table). When the estimated residency crosses the
+    /// budget the table drains into sorted scratch runs on the storage
+    /// tier and the merge re-folds them in additional rounds — see the
+    /// spill contract in `merges`. Output bytes are identical at any
+    /// setting; only memory/IO trade off. The default (`u64::MAX`)
+    /// never spills.
+    pub merge_memory_budget: u64,
     /// Worker threads a merge task may spread its output indices across
     /// (see `merges::merge_outputs`). Outputs of one merge are
     /// independent, so they scale embarrassingly; `1` runs them
@@ -122,6 +130,7 @@ impl Default for HurricaneConfig {
             rpc_retry_attempts: 1,
             data_dir: None,
             spill_threshold_bytes: u64::MAX,
+            merge_memory_budget: u64::MAX,
             merge_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -154,6 +163,35 @@ impl HurricaneConfig {
     /// Returns a copy with durable segment logs rooted at `dir`.
     pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy with the per-output merge memory budget set.
+    pub fn with_merge_memory_budget(mut self, bytes: u64) -> Self {
+        self.merge_memory_budget = bytes;
+        self
+    }
+
+    /// Returns a copy with the deployment environment's memory knobs
+    /// applied: `HURRICANE_MERGE_MEMORY_BUDGET` overrides
+    /// [`merge_memory_budget`](Self::merge_memory_budget) and
+    /// `HURRICANE_SPILL_THRESHOLD_BYTES` overrides
+    /// [`spill_threshold_bytes`](Self::spill_threshold_bytes) (both in
+    /// bytes). Unset or unparsable variables leave the config untouched.
+    /// Harnesses that build their configs in code route through this so
+    /// one environment can squeeze a whole suite under a tiny budget —
+    /// CI's low-memory stress leg runs the runtime tests exactly this
+    /// way.
+    pub fn with_env_overrides(mut self) -> Self {
+        fn read(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.parse().ok()
+        }
+        if let Some(v) = read("HURRICANE_MERGE_MEMORY_BUDGET") {
+            self.merge_memory_budget = v;
+        }
+        if let Some(v) = read("HURRICANE_SPILL_THRESHOLD_BYTES") {
+            self.spill_threshold_bytes = v;
+        }
         self
     }
 
@@ -216,6 +254,23 @@ mod tests {
     fn without_cloning_flips_flag() {
         let c = HurricaneConfig::default().without_cloning();
         assert!(!c.cloning_enabled);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_default_to_identity() {
+        // Env mutation is process-global: keep both halves in one test
+        // (cargo runs tests concurrently) and restore before returning.
+        let c = HurricaneConfig::default().with_env_overrides();
+        assert_eq!(c.merge_memory_budget, u64::MAX, "unset vars must no-op");
+        assert_eq!(c.spill_threshold_bytes, u64::MAX);
+
+        std::env::set_var("HURRICANE_MERGE_MEMORY_BUDGET", "512");
+        std::env::set_var("HURRICANE_SPILL_THRESHOLD_BYTES", "4096");
+        let c = HurricaneConfig::default().with_env_overrides();
+        std::env::remove_var("HURRICANE_MERGE_MEMORY_BUDGET");
+        std::env::remove_var("HURRICANE_SPILL_THRESHOLD_BYTES");
+        assert_eq!(c.merge_memory_budget, 512);
+        assert_eq!(c.spill_threshold_bytes, 4096);
     }
 
     #[test]

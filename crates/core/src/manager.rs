@@ -14,7 +14,9 @@ use crate::descriptor::{Descriptor, DoneRecord, RunningRecord, KIND_MERGE, KIND_
 use crate::error::EngineError;
 use crate::graph::AppGraph;
 use crate::merges::{self, ConcatMerge};
-use crate::task::{BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, TaskCtx};
+use crate::task::{
+    BagReader, BagWriter, CancelProbe, ControlMsg, KillSwitch, MergeLogic, SpillSink, TaskCtx,
+};
 use crossbeam::channel::Sender;
 use hurricane_common::BagId;
 use hurricane_storage::{BagClient, StorageCluster, StorageEndpoint, WorkBag};
@@ -217,6 +219,13 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
     let mut ready: WorkBag<Descriptor> = deps.workbag(deps.workbags.ready);
     let mut running: WorkBag<RunningRecord> = deps.workbag(deps.workbags.running);
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // Consecutive ready-bag claim failures. Transient storage errors
+    // (a node mid-failover, a disk hiccup) deserve a retry; a *persistent*
+    // failure — e.g. a poisoned work-bag stream after a failed journal
+    // append — would otherwise spin this loop silently forever while the
+    // master waits for progress that can never come.
+    let mut claim_errors: u32 = 0;
+    const CLAIM_ERROR_LIMIT: u32 = 2_000; // ≈2 s of 1 ms retries
     loop {
         workers.retain(|w| !w.is_finished());
         if deps.app_done.load(Ordering::Relaxed) {
@@ -228,6 +237,7 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
         }
         match ready.try_take() {
             Ok(Some(desc)) => {
+                claim_errors = 0;
                 let inst = desc.instance_id();
                 if deps.kill.is_killed(inst.task.0, desc.generation) {
                     continue; // Stale descriptor from a restarted task.
@@ -242,8 +252,16 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
                 };
                 if running.insert(&rec).is_err() {
                     // Storage refused the claim record; put the unit back
-                    // rather than running it untracked.
-                    let _ = ready.insert(&desc);
+                    // rather than running it untracked. If the ready bag
+                    // refuses too the descriptor is gone — fail the job
+                    // loudly instead of letting the master poll forever
+                    // for a unit nobody holds.
+                    if let Err(e) = ready.insert(&desc) {
+                        let _ = deps.control_tx.send(ControlMsg::Fatal {
+                            task: inst.task.0,
+                            message: format!("work descriptor lost on requeue: {e}"),
+                        });
+                    }
                     continue;
                 }
                 let deps2 = deps.clone();
@@ -254,8 +272,26 @@ fn manager_loop(node_id: u32, deps: ManagerDeps, alive: Arc<AtomicBool>) {
                     .expect("spawning worker");
                 workers.push(w);
             }
-            Ok(None) => std::thread::sleep(Duration::from_micros(500)),
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            Ok(None) => {
+                claim_errors = 0;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(e) => {
+                claim_errors += 1;
+                if claim_errors == CLAIM_ERROR_LIMIT {
+                    // No task to pin the failure on — the claim itself
+                    // is what fails. The sentinel id still aborts the
+                    // run with the storage error in hand.
+                    let _ = deps.control_tx.send(ControlMsg::Fatal {
+                        task: u32::MAX,
+                        message: format!(
+                            "compute node {node_id} cannot claim work \
+                             ({CLAIM_ERROR_LIMIT} consecutive failures): {e}"
+                        ),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
     for w in workers {
@@ -292,13 +328,23 @@ fn run_unit(node_id: u32, desc: Descriptor, deps: ManagerDeps, node_alive: Arc<A
                 return; // Cancelled at the finish line: no done record.
             }
             let mut done: WorkBag<DoneRecord> = deps.workbag(deps.workbags.done);
-            let _ = done.insert(&DoneRecord {
+            // A completion that can't be recorded is indistinguishable
+            // from a unit that never finished: the master would wait
+            // forever. Surface the storage failure instead of hanging
+            // the job (seen with injected disk faults eating the done
+            // bag's journal append).
+            if let Err(e) = done.insert(&DoneRecord {
                 kind: desc.kind,
                 instance: desc.instance,
                 generation: desc.generation,
                 node: node_id,
                 outputs: desc.outputs.clone(),
-            });
+            }) {
+                let _ = deps.control_tx.send(ControlMsg::Fatal {
+                    task: inst.task.0,
+                    message: format!("completion record lost: {e}"),
+                });
+            }
         }
         Err(EngineError::Cancelled) => {}
         Err(e) => {
@@ -358,6 +404,57 @@ fn run_task(
     Ok(())
 }
 
+/// The manager's [`SpillSink`]: scratch runs are cluster bags pinned to
+/// one storage node each (bags are unordered *across* nodes but FIFO
+/// within one, so a pinned run reads back in key order), created and
+/// reclaimed through the normal bag lifecycle. Every live run is also
+/// recorded in a registry shared across the merge task's sinks, so
+/// [`run_merge`] can reclaim leftovers on *any* exit path — a failed
+/// spill write fails the merge cleanly and its scratch never leaks.
+struct ClusterSpillSink {
+    deps: ManagerDeps,
+    probe: CancelProbe,
+    /// All unreleased runs of the owning merge task (shared across the
+    /// task's per-output sinks).
+    scratch: Arc<Mutex<Vec<BagId>>>,
+    /// Next storage node to pin a run to (cycled for spread).
+    next_pin: usize,
+}
+
+impl SpillSink for ClusterSpillSink {
+    fn create_run(&mut self) -> Result<BagWriter, EngineError> {
+        let bag = self.deps.cluster.create_bag();
+        self.scratch.lock().push(bag);
+        let pin = self.next_pin % self.deps.cluster.num_nodes();
+        self.next_pin = self.next_pin.wrapping_add(1);
+        let client = self.deps.bag_client(bag).with_pinned_node(pin);
+        // Write batch factor 1: chunks insert (and thus read back) in
+        // emission order. No coalescing — a spill failure must surface
+        // inside the merge, not at some later flush.
+        Ok(BagWriter::open_batched_client(
+            client,
+            self.deps.config.chunk_size,
+            1,
+        ))
+    }
+
+    fn open_run(&mut self, bag: BagId) -> Result<BagReader, EngineError> {
+        self.deps.cluster.seal_bag(bag)?;
+        // Batch factor 1 keeps delivery strictly in insertion order.
+        Ok(BagReader::open_client(
+            self.deps.bag_client(bag),
+            1,
+            Some(self.probe.clone()),
+        ))
+    }
+
+    fn release_run(&mut self, bag: BagId) -> Result<(), EngineError> {
+        self.deps.cluster.collect_bag(bag)?;
+        self.scratch.lock().retain(|&b| b != bag);
+        Ok(())
+    }
+}
+
 fn run_merge(
     desc: &Descriptor,
     deps: &ManagerDeps,
@@ -403,7 +500,33 @@ fn run_merge(
             (out_idx, partials, out)
         })
         .collect();
-    merges::merge_outputs(&*merge, deps.config.merge_parallelism, jobs)
+    let budget = deps.config.merge_memory_budget;
+    if budget == u64::MAX {
+        return merges::merge_outputs(&*merge, deps.config.merge_parallelism, jobs);
+    }
+    // Bounded path: every output gets its own sink; the shared scratch
+    // registry lets us reclaim any runs the merge left behind (error or
+    // cancellation unwind) so scratch storage never outlives the task.
+    let scratch: Arc<Mutex<Vec<BagId>>> = Arc::new(Mutex::new(Vec::new()));
+    let make_sink = || -> Box<dyn SpillSink> {
+        Box::new(ClusterSpillSink {
+            deps: deps.clone(),
+            probe: probe.clone(),
+            scratch: scratch.clone(),
+            next_pin: 0,
+        })
+    };
+    let result = merges::merge_outputs_bounded(
+        &*merge,
+        deps.config.merge_parallelism,
+        jobs,
+        budget,
+        &make_sink,
+    );
+    for bag in scratch.lock().drain(..) {
+        let _ = deps.cluster.collect_bag(bag);
+    }
+    result.map(|_stats| ())
 }
 
 #[cfg(test)]

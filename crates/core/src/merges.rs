@@ -53,15 +53,61 @@
 //! one logic instance — which the `Send + Sync` bound on [`MergeLogic`]
 //! already demands, and the sort-family scratch reuse honors with its
 //! try-lock-or-fresh-buffer fallback.
+//!
+//! # Bounded merges: the spill contract
+//!
+//! [`KeyedMerge`]'s accumulator table grows with key cardinality, so a
+//! skewed-enough group-by could exceed any fixed memory. Its
+//! [`MergeLogic::merge_bounded`] override survives *any* cardinality
+//! under a configured budget (`merge_memory_budget`) by external
+//! aggregation:
+//!
+//! * **Partial-record format.** When the table's estimated residency
+//!   crosses the budget (checked at chunk boundaries, so residency
+//!   overshoots by at most one chunk's new entries), the whole table
+//!   drains into a scratch *run*: `(key, partial-accumulator)` records in
+//!   the canonical codec — the exact encoding the final output uses — in
+//!   ascending key order. Runs land in scratch bags pinned to one storage
+//!   node so their chunks read back in insertion (i.e. key) order.
+//! * **Round invariants.** After the inputs drain, the surviving table
+//!   spills as the final run. While more than `RUN_FANIN` runs exist, the
+//!   oldest `RUN_FANIN` are k-way merged — equal keys folded oldest-run
+//!   first — into one new run that re-enters the queue at the *front*,
+//!   keeping the queue ordered oldest-to-newest. Each round therefore
+//!   holds only `RUN_FANIN` cursors plus one accumulator in memory, and
+//!   the run count strictly decreases: termination at any cardinality.
+//!   The last ≤ `RUN_FANIN` runs merge directly into the output writer.
+//! * **Determinism / byte-identity.** Within a run, each key's partial
+//!   folded its values in arrival order; across runs, partials fold
+//!   oldest-run first — so for an *associative* fold (which the merge
+//!   contract already requires for clone reconciliation to be
+//!   order-insensitive) every key's final accumulator equals the
+//!   unbounded table's. Both paths then emit the same `(key, value)`
+//!   records in the same ascending key order through the same
+//!   [`BagWriter`] chunking, so the output chunk stream is byte-identical
+//!   at any budget — pinned by the `spilled_merge_agrees_with_in_memory`
+//!   property test.
 
 use crate::error::EngineError;
-use crate::task::{BagReader, BagWriter, MergeLogic};
-use hurricane_format::{ChunkReader, RecordView};
+use crate::task::{BagReader, BagWriter, MergeLogic, SpillSink, SpillStats};
+use hurricane_common::BagId;
+use hurricane_format::{Chunk, ChunkReader, RecordView};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::marker::PhantomData;
+
+/// Fan-in of one spill-merge round: how many scratch runs a bounded
+/// [`KeyedMerge`] re-folds at a time. Bounds a round's memory at this
+/// many run cursors (one chunk each) plus one accumulator.
+const RUN_FANIN: usize = 8;
+
+/// Estimated table overhead per distinct key beyond the key bytes and
+/// accumulator value: hash-table slot, `Box<[u8]>` header, `Option`
+/// discriminant. The budget arithmetic is an estimate — accumulators
+/// with heap payloads (e.g. `Vec` values) count only their inline size.
+const ENTRY_OVERHEAD: u64 = 64;
 
 /// The default merge: concatenates all partial chunks into the output.
 ///
@@ -292,6 +338,206 @@ where
     }
 }
 
+/// The keyed-merge accumulator table: encoded key bytes → accumulator.
+type KeyTable<V> = HashMap<Box<[u8]>, Option<V>, BuildHasherDefault<FxBytesHasher>>;
+
+/// A read cursor over one sorted scratch run: walks `(key, value)`
+/// records across the run's chunks, exposing the current decoded key
+/// (for the k-way minimum) and the current value's byte range (folded
+/// lazily as a borrowed view, never owned).
+struct RunCursor<K> {
+    reader: BagReader,
+    chunk: Option<Chunk>,
+    pos: usize,
+    /// Decoded key of the current record; `None` once the run drains.
+    key: Option<K>,
+    val_range: (usize, usize),
+}
+
+impl<K: RecordView + Ord> RunCursor<K> {
+    fn new(reader: BagReader) -> Self {
+        Self {
+            reader,
+            chunk: None,
+            pos: 0,
+            key: None,
+            val_range: (0, 0),
+        }
+    }
+
+    /// Parses the next record, fetching the next chunk when the current
+    /// one is spent; `key` becomes `None` at end of run.
+    fn advance<V: RecordView>(&mut self) -> Result<(), EngineError> {
+        loop {
+            if let Some(chunk) = &self.chunk {
+                let bytes = chunk.bytes();
+                if self.pos < bytes.len() {
+                    let mut rest = &bytes[self.pos..];
+                    let key = K::decode(&mut rest).map_err(EngineError::Codec)?;
+                    let val_start = bytes.len() - rest.len();
+                    V::decode_view(&mut rest).map_err(EngineError::Codec)?;
+                    let val_end = bytes.len() - rest.len();
+                    self.key = Some(key);
+                    self.val_range = (val_start, val_end);
+                    self.pos = val_end;
+                    return Ok(());
+                }
+            }
+            match self.reader.next_chunk()? {
+                Some(c) => {
+                    self.chunk = Some(c);
+                    self.pos = 0;
+                }
+                None => {
+                    self.key = None;
+                    self.chunk = None;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Folds the current record's value view into `acc`.
+    fn fold_value<V: RecordView, F: ViewFold<V>>(
+        &self,
+        fold: &F,
+        acc: &mut Option<V>,
+    ) -> Result<(), EngineError> {
+        let chunk = self.chunk.as_ref().expect("cursor is at a live record");
+        let mut v = &chunk.bytes()[self.val_range.0..self.val_range.1];
+        let view = V::decode_view(&mut v).map_err(EngineError::Codec)?;
+        fold.fold(acc, view);
+        Ok(())
+    }
+}
+
+impl<K, V, F> KeyedMerge<K, V, F>
+where
+    K: RecordView + Ord + Send + Sync + 'static,
+    V: RecordView + Send + Sync + 'static,
+    F: ViewFold<V>,
+{
+    /// Folds one chunk of `(key, value)` records into the table.
+    ///
+    /// Keyed by the key's encoded bytes rather than the decoded key:
+    /// equal keys encode identically (and vice versa), so no owned
+    /// key — and no Hash bridge between K and its view — is needed on
+    /// the per-record path. The manual span walk (instead of a
+    /// ChunkReader driver) is what exposes each key's byte range.
+    fn fold_chunk(
+        &self,
+        chunk: &Chunk,
+        table: &mut KeyTable<V>,
+        table_bytes: &mut u64,
+    ) -> Result<(), EngineError> {
+        let mut rest = chunk.bytes();
+        while !rest.is_empty() {
+            let record_start = rest;
+            K::decode_view(&mut rest).map_err(EngineError::Codec)?;
+            let key_bytes = &record_start[..record_start.len() - rest.len()];
+            let value = V::decode_view(&mut rest).map_err(EngineError::Codec)?;
+            match table.get_mut(key_bytes) {
+                Some(slot) => self.fold.fold(slot, value),
+                None => {
+                    let mut slot = None;
+                    self.fold.fold(&mut slot, value);
+                    *table_bytes +=
+                        key_bytes.len() as u64 + std::mem::size_of::<V>() as u64 + ENTRY_OVERHEAD;
+                    table.insert(key_bytes.into(), slot);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the table into `(key, value)` entries sorted by key.
+    fn drain_sorted(table: &mut KeyTable<V>) -> Vec<(K, V)> {
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(table.len());
+        for (key_bytes, slot) in table.drain() {
+            let mut kb = &key_bytes[..];
+            let key = K::decode(&mut kb).expect("key bytes were validated on ingest");
+            entries.push((key, slot.expect("every table slot is filled on insert")));
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Writes the table to `out` in ascending key order — the terminal
+    /// emit both the bounded and unbounded paths share.
+    fn emit_table(mut table: KeyTable<V>, out: &mut BagWriter) -> Result<(), EngineError> {
+        for rec in &Self::drain_sorted(&mut table) {
+            out.write_record(rec)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Drains the table into a fresh sorted scratch run; returns its bag.
+    fn spill_table(
+        &self,
+        table: &mut KeyTable<V>,
+        table_bytes: &mut u64,
+        sink: &mut dyn SpillSink,
+        stats: &mut SpillStats,
+    ) -> Result<BagId, EngineError> {
+        let entries = Self::drain_sorted(table);
+        let mut w = sink.create_run()?;
+        for rec in &entries {
+            w.write_record(rec)?;
+        }
+        w.flush()?;
+        stats.spilled_records += entries.len() as u64;
+        stats.runs += 1;
+        *table_bytes = 0;
+        Ok(w.bag_id())
+    }
+
+    /// K-way merges sorted `runs` into `out`, folding equal keys in run
+    /// (i.e. oldest-first) order.
+    fn merge_runs(
+        &self,
+        runs: &[BagId],
+        sink: &mut dyn SpillSink,
+        out: &mut BagWriter,
+    ) -> Result<(), EngineError> {
+        let mut cursors = Vec::with_capacity(runs.len());
+        for &bag in runs {
+            let mut c = RunCursor::<K>::new(sink.open_run(bag)?);
+            c.advance::<V>()?;
+            cursors.push(c);
+        }
+        loop {
+            let mut min: Option<usize> = None;
+            for (i, c) in cursors.iter().enumerate() {
+                if let Some(k) = &c.key {
+                    if min.is_none_or(|m| k < cursors[m].key.as_ref().expect("min key is live")) {
+                        min = Some(i);
+                    }
+                }
+            }
+            let Some(m) = min else { break };
+            // Keys are unique within a run, so ties span distinct runs;
+            // cursor index order is run age order.
+            let ties: Vec<usize> = cursors
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.key == cursors[m].key)
+                .map(|(i, _)| i)
+                .collect();
+            let mut acc: Option<V> = None;
+            for &i in &ties {
+                cursors[i].fold_value(&self.fold, &mut acc)?;
+            }
+            let key = cursors[m].key.take().expect("min key is live");
+            for &i in &ties {
+                cursors[i].advance::<V>()?;
+            }
+            out.write_record(&(key, acc.expect("at least one value folded")))?;
+        }
+        Ok(())
+    }
+}
+
 impl<K, V, F> MergeLogic for KeyedMerge<K, V, F>
 where
     K: RecordView + Ord + Send + Sync + 'static,
@@ -304,44 +550,80 @@ where
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError> {
-        // Keyed by the key's encoded bytes rather than the decoded key:
-        // equal keys encode identically (and vice versa), so no owned
-        // key — and no Hash bridge between K and its view — is needed on
-        // the per-record path. The manual span walk (instead of a
-        // ChunkReader driver) is what exposes each key's byte range.
-        let mut table: HashMap<Box<[u8]>, Option<V>, BuildHasherDefault<FxBytesHasher>> =
-            HashMap::default();
+        let mut table: KeyTable<V> = HashMap::default();
+        let mut table_bytes = 0u64;
         for p in partials {
             while let Some(chunk) = p.next_chunk()? {
-                let mut rest = chunk.bytes();
-                while !rest.is_empty() {
-                    let record_start = rest;
-                    K::decode_view(&mut rest).map_err(EngineError::Codec)?;
-                    let key_bytes = &record_start[..record_start.len() - rest.len()];
-                    let value = V::decode_view(&mut rest).map_err(EngineError::Codec)?;
-                    match table.get_mut(key_bytes) {
-                        Some(slot) => self.fold.fold(slot, value),
-                        None => {
-                            let mut slot = None;
-                            self.fold.fold(&mut slot, value);
-                            table.insert(key_bytes.into(), slot);
-                        }
-                    }
+                self.fold_chunk(&chunk, &mut table, &mut table_bytes)?;
+            }
+        }
+        Self::emit_table(table, out)
+    }
+
+    /// External aggregation under a memory budget — see the module doc's
+    /// spill contract for the format, round invariants, and determinism
+    /// argument.
+    fn merge_bounded(
+        &self,
+        _output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+        budget: u64,
+        sink: &mut dyn SpillSink,
+    ) -> Result<SpillStats, EngineError> {
+        let mut stats = SpillStats::default();
+        let mut table: KeyTable<V> = HashMap::default();
+        let mut table_bytes = 0u64;
+        let mut runs: VecDeque<BagId> = VecDeque::new();
+        for p in partials.iter_mut() {
+            while let Some(chunk) = p.next_chunk()? {
+                self.fold_chunk(&chunk, &mut table, &mut table_bytes)?;
+                // Budget check at chunk boundaries: residency overshoots
+                // by at most the entries one chunk introduced.
+                if table_bytes > budget && !table.is_empty() {
+                    runs.push_back(self.spill_table(
+                        &mut table,
+                        &mut table_bytes,
+                        sink,
+                        &mut stats,
+                    )?);
                 }
             }
         }
-        let mut entries: Vec<(K, V)> = Vec::with_capacity(table.len());
-        for (key_bytes, slot) in table {
-            let mut kb = &key_bytes[..];
-            let key = K::decode(&mut kb).expect("key bytes were validated on ingest");
-            entries.push((key, slot.expect("every table slot is filled on insert")));
+        if runs.is_empty() {
+            // Nothing spilled: exactly the unbounded emit.
+            Self::emit_table(table, out)?;
+            return Ok(stats);
         }
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        for rec in &entries {
-            out.write_record(rec)?;
+        if !table.is_empty() {
+            runs.push_back(self.spill_table(&mut table, &mut table_bytes, sink, &mut stats)?);
         }
+        // Hierarchical re-fold: merge the RUN_FANIN *oldest* runs into
+        // one that re-enters at the front, keeping the queue (and thus
+        // per-key fold order) oldest-first. Run count strictly
+        // decreases, so this terminates at any cardinality while
+        // holding only RUN_FANIN cursors in memory.
+        while runs.len() > RUN_FANIN {
+            let batch: Vec<BagId> = runs.drain(..RUN_FANIN).collect();
+            let mut w = sink.create_run()?;
+            self.merge_runs(&batch, sink, &mut w)?;
+            w.flush()?;
+            let merged = w.bag_id();
+            for bag in batch {
+                sink.release_run(bag)?;
+            }
+            runs.push_front(merged);
+            stats.runs += 1;
+            stats.rounds += 1;
+        }
+        let batch: Vec<BagId> = runs.into();
+        self.merge_runs(&batch, sink, out)?;
+        for bag in batch {
+            sink.release_run(bag)?;
+        }
+        stats.rounds += 1;
         out.flush()?;
-        Ok(())
+        Ok(stats)
     }
 }
 
@@ -604,10 +886,51 @@ pub fn merge_outputs(
     parallelism: usize,
     jobs: Vec<(usize, Vec<BagReader>, BagWriter)>,
 ) -> Result<(), EngineError> {
-    let run = |(out_idx, mut partials, mut out): (usize, Vec<BagReader>, BagWriter)| {
-        merge.merge(out_idx, &mut partials, &mut out)?;
-        out.flush()
-    };
+    drive_jobs(
+        parallelism,
+        jobs,
+        |(out_idx, mut partials, mut out): (usize, Vec<BagReader>, BagWriter)| {
+            merge.merge(out_idx, &mut partials, &mut out)?;
+            out.flush()
+        },
+    )
+}
+
+/// [`merge_outputs`] under a memory budget: each output runs
+/// [`MergeLogic::merge_bounded`] with its own [`SpillSink`] (minted by
+/// `make_sink`, so concurrent outputs never share run state). Returns the
+/// merged spill counters across all outputs.
+pub fn merge_outputs_bounded(
+    merge: &dyn MergeLogic,
+    parallelism: usize,
+    jobs: Vec<(usize, Vec<BagReader>, BagWriter)>,
+    budget: u64,
+    make_sink: &(dyn Fn() -> Box<dyn SpillSink> + Sync),
+) -> Result<SpillStats, EngineError> {
+    let stats = Mutex::new(SpillStats::default());
+    drive_jobs(
+        parallelism,
+        jobs,
+        |(out_idx, mut partials, mut out): (usize, Vec<BagReader>, BagWriter)| {
+            let mut sink = make_sink();
+            let s = merge.merge_bounded(out_idx, &mut partials, &mut out, budget, sink.as_mut())?;
+            out.flush()?;
+            stats.lock().absorb(s);
+            Ok(())
+        },
+    )?;
+    Ok(stats.into_inner())
+}
+
+/// The shared job driver behind [`merge_outputs`] and
+/// [`merge_outputs_bounded`]: dispatches jobs across up to `parallelism`
+/// scoped workers (inline when `parallelism <= 1` or there is a single
+/// job), with first-error-wins abandonment of the queue.
+fn drive_jobs<J: Send>(
+    parallelism: usize,
+    jobs: Vec<J>,
+    run: impl Fn(J) -> Result<(), EngineError> + Sync,
+) -> Result<(), EngineError> {
     if parallelism <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().try_for_each(run);
     }
@@ -1001,6 +1324,278 @@ mod tests {
                 "parallelism {par}: wrong error {err:?}"
             );
         }
+    }
+
+    /// A [`SpillSink`] over an in-process cluster: every run pinned to
+    /// node 0 (insertion-order read-back) with shared lifecycle tracking
+    /// so tests can assert no scratch outlives the merge.
+    struct TestSink {
+        cluster: Arc<StorageCluster>,
+        chunk_size: usize,
+        seed: u64,
+        live: Arc<Mutex<Vec<BagId>>>,
+        created: Arc<Mutex<usize>>,
+    }
+
+    impl TestSink {
+        fn new(cluster: &Arc<StorageCluster>, chunk_size: usize) -> Self {
+            Self {
+                cluster: cluster.clone(),
+                chunk_size,
+                seed: 9000,
+                live: Arc::new(Mutex::new(Vec::new())),
+                created: Arc::new(Mutex::new(0)),
+            }
+        }
+    }
+
+    impl SpillSink for TestSink {
+        fn create_run(&mut self) -> Result<BagWriter, EngineError> {
+            let bag = self.cluster.create_bag();
+            self.live.lock().push(bag);
+            *self.created.lock() += 1;
+            self.seed += 1;
+            let client = hurricane_storage::BagClient::new(self.cluster.clone(), bag, self.seed)
+                .with_pinned_node(0);
+            Ok(BagWriter::open_batched_client(client, self.chunk_size, 1))
+        }
+
+        fn open_run(&mut self, bag: BagId) -> Result<BagReader, EngineError> {
+            self.cluster.seal_bag(bag)?;
+            self.seed += 1;
+            Ok(BagReader::open(
+                self.cluster.clone(),
+                bag,
+                self.seed,
+                1,
+                None,
+            ))
+        }
+
+        fn release_run(&mut self, bag: BagId) -> Result<(), EngineError> {
+            self.cluster.collect_bag(bag)?;
+            self.live.lock().retain(|&b| b != bag);
+            Ok(())
+        }
+    }
+
+    /// Builds `n` sealed partial bags filled by `fill` and returns their
+    /// readers.
+    fn string_partials(
+        cluster: &Arc<StorageCluster>,
+        n: usize,
+        fill: &dyn Fn(usize) -> Vec<(String, u64)>,
+    ) -> Vec<BagReader> {
+        (0..n)
+            .map(|i| {
+                let bag = cluster.create_bag();
+                let mut w = BagWriter::open(cluster.clone(), bag, i as u64, 128);
+                for rec in fill(i) {
+                    w.write_record(&rec).unwrap();
+                }
+                w.flush().unwrap();
+                cluster.seal_bag(bag).unwrap();
+                BagReader::open(cluster.clone(), bag, 1000 + i as u64, 4, None)
+            })
+            .collect()
+    }
+
+    /// Runs `merge` over identical inputs once unbounded and once bounded
+    /// at `budget`; returns (unbounded chunks, bounded chunks, stats,
+    /// sink) for comparison.
+    fn bounded_vs_unbounded<M: MergeLogic>(
+        merge: &M,
+        budget: u64,
+        chunk_size: usize,
+        n: usize,
+        fill: &dyn Fn(usize) -> Vec<(String, u64)>,
+    ) -> (Vec<Vec<u8>>, Vec<Vec<u8>>, SpillStats, TestSink) {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let chunks_of = |bag| {
+            cluster.seal_bag(bag).unwrap();
+            cluster
+                .snapshot_bag(bag)
+                .unwrap()
+                .iter()
+                .map(|c| c.bytes().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let mut readers = string_partials(&cluster, n, fill);
+        let plain_bag = cluster.create_bag();
+        let mut plain_out = BagWriter::open(cluster.clone(), plain_bag, 77, chunk_size);
+        merge.merge(0, &mut readers, &mut plain_out).unwrap();
+        plain_out.flush().unwrap();
+
+        let mut readers = string_partials(&cluster, n, fill);
+        let bounded_bag = cluster.create_bag();
+        let mut bounded_out = BagWriter::open(cluster.clone(), bounded_bag, 77, chunk_size);
+        let mut sink = TestSink::new(&cluster, chunk_size);
+        let stats = merge
+            .merge_bounded(0, &mut readers, &mut bounded_out, budget, &mut sink)
+            .unwrap();
+        bounded_out.flush().unwrap();
+        (chunks_of(plain_bag), chunks_of(bounded_bag), stats, sink)
+    }
+
+    fn skewed_fill(i: usize) -> Vec<(String, u64)> {
+        // Overlapping hot keys plus per-partial distinct keys, unsorted.
+        (0..120)
+            .map(|r| (format!("k{:03}", (r * 7 + i * 3) % 60), (r + i) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn bounded_keyed_merge_is_byte_identical_across_budgets() {
+        let merge = KeyedMerge::<String, u64, _>::new(|a, b| a + b);
+        for budget in [0, 1, 300, 4 * 1024, u64::MAX] {
+            let (plain, bounded, stats, sink) =
+                bounded_vs_unbounded(&merge, budget, 128, 3, &skewed_fill);
+            assert_eq!(plain, bounded, "budget {budget} changed output bytes");
+            if budget < 300 {
+                assert!(stats.runs > 0, "tiny budget {budget} must spill");
+                assert!(stats.spilled_records > 0);
+            }
+            assert!(
+                sink.live.lock().is_empty(),
+                "budget {budget} leaked scratch runs"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_keyed_merge_folding_is_byte_identical() {
+        let merge = KeyedMerge::<String, u64, _>::folding(|acc, v: u64| *acc += v);
+        let (plain, bounded, stats, sink) = bounded_vs_unbounded(&merge, 0, 96, 2, &skewed_fill);
+        assert_eq!(plain, bounded);
+        assert!(stats.runs > 0);
+        assert!(sink.live.lock().is_empty());
+    }
+
+    #[test]
+    fn bounded_merge_refolds_hierarchically_past_run_fanin() {
+        // Budget 0 spills once per input chunk; small chunks make far
+        // more runs than RUN_FANIN, forcing intermediate re-merge rounds.
+        let merge = KeyedMerge::<String, u64, _>::new(|a, b| a + b);
+        let fill = |i: usize| {
+            (0..400)
+                .map(|r| (format!("key{:04}", (r * 13 + i) % 250), r as u64))
+                .collect::<Vec<_>>()
+        };
+        let (plain, bounded, stats, sink) = bounded_vs_unbounded(&merge, 0, 64, 2, &fill);
+        assert_eq!(plain, bounded);
+        assert!(
+            stats.runs as usize > RUN_FANIN,
+            "need > RUN_FANIN runs to exercise re-folding, got {}",
+            stats.runs
+        );
+        assert!(stats.rounds > 1, "expected intermediate rounds");
+        assert!(sink.live.lock().is_empty());
+    }
+
+    #[test]
+    fn unbounded_budget_never_touches_the_sink() {
+        let merge = KeyedMerge::<String, u64, _>::new(|a, b| a + b);
+        let (plain, bounded, stats, sink) =
+            bounded_vs_unbounded(&merge, u64::MAX, 128, 3, &skewed_fill);
+        assert_eq!(plain, bounded);
+        assert_eq!(stats, SpillStats::default());
+        assert_eq!(*sink.created.lock(), 0, "no scratch bag may be created");
+    }
+
+    #[test]
+    fn bounded_merge_of_empty_partials_is_empty() {
+        let merge = KeyedMerge::<String, u64, _>::new(|a, b| a + b);
+        let (plain, bounded, stats, _sink) =
+            bounded_vs_unbounded(&merge, 0, 128, 3, &|_| Vec::new());
+        assert_eq!(plain, bounded);
+        assert!(plain.is_empty());
+        assert_eq!(stats, SpillStats::default());
+    }
+
+    #[test]
+    fn default_merge_bounded_falls_back_to_unbounded() {
+        // Merges without per-key state (here: concat) use the default
+        // method — unbounded behavior, no sink traffic, empty stats.
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let mut readers = string_partials(&cluster, 2, &skewed_fill);
+        let out_bag = cluster.create_bag();
+        let mut out = BagWriter::open(cluster.clone(), out_bag, 77, 128);
+        let mut sink = TestSink::new(&cluster, 128);
+        let stats = ConcatMerge
+            .merge_bounded(0, &mut readers, &mut out, 0, &mut sink)
+            .unwrap();
+        out.flush().unwrap();
+        assert_eq!(stats, SpillStats::default());
+        assert_eq!(*sink.created.lock(), 0);
+        cluster.seal_bag(out_bag).unwrap();
+        assert_eq!(
+            read_bag::<(String, u64)>(&cluster, out_bag).len(),
+            2 * skewed_fill(0).len()
+        );
+    }
+
+    #[test]
+    fn merge_outputs_bounded_matches_merge_outputs() {
+        // The driver-level check: a multi-output keyed merge spilling
+        // under a tiny budget produces the same bytes per output as the
+        // unbounded driver, and releases every scratch run.
+        let build_jobs = |cluster: &Arc<StorageCluster>| -> (Vec<_>, Vec<BagId>) {
+            let mut jobs = Vec::new();
+            let mut out_bags = Vec::new();
+            for out_idx in 0..4usize {
+                let partials: Vec<BagReader> = (0..3)
+                    .map(|i| {
+                        let bag = cluster.create_bag();
+                        let seed = (out_idx * 3 + i) as u64;
+                        let mut w = BagWriter::open(cluster.clone(), bag, seed, 128);
+                        for r in 0..80 {
+                            w.write_record(&(format!("k{:02}", (r + i) % 40), r as u64))
+                                .unwrap();
+                        }
+                        w.flush().unwrap();
+                        cluster.seal_bag(bag).unwrap();
+                        BagReader::open(cluster.clone(), bag, 1000 + seed, 4, None)
+                    })
+                    .collect();
+                let out_bag = cluster.create_bag();
+                let out = BagWriter::open(cluster.clone(), out_bag, 500 + out_idx as u64, 128);
+                out_bags.push(out_bag);
+                jobs.push((out_idx, partials, out));
+            }
+            (jobs, out_bags)
+        };
+        let collect = |cluster: &Arc<StorageCluster>, bags: Vec<BagId>| -> Vec<Vec<Vec<u8>>> {
+            bags.into_iter()
+                .map(|bag| {
+                    cluster.seal_bag(bag).unwrap();
+                    cluster
+                        .snapshot_bag(bag)
+                        .unwrap()
+                        .iter()
+                        .map(|c| c.bytes().to_vec())
+                        .collect()
+                })
+                .collect()
+        };
+        let merge = KeyedMerge::<String, u64, _>::new(|a, b| a + b);
+
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let (jobs, out_bags) = build_jobs(&cluster);
+        merge_outputs(&merge, 2, jobs).unwrap();
+        let plain = collect(&cluster, out_bags);
+
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let (jobs, out_bags) = build_jobs(&cluster);
+        let live: Arc<Mutex<Vec<BagId>>> = Arc::new(Mutex::new(Vec::new()));
+        let make_sink = || -> Box<dyn SpillSink> {
+            let mut sink = TestSink::new(&cluster, 128);
+            sink.live = live.clone();
+            Box::new(sink)
+        };
+        let stats = merge_outputs_bounded(&merge, 2, jobs, 64, &make_sink).unwrap();
+        assert!(stats.runs > 0, "tiny budget must spill");
+        assert!(live.lock().is_empty(), "scratch runs leaked");
+        assert_eq!(collect(&cluster, out_bags), plain);
     }
 
     #[test]

@@ -581,6 +581,47 @@ where
     }
 }
 
+/// Counters describing how much a bounded merge had to spill.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Records drained from the accumulator table into scratch runs.
+    pub spilled_records: u64,
+    /// Scratch runs written (drains plus intermediate re-merges).
+    pub runs: u64,
+    /// Merge rounds over scratch runs (0 when everything fit in memory).
+    pub rounds: u64,
+}
+
+impl SpillStats {
+    /// Accumulates another output's counters into this one.
+    pub fn absorb(&mut self, other: SpillStats) {
+        self.spilled_records += other.spilled_records;
+        self.runs += other.runs;
+        self.rounds += other.rounds;
+    }
+}
+
+/// Where a bounded merge parks accumulator state that no longer fits in
+/// its memory budget.
+///
+/// A *run* is a scratch bag holding one sorted `(key, partial)` record
+/// stream. The sink owns run lifecycle: [`SpillSink::create_run`] mints a
+/// writer over a fresh scratch bag whose chunks read back in insertion
+/// order (the manager pins each run to one storage node — bags are
+/// unordered *across* nodes but FIFO within one), [`SpillSink::open_run`]
+/// seals a finished run and returns an in-order reader, and
+/// [`SpillSink::release_run`] reclaims a run's storage once it has been
+/// folded into a later round. Runs not released by the merge (error
+/// unwind) are discarded by the sink's owner when the merge task ends.
+pub trait SpillSink {
+    /// Creates a fresh scratch run and returns a writer over it.
+    fn create_run(&mut self) -> Result<BagWriter, EngineError>;
+    /// Seals run `bag` and opens an in-insertion-order reader over it.
+    fn open_run(&mut self, bag: BagId) -> Result<BagReader, EngineError>;
+    /// Reclaims run `bag`'s storage.
+    fn release_run(&mut self, bag: BagId) -> Result<(), EngineError>;
+}
+
 /// Application-specified merge: reconciles the partial outputs of a task's
 /// clones into the single output an uncloned run would have produced
 /// (paper §2.3).
@@ -593,6 +634,28 @@ pub trait MergeLogic: Send + Sync + 'static {
         partials: &mut [BagReader],
         out: &mut BagWriter,
     ) -> Result<(), EngineError>;
+
+    /// Like [`MergeLogic::merge`], but bounded: implementations that
+    /// accumulate per-key state may hold at most ~`budget` bytes of it in
+    /// memory, draining overflow into scratch runs via `sink` and
+    /// re-folding the runs in additional rounds until the result fits.
+    ///
+    /// The contract is unchanged — the output must be byte-identical to
+    /// the unbounded [`MergeLogic::merge`] at any budget. The default
+    /// simply runs the unbounded merge (correct for merges whose state
+    /// does not grow with key cardinality, e.g. concat/reduce/top-k);
+    /// `KeyedMerge` overrides it with a real external aggregation.
+    fn merge_bounded(
+        &self,
+        output_index: usize,
+        partials: &mut [BagReader],
+        out: &mut BagWriter,
+        _budget: u64,
+        _sink: &mut dyn SpillSink,
+    ) -> Result<SpillStats, EngineError> {
+        self.merge(output_index, partials, out)?;
+        Ok(SpillStats::default())
+    }
 }
 
 impl<F> MergeLogic for F

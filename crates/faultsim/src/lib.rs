@@ -47,8 +47,10 @@
 
 pub mod net;
 pub mod scenario;
+pub mod store;
 
 pub use net::{FaultAction, SimConfig, SimNet, SimTransport, TraceEvent};
 pub use scenario::{
     assert_exactly_once, chunk_of, drain_all, scenario_seed, sweep_seeds, value_of, FaultSim,
 };
+pub use store::{DiskFaultConfig, DiskFaultCounts, DiskFaults, FaultyStore};

@@ -134,6 +134,18 @@ pub enum FaultAction {
     /// it refuses new inserts (placement skips it) but keeps serving its
     /// remaining chunks until empty. The slot is never reused.
     DrainNode(usize),
+    /// The node's *disk* starts misbehaving: segment-log appends, syncs,
+    /// and positioned reads roll faults at the attached
+    /// [`DiskFaults`](crate::store::DiskFaults) controller's rates
+    /// (ENOSPC, EIO, torn frames, fsync failure, read corruption). The
+    /// node and the network stay healthy — only its storage medium lies.
+    /// A no-op unless the simulation was built over a
+    /// [`FaultyStore`](crate::store::FaultyStore)
+    /// ([`FaultSim::new_with_disk`](crate::scenario::FaultSim::new_with_disk)).
+    DiskFault(usize),
+    /// Heals the node's disk: stops injecting new faults (bytes already
+    /// torn or corrupt replies already served stay in history).
+    DiskHeal(usize),
 }
 
 /// One observable simulation event, recorded in virtual-time order.
@@ -289,6 +301,10 @@ struct SimInner {
     nodes: Vec<Arc<StorageNode>>,
     /// Per-node dedup windows — durable state, surviving crash/restart.
     dedups: Vec<ServerDedup>,
+    /// Disk-fault controller, when the cluster was built over a
+    /// [`FaultyStore`](crate::store::FaultyStore); routes
+    /// [`FaultAction::DiskFault`] / [`FaultAction::DiskHeal`].
+    disk: Option<Arc<crate::store::DiskFaults>>,
     now_us: u64,
     /// Queue tiebreak: same-instant events run in insertion order.
     next_tick: u64,
@@ -468,6 +484,8 @@ impl SimInner {
             FaultAction::Recover(n) => FaultAction::Recover(canonical(n)),
             FaultAction::AddNode => FaultAction::AddNode,
             FaultAction::DrainNode(n) => FaultAction::DrainNode(canonical(n)),
+            FaultAction::DiskFault(n) => FaultAction::DiskFault(canonical(n)),
+            FaultAction::DiskHeal(n) => FaultAction::DiskHeal(canonical(n)),
         };
         self.trace.push(TraceEvent::Fault {
             at_us: self.now_us,
@@ -490,6 +508,16 @@ impl SimInner {
             FaultAction::Recover(n) => self.nodes[n].recover(),
             FaultAction::AddNode => self.add_node(),
             FaultAction::DrainNode(n) => self.nodes[n].start_draining(),
+            FaultAction::DiskFault(n) => {
+                if let Some(disk) = &self.disk {
+                    disk.arm(n);
+                }
+            }
+            FaultAction::DiskHeal(n) => {
+                if let Some(disk) = &self.disk {
+                    disk.disarm(n);
+                }
+            }
         }
     }
 
@@ -532,6 +560,7 @@ impl SimNet {
                 self_weak: weak.clone(),
                 nodes,
                 dedups,
+                disk: None,
                 now_us: 0,
                 next_tick: 0,
                 queue: BTreeMap::new(),
@@ -592,6 +621,13 @@ impl SimNet {
         RpcPort::from_membership(cluster, membership, timeout)
     }
 
+    /// Attaches a disk-fault controller so [`FaultAction::DiskFault`] /
+    /// [`FaultAction::DiskHeal`] (and [`SimNet::heal_all`]) reach it.
+    /// Called by [`FaultSim::new_with_disk`](crate::scenario::FaultSim::new_with_disk).
+    pub fn attach_disk(&self, disk: Arc<crate::store::DiskFaults>) {
+        self.inner.lock().disk = Some(disk);
+    }
+
     /// Applies a fault right now.
     pub fn apply(&self, action: FaultAction) {
         self.inner.lock().apply_action(action);
@@ -616,6 +652,11 @@ impl SimNet {
     pub fn heal_all(&self) {
         let mut inner = self.inner.lock();
         inner.queue.retain(|_, ev| !matches!(ev, Event::Fault(_)));
+        // Disks heal first: a crashed node's restart below re-reads its
+        // segment logs, and recovery must not roll fresh read faults.
+        if let Some(disk) = &inner.disk {
+            disk.disarm_all();
+        }
         for i in 0..inner.nodes.len() {
             inner.partitioned[i] = false;
             if inner.crashed[i] {

@@ -15,6 +15,7 @@ use hurricane_storage::rpc::{RetryPolicy, RpcPort};
 use hurricane_storage::segment::SegmentStore;
 
 use crate::net::{SimConfig, SimNet};
+use crate::store::{DiskFaultConfig, DiskFaults, FaultyStore};
 
 /// A cluster with its simulated network and one bag under test.
 pub struct FaultSim {
@@ -24,6 +25,10 @@ pub struct FaultSim {
     pub net: SimNet,
     /// The bag scenarios insert into and drain from.
     pub bag: BagId,
+    /// Disk-fault controller when built with
+    /// [`FaultSim::new_with_disk`]; `None` means every virtual disk is
+    /// perfect.
+    pub disk: Option<Arc<DiskFaults>>,
 }
 
 impl FaultSim {
@@ -46,7 +51,44 @@ impl FaultSim {
         );
         let bag = cluster.create_bag();
         let net = SimNet::new(cluster.clone(), cfg);
-        Self { cluster, net, bag }
+        Self {
+            cluster,
+            net,
+            bag,
+            disk: None,
+        }
+    }
+
+    /// As [`FaultSim::new`], but the virtual disks roll faults at
+    /// `disk_cfg`'s rates once armed — by
+    /// [`crate::net::FaultAction::DiskFault`] on the wire's schedule, or
+    /// directly through the returned sim's [`disk`](Self::disk)
+    /// controller. [`SimNet::heal_all`] disarms every disk before it
+    /// restarts crashed nodes.
+    pub fn new_with_disk(
+        m: usize,
+        replication: usize,
+        cfg: SimConfig,
+        disk_cfg: DiskFaultConfig,
+    ) -> Self {
+        let disk = DiskFaults::new(cfg.seed, disk_cfg);
+        let cluster = StorageCluster::new_durable(
+            m,
+            ClusterConfig { replication },
+            DurabilityConfig {
+                store: FaultyStore::wrap(SegmentStore::mem(), disk.clone()),
+                spill_threshold_bytes: u64::MAX,
+            },
+        );
+        let bag = cluster.create_bag();
+        let net = SimNet::new(cluster.clone(), cfg);
+        net.attach_disk(disk.clone());
+        Self {
+            cluster,
+            net,
+            bag,
+            disk: Some(disk),
+        }
     }
 
     /// Mints a port with `attempts` total tries per request (1 = fail

@@ -28,6 +28,16 @@
 //! the logs end. `--spill-threshold BYTES` bounds resident memory: cold
 //! bags spill back to their logs and re-read on demand.
 //!
+//! The other memory bound — `merge_memory_budget`, which makes keyed
+//! merges spill their accumulator tables into scratch bags on these
+//! nodes — is a *driver*-process knob: merges run in the engine's task
+//! managers, not here. Drivers set it through
+//! `HurricaneConfig::with_merge_memory_budget`, the
+//! `--merge-memory-budget` flag on engine binaries (`real_engine`), or
+//! the `HURRICANE_MERGE_MEMORY_BUDGET` environment override; a storage
+//! node only sees the resulting scratch-bag traffic (`SEGMENT.md`,
+//! "Error handling").
+//!
 //! On `SIGTERM` the process shuts down gracefully: open segment logs are
 //! flushed and fsynced, and the process exits 0. `SIGKILL` skips the
 //! flush; recovery then replays whatever reached the logs (every *acked*

@@ -133,6 +133,10 @@ pub struct BagClient {
     /// Per-target scratch buckets reused across `insert_batch` calls so a
     /// steady stream of batches allocates nothing.
     insert_buckets: Vec<Vec<Chunk>>,
+    /// When set, every insert and remove addresses exactly this node —
+    /// no cyclic spreading, no re-routing. See
+    /// [`BagClient::with_pinned_node`].
+    pinned: Option<usize>,
 }
 
 impl BagClient {
@@ -152,7 +156,32 @@ impl BagClient {
             bag,
             rng,
             insert_buckets: Vec::new(),
+            pinned: None,
         }
+    }
+
+    /// Pins this client to storage node `idx`: every insert lands there
+    /// (errors propagate instead of re-routing — the caller must learn
+    /// the write failed) and removes probe only that node.
+    ///
+    /// Bag chunks are normally *unordered* — cyclic placement spreads
+    /// them across nodes and readers interleave node streams. A pinned
+    /// client trades that balance for the one ordering guarantee storage
+    /// does make: per-node FIFO. Spill runs in the merge plane
+    /// (`core/merges.rs`) depend on it — a sorted run written through a
+    /// pinned client reads back in exactly its written (sorted) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the current membership.
+    #[must_use]
+    pub fn with_pinned_node(mut self, idx: usize) -> Self {
+        assert!(
+            idx < self.port.num_nodes(),
+            "pinned node {idx} out of range"
+        );
+        self.pinned = Some(idx);
+        self
     }
 
     /// The bag this client addresses.
@@ -186,6 +215,11 @@ impl BagClient {
     /// the next nodes in the cycle are tried — data placement has no
     /// locality to preserve, so any node is as good as any other.
     pub fn insert(&mut self, chunk: Chunk) -> Result<(), StorageError> {
+        if let Some(p) = self.pinned {
+            return self
+                .port
+                .insert_batch(p, self.bag, std::slice::from_ref(&chunk));
+        }
         let m = self.insert_cursor.len();
         let mut last_err = None;
         for _ in 0..m {
@@ -195,16 +229,24 @@ impl BagClient {
                 .insert_batch(target, self.bag, std::slice::from_ref(&chunk))
             {
                 Ok(()) => return Ok(()),
-                Err(
-                    e @ (StorageError::NodeDown(_)
-                    | StorageError::NodeDraining(_)
-                    | StorageError::AllReplicasDown(_)
-                    | StorageError::Disconnected(_)),
-                ) => last_err = Some(e),
+                Err(e) if Self::reroutes(&e) => last_err = Some(e),
                 Err(e) => return Err(e),
             }
         }
         Err(last_err.unwrap_or(StorageError::AllReplicasDown(self.bag)))
+    }
+
+    /// Whether an insert error means "try the next node in the cycle":
+    /// the target is down, draining, disk-sick
+    /// ([`StorageError::routes_around`]), wholly unreachable, or its
+    /// transport dropped. Anything else (sealed, collected, codec) is a
+    /// caller error and propagates.
+    fn reroutes(e: &StorageError) -> bool {
+        e.routes_around()
+            || matches!(
+                e,
+                StorageError::AllReplicasDown(_) | StorageError::Disconnected(_)
+            )
     }
 
     /// Inserts every chunk of `chunks` with one cluster call per target
@@ -221,6 +263,9 @@ impl BagClient {
         if chunks.is_empty() {
             return Ok(());
         }
+        if let Some(p) = self.pinned {
+            return self.port.insert_batch(p, self.bag, chunks);
+        }
         self.bucket_chunks(chunks.iter().cloned());
         self.dispatch_buckets()
     }
@@ -232,6 +277,9 @@ impl BagClient {
     pub fn insert_batch_vec(&mut self, chunks: Vec<Chunk>) -> Result<(), StorageError> {
         if chunks.is_empty() {
             return Ok(());
+        }
+        if let Some(p) = self.pinned {
+            return self.port.insert_batch(p, self.bag, &chunks);
         }
         self.bucket_chunks(chunks.into_iter());
         self.dispatch_buckets()
@@ -274,11 +322,7 @@ impl BagClient {
                         landed = true;
                         break;
                     }
-                    Err(
-                        e @ (StorageError::NodeDown(_)
-                        | StorageError::NodeDraining(_)
-                        | StorageError::AllReplicasDown(_)),
-                    ) => last_err = Some(e),
+                    Err(e) if Self::reroutes(&e) => last_err = Some(e),
                     Err(e) => return Err(e),
                 }
             }
@@ -295,22 +339,22 @@ impl BagClient {
     /// probing (paper §3.3); the prefetcher amortizes that cost with its
     /// `b` outstanding requests.
     pub fn try_remove(&mut self) -> Result<RemoveResult, StorageError> {
-        let m = self.remove_cursor.len();
+        let m = if self.pinned.is_some() {
+            1
+        } else {
+            self.remove_cursor.len()
+        };
         let mut saw_pending = false;
         let mut down = 0usize;
         for _ in 0..m {
-            let target = self.remove_cursor.next_node();
+            let target = self
+                .pinned
+                .unwrap_or_else(|| self.remove_cursor.next_node());
             match self.port.remove(target, self.bag) {
                 Ok(NodeRemove::Chunk(c)) => return Ok(RemoveResult::Chunk(c)),
                 Ok(NodeRemove::Empty) => saw_pending = true,
                 Ok(NodeRemove::Eof) => {}
-                Err(
-                    StorageError::NodeDown(_)
-                    | StorageError::AllReplicasDown(_)
-                    | StorageError::Disconnected(_),
-                ) => {
-                    down += 1;
-                }
+                Err(e) if Self::reroutes(&e) => down += 1,
                 Err(e) => return Err(e),
             }
         }
@@ -337,7 +381,11 @@ impl BagClient {
     /// [`Prefetcher`](crate::prefetch::Prefetcher), whose RPC pipeline
     /// keeps `b` of these probes in flight.)
     pub fn try_remove_batch(&mut self, max_n: usize) -> Result<BatchRemoveResult, StorageError> {
-        let m = self.remove_cursor.len();
+        let m = if self.pinned.is_some() {
+            1
+        } else {
+            self.remove_cursor.len()
+        };
         let mut got: Vec<Chunk> = Vec::new();
         let mut saw_pending = false;
         let mut down = 0usize;
@@ -346,7 +394,9 @@ impl BagClient {
             if budget == 0 {
                 break;
             }
-            let target = self.remove_cursor.next_node();
+            let target = self
+                .pinned
+                .unwrap_or_else(|| self.remove_cursor.next_node());
             match self.port.remove_batch(target, self.bag, budget) {
                 Ok(batch) => {
                     if batch.exhausted && !batch.eof {
@@ -354,13 +404,7 @@ impl BagClient {
                     }
                     got.extend(batch.chunks);
                 }
-                Err(
-                    StorageError::NodeDown(_)
-                    | StorageError::AllReplicasDown(_)
-                    | StorageError::Disconnected(_),
-                ) => {
-                    down += 1;
-                }
+                Err(e) if Self::reroutes(&e) => down += 1,
                 Err(e) => return Err(e),
             }
         }
@@ -699,6 +743,46 @@ mod tests {
             cluster.node(2).sample(bag).unwrap().total_chunks >= 9,
             "joined node should receive its cyclic share over RPC"
         );
+    }
+
+    #[test]
+    fn pinned_client_keeps_fifo_on_one_node() {
+        let cluster = StorageCluster::new(4, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagClient::new(cluster.clone(), bag, 13).with_pinned_node(2);
+        for i in 0..50 {
+            w.insert(chunk(i)).unwrap();
+        }
+        // Everything landed on the pinned node, nothing elsewhere.
+        assert_eq!(cluster.node(2).sample(bag).unwrap().total_chunks, 50);
+        for idx in [0, 1, 3] {
+            assert_eq!(cluster.node(idx).sample(bag).unwrap().total_chunks, 0);
+        }
+        cluster.seal_bag(bag).unwrap();
+        // A pinned reader sees the exact insertion order (per-node FIFO).
+        let mut r = BagClient::new(cluster.clone(), bag, 14).with_pinned_node(2);
+        let mut got = Vec::new();
+        loop {
+            match r.try_remove_batch(7).unwrap() {
+                BatchRemoveResult::Chunks(batch) => got.extend(batch.iter().map(chunk_val)),
+                BatchRemoveResult::Drained => break,
+                BatchRemoveResult::Pending => unreachable!("sealed bag"),
+            }
+        }
+        let expected: Vec<u64> = (0..50).collect();
+        assert_eq!(got, expected, "pinned reads must preserve write order");
+    }
+
+    #[test]
+    fn pinned_insert_propagates_node_failure() {
+        let cluster = StorageCluster::new(2, ClusterConfig::default());
+        let bag = cluster.create_bag();
+        let mut w = BagClient::new(cluster.clone(), bag, 15).with_pinned_node(0);
+        cluster.node(0).fail();
+        // No silent re-route: the caller must learn the write failed
+        // even though node 1 is healthy.
+        assert!(matches!(w.insert(chunk(1)), Err(StorageError::NodeDown(_))));
+        assert_eq!(cluster.node(1).sample(bag).unwrap().total_chunks, 0);
     }
 
     #[test]

@@ -420,9 +420,10 @@ impl StorageCluster {
         for idx in replicas.rev() {
             match nodes[idx].insert_run(bag, chunks, origin, run) {
                 Ok(()) => landed += 1,
-                Err(e @ (StorageError::NodeDown(_) | StorageError::NodeDraining(_))) => {
-                    last_err = Some(e);
-                }
+                // Down, draining, or disk-sick replicas are routed around:
+                // the write still succeeds if any replica journals it
+                // (see [`StorageError::routes_around`]).
+                Err(e) if e.routes_around() => last_err = Some(e),
                 Err(e) => return Err(e),
             }
         }
@@ -484,7 +485,9 @@ impl StorageCluster {
                     serving = Some((idx, outcome));
                     break;
                 }
-                Err(StorageError::NodeDown(_)) => continue,
+                // A replica that can't serve (down, or its segment log
+                // can't journal the consume) fails over to the next one.
+                Err(e) if e.routes_around() => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -536,6 +539,9 @@ impl StorageCluster {
         let m = nodes.len();
         let mut out = Vec::new();
         if self.config.replication == 1 {
+            // Unreplicated snapshots cannot route around a disk-sick
+            // node — no other node holds its chunks — so only NodeDown,
+            // whose data a restart may still recover, is skipped.
             for node in nodes.iter() {
                 match node.snapshot(bag) {
                     Ok(chunks) => out.extend(chunks),
@@ -558,7 +564,7 @@ impl StorageCluster {
                         served = true;
                         break;
                     }
-                    Err(StorageError::NodeDown(_)) => continue,
+                    Err(e) if e.routes_around() => continue,
                     Err(e) => return Err(e),
                 }
             }

@@ -37,6 +37,18 @@ pub enum StorageError {
     PrefetchAborted,
     /// A work-bag record failed to decode.
     Codec(CodecError),
+    /// The node's data dir is out of space (`ENOSPC`): a segment-log
+    /// append could not journal the operation. Non-retryable *at this
+    /// node* — the disk stays full — but replicated writers route the
+    /// data to the remaining replicas, like
+    /// [`StorageError::NodeDraining`].
+    DiskFull(StorageNodeId),
+    /// A segment-log I/O operation failed for a reason other than space
+    /// (a failed write, a read-back whose CRC no longer matches, a torn
+    /// frame). Possibly transient, so retryable — and replicated callers
+    /// additionally route around the node, like
+    /// [`StorageError::NodeDown`].
+    DiskIo(StorageNodeId),
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +74,49 @@ impl fmt::Display for StorageError {
                 write!(f, "prefetch stream ended before end-of-bag")
             }
             StorageError::Codec(e) => write!(f, "work bag record corrupt: {e}"),
+            StorageError::DiskFull(n) => {
+                write!(f, "storage node {n} data dir is out of space")
+            }
+            StorageError::DiskIo(n) => {
+                write!(f, "storage node {n} segment-log I/O failed")
+            }
+        }
+    }
+}
+
+impl StorageError {
+    /// Whether retrying the same operation against the *same node* can
+    /// succeed. [`StorageError::DiskIo`] and timeouts are transient;
+    /// [`StorageError::DiskFull`] is not (the disk stays full until an
+    /// operator frees space), and neither are the bag-state errors.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Timeout(_) | StorageError::Disconnected(_) | StorageError::DiskIo(_)
+        )
+    }
+
+    /// Whether a replicated caller should treat this node as unusable for
+    /// the operation and route to the remaining replicas: the node is
+    /// down, draining, or its disk can no longer journal
+    /// ([`StorageError::DiskFull`] / [`StorageError::DiskIo`]).
+    pub fn routes_around(&self) -> bool {
+        matches!(
+            self,
+            StorageError::NodeDown(_)
+                | StorageError::NodeDraining(_)
+                | StorageError::DiskFull(_)
+                | StorageError::DiskIo(_)
+        )
+    }
+
+    /// Classifies a segment-log I/O failure at `node`: `ENOSPC` becomes
+    /// [`StorageError::DiskFull`], anything else [`StorageError::DiskIo`].
+    pub fn from_disk_io(node: StorageNodeId, e: &std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::StorageFull || e.raw_os_error() == Some(28) {
+            StorageError::DiskFull(node)
+        } else {
+            StorageError::DiskIo(node)
         }
     }
 }
@@ -92,5 +147,36 @@ mod tests {
     fn codec_error_converts() {
         let e: StorageError = CodecError::Truncated.into();
         assert!(matches!(e, StorageError::Codec(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn disk_errors_classify_from_io() {
+        let n = StorageNodeId(2);
+        let enospc = std::io::Error::from_raw_os_error(28);
+        assert_eq!(
+            StorageError::from_disk_io(n, &enospc),
+            StorageError::DiskFull(n)
+        );
+        let kind = std::io::Error::new(std::io::ErrorKind::StorageFull, "full");
+        assert_eq!(
+            StorageError::from_disk_io(n, &kind),
+            StorageError::DiskFull(n)
+        );
+        let other = std::io::Error::other("bad sector");
+        assert_eq!(
+            StorageError::from_disk_io(n, &other),
+            StorageError::DiskIo(n)
+        );
+    }
+
+    #[test]
+    fn disk_errors_route_around_but_only_io_retries() {
+        let n = StorageNodeId(0);
+        assert!(StorageError::DiskFull(n).routes_around());
+        assert!(StorageError::DiskIo(n).routes_around());
+        assert!(!StorageError::DiskFull(n).is_retryable());
+        assert!(StorageError::DiskIo(n).is_retryable());
+        assert!(StorageError::Timeout(n).is_retryable());
+        assert!(!StorageError::BagSealed(BagId(1)).routes_around());
     }
 }

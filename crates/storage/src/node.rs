@@ -280,6 +280,11 @@ struct Stream {
     /// serve named the identity delivered that chunk, so serving it
     /// here again would break exactly-once.
     pre_consumed: HashSet<(u64, u32)>,
+    /// Set when an append to this stream's log failed: the log may end
+    /// in torn bytes, so every further append is refused — a later
+    /// success would bury the tear *inside* the log, past the recovery
+    /// scan's torn-tail cut, corrupting everything after it.
+    poisoned: bool,
 }
 
 /// What one [`Stream::consume_tags`] call did.
@@ -319,21 +324,38 @@ fn push_tag(tags: &mut Vec<TagSegment>, (run, k): (u64, u32)) {
 const CLAIM_POSITIONS_CAP: u64 = 1 << 16;
 
 impl Stream {
-    /// Appends a chunk, journaling it first when durable. Returns the
-    /// chunk's length (the caller's resident-byte delta) and whether
-    /// the chunk landed already consumed (its identity was claimed
-    /// before the insert arrived — see [`Stream::pre_consumed`]).
-    fn push(&mut self, chunk: Chunk, run: u64, k: u32) -> (u64, bool) {
+    /// Appends `bytes` (one or more encoded frames) to this stream's
+    /// segment log, returning the offset they start at — or `None` on a
+    /// memory-only stream. A failed append *poisons* the stream (see
+    /// [`Stream::poisoned`]); callers journal **before** mutating any
+    /// in-memory state, so a refused journal refuses the whole
+    /// operation and the log never disagrees with served state.
+    fn journal(&mut self, bytes: &[u8]) -> io::Result<Option<u64>> {
+        let Some(log) = &self.log else {
+            return Ok(None);
+        };
+        if self.poisoned {
+            return Err(io::Error::other(
+                "segment stream poisoned by an earlier failed append",
+            ));
+        }
+        match log.append(bytes) {
+            Ok(offset) => Ok(Some(offset)),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends a chunk already journaled at `at` (or memory-only when
+    /// `None`). Returns the chunk's length (the caller's resident-byte
+    /// delta) and whether the chunk landed already consumed (its
+    /// identity was claimed before the insert arrived — see
+    /// [`Stream::pre_consumed`]).
+    fn push(&mut self, chunk: Chunk, run: u64, k: u32, at: Option<FrameLoc>) -> (u64, bool) {
         let len = chunk.len() as u64;
         self.total_bytes += len;
-        let at = self.log.as_ref().map(|log| {
-            let frame = segment::data_frame(run, k, chunk.bytes());
-            let offset = log.append(&frame).expect("segment append failed");
-            FrameLoc {
-                offset,
-                frame_len: frame.len() as u32,
-            }
-        });
         self.slots.push(Slot::Resident { chunk, at });
         self.tags.push((run, k));
         let claimed = self.pre_consumed.remove(&(run, k));
@@ -359,37 +381,55 @@ impl Stream {
         }
     }
 
-    /// The chunk at `i`, re-read from the segment log when spilled.
-    fn chunk_at(&self, i: usize) -> Chunk {
+    /// The chunk at `i`, re-read from the segment log when spilled. A
+    /// failed or CRC-corrupt read-back is an error, not a panic — the
+    /// caller refuses the serve and the chunk stays live for a retry
+    /// (transient corruption) or a replica failover.
+    fn chunk_at(&self, i: usize) -> io::Result<Chunk> {
         match &self.slots[i] {
-            Slot::Resident { chunk, .. } => chunk.clone(),
+            Slot::Resident { chunk, .. } => Ok(chunk.clone()),
             Slot::Spilled { at, .. } => {
-                let log = self.log.as_ref().expect("spilled slot without a log");
-                let frame = log
-                    .read(at.offset, at.frame_len as usize)
-                    .expect("spilled frame read failed");
-                let (_, _, payload) =
-                    segment::decode_data_frame(&frame).expect("spilled frame corrupt");
-                Chunk::from_vec(payload.to_vec())
+                let log = self
+                    .log
+                    .as_ref()
+                    .ok_or_else(|| io::Error::other("spilled slot without a log"))?;
+                let frame = log.read(at.offset, at.frame_len as usize)?;
+                let (_, _, payload) = segment::decode_data_frame(&frame).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "spilled frame failed CRC on read-back",
+                    )
+                })?;
+                Ok(Chunk::from_vec(payload.to_vec()))
             }
         }
     }
 
-    /// Skips the consumed prefix, then consumes and returns the first
-    /// live entry along with its identity tag.
-    fn take_next(&mut self) -> Option<(Chunk, (u64, u32))> {
+    /// Indices of the next up-to-`max_n` live entries past the consumed
+    /// prefix, **without consuming them**. Serves scan first, then
+    /// journal the consume, then commit ([`Stream::commit_consumed`]) —
+    /// a failure in between leaves every scanned chunk still live.
+    fn peek_live(&self, max_n: usize, picked: &mut Vec<usize>) {
+        let mut i = self.next;
+        while picked.len() < max_n && i < self.slots.len() {
+            if !self.consumed[i] {
+                picked.push(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Marks the entries scanned by [`Stream::peek_live`] consumed and
+    /// advances the counters. Infallible: all I/O happened earlier.
+    fn commit_consumed(&mut self, picked: &[usize]) {
+        for &i in picked {
+            self.consumed[i] = true;
+            self.live -= 1;
+            self.remaining_bytes -= self.slots[i].len();
+        }
         while self.next < self.slots.len() && self.consumed[self.next] {
             self.next += 1;
         }
-        if self.next >= self.slots.len() {
-            return None;
-        }
-        let i = self.next;
-        self.consumed[i] = true;
-        self.live -= 1;
-        self.next = i + 1;
-        self.remaining_bytes -= self.slots[i].len();
-        Some((self.chunk_at(i), self.tags[i]))
     }
 
     /// Marks the chunks identified by `segs` consumed (the mirror of a
@@ -534,6 +574,10 @@ struct BagFileInner {
     /// The bag's meta log on a durable node (seal/discard/collect
     /// events); `None` on a memory-only node.
     meta: Option<SegmentLog>,
+    /// Set when a meta append failed: later meta appends are refused so
+    /// a torn frame is never buried inside the log (see
+    /// [`StorageNode::journal_meta`]).
+    meta_poisoned: bool,
 }
 
 /// Lock-free mirrors of the node's *own* (primary) stream counters for
@@ -914,6 +958,12 @@ impl StorageNode {
         }
     }
 
+    /// Classifies a segment-log I/O failure at this node (`ENOSPC` →
+    /// [`StorageError::DiskFull`], else [`StorageError::DiskIo`]).
+    fn disk_err(&self, e: &io::Error) -> StorageError {
+        StorageError::from_disk_io(self.id, e)
+    }
+
     /// Builds a bag file, opening its meta log on a durable node.
     fn new_bag_file(&self, bag: BagId) -> io::Result<BagFile> {
         let file = BagFile::default();
@@ -924,36 +974,43 @@ impl StorageNode {
     }
 
     /// Returns `bag`'s file, creating it on first touch. The read lock is
-    /// the only directory-level synchronization on the hot path.
-    fn bag_file(&self, bag: BagId) -> Arc<BagFile> {
+    /// the only directory-level synchronization on the hot path. A
+    /// durable node that cannot open the bag's meta log refuses the
+    /// operation with a typed disk error rather than caching a broken
+    /// bag file.
+    fn bag_file(&self, bag: BagId) -> Result<Arc<BagFile>, StorageError> {
         if let Some(file) = self.bags.read().get(&bag) {
-            return file.clone();
+            return Ok(file.clone());
         }
         let mut bags = self.bags.write();
-        bags.entry(bag)
-            .or_insert_with(|| Arc::new(self.new_bag_file(bag).expect("open bag meta log")))
-            .clone()
+        if let Some(file) = bags.get(&bag) {
+            return Ok(file.clone());
+        }
+        let file = Arc::new(self.new_bag_file(bag).map_err(|e| self.disk_err(&e))?);
+        bags.insert(bag, file.clone());
+        Ok(file)
     }
 
     /// `inner.streams.entry(origin)`, attaching the stream's segment log
-    /// on first touch of a durable node.
+    /// on first touch of a durable node. Refuses with a typed disk
+    /// error when the log cannot be opened.
     fn stream_entry<'a>(
         &self,
         inner: &'a mut BagFileInner,
         bag: BagId,
         origin: u32,
-    ) -> &'a mut Stream {
+    ) -> Result<&'a mut Stream, StorageError> {
         let stream = inner.streams.entry(origin).or_default();
         if stream.log.is_none() {
             if let Some(store) = &self.store {
                 stream.log = Some(
                     store
                         .open_log(&segment::data_log_name(bag, origin))
-                        .expect("open segment log"),
+                        .map_err(|e| StorageError::from_disk_io(self.id, &e))?,
                 );
             }
         }
-        stream
+        Ok(stream)
     }
 
     /// Stamps `file` as the most recently touched bag (spill recency).
@@ -1065,7 +1122,7 @@ impl StorageNode {
         if chunks.is_empty() {
             return Ok(());
         }
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         self.touch(&file);
         let mut inner = file.inner.lock();
         if inner.collected {
@@ -1077,9 +1134,37 @@ impl StorageNode {
         let mut bytes = 0u64;
         let mut claimed = 0u64;
         let mut claimed_bytes = 0u64;
-        let stream = self.stream_entry(&mut inner, bag, origin);
+        let stream = self.stream_entry(&mut inner, bag, origin)?;
+        // Journal the whole run as one append *before* touching any
+        // in-memory state: a refused or short append fails the insert
+        // cleanly with nothing landed (all-or-nothing), and the caller
+        // re-routes the batch to a healthy node.
+        let locs: Option<Vec<FrameLoc>> = if stream.log.is_some() {
+            let mut buf = Vec::new();
+            let mut locs = Vec::with_capacity(chunks.len());
+            for (k, chunk) in chunks.iter().enumerate() {
+                let start = buf.len() as u64;
+                segment::data_frame_into(run, k as u32, chunk.bytes(), &mut buf);
+                locs.push((start, (buf.len() as u64 - start) as u32));
+            }
+            let base = stream
+                .journal(&buf)
+                .map_err(|e| self.disk_err(&e))?
+                .unwrap_or(0);
+            Some(
+                locs.into_iter()
+                    .map(|(start, frame_len)| FrameLoc {
+                        offset: base + start,
+                        frame_len,
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
         for (k, chunk) in chunks.iter().enumerate() {
-            let (len, was_claimed) = stream.push(chunk.clone(), run, k as u32);
+            let at = locs.as_ref().map(|l| l[k]);
+            let (len, was_claimed) = stream.push(chunk.clone(), run, k as u32, at);
             bytes += len;
             if was_claimed {
                 claimed += 1;
@@ -1125,24 +1210,36 @@ impl StorageNode {
     /// allocate.
     pub fn remove_from(&self, bag: BagId, origin: u32) -> Result<NodeRemove, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         self.touch(&file);
         let mut inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
         let sealed = inner.sealed;
-        let stream = self.stream_entry(&mut inner, bag, origin);
-        match stream.take_next() {
-            Some((chunk, (run, k))) => {
-                if let Some(log) = &stream.log {
-                    log.append(&segment::consume_frame(&[TagSegment {
-                        run,
-                        start: k,
-                        len: 1,
-                    }]))
-                    .expect("journal consume failed");
+        let stream = self.stream_entry(&mut inner, bag, origin)?;
+        // Scan (without consuming) → read → journal → commit: a failed
+        // read-back or consume journal refuses the serve with the chunk
+        // still live.
+        let mut i = stream.next;
+        while i < stream.slots.len() && stream.consumed[i] {
+            i += 1;
+        }
+        let picked = (i < stream.slots.len()).then_some(i);
+        match picked {
+            Some(i) => {
+                let chunk = stream.chunk_at(i).map_err(|e| self.disk_err(&e))?;
+                let (run, k) = stream.tags[i];
+                if stream.log.is_some() {
+                    stream
+                        .journal(&segment::consume_frame(&[TagSegment {
+                            run,
+                            start: k,
+                            len: 1,
+                        }]))
+                        .map_err(|e| self.disk_err(&e))?;
                 }
+                stream.commit_consumed(&[i]);
                 if origin == self.id.0 {
                     let cells = &file.cells;
                     cells.update(|| {
@@ -1186,40 +1283,34 @@ impl StorageNode {
         max_n: usize,
     ) -> Result<NodeRemoveBatch, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         self.touch(&file);
         let mut inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
         let sealed = inner.sealed;
-        let stream = self.stream_entry(&mut inner, bag, origin);
-        let mut chunks = Vec::new();
+        let stream = self.stream_entry(&mut inner, bag, origin)?;
+        // Scan (without consuming) → read → journal → commit, as in
+        // [`StorageNode::remove_from`]: any disk failure refuses the
+        // whole batch with every chunk still live.
+        let mut picked = Vec::new();
+        stream.peek_live(max_n, &mut picked);
+        let mut chunks = Vec::with_capacity(picked.len());
         let mut tags: Vec<TagSegment> = Vec::new();
         let mut bytes = 0u64;
-        while chunks.len() < max_n {
-            match stream.take_next() {
-                Some((chunk, (run, k))) => {
-                    bytes += chunk.len() as u64;
-                    chunks.push(chunk);
-                    match tags.last_mut() {
-                        Some(seg) if seg.run == run && seg.start + seg.len == k => seg.len += 1,
-                        _ => tags.push(TagSegment {
-                            run,
-                            start: k,
-                            len: 1,
-                        }),
-                    }
-                }
-                None => break,
-            }
+        for &i in &picked {
+            let chunk = stream.chunk_at(i).map_err(|e| self.disk_err(&e))?;
+            bytes += chunk.len() as u64;
+            chunks.push(chunk);
+            push_tag(&mut tags, stream.tags[i]);
         }
-        if !tags.is_empty() {
-            if let Some(log) = &stream.log {
-                log.append(&segment::consume_frame(&tags))
-                    .expect("journal consume failed");
-            }
+        if !tags.is_empty() && stream.log.is_some() {
+            stream
+                .journal(&segment::consume_frame(&tags))
+                .map_err(|e| self.disk_err(&e))?;
         }
+        stream.commit_consumed(&picked);
         let exhausted = chunks.len() < max_n;
         if origin == self.id.0 && !chunks.is_empty() {
             let cells = &file.cells;
@@ -1301,16 +1392,19 @@ impl StorageNode {
         tags: &[TagSegment],
     ) -> Result<ConsumeOutcome, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let mut inner = file.inner.lock();
-        let stream = self.stream_entry(&mut inner, bag, origin);
-        let outcome = stream.consume_tags(tags);
-        if outcome.newly > 0 || outcome.pre > 0 {
-            if let Some(log) = &stream.log {
-                log.append(&segment::consume_frame(tags))
-                    .expect("journal consume failed");
-            }
+        let stream = self.stream_entry(&mut inner, bag, origin)?;
+        // Journal before mutating: a refused journal refuses the whole
+        // mirror/claim. Replaying the full tag set is idempotent, so
+        // journaling even a no-change request is safe (and cheaper than
+        // pre-scanning to find out).
+        if !tags.is_empty() && stream.log.is_some() {
+            stream
+                .journal(&segment::consume_frame(tags))
+                .map_err(|e| self.disk_err(&e))?;
         }
+        let outcome = stream.consume_tags(tags);
         if origin == self.id.0 {
             let cells = &file.cells;
             cells.update(|| {
@@ -1330,33 +1424,35 @@ impl StorageNode {
     /// e.g. broadcasting the small relation of a hash join.
     pub fn read_at(&self, bag: BagId, index: usize) -> Result<Option<Chunk>, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
         let own = self.id.0;
-        Ok(inner
+        inner
             .streams
             .get(&own)
             .filter(|s| index < s.slots.len())
-            .map(|s| s.chunk_at(index)))
+            .map(|s| s.chunk_at(index).map_err(|e| self.disk_err(&e)))
+            .transpose()
     }
 
     /// Returns a copy of every chunk of `bag` stored here, regardless of the
     /// read pointer. Used to replay the done work bag on master recovery.
     pub fn snapshot(&self, bag: BagId) -> Result<Vec<Chunk>, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
-        Ok(inner
+        inner
             .streams
             .values()
             .flat_map(|s| (0..s.slots.len()).map(move |i| s.chunk_at(i)))
-            .collect())
+            .collect::<io::Result<Vec<Chunk>>>()
+            .map_err(|e| self.disk_err(&e))
     }
 
     /// Returns every chunk of `bag` stored here whose origin is `origin`.
@@ -1364,33 +1460,56 @@ impl StorageNode {
     /// the chunks it mirrors for that primary.
     pub fn snapshot_from(&self, bag: BagId, origin: u32) -> Result<Vec<Chunk>, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
-        Ok(inner
+        inner
             .streams
             .get(&origin)
-            .map(|s| (0..s.slots.len()).map(|i| s.chunk_at(i)).collect())
-            .unwrap_or_default())
+            .map(|s| {
+                (0..s.slots.len())
+                    .map(|i| s.chunk_at(i))
+                    .collect::<io::Result<Vec<Chunk>>>()
+            })
+            .unwrap_or_else(|| Ok(Vec::new()))
+            .map_err(|e| self.disk_err(&e))
     }
 
     /// Seals `bag`: no further inserts. Sealing is what turns "empty" into
     /// "end-of-file" and lets workers terminate (paper §3.1).
     pub fn seal(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let mut inner = file.inner.lock();
         if !inner.sealed {
+            // Journal before mutating: a bag whose seal cannot be made
+            // durable is not sealed.
+            Self::journal_meta(&mut inner, segment::META_SEAL).map_err(|e| self.disk_err(&e))?;
             inner.sealed = true;
-            if let Some(meta) = &inner.meta {
-                meta.append(&segment::meta_frame(segment::META_SEAL))
-                    .expect("journal seal failed");
-            }
         }
         let cells = &file.cells;
         cells.update(|| cells.sealed.store(true, Ordering::Relaxed));
+        Ok(())
+    }
+
+    /// Appends one lifecycle event to the bag's meta log, with the same
+    /// poison rule as [`Stream::journal`]: a failed append refuses every
+    /// later meta append so a tear is never buried inside the log.
+    fn journal_meta(inner: &mut BagFileInner, tag: u8) -> io::Result<()> {
+        let Some(meta) = &inner.meta else {
+            return Ok(());
+        };
+        if inner.meta_poisoned {
+            return Err(io::Error::other(
+                "meta log poisoned by an earlier failed append",
+            ));
+        }
+        if let Err(e) = meta.append(&segment::meta_frame(tag)) {
+            inner.meta_poisoned = true;
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -1399,17 +1518,21 @@ impl StorageNode {
     /// from a compute-node failure, §4.4).
     pub fn rewind(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let mut inner = file.inner.lock();
         if inner.collected {
             return Err(StorageError::BagCollected(bag));
         }
+        // Journal-then-rewind per stream. A mid-loop failure leaves a
+        // partial rewind; the error propagates and the (idempotent)
+        // rewind is retried by the caller's recovery machinery.
         for stream in inner.streams.values_mut() {
-            stream.rewind();
-            if let Some(log) = &stream.log {
-                log.append(&segment::rewind_frame())
-                    .expect("journal rewind failed");
+            if stream.log.is_some() {
+                stream
+                    .journal(&segment::rewind_frame())
+                    .map_err(|e| self.disk_err(&e))?;
             }
+            stream.rewind();
         }
         let cells = &file.cells;
         cells.update(|| {
@@ -1427,20 +1550,21 @@ impl StorageNode {
     /// truncated, so the discard itself survives a restart.
     pub fn discard(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let mut inner = file.inner.lock();
+        // Truncate the data logs and journal the discard *before*
+        // clearing memory: a disk failure refuses the discard with the
+        // in-memory bag intact (the logs may be partially truncated —
+        // the node is disk-sick and the caller routes around it).
         for stream in inner.streams.values() {
             if let Some(log) = &stream.log {
-                log.truncate(0).expect("truncate segment log failed");
+                log.truncate(0).map_err(|e| self.disk_err(&e))?;
             }
         }
+        Self::journal_meta(&mut inner, segment::META_DISCARD).map_err(|e| self.disk_err(&e))?;
         inner.streams.clear();
         inner.sealed = false;
         inner.collected = false;
-        if let Some(meta) = &inner.meta {
-            meta.append(&segment::meta_frame(segment::META_DISCARD))
-                .expect("journal discard failed");
-        }
         let cells = &file.cells;
         let mut freed = 0;
         cells.update(|| {
@@ -1460,19 +1584,18 @@ impl StorageNode {
     /// Garbage-collects `bag`: frees its chunks; subsequent access fails.
     pub fn collect(&self, bag: BagId) -> Result<(), StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         let mut inner = file.inner.lock();
+        // Same ordering as [`StorageNode::discard`]: disk work first,
+        // memory mutation only after it all succeeded.
         for stream in inner.streams.values() {
             if let Some(log) = &stream.log {
-                log.truncate(0).expect("truncate segment log failed");
+                log.truncate(0).map_err(|e| self.disk_err(&e))?;
             }
         }
+        Self::journal_meta(&mut inner, segment::META_COLLECT).map_err(|e| self.disk_err(&e))?;
         inner.streams = HashMap::new();
         inner.collected = true;
-        if let Some(meta) = &inner.meta {
-            meta.append(&segment::meta_frame(segment::META_COLLECT))
-                .expect("journal collect failed");
-        }
         let cells = &file.cells;
         let mut freed = 0;
         cells.update(|| {
@@ -1495,7 +1618,7 @@ impl StorageNode {
     /// per-node samples sum to a consistent cluster sample.
     pub fn sample(&self, bag: BagId) -> Result<BagSample, StorageError> {
         self.check_up()?;
-        let file = self.bag_file(bag);
+        let file = self.bag_file(bag)?;
         // Only the node's own (primary) stream is counted — chunks *and*
         // bytes: with replication, summing primaries across nodes yields
         // exact cluster-wide totals without double-counting backups.

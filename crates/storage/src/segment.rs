@@ -33,11 +33,16 @@
 //! disk* — crash/restart scenarios then exercise the real recovery scan
 //! with zero real I/O.
 //!
-//! Durability is fail-stop: appends go through the OS page cache (which
-//! survives SIGKILL; fsync happens on graceful shutdown via
-//! [`crate::StorageNode::sync_all`]), and an append or spilled-read I/O
-//! error is a local fatal error — the node panics rather than serving
-//! state it can no longer journal.
+//! Appends go through the OS page cache (which survives SIGKILL; fsync
+//! happens on graceful shutdown via [`crate::StorageNode::sync_all`]).
+//! An append or spilled-read I/O error is *not* fatal: it surfaces as a
+//! typed [`crate::StorageError`] (`DiskFull` for `ENOSPC`, `DiskIo`
+//! otherwise) and the failed operation is refused — journal-before-
+//! mutate ordering means refused operations leave no unjournaled state
+//! behind, and replicated callers route around the sick node. A stream
+//! whose append failed is *poisoned* against further appends so a later
+//! success cannot bury torn bytes inside the log (see `SEGMENT.md`,
+//! "Error handling").
 
 use crate::node::TagSegment;
 use hurricane_common::BagId;
@@ -114,14 +119,20 @@ pub fn encode_frame(body: &[u8], out: &mut Vec<u8>) {
 
 /// One encoded `DATA` frame: chunk `payload` tagged `(run, k)`.
 pub fn data_frame(run: u64, k: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 3 * varint::MAX_VARINT_LEN + 5);
+    data_frame_into(run, k, payload, &mut out);
+    out
+}
+
+/// Appends one encoded `DATA` frame to `out` — the batched form of
+/// [`data_frame`], used to journal a whole insert run in one append.
+pub fn data_frame_into(run: u64, k: u32, payload: &[u8], out: &mut Vec<u8>) {
     let mut body = Vec::with_capacity(1 + 2 * varint::MAX_VARINT_LEN + payload.len());
     body.push(REC_DATA);
     varint::encode(run, &mut body);
     varint::encode(u64::from(k), &mut body);
     body.extend_from_slice(payload);
-    let mut out = Vec::with_capacity(body.len() + varint::MAX_VARINT_LEN + 4);
-    encode_frame(&body, &mut out);
-    out
+    encode_frame(&body, out);
 }
 
 /// One encoded `CONSUME` frame naming the consumed chunk identities.
@@ -356,10 +367,43 @@ pub struct MemDisk {
     files: Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>,
 }
 
+/// A pluggable store medium, for wrapping a real store with
+/// instrumentation — the fault simulator's `FaultyStore` injects disk
+/// faults this way ([`SegmentStore::custom`]). Implementations mirror
+/// the corresponding [`SegmentStore`] methods.
+pub trait StoreBackend: Send + Sync {
+    /// As [`SegmentStore::open_log`].
+    fn open_log(&self, name: &str) -> io::Result<SegmentLog>;
+    /// As [`SegmentStore::list_logs`].
+    fn list_logs(&self) -> io::Result<Vec<String>>;
+    /// As [`SegmentStore::subdir`].
+    fn subdir(&self, name: &str) -> io::Result<SegmentStore>;
+}
+
+/// A pluggable log behind a [`SegmentLog`] handle
+/// ([`SegmentLog::custom`]). Implementations mirror the corresponding
+/// [`SegmentLog`] methods.
+#[allow(clippy::len_without_is_empty)] // mirrors SegmentLog::len, a byte offset
+pub trait LogBackend: Send + Sync {
+    /// As [`SegmentLog::append`].
+    fn append(&self, frame: &[u8]) -> io::Result<u64>;
+    /// As [`SegmentLog::read`].
+    fn read(&self, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+    /// As [`SegmentLog::len`].
+    fn len(&self) -> u64;
+    /// As [`SegmentLog::read_all`].
+    fn read_all(&self) -> io::Result<Vec<u8>>;
+    /// As [`SegmentLog::truncate`].
+    fn truncate(&self, len: u64) -> io::Result<()>;
+    /// As [`SegmentLog::sync`].
+    fn sync(&self) -> io::Result<()>;
+}
+
 #[derive(Clone)]
 enum Medium {
     Disk(PathBuf),
     Mem(Arc<MemDisk>, String),
+    Custom(Arc<dyn StoreBackend>),
 }
 
 /// A durable medium for segment logs: a directory on disk, or a shared
@@ -387,6 +431,14 @@ impl SegmentStore {
         }
     }
 
+    /// A store driven by a custom [`StoreBackend`] — the fault
+    /// simulator's injection hook.
+    pub fn custom(backend: Arc<dyn StoreBackend>) -> Self {
+        Self {
+            medium: Medium::Custom(backend),
+        }
+    }
+
     /// A namespaced view inside this store (e.g. `node-3`): same medium,
     /// names prefixed. Disk stores create the subdirectory.
     pub fn subdir(&self, name: &str) -> io::Result<Self> {
@@ -397,6 +449,7 @@ impl SegmentStore {
                 Medium::Disk(dir)
             }
             Medium::Mem(disk, prefix) => Medium::Mem(disk.clone(), format!("{prefix}{name}/")),
+            Medium::Custom(backend) => return backend.subdir(name),
         };
         Ok(Self { medium })
     }
@@ -433,6 +486,7 @@ impl SegmentStore {
                     inner: Arc::new(LogInner::Mem { data }),
                 })
             }
+            Medium::Custom(backend) => backend.open_log(name),
         }
     }
 
@@ -465,6 +519,7 @@ impl SegmentStore {
                 .filter_map(|k| k.strip_prefix(prefix.as_str()))
                 .map(str::to_owned)
                 .collect()),
+            Medium::Custom(backend) => backend.list_logs(),
         }
     }
 }
@@ -474,6 +529,7 @@ impl std::fmt::Debug for SegmentStore {
         match &self.medium {
             Medium::Disk(root) => f.debug_tuple("SegmentStore::Disk").field(root).finish(),
             Medium::Mem(_, prefix) => f.debug_tuple("SegmentStore::Mem").field(prefix).finish(),
+            Medium::Custom(_) => f.debug_tuple("SegmentStore::Custom").finish(),
         }
     }
 }
@@ -488,6 +544,7 @@ enum LogInner {
     Mem {
         data: Arc<Mutex<Vec<u8>>>,
     },
+    Custom(Arc<dyn LogBackend>),
 }
 
 /// One append-only log inside a [`SegmentStore`]. Cloning shares the
@@ -499,13 +556,29 @@ pub struct SegmentLog {
 }
 
 impl SegmentLog {
+    /// A log driven by a custom [`LogBackend`] — the fault simulator's
+    /// injection hook.
+    pub fn custom(backend: Arc<dyn LogBackend>) -> Self {
+        Self {
+            inner: Arc::new(LogInner::Custom(backend)),
+        }
+    }
+
     /// Appends an encoded frame, returning the offset it starts at.
+    ///
+    /// On failure the log is restored to its pre-append length
+    /// (best-effort): a short write must not leave torn bytes *inside*
+    /// the log where a later successful append would bury them beyond
+    /// the recovery scan's torn-tail cut.
     pub fn append(&self, frame: &[u8]) -> io::Result<u64> {
         match &*self.inner {
             LogInner::Disk { file, append } => {
                 let mut end = append.lock();
                 let offset = *end;
-                file.write_all_at(frame, offset)?;
+                if let Err(e) = file.write_all_at(frame, offset) {
+                    let _ = file.set_len(offset);
+                    return Err(e);
+                }
                 *end = offset + frame.len() as u64;
                 Ok(offset)
             }
@@ -515,6 +588,7 @@ impl SegmentLog {
                 data.extend_from_slice(frame);
                 Ok(offset)
             }
+            LogInner::Custom(b) => b.append(frame),
         }
     }
 
@@ -532,6 +606,7 @@ impl SegmentLog {
                     .ok_or(io::ErrorKind::UnexpectedEof)?;
                 buf.copy_from_slice(&data[start..start + len]);
             }
+            LogInner::Custom(b) => return b.read(offset, len),
         }
         Ok(buf)
     }
@@ -541,6 +616,7 @@ impl SegmentLog {
         match &*self.inner {
             LogInner::Disk { append, .. } => *append.lock(),
             LogInner::Mem { data } => data.lock().len() as u64,
+            LogInner::Custom(b) => b.len(),
         }
     }
 
@@ -559,6 +635,7 @@ impl SegmentLog {
                 Ok(buf)
             }
             LogInner::Mem { data } => Ok(data.lock().clone()),
+            LogInner::Custom(b) => b.read_all(),
         }
     }
 
@@ -578,6 +655,7 @@ impl SegmentLog {
                 data.truncate(len);
                 Ok(())
             }
+            LogInner::Custom(b) => b.truncate(len),
         }
     }
 
@@ -586,6 +664,7 @@ impl SegmentLog {
         match &*self.inner {
             LogInner::Disk { file, .. } => file.sync_all(),
             LogInner::Mem { .. } => Ok(()),
+            LogInner::Custom(b) => b.sync(),
         }
     }
 }

@@ -448,6 +448,8 @@ const ERR_DISCONNECTED: u8 = 6;
 const ERR_TIMEOUT: u8 = 7;
 const ERR_PREFETCH_ABORTED: u8 = 8;
 const ERR_CODEC: u8 = 9;
+const ERR_DISK_FULL: u8 = 10;
+const ERR_DISK_IO: u8 = 11;
 
 const CODEC_TRUNCATED: u8 = 0;
 const CODEC_INVALID_VARINT: u8 = 1;
@@ -509,6 +511,14 @@ fn put_error(err: &StorageError, out: &mut Vec<u8>) {
                 CodecError::LengthOverflow => out.push(CODEC_LENGTH_OVERFLOW),
             }
         }
+        StorageError::DiskFull(n) => {
+            out.push(ERR_DISK_FULL);
+            put_node(*n, out);
+        }
+        StorageError::DiskIo(n) => {
+            out.push(ERR_DISK_IO);
+            put_node(*n, out);
+        }
     }
 }
 
@@ -535,6 +545,8 @@ fn get_error(input: &mut &[u8]) -> Result<StorageError, CodecError> {
             CODEC_LENGTH_OVERFLOW => CodecError::LengthOverflow,
             t => return Err(CodecError::InvalidTag(t)),
         }),
+        ERR_DISK_FULL => StorageError::DiskFull(get_node(input)?),
+        ERR_DISK_IO => StorageError::DiskIo(get_node(input)?),
         t => return Err(CodecError::InvalidTag(t)),
     })
 }
@@ -727,6 +739,8 @@ mod tests {
                 record: 10,
                 chunk: 4,
             })),
+            Err(StorageError::DiskFull(StorageNodeId(7))),
+            Err(StorageError::DiskIo(StorageNodeId(1))),
         ] {
             let env = ReplyEnvelope { id: 42, result };
             let mut buf = Vec::new();

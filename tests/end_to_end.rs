@@ -12,6 +12,8 @@ use hurricane_workloads::RegionWeights;
 use std::time::Duration;
 
 fn config() -> HurricaneConfig {
+    // `with_env_overrides` lets CI's low-memory leg re-run this suite
+    // under a tiny merge budget / spill threshold unchanged.
     HurricaneConfig {
         compute_nodes: 4,
         worker_slots: 2,
@@ -20,6 +22,7 @@ fn config() -> HurricaneConfig {
         master_poll: Duration::from_millis(1),
         ..Default::default()
     }
+    .with_env_overrides()
 }
 
 /// Hurricane, the static baseline, and the serial reference must produce
